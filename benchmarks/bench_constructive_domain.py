@@ -1,0 +1,62 @@
+"""X7 — Theorem 4.4 / Example 3.5: hyper-exponential growth of cons_A(T).
+
+Measures (a) exact constructive-domain sizes against the paper's bound
+hyp(w, a, i), and (b) the cost of actually enumerating the domain at
+set-heights 0 and 1.  Expected shape: one extra level of set nesting turns a
+polynomial count into an exponential one (|cons| at height 1 equals
+2**(|cons| at height 0)), matching the "exponential increase per set-height"
+statement of Example 3.5.
+
+Ablation (DESIGN.md): enumeration versus arithmetic counting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.bounds import cons_size_bound
+from repro.objects.constructive import constructive_domain, constructive_domain_size
+from repro.types.parser import parse_type
+
+HEIGHT0 = parse_type("[U, U]")
+HEIGHT1 = parse_type("{[U, U]}")
+HEIGHT2 = parse_type("{{[U, U]}}")
+
+
+@pytest.mark.parametrize("atoms", [2, 3, 4])
+def test_bench_enumerate_height0(benchmark, atoms):
+    atom_list = [f"a{i}" for i in range(atoms)]
+    values = benchmark(lambda: constructive_domain(HEIGHT0, atom_list, budget=None))
+    assert len(values) == atoms**2
+
+
+@pytest.mark.parametrize("atoms", [2, 3])
+def test_bench_enumerate_height1(benchmark, atoms):
+    atom_list = [f"a{i}" for i in range(atoms)]
+    values = benchmark(lambda: constructive_domain(HEIGHT1, atom_list, budget=None))
+    assert len(values) == 2 ** (atoms**2)
+
+
+@pytest.mark.parametrize("atoms", [2, 3, 4])
+def test_bench_count_height2_arithmetically(benchmark, atoms):
+    """Counting works even where enumeration is impossible (ablation)."""
+    size = benchmark(lambda: constructive_domain_size(HEIGHT2, atoms))
+    assert size == 2 ** (2 ** (atoms**2))
+
+
+def test_growth_matches_hyp_bound(capsys):
+    print()
+    print("X7: |cons_a(T)| versus the hyp(w, a, i) bound (Theorem 4.4)")
+    for atoms in (1, 2, 3):
+        row = []
+        for label, type_ in (("sh=0", HEIGHT0), ("sh=1", HEIGHT1), ("sh=2", HEIGHT2)):
+            exact = constructive_domain_size(type_, atoms)
+            bound = cons_size_bound(type_, atoms)
+            assert exact <= bound
+            row.append(f"{label}: exact={exact} bound={bound}")
+        print(f"  a={atoms}  " + "  ".join(row))
+    # One extra set level exponentiates the count.
+    for atoms in (2, 3):
+        assert constructive_domain_size(HEIGHT1, atoms) == 2 ** constructive_domain_size(
+            HEIGHT0, atoms
+        )

@@ -1,0 +1,46 @@
+"""X4 — Example 3.2: even-cardinality recognition.
+
+The query exhibits the asymmetry of existential set quantification under
+short-circuit evaluation: on even inputs a pairing witness is found early,
+on odd inputs the evaluator must exhaust all 2^(n²) candidate pairings.
+Expected shape: odd sizes are much slower than the neighbouring even sizes,
+and the eager-enumeration ablation is slower still.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import person_database
+from repro.calculus.builders import even_cardinality_query
+from repro.calculus.evaluation import EvaluationSettings, QuantifierStrategy, evaluate_query
+
+UNBOUNDED = EvaluationSettings(binding_budget=None)
+EAGER = EvaluationSettings(binding_budget=None, strategy=QuantifierStrategy.EAGER)
+
+
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_bench_even_cardinality(benchmark, size):
+    database = person_database(size)
+    answer = benchmark(lambda: evaluate_query(even_cardinality_query(), database, UNBOUNDED))
+    expected = size if size % 2 == 0 else 0
+    assert len(answer) == expected
+
+
+@pytest.mark.parametrize("size", [3])
+def test_bench_even_cardinality_eager_ablation(benchmark, size):
+    """Ablation: eager quantifier-range materialisation (same answers, more work)."""
+    database = person_database(size)
+    answer = benchmark(lambda: evaluate_query(even_cardinality_query(), database, EAGER))
+    assert len(answer) == 0
+
+
+def test_parity_shape_report(capsys):
+    print()
+    print("X4: even-cardinality query (Example 3.2)")
+    for size in range(0, 5):
+        database = person_database(size)
+        answer = evaluate_query(even_cardinality_query(), database, UNBOUNDED)
+        verdict = "PERSON" if len(answer) else "{}"
+        print(f"  |PERSON| = {size}: answer = {verdict} ({len(answer)} atoms)")
+        assert (len(answer) > 0) == (size % 2 == 0 and size > 0)

@@ -1,0 +1,73 @@
+"""X2 — Example 2.4: the grandparent query, three ways.
+
+Compares the CALC_{0,0} calculus query, the equivalent algebra expression
+``π_{1,4}(σ_{2=3}(PAR × PAR))`` and the plain relational-algebra join on
+parent chains of growing length.  Expected shape: all three agree on every
+input; the flat relational join is fastest, the complex-object algebra is
+close, and the brute-force calculus evaluator is slowest and grows fastest
+(it enumerates cons(adom²) output candidates).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import chain_database
+from repro.algebra.evaluation import evaluate_expression
+from repro.algebra.expressions import PredicateExpression, Product, Projection, Selection, SelectionCondition
+from repro.calculus.builders import grandparent_query
+from repro.calculus.evaluation import evaluate_query
+from repro.relational.algebra import join, project
+from repro.relational.relation import Relation
+
+SIZES = [4, 8, 16]
+
+GRANDPARENT_ALGEBRA = Projection(
+    Selection(Product(PredicateExpression("PAR"), PredicateExpression("PAR")), SelectionCondition.eq(2, 3)),
+    [1, 4],
+)
+
+
+def _relation(database) -> Relation:
+    return Relation.from_instance(database["PAR"])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_calculus_grandparent(benchmark, size):
+    database = chain_database(size)
+    answer = benchmark(lambda: evaluate_query(grandparent_query(), database))
+    assert len(answer) == size - 1
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_algebra_grandparent(benchmark, size):
+    database = chain_database(size)
+    answer = benchmark(lambda: evaluate_expression(GRANDPARENT_ALGEBRA, database))
+    assert len(answer) == size - 1
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_relational_grandparent(benchmark, size):
+    database = chain_database(size)
+    relation = _relation(database)
+    answer = benchmark(lambda: project(join(relation, relation, [(2, 1)]), [1, 4]))
+    assert len(answer) == size - 1
+
+
+def test_all_three_agree(capsys):
+    print()
+    print("X2: grandparent query, calculus vs algebra vs relational join")
+    for size in SIZES:
+        database = chain_database(size)
+        calculus = {
+            (str(v.coordinate(1)), str(v.coordinate(2)))
+            for v in evaluate_query(grandparent_query(), database).values
+        }
+        algebra = {
+            (str(v.coordinate(1)), str(v.coordinate(2)))
+            for v in evaluate_expression(GRANDPARENT_ALGEBRA, database).values
+        }
+        relation = _relation(database)
+        relational = set(project(join(relation, relation, [(2, 1)]), [1, 4]).tuples)
+        assert calculus == algebra == relational
+        print(f"  chain length {size}: {len(calculus)} grandparent pairs, all engines agree")

@@ -1,0 +1,75 @@
+"""X17 — fixpoint/while programs vs the powerset calculus query (Remark 3.6).
+
+Transitive closure via the while-change algebra program is polynomial; the
+CALC_{0,1} calculus query of Example 3.1 searches the powerset of the pair
+domain.  Expected shape: the program scales to chains of hundreds of edges,
+the calculus query's cost explodes already at 3 atoms, and both agree on the
+answers where both run — that crossover is the paper's central trade-off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calculus.builders import transitive_closure_query
+from repro.calculus.evaluation import EvaluationSettings, evaluate_query
+from repro.fixpoint import same_generation_program, transitive_closure_program
+from repro.objects.instance import DatabaseInstance
+from repro.calculus.builders import PARENT_SCHEMA
+from repro.workloads import binary_tree_pairs, chain_pairs
+
+UNBOUNDED = EvaluationSettings(binding_budget=None)
+
+
+def chain_database(edges: int) -> DatabaseInstance:
+    return DatabaseInstance.build(PARENT_SCHEMA, PAR=chain_pairs(edges))
+
+
+@pytest.mark.parametrize("edges", [8, 16, 32])
+def test_bench_program_transitive_closure(benchmark, edges):
+    database = chain_database(edges)
+    program = transitive_closure_program()
+    result = benchmark(lambda: program.run(database))
+    assert len(result.output) == edges * (edges + 1) // 2
+
+
+@pytest.mark.parametrize("atoms", [2, 3])
+def test_bench_calculus_transitive_closure_for_crossover(benchmark, atoms):
+    database = chain_database(atoms - 1)
+    answer = benchmark(lambda: evaluate_query(transitive_closure_query(), database, UNBOUNDED))
+    assert len(answer) == atoms * (atoms - 1) // 2
+
+
+@pytest.mark.parametrize("depth", [2, 3])
+def test_bench_same_generation_on_trees(benchmark, depth):
+    database = DatabaseInstance.build(PARENT_SCHEMA, PAR=binary_tree_pairs(depth))
+    program = same_generation_program()
+    result = benchmark(lambda: program.run(database))
+    assert len(result.output) > 0
+
+
+def test_report_crossover(capsys):
+    print()
+    print("X17: transitive closure — while-change program vs CALC_{0,1} query")
+    program = transitive_closure_program()
+    for atoms in (2, 3):
+        database = chain_database(atoms - 1)
+        program_rows = {
+            tuple(c.value for c in value.components)
+            for value in program.run(database).output
+        }
+        calculus_rows = {
+            tuple(c.value for c in value.components)
+            for value in evaluate_query(transitive_closure_query(), database, UNBOUNDED)
+        }
+        assert program_rows == calculus_rows
+        print(
+            f"  {atoms} atoms: both compute {len(program_rows)} pairs; calculus searches "
+            f"2**{atoms * atoms} candidate relations, program needs <= {atoms + 1} iterations"
+        )
+    big = 32
+    result = program.run(chain_database(big))
+    print(
+        f"  {big + 1} atoms: program still polynomial ({result.iterations} iterations, "
+        f"|TC| = {len(result.output)}); the calculus query would need 2**{(big + 1) ** 2} candidates"
+    )

@@ -1,0 +1,93 @@
+"""X16 — the powerset-free nested algebra ALG⁻ vs the full algebra.
+
+The paper's conclusions (after [PvG88]) note that ALG⁻ — nest/unnest but no
+powerset — collapses: its intermediate nesting buys no expressive power, and
+in particular it cannot compute transitive closure, which a single powerset
+(or a set-height-1 calculus intermediate type) already can.  Measured shape:
+ALG⁻ pipelines stay polynomial (sub-millisecond at these sizes, intermediate
+cardinality ≤ |R|), the powerset algebra's intermediate instance has 2^|R|
+members, and only the latter (combined with intersection over its members)
+reaches the closure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.evaluation import AlgebraEvaluationSettings, evaluate_expression
+from repro.algebra.expressions import Powerset, PredicateExpression
+from repro.calculus.builders import PARENT_SCHEMA
+from repro.nested import (
+    Nest,
+    NestedPredicate,
+    NestedProduct,
+    NestedProjection,
+    NestedSelection,
+    NestedUnion,
+    Unnest,
+    alg_minus_classification,
+    evaluate_nested,
+)
+from repro.algebra.expressions import SelectionCondition
+from repro.objects.instance import DatabaseInstance
+from repro.relational.fixpoint import transitive_closure
+from repro.relational.relation import Relation
+from repro.workloads import chain_pairs
+
+R = NestedPredicate("PAR")
+
+
+def _database(edges: int) -> DatabaseInstance:
+    return DatabaseInstance.build(PARENT_SCHEMA, PAR=chain_pairs(edges))
+
+
+def _two_step_pipeline():
+    compose = NestedProjection(
+        NestedSelection(NestedProduct(R, R), SelectionCondition.eq(2, 3)), (1, 4)
+    )
+    return NestedUnion(R, compose)
+
+
+@pytest.mark.parametrize("edges", [8, 32, 128])
+def test_bench_nested_pipeline(benchmark, edges):
+    database = _database(edges)
+    pipeline = _two_step_pipeline()
+    answer = benchmark(lambda: evaluate_nested(pipeline, database))
+    assert len(answer) == 2 * edges - 1  # paths of length 1 and 2
+
+
+@pytest.mark.parametrize("edges", [8, 32, 128])
+def test_bench_nest_unnest_round_trip(benchmark, edges):
+    database = _database(edges)
+    pipeline = Unnest(Nest(R, (2,)), 2)
+    answer = benchmark(lambda: evaluate_nested(pipeline, database))
+    assert len(answer) == edges
+
+
+@pytest.mark.parametrize("edges", [4, 8, 12])
+def test_bench_powerset_enumeration(benchmark, edges):
+    database = _database(edges)
+    expression = Powerset(PredicateExpression("PAR"))
+    settings = AlgebraEvaluationSettings(powerset_budget=20)
+    answer = benchmark(lambda: evaluate_expression(expression, database, settings))
+    assert len(answer) == 2 ** edges
+
+
+def test_report_expressiveness_gap(capsys):
+    print()
+    print("X16: ALG⁻ pipelines vs transitive closure (powerset needed)")
+    for edges in (3, 5, 8):
+        database = _database(edges)
+        closure = transitive_closure(Relation(2, chain_pairs(edges)))
+        pipeline_answer = {
+            tuple(c.value for c in value.components)
+            for value in evaluate_nested(_two_step_pipeline(), database)
+        }
+        classification = alg_minus_classification(_two_step_pipeline(), PARENT_SCHEMA)
+        missing = set(closure.tuples) - pipeline_answer
+        assert missing or edges <= 2  # single-pass ALG⁻ misses long paths
+        print(
+            f"  chain of {edges} edges: {classification}; pipeline finds "
+            f"{len(pipeline_answer)}/{len(closure)} closure pairs "
+            f"(misses {len(missing)} — needs powerset or fixpoint)"
+        )

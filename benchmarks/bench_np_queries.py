@@ -1,0 +1,109 @@
+"""X8 — Theorem 4.3: existential CALC_{0,1} queries and NP-style workloads.
+
+Theorem 4.3 identifies CALC_{0,1}^∃ (SF) with the generic NPTIME queries.
+This benchmark measures the *data complexity* view (deciding o ∈ Q[d]) for
+two existential set-quantifier queries — the even-cardinality pairing query
+(a perfect-matching certificate) and a 2-colourability query built here —
+as the instance grows.  Expected shape: positive instances are cheap
+(a certificate is found early in the enumeration), negative instances pay
+an exponential price, mirroring the guess-and-check character of NP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import person_database
+from repro.calculus.builders import (
+    PAIR_OF_ATOMS,
+    PARENT_SCHEMA,
+    even_cardinality_query,
+)
+from repro.calculus.evaluation import EvaluationSettings, check_membership, evaluate_query
+from repro.calculus.formulas import Equals, Exists, Forall, Membership, Not, Or, PredicateAtom
+from repro.calculus.query import CalculusQuery
+from repro.calculus.terms import var
+from repro.objects.instance import DatabaseInstance
+from repro.objects.values import value_from_python
+from repro.types.parser import parse_type
+from repro.types.type_system import SetType, U
+
+UNBOUNDED = EvaluationSettings(binding_budget=None)
+SET_OF_ATOMS = SetType(U)
+
+
+def two_colourability_query() -> CalculusQuery:
+    """Return the graph's nodes iff the PAR graph (as undirected edges) is 2-colourable.
+
+    ``∃x/{U}`` guesses one colour class; every edge must straddle the cut.
+    An existential set-height-1 quantifier over a flat schema: a canonical
+    CALC_{0,1}^∃ (SF) query.
+    """
+    t, e, x = var("t"), var("e"), var("x")
+    edge_crosses_cut = Forall(
+        "e",
+        PAIR_OF_ATOMS,
+        PredicateAtom("PAR", e).implies(
+            Or(
+                Membership(e.coordinate(1), x) & Not(Membership(e.coordinate(2), x)),
+                Not(Membership(e.coordinate(1), x)) & Membership(e.coordinate(2), x),
+            )
+        ),
+    )
+    node = Exists(
+        "e",
+        PAIR_OF_ATOMS,
+        PredicateAtom("PAR", e)
+        & Or(Equals(e.coordinate(1), t), Equals(e.coordinate(2), t)),
+    )
+    formula = node & Exists("x", SET_OF_ATOMS, edge_crosses_cut)
+    return CalculusQuery(PARENT_SCHEMA, "t", U, formula, name="two_colourable")
+
+
+def cycle_database(length: int) -> DatabaseInstance:
+    edges = [(f"v{i}", f"v{(i + 1) % length}") for i in range(length)]
+    return DatabaseInstance.build(PARENT_SCHEMA, PAR=edges)
+
+
+@pytest.mark.parametrize("size", [2, 4])
+def test_bench_membership_check_even_instance(benchmark, size):
+    """Positive instances: a pairing certificate exists and is found quickly."""
+    database = person_database(size)
+    candidate = value_from_python("p0")
+    result = benchmark(
+        lambda: check_membership(even_cardinality_query(), database, candidate, UNBOUNDED)
+    )
+    assert result is True
+
+
+@pytest.mark.parametrize("size", [3])
+def test_bench_membership_check_odd_instance(benchmark, size):
+    """Negative instances: the evaluator must exhaust the certificate space."""
+    database = person_database(size)
+    candidate = value_from_python("p0")
+    result = benchmark(
+        lambda: check_membership(even_cardinality_query(), database, candidate, UNBOUNDED)
+    )
+    assert result is False
+
+
+@pytest.mark.parametrize("length,colourable", [(4, True), (3, False)])
+def test_bench_two_colourability(benchmark, length, colourable):
+    database = cycle_database(length)
+    query = two_colourability_query()
+    answer = benchmark(lambda: evaluate_query(query, database, UNBOUNDED))
+    assert (len(answer) > 0) is colourable
+
+
+def test_np_shape_report(capsys):
+    print()
+    print("X8: existential CALC_{0,1} (SF / NPTIME) queries")
+    query = two_colourability_query()
+    for length in (3, 4, 5, 6):
+        database = cycle_database(length)
+        answer = evaluate_query(query, database, UNBOUNDED)
+        print(
+            f"  cycle C_{length}: 2-colourable = {len(answer) > 0} "
+            f"(expected {length % 2 == 0})"
+        )
+        assert (len(answer) > 0) == (length % 2 == 0)

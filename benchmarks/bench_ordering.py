@@ -1,0 +1,48 @@
+"""X5 — Example 3.4: the ORD total-order witness.
+
+The query {x/{[U,U]} | ORD_U(x)} returns every total order on the active
+domain; on n atoms there are exactly n! of them.  Expected shape: answers
+count n!, and the evaluation cost grows with the 2^(n²) candidate relations
+the output enumeration must consider.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import person_database
+from repro.calculus.builders import PERSON_SCHEMA, ordering_witness_query
+from repro.calculus.evaluation import EvaluationSettings, evaluate_query
+
+UNBOUNDED = EvaluationSettings(binding_budget=None)
+
+
+@pytest.mark.parametrize("size", [2, 3])
+def test_bench_ordering_witnesses(benchmark, size):
+    database = person_database(size)
+    query = ordering_witness_query(PERSON_SCHEMA)
+    answer = benchmark(lambda: evaluate_query(query, database, UNBOUNDED))
+    assert len(answer) == math.factorial(size)
+
+
+def test_orders_are_linear_orders(capsys):
+    print()
+    print("X5: ORD witnesses (Example 3.4): count = n! total orders")
+    for size in (1, 2, 3):
+        database = person_database(size)
+        answer = evaluate_query(ordering_witness_query(PERSON_SCHEMA), database, UNBOUNDED)
+        print(f"  n = {size}: {len(answer)} total orders (expected {math.factorial(size)})")
+        assert len(answer) == math.factorial(size)
+        for order in answer.values:
+            pairs = {(str(p.coordinate(1)), str(p.coordinate(2))) for p in order}
+            atoms = {a for pair in pairs for a in pair}
+            # Reflexive, total and antisymmetric on the active domain.
+            for a in atoms:
+                assert (a, a) in pairs
+            for a in atoms:
+                for b in atoms:
+                    assert (a, b) in pairs or (b, a) in pairs
+                    if a != b:
+                        assert not ((a, b) in pairs and (b, a) in pairs)

@@ -1,0 +1,56 @@
+"""X9 — Theorem 5.1 / Section 5: formula order and executable spectra.
+
+The Hierarchy Theorem rests on Bennett's result that spectra of order 2i are
+strictly contained in spectra of order 2i+2.  The strict containment is a
+theorem (cited, not re-proved); what this experiment regenerates is the
+machinery around it: the order of the paper's example queries and the
+spectra they realise on small domains.  Expected shape: the relational
+grandparent query has order 1; the set-height-1 queries (even cardinality,
+transitive closure) have order 2; the even-cardinality query's spectrum on
+sizes 0..4 is exactly the positive even numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calculus.builders import (
+    even_cardinality_query,
+    grandparent_query,
+    transitive_closure_query,
+)
+from repro.calculus.evaluation import EvaluationSettings
+from repro.spectra.order import query_order
+from repro.spectra.spectrum import cardinality_spectrum, spectrum_of_predicate
+
+UNBOUNDED = EvaluationSettings(binding_budget=None)
+
+
+def test_bench_query_order(benchmark):
+    queries = [grandparent_query(), even_cardinality_query(), transitive_closure_query()]
+    orders = benchmark(lambda: [query_order(q) for q in queries])
+    assert orders == [1, 2, 2]
+
+
+@pytest.mark.parametrize("max_size", [3, 4])
+def test_bench_even_cardinality_spectrum(benchmark, max_size):
+    query = even_cardinality_query()
+    spectrum = benchmark(lambda: cardinality_spectrum(query, max_size, UNBOUNDED))
+    expected = spectrum_of_predicate(lambda v: v[0] % 2 == 0 and v[0] > 0, 1, max_size)
+    assert spectrum == expected
+
+
+def test_order_and_spectrum_report(capsys):
+    print()
+    print("X9: order (Section 5) of the paper's example queries")
+    for query, expected in [
+        (grandparent_query(), 1),
+        (even_cardinality_query(), 2),
+        (transitive_closure_query(), 2),
+    ]:
+        order = query_order(query)
+        print(f"  {query.name}: order {order}")
+        assert order == expected
+    spectrum = cardinality_spectrum(even_cardinality_query(), 4, UNBOUNDED)
+    print(f"  spectrum of even-cardinality on sizes 0..4: {sorted(v[0] for v in spectrum)}")
+    assert sorted(v[0] for v in spectrum) == [2, 4]

@@ -1,0 +1,94 @@
+"""X12 — Theorem 6.19 / Examples 6.14, 6.17: terminal invention and halting queries.
+
+Two workloads:
+
+* terminal invention of a query whose raw answer acquires an invented value
+  at a small level — the monitoring mechanism of Theorem 6.19; and
+* the Example 6.14 halting query simulated with bounded step budgets: a
+  machine that halts is certified at some finite budget, a machine that
+  loops is never certified — the executable face of "finite invention can
+  express the halting problem" (the exact query is not computable; the
+  budgeted simulation is the substitution documented in DESIGN.md).
+
+Expected shape: terminal level found is small and stable; the halting
+machine's certificate appears at a budget proportional to its running time
+while the looping machine stays uncertified at every budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import person_database
+from repro.calculus.builders import PERSON_SCHEMA
+from repro.calculus.evaluation import EvaluationSettings
+from repro.calculus.formulas import Equals, Exists, Not, PredicateAtom
+from repro.calculus.query import CalculusQuery
+from repro.calculus.terms import var
+from repro.invention.semantics import terminal_invention
+from repro.turing.builders import halting_loop_machine, unary_parity_machine
+from repro.turing.encoding import encode_computation, invented_index_values, verify_encoding
+from repro.turing.machine import halts_within, run_machine
+from repro.types.type_system import U
+
+UNBOUNDED = EvaluationSettings(binding_budget=None)
+
+
+def invented_witness_query() -> CalculusQuery:
+    body = Exists(
+        "x",
+        U,
+        Not(PredicateAtom("PERSON", var("x"))) & Not(Equals(var("x"), var("t"))),
+    )
+    return CalculusQuery(PERSON_SCHEMA, "t", U, body, name="invented_witness")
+
+
+@pytest.mark.parametrize("people", [1, 2])
+def test_bench_terminal_invention(benchmark, people):
+    database = person_database(people)
+    result = benchmark(lambda: terminal_invention(invented_witness_query(), database, 4, UNBOUNDED))
+    assert result.defined
+    assert result.terminal_level <= 2
+
+
+@pytest.mark.parametrize("input_length", [4, 8])
+def test_bench_halting_certificate_for_halting_machine(benchmark, input_length):
+    """Example 6.14 workload: certify that M halts on a^n by exhibiting an
+    encoded halting computation (the certificate finite invention guesses)."""
+    machine = unary_parity_machine()
+    word = "a" * input_length
+
+    def run():
+        result = run_machine(machine, word)
+        indices = invented_index_values(max(result.steps + 1, input_length + 2))
+        encoding = encode_computation(result, indices)
+        return verify_encoding(machine, encoding, word)
+
+    assert benchmark(run) is True
+
+
+@pytest.mark.parametrize("budget", [16, 64])
+def test_bench_halting_search_for_looping_machine(benchmark, budget):
+    """The looping machine never halts: every step budget reports failure."""
+    machine = halting_loop_machine(loop_forever=True)
+    result = benchmark(lambda: halts_within(machine, "a", budget))
+    assert result is False
+
+
+def test_halting_budget_report(capsys):
+    print()
+    print("X12: bounded simulation of the halting query (Examples 6.14/6.17)")
+    halting = halting_loop_machine(loop_forever=False)
+    looping = halting_loop_machine(loop_forever=True)
+    parity = unary_parity_machine()
+    for budget in (2, 8, 32):
+        row = {
+            "halt_immediately": halts_within(halting, "a", budget),
+            "unary_parity(a^6)": halts_within(parity, "a" * 6, budget),
+            "loop_forever": halts_within(looping, "a", budget),
+        }
+        print(f"  budget {budget}: " + ", ".join(f"{k}={v}" for k, v in row.items()))
+    assert halts_within(halting, "a", 2)
+    assert not halts_within(parity, "a" * 6, 2)
+    assert halts_within(parity, "a" * 6, 32)
+    assert not halts_within(looping, "a", 512)

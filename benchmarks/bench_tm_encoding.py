@@ -1,0 +1,68 @@
+"""X6 — Figure 2 / Example 3.5: encoding Turing machine computations.
+
+Measures the cost of running a machine, encoding its computation into the
+type {[T, T, U, U]} and verifying the encoding (the executable content of
+COMP_{M,T}).  Expected shape: encoding size = (#steps) × (#tape cells),
+so the palindrome machine (quadratic time) produces encodings that grow
+roughly cubically with the input length, while the linear-time machines
+grow quadratically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.turing.builders import even_zeros_machine, palindrome_machine, unary_parity_machine
+from repro.turing.encoding import encode_computation, invented_index_values, verify_encoding
+from repro.turing.machine import run_machine
+
+
+@pytest.mark.parametrize("length", [4, 8, 16])
+def test_bench_encode_linear_machine(benchmark, length):
+    machine = unary_parity_machine()
+    word = "a" * length
+
+    def run():
+        result = run_machine(machine, word)
+        indices = invented_index_values(max(result.steps + 1, length + 2))
+        encoding = encode_computation(result, indices)
+        assert verify_encoding(machine, encoding, word)
+        return encoding
+
+    encoding = benchmark(run)
+    assert encoding.tuple_count == encoding.steps * encoding.positions
+
+
+@pytest.mark.parametrize("length", [4, 8])
+def test_bench_encode_quadratic_machine(benchmark, length):
+    machine = palindrome_machine()
+    word = ("01" * length)[:length]
+    word = word + word[::-1]  # an accepted palindrome of length 2*length
+
+    def run():
+        result = run_machine(machine, word)
+        indices = invented_index_values(max(result.steps + 1, len(word) + 2))
+        encoding = encode_computation(result, indices)
+        assert verify_encoding(machine, encoding, word)
+        return encoding
+
+    encoding = benchmark(run)
+    assert encoding.steps > len(word)
+
+
+def test_encoding_size_report(capsys):
+    print()
+    print("X6: computation-encoding sizes (rows = steps x positions, Figure 2)")
+    for machine, word in [
+        (unary_parity_machine(), "a" * 6),
+        (even_zeros_machine(), "010101"),
+        (palindrome_machine(), "010010"),
+    ]:
+        result = run_machine(machine, word)
+        indices = invented_index_values(max(result.steps + 1, len(word) + 2))
+        encoding = encode_computation(result, indices)
+        assert verify_encoding(machine, encoding, word)
+        print(
+            f"  {machine.name} on {word!r}: steps={encoding.steps} positions={encoding.positions} "
+            f"rows={encoding.tuple_count} accepted={result.accepted}"
+        )

@@ -1,0 +1,75 @@
+"""X3 — Example 3.1 / Proposition 3.9: transitive closure across engines.
+
+The CALC_{0,1} calculus query pays the full powerset price (its ∀x/{[U,U]}
+quantifier ranges over 2^(a²) relations, a = |adom|), so it only runs on
+2-3 atoms; the Datalog and fixpoint baselines compute the same mapping in
+polynomial time on inputs orders of magnitude larger.  Expected shape:
+calculus cost explodes between 2 and 3 atoms (×~64 candidate relations),
+while Datalog/fixpoint scale to chains of hundreds of edges — that gap *is*
+the paper's expressiveness-for-complexity trade-off.
+
+Ablation (DESIGN.md): quantifier memoisation on/off for the calculus query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import chain_database
+from repro.calculus.builders import transitive_closure_query
+from repro.calculus.evaluation import EvaluationSettings, evaluate_query
+from repro.datalog.builders import transitive_closure_program
+from repro.datalog.evaluation import evaluate_program
+from repro.relational.fixpoint import transitive_closure
+from repro.relational.relation import Relation
+
+UNBOUNDED = EvaluationSettings(binding_budget=None)
+NO_MEMO = EvaluationSettings(binding_budget=None, memoize_quantifiers=False)
+
+
+@pytest.mark.parametrize("atoms", [2, 3])
+def test_bench_calculus_transitive_closure(benchmark, atoms):
+    database = chain_database(atoms - 1)
+    answer = benchmark(lambda: evaluate_query(transitive_closure_query(), database, UNBOUNDED))
+    assert len(answer) == atoms * (atoms - 1) // 2
+
+
+@pytest.mark.parametrize("atoms", [3])
+def test_bench_calculus_transitive_closure_no_memo(benchmark, atoms):
+    """Ablation: the same query with quantifier memoisation disabled."""
+    database = chain_database(atoms - 1)
+    answer = benchmark(lambda: evaluate_query(transitive_closure_query(), database, NO_MEMO))
+    assert len(answer) == atoms * (atoms - 1) // 2
+
+
+@pytest.mark.parametrize("edges", [16, 64, 128])
+def test_bench_datalog_transitive_closure(benchmark, edges):
+    relation = Relation(2, [(f"v{i}", f"v{i+1}") for i in range(edges)])
+    facts = benchmark(lambda: evaluate_program(transitive_closure_program(), {"par": relation}))
+    assert len(facts["tc"]) == edges * (edges + 1) // 2
+
+
+@pytest.mark.parametrize("edges", [16, 64, 256])
+def test_bench_fixpoint_transitive_closure(benchmark, edges):
+    relation = Relation(2, [(f"v{i}", f"v{i+1}") for i in range(edges)])
+    closure = benchmark(lambda: transitive_closure(relation))
+    assert len(closure) == edges * (edges + 1) // 2
+
+
+def test_engines_agree_and_report(capsys):
+    print()
+    print("X3: transitive closure, calculus (CALC_{0,1}) vs Datalog vs fixpoint")
+    for atoms in (2, 3):
+        database = chain_database(atoms - 1)
+        relation = Relation.from_instance(database["PAR"])
+        calculus = {
+            (str(v.coordinate(1)), str(v.coordinate(2)))
+            for v in evaluate_query(transitive_closure_query(), database, UNBOUNDED).values
+        }
+        fixpoint = set(transitive_closure(relation).tuples)
+        datalog = set(evaluate_program(transitive_closure_program(), {"par": relation})["tc"].tuples)
+        assert calculus == fixpoint == datalog
+        print(
+            f"  {atoms} atoms: |TC| = {len(calculus)}; candidate intermediate relations "
+            f"enumerated by the calculus = 2**{atoms * atoms}"
+        )

@@ -1,0 +1,72 @@
+"""X1 — Figure 1 / Examples 2.1-2.3: the three example types.
+
+Regenerates the figure's content programmatically (parse, render as a tree,
+compute set-heights) and measures how the constructive domain of each type
+grows with the active-domain size — the quantity that drives every other
+experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objects.constructive import constructive_domain, constructive_domain_size
+from repro.types.parser import parse_type
+from repro.types.printer import format_type, type_tree
+from repro.types.set_height import set_height
+
+FIGURE1_TYPES = {
+    "T1": "[U, U]",
+    "T2": "{[U, U]}",
+    "T3": "{{[U, U]}}",
+}
+
+
+def _report_figure1() -> list[tuple[str, str, int]]:
+    rows = []
+    for name, text in FIGURE1_TYPES.items():
+        type_ = parse_type(text)
+        rows.append((name, format_type(type_), set_height(type_)))
+    return rows
+
+
+def test_figure1_set_heights_match_paper():
+    """Example 2.3: sh(T1)=0, sh(T2)=1, sh(T3)=2."""
+    rows = _report_figure1()
+    assert [height for (_, _, height) in rows] == [0, 1, 2]
+
+
+def test_figure1_report(capsys):
+    print()
+    print("X1: Figure 1 types")
+    for name, rendered, height in _report_figure1():
+        print(f"  {name} = {rendered}   sh = {height}")
+        print("\n".join("    " + line for line in type_tree(parse_type(FIGURE1_TYPES[name])).splitlines()))
+    for name, text in FIGURE1_TYPES.items():
+        sizes = [constructive_domain_size(parse_type(text), a) for a in (1, 2, 3)]
+        print(f"  |cons_a({name})| for a=1,2,3: {sizes}")
+
+
+@pytest.mark.parametrize("name,text", list(FIGURE1_TYPES.items())[:2])
+def test_bench_parse_and_measure(benchmark, name, text):
+    """Parsing + set-height + constructive-domain enumeration for T1 and T2."""
+
+    def run():
+        type_ = parse_type(text)
+        height = set_height(type_)
+        domain = constructive_domain(type_, ["a", "b"], budget=100_000)
+        return height, len(domain)
+
+    height, size = benchmark(run)
+    assert size == constructive_domain_size(parse_type(text), 2)
+
+
+def test_bench_constructive_size_arithmetic(benchmark):
+    """Counting |cons| arithmetically is instantaneous even where enumeration
+    would be astronomically infeasible (T3 over 3 atoms has 2**512 objects)."""
+
+    def run():
+        return constructive_domain_size(parse_type("{{[U, U]}}"), 3)
+
+    value = benchmark(run)
+    assert value == 2 ** (2**9)

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment of EXPERIMENTS.md (X1-X14),
+mapping to a figure, example or theorem of the paper.  The absolute numbers
+are machine-dependent; what must hold is the *shape* reported in
+EXPERIMENTS.md (who wins, growth rates, crossovers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calculus.builders import PARENT_SCHEMA, PERSON_SCHEMA
+from repro.calculus.evaluation import EvaluationSettings
+from repro.objects.instance import DatabaseInstance
+
+
+def chain_database(length: int) -> DatabaseInstance:
+    """A parent chain v0 -> v1 -> ... -> v<length> (length edges)."""
+    edges = [(f"v{i}", f"v{i+1}") for i in range(length)]
+    return DatabaseInstance.build(PARENT_SCHEMA, PAR=edges)
+
+
+def person_database(size: int) -> DatabaseInstance:
+    return DatabaseInstance.build(PERSON_SCHEMA, PERSON=[f"p{i}" for i in range(size)])
+
+
+@pytest.fixture
+def unbounded_settings() -> EvaluationSettings:
+    return EvaluationSettings(binding_budget=None)

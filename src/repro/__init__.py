@@ -1,0 +1,70 @@
+"""repro: a reproduction of Hull & Su's complex-object query framework.
+
+This package implements the system described in
+
+    Richard Hull and Jianwen Su,
+    "On the Expressive Power of Database Queries with Intermediate Types",
+    PODS 1988 (journal version JCSS 43:219-267, 1991).
+
+The layers, bottom-up:
+
+* :mod:`repro.types` — complex-object types (tuple/set constructors),
+  set-height, schemas, the universal types of Section 6;
+* :mod:`repro.objects` — values, instances, active and constructive domains;
+* :mod:`repro.calculus` — the strongly typed complex-object calculus, its
+  limited-interpretation evaluator, and the CALC_{k,i} classification;
+* :mod:`repro.algebra` — the complex-object algebra (with powerset) and its
+  translation into the calculus (Theorem 3.8);
+* :mod:`repro.relational`, :mod:`repro.datalog` — flat baselines (relational
+  algebra, fixpoint/while, stratified Datalog);
+* :mod:`repro.turing` — Turing machines and the Figure 2 encoding of their
+  computations as complex objects;
+* :mod:`repro.invention` — bounded/finite/terminal invention semantics and
+  the universal-type encoding of Section 6;
+* :mod:`repro.spectra` — formula order and executable spectra (Section 5);
+* :mod:`repro.complexity` — hyper-exponential bounds and query analysis
+  (Section 4).
+
+Quickstart::
+
+    from repro.calculus.builders import PARENT_SCHEMA, transitive_closure_query
+    from repro.objects.instance import DatabaseInstance
+
+    db = DatabaseInstance.build(PARENT_SCHEMA, PAR=[("tom", "mary"), ("mary", "sue")])
+    answer = transitive_closure_query().evaluate(db)
+"""
+
+from repro.errors import (
+    BudgetExceededError,
+    ClassificationError,
+    DatalogError,
+    EvaluationError,
+    InventionError,
+    ObjectModelError,
+    ReproError,
+    SchemaError,
+    SpectrumError,
+    TuringMachineError,
+    TypeParseError,
+    TypeSystemError,
+    TypingError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "TypeSystemError",
+    "TypeParseError",
+    "ObjectModelError",
+    "SchemaError",
+    "TypingError",
+    "EvaluationError",
+    "ClassificationError",
+    "InventionError",
+    "TuringMachineError",
+    "DatalogError",
+    "SpectrumError",
+    "BudgetExceededError",
+]

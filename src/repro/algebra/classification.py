@@ -1,0 +1,62 @@
+"""Intermediate types of algebra expressions and the ALG_{k,i} families (Section 3).
+
+The paper defines intermediate types for the algebra "in analogy with the
+calculus": every sub-expression of an algebraic query has an assigned type,
+and the intermediate types are the types of sub-expressions that are neither
+input types (declared in the schema) nor the query's output type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClassificationError
+from repro.algebra.expressions import AlgebraExpression
+from repro.types.schema import DatabaseSchema
+from repro.types.set_height import set_height
+from repro.types.type_system import ComplexType
+
+
+def expression_types(expression: AlgebraExpression, schema: DatabaseSchema) -> frozenset[ComplexType]:
+    """The set of types assigned to all sub-expressions of *expression*."""
+    return frozenset(node.output_type(schema) for node in expression.walk())
+
+
+def intermediate_types(
+    expression: AlgebraExpression, schema: DatabaseSchema
+) -> frozenset[ComplexType]:
+    """Types of sub-expressions that are not input types and not the output type."""
+    io_types = set(schema.types) | {expression.output_type(schema)}
+    return frozenset(t for t in expression_types(expression, schema) if t not in io_types)
+
+
+@dataclass(frozen=True)
+class AlgClassification:
+    """The minimal ``(k, i)`` such that the expression lies in ``ALG_{k,i}``."""
+
+    k: int
+    i: int
+    intermediate_types: frozenset[ComplexType]
+
+    def __str__(self) -> str:
+        return f"ALG_{{{self.k},{self.i}}}"
+
+
+def alg_classification(expression: AlgebraExpression, schema: DatabaseSchema) -> AlgClassification:
+    """Compute the minimal ALG_{k,i} family containing the algebraic query."""
+    io_heights = [set_height(t) for t in schema.types]
+    io_heights.append(set_height(expression.output_type(schema)))
+    intermediates = intermediate_types(expression, schema)
+    return AlgClassification(
+        k=max(io_heights),
+        i=max((set_height(t) for t in intermediates), default=0),
+        intermediate_types=intermediates,
+    )
+
+
+def in_alg(expression: AlgebraExpression, schema: DatabaseSchema, k: int, i: int) -> bool:
+    """True iff the algebraic query is in ``ALG_{k,i}``."""
+    if k < 0 or i < 0:
+        raise ClassificationError(f"ALG indices must be non-negative, got k={k}, i={i}")
+    classification = alg_classification(expression, schema)
+    return classification.k <= k and classification.i <= i

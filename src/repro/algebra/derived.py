@@ -1,0 +1,164 @@
+"""Derived algebra operators: join, nest and unnest.
+
+The paper notes (end of Section 2) that the non-first-normal-form operators
+``nest`` and ``unnest`` can be simulated with combinations of the primitive
+operators.  For usability we expose them (and the natural/theta join) as
+*instance-level* operations built on the evaluator: each function takes an
+expression, evaluates it, and performs the derived operation directly.  They
+are intentionally not new AST nodes, so the ALG_{k,i} classification of an
+expression never depends on them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import EvaluationError
+from repro.algebra.evaluation import AlgebraEvaluationSettings, evaluate_expression
+from repro.algebra.expressions import AlgebraExpression
+from repro.objects.instance import DatabaseInstance, Instance
+from repro.objects.values import SetValue, TupleValue
+from repro.types.type_system import SetType, TupleType
+
+
+def join(
+    left: AlgebraExpression,
+    right: AlgebraExpression,
+    database: DatabaseInstance,
+    equalities: Iterable[tuple[int, int]],
+    settings: AlgebraEvaluationSettings | None = None,
+) -> Instance:
+    """Theta-join on coordinate equalities (left coordinate, right coordinate).
+
+    The result type concatenates the component lists of the two operand
+    types, exactly like the primitive product; the equalities filter it.
+    ``join(E1, E2, db, [(2, 1)])`` is the ``⋈_{2=3}`` used by Example 2.4
+    (with right-side coordinates re-numbered to start after the left's).
+    """
+    schema = database.schema
+    left_type = left.output_type(schema)
+    right_type = right.output_type(schema)
+    if not isinstance(left_type, TupleType) or not isinstance(right_type, TupleType):
+        raise EvaluationError("join requires tuple-typed operands")
+    left_instance = evaluate_expression(left, database, settings)
+    right_instance = evaluate_expression(right, database, settings)
+    pairs = list(equalities)
+    for left_coordinate, right_coordinate in pairs:
+        if not 1 <= left_coordinate <= left_type.arity:
+            raise EvaluationError(f"join coordinate {left_coordinate} out of range for {left_type}")
+        if not 1 <= right_coordinate <= right_type.arity:
+            raise EvaluationError(f"join coordinate {right_coordinate} out of range for {right_type}")
+
+    output_type = TupleType(list(left_type.component_types) + list(right_type.component_types))
+    values = []
+    for left_value in left_instance:
+        for right_value in right_instance:
+            if all(
+                left_value.coordinate(lc) == right_value.coordinate(rc) for lc, rc in pairs
+            ):
+                values.append(TupleValue(list(left_value.components) + list(right_value.components)))
+    return Instance(output_type, values)
+
+
+def nest(
+    expression: AlgebraExpression,
+    database: DatabaseInstance,
+    nested_coordinates: Sequence[int],
+    settings: AlgebraEvaluationSettings | None = None,
+) -> Instance:
+    """The non-1NF ``nest`` operator.
+
+    Groups the operand's tuples by the coordinates *not* in
+    *nested_coordinates* and collects the nested coordinates of each group
+    into a set.  The result type places the grouping coordinates first (in
+    their original order) followed by one set-typed column of tuples of the
+    nested coordinates.
+    """
+    schema = database.schema
+    operand_type = expression.output_type(schema)
+    if not isinstance(operand_type, TupleType):
+        raise EvaluationError(f"nest requires a tuple-typed operand, got {operand_type}")
+    nested = list(nested_coordinates)
+    if not nested:
+        raise EvaluationError("nest requires at least one coordinate to nest")
+    for coordinate in nested:
+        if not 1 <= coordinate <= operand_type.arity:
+            raise EvaluationError(f"nest coordinate {coordinate} out of range for {operand_type}")
+    grouping = [c for c in range(1, operand_type.arity + 1) if c not in nested]
+    if not grouping:
+        raise EvaluationError("nest must leave at least one grouping coordinate")
+
+    nested_tuple_type = TupleType([operand_type.component(c) for c in nested])
+    output_type = TupleType(
+        [operand_type.component(c) for c in grouping] + [SetType(nested_tuple_type)]
+    )
+
+    instance = evaluate_expression(expression, database, settings)
+    groups: dict[tuple, set] = {}
+    for value in instance:
+        key = tuple(value.coordinate(c) for c in grouping)
+        groups.setdefault(key, set()).add(TupleValue([value.coordinate(c) for c in nested]))
+
+    values = [
+        TupleValue(list(key) + [SetValue(members)]) for key, members in groups.items()
+    ]
+    return Instance(output_type, values)
+
+
+def unnest(
+    expression: AlgebraExpression,
+    database: DatabaseInstance,
+    set_coordinate: int,
+    settings: AlgebraEvaluationSettings | None = None,
+) -> Instance:
+    """The non-1NF ``unnest`` operator: flatten one set-typed coordinate.
+
+    Each tuple is replaced by one tuple per element of its *set_coordinate*;
+    the element's components are spliced in place of the set column when the
+    set's element type is a tuple type, otherwise the element itself is.
+    Tuples whose set column is empty are dropped (the standard unnest
+    semantics).
+    """
+    schema = database.schema
+    operand_type = expression.output_type(schema)
+    if not isinstance(operand_type, TupleType):
+        raise EvaluationError(f"unnest requires a tuple-typed operand, got {operand_type}")
+    if not 1 <= set_coordinate <= operand_type.arity:
+        raise EvaluationError(f"unnest coordinate {set_coordinate} out of range for {operand_type}")
+    column_type = operand_type.component(set_coordinate)
+    if not isinstance(column_type, SetType):
+        raise EvaluationError(
+            f"unnest coordinate {set_coordinate} must be set-typed, got {column_type}"
+        )
+    element_type = column_type.element_type
+    if isinstance(element_type, TupleType):
+        spliced_types = list(element_type.component_types)
+    else:
+        spliced_types = [element_type]
+
+    output_components = []
+    for index, component in enumerate(operand_type.component_types, start=1):
+        if index == set_coordinate:
+            output_components.extend(spliced_types)
+        else:
+            output_components.append(component)
+    output_type = TupleType(output_components)
+
+    instance = evaluate_expression(expression, database, settings)
+    values = []
+    for value in instance:
+        column = value.coordinate(set_coordinate)
+        if not isinstance(column, SetValue):
+            raise EvaluationError(f"unnest found the non-set value {column} in the set column")
+        for element in column:
+            components = []
+            for index, component in enumerate(value.components, start=1):
+                if index == set_coordinate:
+                    if isinstance(element, TupleValue) and isinstance(element_type, TupleType):
+                        components.extend(element.components)
+                    else:
+                        components.append(element)
+                else:
+                    components.append(component)
+            values.append(TupleValue(components))
+    return Instance(output_type, values)

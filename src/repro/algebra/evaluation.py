@@ -1,0 +1,194 @@
+"""Evaluation of algebra expressions over a database instance (Section 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.errors import EvaluationError
+from repro.algebra.expressions import (
+    AlgebraExpression,
+    Collapse,
+    ConstantOperand,
+    ConstantSingleton,
+    Difference,
+    Intersection,
+    Powerset,
+    PredicateExpression,
+    Product,
+    Projection,
+    Selection,
+    SelectionCondition,
+    Union,
+    Untuple,
+    flatten_for_product,
+)
+from repro.objects.instance import DatabaseInstance, Instance
+from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import TupleType
+
+
+@dataclass
+class AlgebraEvaluationSettings:
+    """Knobs controlling algebra evaluation.
+
+    ``powerset_budget`` bounds the size of the operand instance a powerset
+    may be applied to (the result has ``2**n`` members); exceeding it raises
+    rather than exhausting memory.
+    """
+
+    powerset_budget: int = 22
+
+
+def evaluate_expression(
+    expression: AlgebraExpression,
+    database: DatabaseInstance,
+    settings: AlgebraEvaluationSettings | None = None,
+) -> Instance:
+    """Evaluate *expression* on *database*, returning an :class:`Instance`."""
+    settings = settings or AlgebraEvaluationSettings()
+    schema = database.schema
+    output_type = expression.output_type(schema)
+    values = _evaluate(expression, database, schema, settings)
+    return Instance(output_type, values)
+
+
+def _evaluate(
+    expression: AlgebraExpression,
+    database: DatabaseInstance,
+    schema: DatabaseSchema,
+    settings: AlgebraEvaluationSettings,
+) -> set[ComplexValue]:
+    if isinstance(expression, PredicateExpression):
+        return set(database.instance(expression.predicate_name).values)
+
+    if isinstance(expression, ConstantSingleton):
+        return {Atom(expression.value)}
+
+    if isinstance(expression, Union):
+        return _evaluate(expression.left, database, schema, settings) | _evaluate(
+            expression.right, database, schema, settings
+        )
+
+    if isinstance(expression, Intersection):
+        return _evaluate(expression.left, database, schema, settings) & _evaluate(
+            expression.right, database, schema, settings
+        )
+
+    if isinstance(expression, Difference):
+        return _evaluate(expression.left, database, schema, settings) - _evaluate(
+            expression.right, database, schema, settings
+        )
+
+    if isinstance(expression, Projection):
+        operand = _evaluate(expression.operand, database, schema, settings)
+        result: set[ComplexValue] = set()
+        for value in operand:
+            if not isinstance(value, TupleValue):
+                raise EvaluationError(f"projection applied to the non-tuple value {value}")
+            result.add(TupleValue([value.coordinate(c) for c in expression.coordinates]))
+        return result
+
+    if isinstance(expression, Selection):
+        operand_type = expression.operand.output_type(schema)
+        if not isinstance(operand_type, TupleType):
+            raise EvaluationError(f"selection requires a tuple-typed operand, got {operand_type}")
+        expression.condition.validate(operand_type)
+        operand = _evaluate(expression.operand, database, schema, settings)
+        return {
+            value
+            for value in operand
+            if _condition_holds(expression.condition, value)
+        }
+
+    if isinstance(expression, Product):
+        left_type = expression.left.output_type(schema)
+        right_type = expression.right.output_type(schema)
+        left_values = _evaluate(expression.left, database, schema, settings)
+        right_values = _evaluate(expression.right, database, schema, settings)
+        result = set()
+        for left_value in left_values:
+            left_components = _flatten_value(left_value, left_type)
+            for right_value in right_values:
+                right_components = _flatten_value(right_value, right_type)
+                result.add(TupleValue(left_components + right_components))
+        return result
+
+    if isinstance(expression, Untuple):
+        operand = _evaluate(expression.operand, database, schema, settings)
+        result = set()
+        for value in operand:
+            if not isinstance(value, TupleValue) or value.arity != 1:
+                raise EvaluationError(f"untuple applied to the non-[T] value {value}")
+            result.add(value.coordinate(1))
+        return result
+
+    if isinstance(expression, Collapse):
+        operand = _evaluate(expression.operand, database, schema, settings)
+        result = set()
+        for value in operand:
+            if not isinstance(value, SetValue):
+                raise EvaluationError(f"collapse applied to the non-set value {value}")
+            result |= set(value.elements)
+        return result
+
+    if isinstance(expression, Powerset):
+        operand = sorted(
+            _evaluate(expression.operand, database, schema, settings), key=lambda v: v.sort_key()
+        )
+        if len(operand) > settings.powerset_budget:
+            raise EvaluationError(
+                f"powerset applied to an instance of {len(operand)} objects exceeds the "
+                f"powerset budget of {settings.powerset_budget} (the result would have "
+                f"2**{len(operand)} members)"
+            )
+        result = set()
+        for size in range(len(operand) + 1):
+            for combo in combinations(operand, size):
+                result.add(SetValue(combo))
+        return result
+
+    raise EvaluationError(f"unknown algebra expression {type(expression).__name__}")
+
+
+def _flatten_value(value: ComplexValue, value_type) -> list[ComplexValue]:
+    """Component list of *value* for the product's concatenation semantics."""
+    if isinstance(value_type, TupleType):
+        if not isinstance(value, TupleValue):
+            raise EvaluationError(f"expected a tuple value of type {value_type}, got {value}")
+        return list(value.components)
+    return [value]
+
+
+def _condition_holds(condition: SelectionCondition, value: TupleValue) -> bool:
+    if condition.kind == "eq":
+        return _operand_value(condition.operands[0], value) == _operand_value(
+            condition.operands[1], value
+        )
+    if condition.kind == "in":
+        container = _operand_value(condition.operands[1], value)
+        if not isinstance(container, SetValue):
+            raise EvaluationError(
+                f"selection membership evaluated against the non-set value {container}"
+            )
+        return container.contains(_operand_value(condition.operands[0], value))
+    if condition.kind == "not":
+        return not _condition_holds(condition.operands[0], value)
+    if condition.kind == "and":
+        return _condition_holds(condition.operands[0], value) and _condition_holds(
+            condition.operands[1], value
+        )
+    if condition.kind == "or":
+        return _condition_holds(condition.operands[0], value) or _condition_holds(
+            condition.operands[1], value
+        )
+    raise EvaluationError(f"unknown selection condition kind {condition.kind!r}")
+
+
+def _operand_value(operand, value: TupleValue) -> ComplexValue:
+    if isinstance(operand, ConstantOperand):
+        return Atom(operand.value)
+    if isinstance(operand, int):
+        return value.coordinate(operand)
+    raise EvaluationError(f"unknown selection operand {operand!r}")

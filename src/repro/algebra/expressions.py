@@ -1,0 +1,454 @@
+"""Typed algebra expressions and their type inference (Section 2).
+
+Every expression node exposes ``output_type(schema)``: the type of the
+objects in the instance the expression evaluates to.  Type inference follows
+the paper's rules exactly:
+
+1. ``P`` has the type declared for ``P``;
+2. ``{a}`` (a constant singleton) has type ``U``;
+3. ``E1 ∪ E2`` / ``∩`` / ``−`` require equal types and keep that type;
+4. ``π_{i1,...,ik}(E1)`` requires a tuple type and projects its components;
+5. ``σ_F(E1)`` keeps the type, with ``F`` a boolean combination of atomic
+   conditions on coordinates (equality or membership, against other
+   coordinates or constants) obeying the natural typing requirements;
+6. ``E1 × E2`` concatenates the *flattened* component lists of the two
+   types (``f(U) = U``, ``f({T}) = {T}``, ``f([T1..Tn]) = T1..Tn``);
+7. untuple requires a single-component tuple type ``[T]`` and yields ``T``;
+8. collapse requires a set type ``{T}`` and yields ``T``;
+9. powerset yields ``{T}`` over the operand's type ``T``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import TypingError
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import ComplexType, SetType, TupleType, U
+
+
+class AlgebraExpression:
+    """Abstract base class of algebra expressions."""
+
+    __slots__ = ()
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        """The inferred type of this expression over *schema*."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["AlgebraExpression", ...]:
+        return ()
+
+    def walk(self):
+        """This expression and all sub-expressions, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def predicates(self) -> frozenset[str]:
+        """Database predicates mentioned anywhere in the expression."""
+        result: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, PredicateExpression):
+                result.add(node.predicate_name)
+        return frozenset(result)
+
+    def constants(self) -> frozenset[object]:
+        """Atomic constants mentioned anywhere in the expression."""
+        result: set[object] = set()
+        for node in self.walk():
+            if isinstance(node, ConstantSingleton):
+                result.add(node.value)
+            if isinstance(node, Selection):
+                result |= node.condition.constants()
+        return frozenset(result)
+
+
+class PredicateExpression(AlgebraExpression):
+    """Rule 1: a database predicate used as an expression."""
+
+    __slots__ = ("predicate_name",)
+
+    def __init__(self, predicate_name: str) -> None:
+        if not isinstance(predicate_name, str) or not predicate_name:
+            raise TypingError(f"predicate name must be a non-empty string, got {predicate_name!r}")
+        object.__setattr__(self, "predicate_name", predicate_name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("PredicateExpression is immutable")
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        return schema.type_of(self.predicate_name)
+
+    def __str__(self) -> str:
+        return self.predicate_name
+
+
+class ConstantSingleton(AlgebraExpression):
+    """Rule 2: the singleton instance ``{a}`` for an atomic constant ``a``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ConstantSingleton is immutable")
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        return U
+
+    def __str__(self) -> str:
+        return f"{{{self.value!r}}}"
+
+
+class _BinarySetOperation(AlgebraExpression):
+    __slots__ = ("left", "right")
+    _symbol = "?"
+
+    def __init__(self, left: AlgebraExpression, right: AlgebraExpression) -> None:
+        _require_expression(left, f"{type(self).__name__} left operand")
+        _require_expression(right, f"{type(self).__name__} right operand")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.left, self.right)
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        left_type = self.left.output_type(schema)
+        right_type = self.right.output_type(schema)
+        if left_type != right_type:
+            raise TypingError(
+                f"{type(self).__name__} requires operands of equal type, got {left_type} and {right_type}"
+            )
+        return left_type
+
+    def __str__(self) -> str:
+        return f"({self.left} {self._symbol} {self.right})"
+
+
+class Union(_BinarySetOperation):
+    """Rule 3: set union of two instances of the same type."""
+
+    __slots__ = ()
+    _symbol = "∪"
+
+
+class Intersection(_BinarySetOperation):
+    """Rule 3: set intersection of two instances of the same type."""
+
+    __slots__ = ()
+    _symbol = "∩"
+
+
+class Difference(_BinarySetOperation):
+    """Rule 3: set difference of two instances of the same type."""
+
+    __slots__ = ()
+    _symbol = "−"
+
+
+class Projection(AlgebraExpression):
+    """Rule 4: ``π_{i1,...,ik}(E)`` over a tuple-typed expression."""
+
+    __slots__ = ("operand", "coordinates")
+
+    def __init__(self, operand: AlgebraExpression, coordinates: Iterable[int]) -> None:
+        _require_expression(operand, "Projection operand")
+        coords = tuple(coordinates)
+        if not coords:
+            raise TypingError("projection requires at least one coordinate")
+        for coordinate in coords:
+            if not isinstance(coordinate, int) or coordinate < 1:
+                raise TypingError(
+                    f"projection coordinates are 1-based positive integers, got {coordinate!r}"
+                )
+        object.__setattr__(self, "operand", operand)
+        object.__setattr__(self, "coordinates", coords)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Projection is immutable")
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.operand,)
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        operand_type = self.operand.output_type(schema)
+        if not isinstance(operand_type, TupleType):
+            raise TypingError(
+                f"projection requires a tuple-typed operand, got {operand_type}"
+            )
+        for coordinate in self.coordinates:
+            if coordinate > operand_type.arity:
+                raise TypingError(
+                    f"projection coordinate {coordinate} exceeds arity {operand_type.arity} "
+                    f"of {operand_type}"
+                )
+        return TupleType([operand_type.component(c) for c in self.coordinates])
+
+    def __str__(self) -> str:
+        return f"π_{{{','.join(map(str, self.coordinates))}}}({self.operand})"
+
+
+@dataclass(frozen=True)
+class SelectionCondition:
+    """A selection formula ``F`` for ``σ_F`` (rule 5).
+
+    The condition is a small boolean AST over atomic conditions.  An atomic
+    condition compares two *operands*, each either a 1-based coordinate
+    (``int``) or an atomic constant (wrapped in :class:`ConstantOperand`),
+    with either ``=`` or ``∈``.
+
+    ``kind`` is one of ``"eq"``, ``"in"``, ``"not"``, ``"and"``, ``"or"``.
+    """
+
+    kind: str
+    operands: tuple = ()
+
+    # -- constructors ---------------------------------------------------------
+    @staticmethod
+    def eq(left: "int | ConstantOperand", right: "int | ConstantOperand") -> "SelectionCondition":
+        return SelectionCondition("eq", (left, right))
+
+    @staticmethod
+    def member(left: "int | ConstantOperand", right: int) -> "SelectionCondition":
+        return SelectionCondition("in", (left, right))
+
+    @staticmethod
+    def negation(condition: "SelectionCondition") -> "SelectionCondition":
+        return SelectionCondition("not", (condition,))
+
+    @staticmethod
+    def conjunction(left: "SelectionCondition", right: "SelectionCondition") -> "SelectionCondition":
+        return SelectionCondition("and", (left, right))
+
+    @staticmethod
+    def disjunction(left: "SelectionCondition", right: "SelectionCondition") -> "SelectionCondition":
+        return SelectionCondition("or", (left, right))
+
+    # -- analysis -------------------------------------------------------------
+    def constants(self) -> frozenset[object]:
+        if self.kind in ("eq", "in"):
+            return frozenset(
+                operand.value for operand in self.operands if isinstance(operand, ConstantOperand)
+            )
+        result: set[object] = set()
+        for operand in self.operands:
+            if isinstance(operand, SelectionCondition):
+                result |= operand.constants()
+        return frozenset(result)
+
+    def validate(self, tuple_type: TupleType) -> None:
+        """Check the natural typing requirements against *tuple_type*."""
+        if self.kind == "eq":
+            left_type = _operand_type(self.operands[0], tuple_type)
+            right_type = _operand_type(self.operands[1], tuple_type)
+            if left_type != right_type:
+                raise TypingError(
+                    f"selection equality compares coordinates of types {left_type} and {right_type}"
+                )
+            return
+        if self.kind == "in":
+            left_type = _operand_type(self.operands[0], tuple_type)
+            right_type = _operand_type(self.operands[1], tuple_type)
+            if right_type != SetType(left_type):
+                raise TypingError(
+                    f"selection membership requires the right side to have type {{{left_type}}}, "
+                    f"got {right_type}"
+                )
+            return
+        if self.kind in ("not", "and", "or"):
+            for operand in self.operands:
+                if not isinstance(operand, SelectionCondition):
+                    raise TypingError("boolean selection conditions take conditions as operands")
+                operand.validate(tuple_type)
+            return
+        raise TypingError(f"unknown selection condition kind {self.kind!r}")
+
+    def __str__(self) -> str:
+        if self.kind == "eq":
+            return f"{_operand_str(self.operands[0])} = {_operand_str(self.operands[1])}"
+        if self.kind == "in":
+            return f"{_operand_str(self.operands[0])} ∈ {_operand_str(self.operands[1])}"
+        if self.kind == "not":
+            return f"¬({self.operands[0]})"
+        if self.kind == "and":
+            return f"({self.operands[0]}) ∧ ({self.operands[1]})"
+        if self.kind == "or":
+            return f"({self.operands[0]}) ∨ ({self.operands[1]})"
+        return f"<{self.kind}>"
+
+
+@dataclass(frozen=True)
+class ConstantOperand:
+    """An atomic constant used inside a selection condition."""
+
+    value: object
+
+
+def _operand_type(operand, tuple_type: TupleType) -> ComplexType:
+    if isinstance(operand, ConstantOperand):
+        return U
+    if isinstance(operand, int):
+        if not 1 <= operand <= tuple_type.arity:
+            raise TypingError(
+                f"selection coordinate {operand} out of range for {tuple_type}"
+            )
+        return tuple_type.component(operand)
+    raise TypingError(
+        f"selection operands must be coordinates or ConstantOperand, got {operand!r}"
+    )
+
+
+def _operand_str(operand) -> str:
+    if isinstance(operand, ConstantOperand):
+        return repr(operand.value)
+    return str(operand)
+
+
+class Selection(AlgebraExpression):
+    """Rule 5: ``σ_F(E)`` filtering a tuple-typed expression."""
+
+    __slots__ = ("operand", "condition")
+
+    def __init__(self, operand: AlgebraExpression, condition: SelectionCondition) -> None:
+        _require_expression(operand, "Selection operand")
+        if not isinstance(condition, SelectionCondition):
+            raise TypingError(
+                f"selection condition must be a SelectionCondition, got {type(condition).__name__}"
+            )
+        object.__setattr__(self, "operand", operand)
+        object.__setattr__(self, "condition", condition)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Selection is immutable")
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.operand,)
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        operand_type = self.operand.output_type(schema)
+        if not isinstance(operand_type, TupleType):
+            raise TypingError(f"selection requires a tuple-typed operand, got {operand_type}")
+        self.condition.validate(operand_type)
+        return operand_type
+
+    def __str__(self) -> str:
+        return f"σ_{{{self.condition}}}({self.operand})"
+
+
+def flatten_for_product(type_: ComplexType) -> tuple[ComplexType, ...]:
+    """The ``f`` of rule 6: tuple types contribute their components, others themselves."""
+    if isinstance(type_, TupleType):
+        return type_.component_types
+    return (type_,)
+
+
+class Product(AlgebraExpression):
+    """Rule 6: cartesian product with component-list concatenation."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: AlgebraExpression, right: AlgebraExpression) -> None:
+        _require_expression(left, "Product left operand")
+        _require_expression(right, "Product right operand")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Product is immutable")
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.left, self.right)
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        left_components = flatten_for_product(self.left.output_type(schema))
+        right_components = flatten_for_product(self.right.output_type(schema))
+        return TupleType(list(left_components) + list(right_components))
+
+    def __str__(self) -> str:
+        return f"({self.left} × {self.right})"
+
+
+class Untuple(AlgebraExpression):
+    """Rule 7: remove the topmost tuple constructor of a ``[T]``-typed expression."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: AlgebraExpression) -> None:
+        _require_expression(operand, "Untuple operand")
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Untuple is immutable")
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.operand,)
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        operand_type = self.operand.output_type(schema)
+        if not isinstance(operand_type, TupleType) or operand_type.arity != 1:
+            raise TypingError(
+                f"untuple requires an operand of a single-component tuple type [T], got {operand_type}"
+            )
+        return operand_type.component(1)
+
+    def __str__(self) -> str:
+        return f"ũ({self.operand})"
+
+
+class Collapse(AlgebraExpression):
+    """Rule 8: ``𝒞(E)`` — union of the members of a ``{T}``-typed expression."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: AlgebraExpression) -> None:
+        _require_expression(operand, "Collapse operand")
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Collapse is immutable")
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.operand,)
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        operand_type = self.operand.output_type(schema)
+        if not isinstance(operand_type, SetType):
+            raise TypingError(f"collapse requires a set-typed operand, got {operand_type}")
+        return operand_type.element_type
+
+    def __str__(self) -> str:
+        return f"𝒞({self.operand})"
+
+
+class Powerset(AlgebraExpression):
+    """Rule 9: ``𝒫(E)`` — all subsets of the operand's instance."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: AlgebraExpression) -> None:
+        _require_expression(operand, "Powerset operand")
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Powerset is immutable")
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.operand,)
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        return SetType(self.operand.output_type(schema))
+
+    def __str__(self) -> str:
+        return f"𝒫({self.operand})"
+
+
+def _require_expression(value: object, description: str) -> None:
+    if not isinstance(value, AlgebraExpression):
+        raise TypingError(f"{description} must be an AlgebraExpression, got {type(value).__name__}")

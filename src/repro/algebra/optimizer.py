@@ -1,0 +1,468 @@
+"""A rule-based optimizer for complex-object algebra expressions.
+
+The paper (Section 2) defines the algebra purely semantically; any real
+implementation of it, however, evaluates a concrete expression tree, and the
+order of operators matters enormously because intermediate instances can be
+hyper-exponentially large (powerset!).  This module provides the standard
+algebraic rewrites, adapted to the complex-object operators:
+
+* splitting conjunctive selections so the pieces can move independently;
+* pushing selections through union / intersection / difference and into the
+  factors of a cartesian product;
+* merging and pushing projections through union;
+* removing no-op operator pairs (``𝒞(𝒫(E)) = E``, idempotent ``∪``/``∩``).
+
+Every rule preserves the expression's semantics exactly (the tests evaluate
+original and optimized expressions side by side), and every rule leaves the
+expression's *output type* unchanged, so ALG_{k,i} classification is
+unaffected.  The optimizer never introduces or removes a powerset: the
+hyper-exponential blow-ups that the paper's complexity results are about are
+inherent, not an artefact of evaluation order.
+
+A small cardinality-based cost model (:func:`estimate_cost`) quantifies the
+benefit; the ablation benchmark ``benchmarks/bench_optimizer.py`` measures
+it on concrete workloads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import TypingError
+from repro.algebra.expressions import (
+    AlgebraExpression,
+    Collapse,
+    ConstantOperand,
+    ConstantSingleton,
+    Difference,
+    Intersection,
+    Powerset,
+    PredicateExpression,
+    Product,
+    Projection,
+    Selection,
+    SelectionCondition,
+    Union,
+    Untuple,
+    flatten_for_product,
+)
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import SetType, TupleType
+
+
+# ---------------------------------------------------------------------------
+# Selection-condition helpers
+# ---------------------------------------------------------------------------
+
+def condition_coordinates(condition: SelectionCondition) -> frozenset[int]:
+    """The set of coordinate indices referenced anywhere in *condition*."""
+    if condition.kind in ("eq", "in"):
+        return frozenset(op for op in condition.operands if isinstance(op, int))
+    result: set[int] = set()
+    for operand in condition.operands:
+        if isinstance(operand, SelectionCondition):
+            result |= condition_coordinates(operand)
+    return frozenset(result)
+
+
+def shift_condition(condition: SelectionCondition, offset: int) -> SelectionCondition:
+    """Return *condition* with every coordinate index shifted by *offset*."""
+    if condition.kind in ("eq", "in"):
+        shifted = tuple(
+            op + offset if isinstance(op, int) else op for op in condition.operands
+        )
+        return SelectionCondition(condition.kind, shifted)
+    return SelectionCondition(
+        condition.kind,
+        tuple(
+            shift_condition(op, offset) if isinstance(op, SelectionCondition) else op
+            for op in condition.operands
+        ),
+    )
+
+
+def conjuncts(condition: SelectionCondition) -> list[SelectionCondition]:
+    """Flatten nested ``and`` conditions into a list of conjuncts."""
+    if condition.kind == "and":
+        result: list[SelectionCondition] = []
+        for operand in condition.operands:
+            result.extend(conjuncts(operand))
+        return result
+    return [condition]
+
+
+def conjoin(conditions: Iterable[SelectionCondition]) -> SelectionCondition:
+    """Right-nested conjunction of one or more selection conditions."""
+    items = list(conditions)
+    if not items:
+        raise TypingError("conjoin requires at least one condition")
+    result = items[-1]
+    for item in reversed(items[:-1]):
+        result = SelectionCondition.conjunction(item, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Rewrite rules
+# ---------------------------------------------------------------------------
+
+#: A rewrite rule takes (expression, schema) and returns a replacement
+#: expression, or ``None`` if the rule does not apply at this node.
+RewriteRule = Callable[[AlgebraExpression, DatabaseSchema], AlgebraExpression | None]
+
+
+def rule_split_conjunctive_selection(
+    expression: AlgebraExpression, schema: DatabaseSchema
+) -> AlgebraExpression | None:
+    """``σ_{A ∧ B}(E) → σ_A(σ_B(E))`` so the conjuncts can move independently."""
+    if not isinstance(expression, Selection) or expression.condition.kind != "and":
+        return None
+    parts = conjuncts(expression.condition)
+    if len(parts) < 2:
+        return None
+    result: AlgebraExpression = expression.operand
+    for part in reversed(parts):
+        result = Selection(result, part)
+    return result
+
+
+def rule_push_selection_through_union(
+    expression: AlgebraExpression, schema: DatabaseSchema
+) -> AlgebraExpression | None:
+    """``σ_F(E1 ∪ E2) → σ_F(E1) ∪ σ_F(E2)`` (and the same for ``∩`` and ``−``)."""
+    if not isinstance(expression, Selection):
+        return None
+    operand = expression.operand
+    condition = expression.condition
+    if isinstance(operand, Union):
+        return Union(Selection(operand.left, condition), Selection(operand.right, condition))
+    if isinstance(operand, Intersection):
+        return Intersection(
+            Selection(operand.left, condition), Selection(operand.right, condition)
+        )
+    if isinstance(operand, Difference):
+        # σ_F(E1 − E2) = σ_F(E1) − E2: filtering the subtrahend is unnecessary.
+        return Difference(Selection(operand.left, condition), operand.right)
+    return None
+
+
+def rule_push_selection_into_product(
+    expression: AlgebraExpression, schema: DatabaseSchema
+) -> AlgebraExpression | None:
+    """``σ_F(E1 × E2) → σ_F(E1) × E2`` when F only mentions E1's coordinates.
+
+    Symmetrically, a condition that only mentions E2's coordinates moves to
+    the right factor (with its coordinates shifted back).  Conditions that
+    straddle both factors — join conditions — stay put.
+    """
+    if not isinstance(expression, Selection) or not isinstance(expression.operand, Product):
+        return None
+    product = expression.operand
+    condition = expression.condition
+    left_width = len(flatten_for_product(product.left.output_type(schema)))
+    right_width = len(flatten_for_product(product.right.output_type(schema)))
+    used = condition_coordinates(condition)
+    if not used:
+        return None
+    if max(used) <= left_width and _is_selectable(product.left, schema):
+        return Product(Selection(product.left, condition), product.right)
+    if min(used) > left_width and max(used) <= left_width + right_width and _is_selectable(
+        product.right, schema
+    ):
+        return Product(product.left, Selection(product.right, shift_condition(condition, -left_width)))
+    return None
+
+
+def _is_selectable(expression: AlgebraExpression, schema: DatabaseSchema) -> bool:
+    """True iff a Selection node may legally wrap *expression* (tuple-typed)."""
+    try:
+        return isinstance(expression.output_type(schema), TupleType)
+    except TypingError:
+        return False
+
+
+def rule_merge_projections(
+    expression: AlgebraExpression, schema: DatabaseSchema
+) -> AlgebraExpression | None:
+    """``π_a(π_b(E)) → π_{b∘a}(E)``."""
+    if not isinstance(expression, Projection) or not isinstance(expression.operand, Projection):
+        return None
+    inner = expression.operand
+    composed = tuple(inner.coordinates[outer - 1] for outer in expression.coordinates)
+    return Projection(inner.operand, composed)
+
+
+def rule_push_projection_through_union(
+    expression: AlgebraExpression, schema: DatabaseSchema
+) -> AlgebraExpression | None:
+    """``π_c(E1 ∪ E2) → π_c(E1) ∪ π_c(E2)`` (valid for set semantics)."""
+    if not isinstance(expression, Projection) or not isinstance(expression.operand, Union):
+        return None
+    operand = expression.operand
+    return Union(
+        Projection(operand.left, expression.coordinates),
+        Projection(operand.right, expression.coordinates),
+    )
+
+
+def rule_collapse_of_powerset(
+    expression: AlgebraExpression, schema: DatabaseSchema
+) -> AlgebraExpression | None:
+    """``𝒞(𝒫(E)) → E``: the union of all subsets of an instance is the instance.
+
+    This is the single most valuable rewrite in the whole optimizer: it
+    removes an exponential intermediate without changing the answer.
+    """
+    if isinstance(expression, Collapse) and isinstance(expression.operand, Powerset):
+        return expression.operand.operand
+    return None
+
+
+def rule_idempotent_set_operations(
+    expression: AlgebraExpression, schema: DatabaseSchema
+) -> AlgebraExpression | None:
+    """``E ∪ E → E`` and ``E ∩ E → E`` for syntactically identical operands."""
+    if isinstance(expression, (Union, Intersection)) and _same_expression(
+        expression.left, expression.right
+    ):
+        return expression.left
+    return None
+
+
+def _same_expression(left: AlgebraExpression, right: AlgebraExpression) -> bool:
+    """Structural equality of two expressions (by rendered form).
+
+    Algebra nodes intentionally do not define ``__eq__`` (they are identity-
+    hashed for use in per-node cost maps), so structural comparison goes
+    through the unambiguous string rendering.
+    """
+    return type(left) is type(right) and str(left) == str(right)
+
+
+#: The default rule set, applied bottom-up until no rule fires.
+DEFAULT_RULES: tuple[RewriteRule, ...] = (
+    rule_collapse_of_powerset,
+    rule_idempotent_set_operations,
+    rule_split_conjunctive_selection,
+    rule_push_selection_through_union,
+    rule_push_selection_into_product,
+    rule_merge_projections,
+    rule_push_projection_through_union,
+)
+
+
+@dataclass
+class OptimizationResult:
+    """The outcome of :func:`optimize`."""
+
+    expression: AlgebraExpression
+    applied_rules: list[str] = field(default_factory=list)
+    passes: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied_rules)
+
+
+def optimize(
+    expression: AlgebraExpression,
+    schema: DatabaseSchema,
+    rules: Iterable[RewriteRule] | None = None,
+    max_passes: int = 25,
+) -> OptimizationResult:
+    """Apply the rewrite *rules* bottom-up until a fixpoint (or *max_passes*).
+
+    The returned expression evaluates to exactly the same instance as the
+    input on every database of *schema*; only the operator tree changes.
+    """
+    active_rules = tuple(rules) if rules is not None else DEFAULT_RULES
+    applied: list[str] = []
+    current = expression
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        current, changed = _rewrite_pass(current, schema, active_rules, applied)
+        if not changed:
+            break
+    # Validate that the rewritten expression still type-checks to the same type.
+    original_type = expression.output_type(schema)
+    optimized_type = current.output_type(schema)
+    if original_type != optimized_type:
+        raise TypingError(
+            "optimizer produced an expression of a different type "
+            f"({optimized_type} instead of {original_type}); this is a bug in a rewrite rule"
+        )
+    return OptimizationResult(expression=current, applied_rules=applied, passes=passes)
+
+
+def _rewrite_pass(
+    expression: AlgebraExpression,
+    schema: DatabaseSchema,
+    rules: tuple[RewriteRule, ...],
+    applied: list[str],
+) -> tuple[AlgebraExpression, bool]:
+    """One bottom-up pass: rewrite children first, then try rules at this node."""
+    rebuilt, child_changed = _rebuild_with_children(expression, schema, rules, applied)
+    node_changed = False
+    current = rebuilt
+    progress = True
+    while progress:
+        progress = False
+        for rule in rules:
+            replacement = rule(current, schema)
+            if replacement is not None:
+                applied.append(rule.__name__)
+                current = replacement
+                node_changed = True
+                progress = True
+                break
+    return current, child_changed or node_changed
+
+
+def _rebuild_with_children(
+    expression: AlgebraExpression,
+    schema: DatabaseSchema,
+    rules: tuple[RewriteRule, ...],
+    applied: list[str],
+) -> tuple[AlgebraExpression, bool]:
+    if isinstance(expression, (PredicateExpression, ConstantSingleton)):
+        return expression, False
+    if isinstance(expression, (Union, Intersection, Difference, Product)):
+        left, left_changed = _rewrite_pass(expression.left, schema, rules, applied)
+        right, right_changed = _rewrite_pass(expression.right, schema, rules, applied)
+        if not (left_changed or right_changed):
+            return expression, False
+        return type(expression)(left, right), True
+    if isinstance(expression, Projection):
+        operand, changed = _rewrite_pass(expression.operand, schema, rules, applied)
+        if not changed:
+            return expression, False
+        return Projection(operand, expression.coordinates), True
+    if isinstance(expression, Selection):
+        operand, changed = _rewrite_pass(expression.operand, schema, rules, applied)
+        if not changed:
+            return expression, False
+        return Selection(operand, expression.condition), True
+    if isinstance(expression, (Untuple, Collapse, Powerset)):
+        operand, changed = _rewrite_pass(expression.operand, schema, rules, applied)
+        if not changed:
+            return expression, False
+        return type(expression)(operand), True
+    raise TypingError(f"unknown algebra expression class {type(expression).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DatabaseStatistics:
+    """Cardinality statistics used by the cost model.
+
+    ``predicate_cardinalities`` maps each predicate name to the number of
+    objects in its instance; ``active_domain_size`` is ``|adom(d)|``.
+    Build one from a concrete database with :meth:`from_database`.
+    """
+
+    predicate_cardinalities: dict[str, int]
+    active_domain_size: int
+
+    @classmethod
+    def from_database(cls, database) -> "DatabaseStatistics":
+        cardinalities = {
+            name: len(database.instance(name)) for name in database.schema.predicate_names
+        }
+        return cls(cardinalities, len(database.active_domain()))
+
+
+@dataclass
+class CostEstimate:
+    """Estimated evaluation cost of an algebra expression.
+
+    ``output_cardinality`` estimates the number of objects in the final
+    instance; ``total_intermediate`` sums the estimated cardinalities of all
+    intermediate results (the quantity evaluation time and memory track);
+    ``per_node`` records the estimate at every sub-expression (keyed by the
+    rendered expression text).
+    """
+
+    output_cardinality: float
+    total_intermediate: float
+    per_node: dict[str, float] = field(default_factory=dict)
+
+
+#: Default selectivity of an equality/membership selection when nothing
+#: better is known.  The classical System-R guess.
+DEFAULT_SELECTIVITY = 0.1
+
+
+def estimate_cost(
+    expression: AlgebraExpression,
+    schema: DatabaseSchema,
+    statistics: DatabaseStatistics,
+    selectivity: float = DEFAULT_SELECTIVITY,
+) -> CostEstimate:
+    """Estimate the evaluation cost of *expression* under *statistics*.
+
+    The model is deliberately simple (cardinality propagation with constant
+    selectivities); its purpose is to rank plans before/after optimization,
+    not to predict wall-clock time.
+    """
+    per_node: dict[str, float] = {}
+
+    def estimate(node: AlgebraExpression) -> float:
+        if isinstance(node, PredicateExpression):
+            value = float(statistics.predicate_cardinalities.get(node.predicate_name, 0))
+        elif isinstance(node, ConstantSingleton):
+            value = 1.0
+        elif isinstance(node, Union):
+            value = estimate(node.left) + estimate(node.right)
+        elif isinstance(node, Intersection):
+            value = min(estimate(node.left), estimate(node.right))
+        elif isinstance(node, Difference):
+            left = estimate(node.left)
+            estimate(node.right)
+            value = left
+        elif isinstance(node, Projection):
+            value = estimate(node.operand)
+        elif isinstance(node, Selection):
+            value = estimate(node.operand) * _condition_selectivity(node.condition, selectivity)
+        elif isinstance(node, Product):
+            value = estimate(node.left) * estimate(node.right)
+        elif isinstance(node, Untuple):
+            value = estimate(node.operand)
+        elif isinstance(node, Collapse):
+            # Members of the collapsed sets are unknown; assume each set
+            # contributes on the order of the active-domain size.
+            value = estimate(node.operand) * max(statistics.active_domain_size, 1)
+        elif isinstance(node, Powerset):
+            operand = estimate(node.operand)
+            # Cap the exponent to keep the float finite; anything this large
+            # is "do not evaluate" territory anyway.
+            value = float(2.0 ** min(operand, 1000.0))
+        else:
+            raise TypingError(f"unknown algebra expression class {type(node).__name__}")
+        per_node[str(node)] = value
+        return value
+
+    output = estimate(expression)
+    total = sum(per_node.values())
+    return CostEstimate(output_cardinality=output, total_intermediate=total, per_node=per_node)
+
+
+def _condition_selectivity(condition: SelectionCondition, base: float) -> float:
+    if condition.kind in ("eq", "in"):
+        return base
+    if condition.kind == "not":
+        inner = _condition_selectivity(condition.operands[0], base)
+        return max(0.0, 1.0 - inner)
+    if condition.kind == "and":
+        return _condition_selectivity(condition.operands[0], base) * _condition_selectivity(
+            condition.operands[1], base
+        )
+    if condition.kind == "or":
+        left = _condition_selectivity(condition.operands[0], base)
+        right = _condition_selectivity(condition.operands[1], base)
+        return min(1.0, left + right - left * right)
+    raise TypingError(f"unknown selection condition kind {condition.kind!r}")

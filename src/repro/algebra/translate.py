@@ -1,0 +1,250 @@
+"""Translation of algebra expressions into equivalent calculus queries.
+
+This is the executable half of Theorem 3.8 (``ALG_{k,i} = CALC_{k,i}`` for
+``i >= k``): every algebra expression is translated, by structural
+induction, into a calculus formula with one free variable that defines the
+same instance under the limited interpretation.  The translation follows the
+standard reductions referenced by the paper (after [AB88]):
+
+======================  ==========================================================
+algebra                 calculus formula ``phi_E(t)``
+======================  ==========================================================
+``P``                   ``P(t)``
+``{a}``                 ``t = a``
+``E1 ∪ E2``             ``phi_1(t) ∨ phi_2(t)``
+``E1 ∩ E2``             ``phi_1(t) ∧ phi_2(t)``
+``E1 − E2``             ``phi_1(t) ∧ ¬phi_2(t)``
+``π_{i...}(E1)``        ``∃x (phi_1(x) ∧ ⋀_j t.j = x.i_j)``
+``σ_F(E1)``             ``phi_1(t) ∧ F[coordinates ↦ t.i]``
+``E1 × E2``             ``∃x ∃y (phi_1(x) ∧ phi_2(y) ∧ coordinates of t match)``
+untuple                 ``∃x (phi_1(x) ∧ x.1 = t)``
+collapse                ``∃x (phi_1(x) ∧ t ∈ x)``
+powerset                ``∀y (y ∈ t → phi_1(y))``
+======================  ==========================================================
+
+The resulting query has the same output type as the expression, and its
+intermediate types are exactly the types of the expression's
+sub-expressions, so the CALC/ALG classifications agree.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypingError
+from repro.algebra.expressions import (
+    AlgebraExpression,
+    Collapse,
+    ConstantOperand,
+    ConstantSingleton,
+    Difference,
+    Intersection,
+    Powerset,
+    PredicateExpression,
+    Product,
+    Projection,
+    Selection,
+    SelectionCondition,
+    Union,
+    Untuple,
+)
+from repro.calculus.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Membership,
+    Not,
+    Or,
+    PredicateAtom,
+    conjunction,
+)
+from repro.calculus.query import CalculusQuery
+from repro.calculus.terms import Constant, Term, VariableTerm
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import ComplexType, SetType, TupleType
+
+
+class _FreshNames:
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def take(self, prefix: str = "x") -> str:
+        self._counter += 1
+        return f"_{prefix}{self._counter}"
+
+
+def algebra_to_calculus(
+    expression: AlgebraExpression,
+    schema: DatabaseSchema,
+    target_variable: str = "t",
+    name: str | None = None,
+) -> CalculusQuery:
+    """Translate an algebraic query into an equivalent calculus query."""
+    output_type = expression.output_type(schema)
+    fresh = _FreshNames()
+    formula = _formula_for(expression, schema, VariableTerm(target_variable), output_type, fresh)
+    return CalculusQuery(schema, target_variable, output_type, formula, name=name or f"alg({expression})")
+
+
+def _formula_for(
+    expression: AlgebraExpression,
+    schema: DatabaseSchema,
+    target: Term,
+    target_type: ComplexType,
+    fresh: _FreshNames,
+) -> Formula:
+    if isinstance(expression, PredicateExpression):
+        return PredicateAtom(expression.predicate_name, target)
+
+    if isinstance(expression, ConstantSingleton):
+        return Equals(target, Constant(expression.value))
+
+    if isinstance(expression, Union):
+        return Or(
+            _formula_for(expression.left, schema, target, target_type, fresh),
+            _formula_for(expression.right, schema, target, target_type, fresh),
+        )
+
+    if isinstance(expression, Intersection):
+        return And(
+            _formula_for(expression.left, schema, target, target_type, fresh),
+            _formula_for(expression.right, schema, target, target_type, fresh),
+        )
+
+    if isinstance(expression, Difference):
+        return And(
+            _formula_for(expression.left, schema, target, target_type, fresh),
+            Not(_formula_for(expression.right, schema, target, target_type, fresh)),
+        )
+
+    if isinstance(expression, Projection):
+        operand_type = expression.operand.output_type(schema)
+        variable = fresh.take("p")
+        inner = _formula_for(
+            expression.operand, schema, VariableTerm(variable), operand_type, fresh
+        )
+        if not isinstance(target, VariableTerm):
+            raise TypingError("projection translation expects a variable target term")
+        matches = [
+            Equals(target.coordinate(j), VariableTerm(variable).coordinate(source))
+            for j, source in enumerate(expression.coordinates, start=1)
+        ]
+        return Exists(variable, operand_type, conjunction([inner] + matches))
+
+    if isinstance(expression, Selection):
+        operand_type = expression.operand.output_type(schema)
+        if not isinstance(operand_type, TupleType):
+            raise TypingError(f"selection requires a tuple-typed operand, got {operand_type}")
+        inner = _formula_for(expression.operand, schema, target, target_type, fresh)
+        condition = _condition_formula(expression.condition, target)
+        return And(inner, condition)
+
+    if isinstance(expression, Product):
+        left_type = expression.left.output_type(schema)
+        right_type = expression.right.output_type(schema)
+        left_variable = fresh.take("l")
+        right_variable = fresh.take("r")
+        left_formula = _formula_for(
+            expression.left, schema, VariableTerm(left_variable), left_type, fresh
+        )
+        right_formula = _formula_for(
+            expression.right, schema, VariableTerm(right_variable), right_type, fresh
+        )
+        if not isinstance(target, VariableTerm):
+            raise TypingError("product translation expects a variable target term")
+        matches: list[Formula] = []
+        offset = _match_components(matches, target, left_variable, left_type, 0)
+        _match_components(matches, target, right_variable, right_type, offset)
+        body = conjunction([left_formula, right_formula] + matches)
+        return Exists(left_variable, left_type, Exists(right_variable, right_type, body))
+
+    if isinstance(expression, Untuple):
+        operand_type = expression.operand.output_type(schema)
+        variable = fresh.take("u")
+        inner = _formula_for(
+            expression.operand, schema, VariableTerm(variable), operand_type, fresh
+        )
+        return Exists(
+            variable,
+            operand_type,
+            And(inner, Equals(VariableTerm(variable).coordinate(1), target)),
+        )
+
+    if isinstance(expression, Collapse):
+        operand_type = expression.operand.output_type(schema)
+        if not isinstance(operand_type, SetType):
+            raise TypingError(f"collapse requires a set-typed operand, got {operand_type}")
+        variable = fresh.take("c")
+        inner = _formula_for(
+            expression.operand, schema, VariableTerm(variable), operand_type, fresh
+        )
+        return Exists(
+            variable, operand_type, And(inner, Membership(target, VariableTerm(variable)))
+        )
+
+    if isinstance(expression, Powerset):
+        operand_type = expression.operand.output_type(schema)
+        variable = fresh.take("m")
+        inner = _formula_for(
+            expression.operand, schema, VariableTerm(variable), operand_type, fresh
+        )
+        return Forall(
+            variable,
+            operand_type,
+            Membership(VariableTerm(variable), target).implies(inner),
+        )
+
+    raise TypingError(f"unknown algebra expression {type(expression).__name__}")
+
+
+def _match_components(
+    matches: list[Formula],
+    target: VariableTerm,
+    operand_variable: str,
+    operand_type: ComplexType,
+    offset: int,
+) -> int:
+    """Equate the target's coordinates against one product operand; return new offset."""
+    operand = VariableTerm(operand_variable)
+    if isinstance(operand_type, TupleType):
+        for j in range(1, operand_type.arity + 1):
+            matches.append(Equals(target.coordinate(offset + j), operand.coordinate(j)))
+        return offset + operand_type.arity
+    matches.append(Equals(target.coordinate(offset + 1), operand))
+    return offset + 1
+
+
+def _condition_formula(condition: SelectionCondition, target: Term) -> Formula:
+    if condition.kind == "eq":
+        return Equals(
+            _operand_term(condition.operands[0], target),
+            _operand_term(condition.operands[1], target),
+        )
+    if condition.kind == "in":
+        return Membership(
+            _operand_term(condition.operands[0], target),
+            _operand_term(condition.operands[1], target),
+        )
+    if condition.kind == "not":
+        return Not(_condition_formula(condition.operands[0], target))
+    if condition.kind == "and":
+        return And(
+            _condition_formula(condition.operands[0], target),
+            _condition_formula(condition.operands[1], target),
+        )
+    if condition.kind == "or":
+        return Or(
+            _condition_formula(condition.operands[0], target),
+            _condition_formula(condition.operands[1], target),
+        )
+    raise TypingError(f"unknown selection condition kind {condition.kind!r}")
+
+
+def _operand_term(operand, target: Term) -> Term:
+    if isinstance(operand, ConstantOperand):
+        return Constant(operand.value)
+    if isinstance(operand, int):
+        if not isinstance(target, VariableTerm):
+            raise TypingError("selection translation expects a variable target term")
+        return target.coordinate(operand)
+    raise TypingError(f"unknown selection operand {operand!r}")

@@ -1,0 +1,103 @@
+"""The strongly typed complex-object calculus (Section 2 of the paper).
+
+The calculus has constants, typed variables, coordinate terms ``x.i``, the
+atomic formulas ``t1 = t2``, ``t1 in t2`` and ``P(t1)``, the sentential
+connectives, and *typed* quantifiers ``(forall x/T phi)`` / ``(exists x/T
+phi)``.  A query ``{t/T | phi}`` maps a database instance to the set of
+objects ``o`` of type ``T`` built from the relevant atoms such that the
+instance satisfies ``phi[t/o]``.
+
+This package provides the abstract syntax, the t-wff typing rules, the
+limited-interpretation evaluator (plus the generalised ``Q|^Y`` semantics
+used by Section 6), the CALC_{k,i} classification machinery, and builders
+for every example query in the paper.
+"""
+
+from repro.calculus.terms import Constant, CoordinateTerm, Term, VariableTerm, const, var
+from repro.calculus.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Membership,
+    Not,
+    Or,
+    PredicateAtom,
+    conjunction,
+    disjunction,
+    exists,
+    forall,
+)
+from repro.calculus.typing import TypeAssignment, TypingReport, check_query_formula, infer_typing
+from repro.calculus.query import CalculusQuery
+from repro.calculus.evaluation import (
+    EvaluationSettings,
+    EvaluationStatistics,
+    QuantifierStrategy,
+    evaluate_query,
+    satisfies,
+)
+from repro.calculus.classification import (
+    calc_classification,
+    in_calc,
+    intermediate_types,
+    io_set_height,
+    is_domain_independent_on,
+)
+from repro.calculus.parser import FormulaParseError, parse_formula, parse_query, parse_term
+from repro.calculus.printer import (
+    format_formula,
+    format_formula_pretty,
+    format_query,
+    format_query_pretty,
+    format_term,
+)
+
+__all__ = [
+    "FormulaParseError",
+    "parse_formula",
+    "parse_query",
+    "parse_term",
+    "format_formula",
+    "format_formula_pretty",
+    "format_query",
+    "format_query_pretty",
+    "format_term",
+    "Constant",
+    "CoordinateTerm",
+    "Term",
+    "VariableTerm",
+    "const",
+    "var",
+    "And",
+    "Equals",
+    "Exists",
+    "Forall",
+    "Formula",
+    "Implies",
+    "Membership",
+    "Not",
+    "Or",
+    "PredicateAtom",
+    "conjunction",
+    "disjunction",
+    "exists",
+    "forall",
+    "TypeAssignment",
+    "TypingReport",
+    "check_query_formula",
+    "infer_typing",
+    "CalculusQuery",
+    "EvaluationSettings",
+    "EvaluationStatistics",
+    "QuantifierStrategy",
+    "evaluate_query",
+    "satisfies",
+    "calc_classification",
+    "in_calc",
+    "intermediate_types",
+    "io_set_height",
+    "is_domain_independent_on",
+]

@@ -1,0 +1,244 @@
+"""Builders for the example queries of the paper.
+
+Each function constructs the exact query (or formula) used in the paper's
+worked examples, so tests and benchmarks can run them on concrete instances:
+
+* Example 2.4 — the grandparent query and the "all transitive supersets"
+  query over a parent relation;
+* Example 3.1 — transitive closure via an intermediate type of set-height 1;
+* Example 3.2 — even-cardinality recognition;
+* Example 3.4 — the ORD total-order witness formula (via
+  :mod:`repro.calculus.shorthand`);
+* the trivial active-domain query ``{t/U | t = t}`` mentioned in Section 3.
+"""
+
+from __future__ import annotations
+
+from repro.calculus.formulas import (
+    Equals,
+    Exists,
+    Forall,
+    Membership,
+    Not,
+    Or,
+    conjunction,
+)
+from repro.calculus.query import CalculusQuery
+from repro.calculus.shorthand import (
+    occurs_in_column,
+    order_variable_type,
+    total_order_formula,
+)
+from repro.calculus.terms import VariableTerm
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import SetType, TupleType, U
+
+#: The type ``T1 = [U, U]`` of Figure 1(a): binary relations over atoms.
+PAIR_OF_ATOMS = TupleType([U, U])
+
+#: The type ``T2 = {[U, U]}`` of Figure 1(b): a set of atom pairs.
+SET_OF_PAIRS = SetType(PAIR_OF_ATOMS)
+
+#: The default parent-relation schema ``D = (PAR: [U, U])`` of Example 2.4.
+PARENT_SCHEMA = DatabaseSchema([("PAR", PAIR_OF_ATOMS)])
+
+#: The schema ``D = (PERSON: U)`` of Example 3.2.
+PERSON_SCHEMA = DatabaseSchema([("PERSON", U)])
+
+
+def grandparent_query(schema: DatabaseSchema = PARENT_SCHEMA, predicate: str = "PAR") -> CalculusQuery:
+    """Example 2.4, query Q1: ``pi_{1,4}(PAR |x|_{2=3} PAR)``.
+
+    ``psi(t) = exists x,y/[U,U] (PAR(x) and PAR(y) and x.2 = y.1 and
+    t.1 = x.1 and t.2 = y.2)``.
+    """
+    t, x, y = VariableTerm("t"), VariableTerm("x"), VariableTerm("y")
+    body = conjunction(
+        [
+            _pred(predicate, x),
+            _pred(predicate, y),
+            Equals(x.coordinate(2), y.coordinate(1)),
+            Equals(t.coordinate(1), x.coordinate(1)),
+            Equals(t.coordinate(2), y.coordinate(2)),
+        ]
+    )
+    formula = Exists("x", PAIR_OF_ATOMS, Exists("y", PAIR_OF_ATOMS, body))
+    return CalculusQuery(schema, "t", PAIR_OF_ATOMS, formula, name="grandparent")
+
+
+def transitive_superset_formula(set_variable: str, predicate: str = "PAR"):
+    """The formula ``phi(x)`` shared by Example 2.4 (Q2) and Example 3.1.
+
+    States that *set_variable* (of type ``{[U, U]}``) holds a binary relation
+    whose pairs only mention atoms occurring in the *predicate* relation,
+    which contains the *predicate* relation, and which is transitive.
+    """
+    x = VariableTerm(set_variable)
+    y, yp, ypp, z = (VariableTerm(n) for n in ("y", "yp", "ypp", "z"))
+
+    elements_from_input = Forall(
+        "y",
+        PAIR_OF_ATOMS,
+        Membership(y, x).implies(
+            Exists(
+                "z",
+                PAIR_OF_ATOMS,
+                _pred(predicate, z)
+                & (Equals(y.coordinate(1), z.coordinate(1)) | Equals(y.coordinate(1), z.coordinate(2))),
+            )
+            & Exists(
+                "z",
+                PAIR_OF_ATOMS,
+                _pred(predicate, z)
+                & (Equals(y.coordinate(2), z.coordinate(1)) | Equals(y.coordinate(2), z.coordinate(2))),
+            )
+        ),
+    )
+    contains_input = Forall("y", PAIR_OF_ATOMS, _pred(predicate, y).implies(Membership(y, x)))
+    transitive = Forall(
+        "y",
+        PAIR_OF_ATOMS,
+        Forall(
+            "yp",
+            PAIR_OF_ATOMS,
+            (
+                Membership(y, x)
+                & Membership(yp, x)
+                & Equals(y.coordinate(2), yp.coordinate(1))
+            ).implies(
+                Exists(
+                    "ypp",
+                    PAIR_OF_ATOMS,
+                    Membership(ypp, x)
+                    & Equals(ypp.coordinate(1), y.coordinate(1))
+                    & Equals(ypp.coordinate(2), yp.coordinate(2)),
+                )
+            ),
+        ),
+    )
+    return conjunction([elements_from_input, contains_input, transitive])
+
+
+def transitive_supersets_query(
+    schema: DatabaseSchema = PARENT_SCHEMA, predicate: str = "PAR"
+) -> CalculusQuery:
+    """Example 2.4, query Q2: all transitive supersets of the input relation.
+
+    Maps ``(PAR: [U,U])`` to ``{[U,U]}``; the answer is the set of binary
+    relations over ``adom(PAR)`` that contain PAR and are transitive.  The
+    transitive closure of PAR is one of the answer's elements.
+    """
+    formula = transitive_superset_formula("t", predicate)
+    return CalculusQuery(schema, "t", SET_OF_PAIRS, formula, name="transitive_supersets")
+
+
+def transitive_closure_query(
+    schema: DatabaseSchema = PARENT_SCHEMA, predicate: str = "PAR"
+) -> CalculusQuery:
+    """Example 3.1: transitive closure of a binary relation, in CALC_{0,1}.
+
+    ``Q = {z/[U,U] | forall x/{[U,U]} (phi(x) -> z in x)}`` — a pair is in
+    the transitive closure iff it belongs to *every* transitive superset of
+    the input.  The variable ``x`` has the intermediate type ``{[U,U]}`` of
+    set-height 1, so the query is in CALC_{0,1} but not CALC_{0,0}.
+    """
+    z = VariableTerm("z")
+    formula = Forall(
+        "x",
+        SET_OF_PAIRS,
+        transitive_superset_formula("x", predicate).implies(Membership(z, VariableTerm("x"))),
+    )
+    return CalculusQuery(schema, "z", PAIR_OF_ATOMS, formula, name="transitive_closure")
+
+
+def even_cardinality_query(
+    schema: DatabaseSchema = PERSON_SCHEMA, predicate: str = "PERSON"
+) -> CalculusQuery:
+    """Example 3.2: return PERSON if |PERSON| is even, the empty set otherwise.
+
+    ``Q = {t/U | PERSON(t) and exists x/{[U,U]} (phi1 and phi2 and phi3)}``
+    where ``x`` witnesses a perfect matching pairing up all persons:
+
+    * phi1 — every person occurs in some pair of ``x``;
+    * phi2 — pairs of ``x`` agree on first coordinates iff they agree on
+      second coordinates (``x`` is a partial bijection);
+    * phi3 — no atom occurs both as a first and as a second coordinate.
+    """
+    t = VariableTerm("t")
+    x = VariableTerm("x")
+    y = VariableTerm("y")
+    z = VariableTerm("z")
+
+    phi1 = Forall(
+        "y",
+        U,
+        _pred(predicate, y).implies(
+            Exists(
+                "z",
+                PAIR_OF_ATOMS,
+                Membership(z, x)
+                & (Equals(z.coordinate(1), y) | Equals(z.coordinate(2), y)),
+            )
+        ),
+    )
+    phi2 = Forall(
+        "y",
+        PAIR_OF_ATOMS,
+        Forall(
+            "z",
+            PAIR_OF_ATOMS,
+            (Membership(y, x) & Membership(z, x)).implies(
+                _iff(
+                    Equals(y.coordinate(1), z.coordinate(1)),
+                    Equals(y.coordinate(2), z.coordinate(2)),
+                )
+            ),
+        ),
+    )
+    phi3 = Forall(
+        "z",
+        U,
+        Or(
+            Not(occurs_in_column(z, x, U, 1)),
+            Not(occurs_in_column(z, x, U, 2)),
+        ),
+    )
+    formula = _pred(predicate, t) & Exists("x", SET_OF_PAIRS, conjunction([phi1, phi2, phi3]))
+    return CalculusQuery(schema, "t", U, formula, name="even_cardinality")
+
+
+def active_domain_query(schema: DatabaseSchema) -> CalculusQuery:
+    """The query ``{t/U | t = t ∧ (t is mentioned by some predicate)}``.
+
+    Under the limited interpretation the bare ``{t/U | t = t}`` already
+    returns the active domain (a point Section 3 makes when comparing
+    calculus and algebra); we expose exactly that query.
+    """
+    t = VariableTerm("t")
+    return CalculusQuery(schema, "t", U, Equals(t, t), name="active_domain")
+
+
+def ordering_witness_query(
+    schema: DatabaseSchema, component_type=U
+) -> CalculusQuery:
+    """Example 3.4 packaged as a query: return all total orders on cons(T).
+
+    The query ``{x/{PairType} | ORD_T(x)}`` whose answer is the set of total
+    orders (as sets of pairs) on the constructive domain of *component_type*
+    over the input's active domain.  For an input with ``n`` atoms and
+    ``component_type = U`` there are exactly ``n!`` answers.
+    """
+    formula = total_order_formula("x", component_type)
+    return CalculusQuery(
+        schema, "x", order_variable_type(component_type), formula, name="ordering_witness"
+    )
+
+
+def _pred(predicate: str, term: VariableTerm):
+    from repro.calculus.formulas import PredicateAtom
+
+    return PredicateAtom(predicate, term)
+
+
+def _iff(left, right):
+    return left.implies(right) & right.implies(left)

@@ -1,0 +1,134 @@
+"""Intermediate types and the CALC_{k,i} classification (Section 3).
+
+An *intermediate type* of a query ``Q = {t/T | phi}`` over schema
+``D = (P1:T1, ..., Pn:Tn)`` is a type ``S`` carried by some variable of the
+query with ``S not in {T1, ..., Tn, T}``.
+
+``CALC_{k,i}`` is the family of calculus queries whose input and output
+types all have set-height <= k and whose intermediate types all have
+set-height <= i.  ``CALC_{0,0}`` is the classical relational calculus and
+``CALC_{0,1}`` captures the second-order queries (Proposition 3.9).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import ClassificationError
+from repro.calculus.evaluation import EvaluationSettings, evaluate_query
+from repro.calculus.query import CalculusQuery
+from repro.objects.instance import DatabaseInstance
+from repro.types.set_height import set_height
+from repro.types.type_system import ComplexType
+
+
+def intermediate_types(query: CalculusQuery) -> frozenset[ComplexType]:
+    """The intermediate types of *query* (paper definition, Section 3)."""
+    io_types = set(query.schema.types) | {query.target_type}
+    return frozenset(t for t in query.variable_types() if t not in io_types)
+
+
+def io_set_height(query: CalculusQuery) -> int:
+    """Maximum set-height over the input schema types and the output type."""
+    heights = [set_height(t) for t in query.schema.types]
+    heights.append(set_height(query.target_type))
+    return max(heights)
+
+
+def intermediate_set_height(query: CalculusQuery) -> int:
+    """Maximum set-height over the intermediate types (0 if there are none)."""
+    return max((set_height(t) for t in intermediate_types(query)), default=0)
+
+
+@dataclass(frozen=True)
+class CalcClassification:
+    """The minimal ``(k, i)`` such that the query lies in ``CALC_{k,i}``.
+
+    ``k`` is the maximum set-height of input/output types; ``i`` is the
+    maximum set-height of intermediate types.  The query then belongs to
+    ``CALC_{k', i'}`` for every ``k' >= k`` and ``i' >= i``.
+    """
+
+    k: int
+    i: int
+    intermediate_types: frozenset[ComplexType]
+
+    def __str__(self) -> str:
+        return f"CALC_{{{self.k},{self.i}}}"
+
+
+def calc_classification(query: CalculusQuery) -> CalcClassification:
+    """Compute the minimal CALC_{k,i} family containing *query*."""
+    return CalcClassification(
+        k=io_set_height(query),
+        i=intermediate_set_height(query),
+        intermediate_types=intermediate_types(query),
+    )
+
+
+def in_calc(query: CalculusQuery, k: int, i: int) -> bool:
+    """True iff *query* is in ``CALC_{k,i}``."""
+    if k < 0 or i < 0:
+        raise ClassificationError(f"CALC indices must be non-negative, got k={k}, i={i}")
+    classification = calc_classification(query)
+    return classification.k <= k and classification.i <= i
+
+
+def is_relational_query(query: CalculusQuery) -> bool:
+    """True iff *query* is in ``CALC_{0,0}`` (the classical relational calculus)."""
+    return in_calc(query, 0, 0)
+
+
+def uses_only_existential_top_level(query: CalculusQuery) -> bool:
+    """Heuristic check for the ``CALC_{0,1}^exists`` / SF shape of Section 4.
+
+    True iff every quantifier over a type of set-height >= 1 is an
+    existential quantifier that is not in the scope of a negation or on the
+    left of an implication (i.e. occurs positively).
+    """
+    from repro.calculus.formulas import Exists, Forall, Formula, Implies, Not
+
+    def check(formula: Formula, positive: bool) -> bool:
+        if isinstance(formula, Forall) and set_height(formula.variable_type) >= 1:
+            return False
+        if isinstance(formula, Exists) and set_height(formula.variable_type) >= 1 and not positive:
+            return False
+        if isinstance(formula, Not):
+            return check(formula.operand, not positive)
+        if isinstance(formula, Implies):
+            return check(formula.left, not positive) and check(formula.right, positive)
+        return all(check(child, positive) for child in formula.children())
+
+    return check(query.formula, True)
+
+
+def is_domain_independent_on(
+    query: CalculusQuery,
+    databases: Iterable[DatabaseInstance],
+    extra_atom_sets: Iterable[frozenset[object]],
+    settings: EvaluationSettings | None = None,
+) -> bool:
+    """Empirically test domain independence of *query* on the given witnesses.
+
+    Following the paper (after [AB88]): ``Q`` is domain independent if
+    ``Q|^Y`` defines the same mapping for every ``Y ⊆ U``.  True domain
+    independence is undecidable; this helper checks the finitely many
+    supplied databases against the finitely many supplied extra-atom sets
+    and reports whether any of them changes the (active-domain-restricted)
+    answer.  A ``False`` result is a genuine counterexample; ``True`` only
+    says no counterexample was found among the witnesses.
+    """
+    base_settings = settings or EvaluationSettings()
+    for database in databases:
+        baseline = evaluate_query(query, database, base_settings)
+        for extra in extra_atom_sets:
+            widened = EvaluationSettings(
+                binding_budget=base_settings.binding_budget,
+                strategy=base_settings.strategy,
+                extra_atoms=frozenset(extra),
+                restrict_output_to_active_domain=True,
+            )
+            if evaluate_query(query, database, widened) != baseline:
+                return False
+    return True

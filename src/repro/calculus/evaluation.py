@@ -1,0 +1,374 @@
+"""Evaluation of calculus queries (Sections 2 and 6).
+
+The generalised semantics ``Q|^Y[d]`` lets every variable of type ``T``
+range over ``cons_X(T)`` where ``X = Y ∪ adom(d) ∪ adom(Q)``.  The *limited
+interpretation* is ``Y = ∅``: variables range over objects constructible from
+the active domain of the database and the query.  Section 6's invented-value
+semantics pass non-empty ``Y`` (handled by :mod:`repro.invention.semantics`
+on top of the same evaluator).
+
+Evaluation is by brute-force enumeration of the constructive domain — this
+is intentional: the paper's whole point is that the search space grows
+hyper-exponentially with the set-height of intermediate types, and the
+benchmarks measure exactly that growth.  Two engineering devices keep small
+instances tractable without changing the semantics:
+
+* an explicit *binding budget* guards against accidentally launching an
+  enumeration that would not finish, and
+* *quantifier memoisation* caches the truth value of each quantified
+  subformula per binding of its free variables, so that e.g. the expensive
+  antecedent of ``forall x ( phi(x) -> z in x )`` is evaluated once per
+  ``x`` rather than once per output candidate ``z``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError
+from repro.calculus.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Membership,
+    Not,
+    Or,
+    PredicateAtom,
+)
+from repro.calculus.query import CalculusQuery
+from repro.calculus.terms import Constant, CoordinateTerm, Term, VariableTerm
+from repro.objects.constructive import constructive_domain, iter_constructive_domain
+from repro.objects.instance import DatabaseInstance, Instance
+from repro.objects.values import ComplexValue, SetValue, TupleValue
+from repro.types.type_system import ComplexType
+from repro.utils.iteration import bounded
+
+
+class QuantifierStrategy(enum.Enum):
+    """How quantifier ranges are enumerated.
+
+    ``SHORT_CIRCUIT`` streams the constructive domain lazily and stops at the
+    first witness/counterexample.  ``EAGER`` materialises the whole range
+    before iterating (the ablation baseline: same answers, more work).
+    """
+
+    SHORT_CIRCUIT = "short_circuit"
+    EAGER = "eager"
+
+
+@dataclass
+class EvaluationSettings:
+    """Knobs controlling query evaluation.
+
+    Attributes
+    ----------
+    binding_budget:
+        Maximum number of candidate variable bindings the evaluator may try
+        across the whole evaluation (quantifiers and output candidates
+        combined).  ``None`` disables the guard.
+    strategy:
+        Quantifier enumeration strategy (see :class:`QuantifierStrategy`).
+    memoize_quantifiers:
+        Cache the truth value of quantified subformulas per binding of their
+        free variables.  Purely an optimisation (the semantics is
+        unchanged); disable it to measure the cost in the ablation
+        benchmarks.
+    extra_atoms:
+        Additional atomic values adjoined to the evaluation universe — the
+        set ``Y`` of the paper's ``Q|^Y`` semantics.  Empty for the limited
+        interpretation.
+    restrict_output_to_active_domain:
+        If true (the Section 6 ``Q|*`` convention), output candidates range
+        only over objects built from ``adom(d) ∪ adom(Q)`` even when
+        *extra_atoms* is non-empty.  Irrelevant when *extra_atoms* is empty.
+    """
+
+    binding_budget: int | None = 2_000_000
+    strategy: QuantifierStrategy = QuantifierStrategy.SHORT_CIRCUIT
+    memoize_quantifiers: bool = True
+    extra_atoms: frozenset[object] = frozenset()
+    restrict_output_to_active_domain: bool = True
+
+
+@dataclass
+class EvaluationStatistics:
+    """Counters accumulated during one evaluation."""
+
+    bindings_tried: int = 0
+    satisfaction_calls: int = 0
+    output_candidates: int = 0
+    answers: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    quantifier_enumerations: dict[str, int] = field(default_factory=dict)
+
+    def note_binding(self, budget: int | None) -> None:
+        self.bindings_tried += 1
+        if budget is not None and self.bindings_tried > budget:
+            from repro.errors import BudgetExceededError
+
+            raise BudgetExceededError(
+                f"query evaluation exceeded the binding budget of {budget}", budget=budget
+            )
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """The answer of a query together with evaluation statistics."""
+
+    answer: Instance
+    statistics: EvaluationStatistics
+    universe_atoms: frozenset[object]
+
+
+class _EvaluationContext:
+    """State shared across one evaluation: database, universe, caches."""
+
+    def __init__(
+        self,
+        database: DatabaseInstance,
+        universe_atoms: frozenset[object],
+        settings: EvaluationSettings,
+        statistics: EvaluationStatistics,
+    ) -> None:
+        self.database = database
+        self.universe_atoms = universe_atoms
+        self.settings = settings
+        self.statistics = statistics
+        self._quantifier_cache: dict[tuple, bool] = {}
+        self._free_variable_cache: dict[int, frozenset[str]] = {}
+
+    def free_variables(self, formula: Formula) -> frozenset[str]:
+        key = id(formula)
+        cached = self._free_variable_cache.get(key)
+        if cached is None:
+            cached = formula.free_variables()
+            self._free_variable_cache[key] = cached
+        return cached
+
+    def cached_quantifier(self, formula: Formula, assignment: dict[str, ComplexValue]):
+        """Return (hit, value, key) for a quantifier formula under *assignment*."""
+        if not self.settings.memoize_quantifiers:
+            return False, False, None
+        relevant = tuple(
+            sorted(
+                (name, assignment[name])
+                for name in self.free_variables(formula)
+                if name in assignment
+            )
+        )
+        key = (formula, relevant)
+        if key in self._quantifier_cache:
+            self.statistics.memo_hits += 1
+            return True, self._quantifier_cache[key], key
+        self.statistics.memo_misses += 1
+        return False, False, key
+
+    def store_quantifier(self, key, value: bool) -> None:
+        if key is not None:
+            self._quantifier_cache[key] = value
+
+
+def evaluation_universe(
+    query: CalculusQuery, database: DatabaseInstance, settings: EvaluationSettings
+) -> frozenset[object]:
+    """The atom set ``X = Y ∪ adom(d) ∪ adom(Q)`` over which variables range."""
+    return frozenset(settings.extra_atoms) | database.active_domain() | query.constants()
+
+
+def evaluate_query(
+    query: CalculusQuery,
+    database: DatabaseInstance,
+    settings: EvaluationSettings | None = None,
+) -> Instance:
+    """Evaluate *query* on *database*; return the answer instance.
+
+    With default settings this is the limited interpretation ``Q[d]``.
+    Use :func:`evaluate_query_detailed` to also obtain statistics.
+    """
+    return evaluate_query_detailed(query, database, settings).answer
+
+
+def evaluate_query_detailed(
+    query: CalculusQuery,
+    database: DatabaseInstance,
+    settings: EvaluationSettings | None = None,
+) -> EvaluationResult:
+    """Evaluate *query* on *database*, returning answer plus statistics."""
+    settings = settings or EvaluationSettings()
+    if database.schema != query.schema:
+        raise EvaluationError(
+            f"query is defined over schema {query.schema} but the database has schema "
+            f"{database.schema}"
+        )
+    stats = EvaluationStatistics()
+    universe = evaluation_universe(query, database, settings)
+    if settings.restrict_output_to_active_domain:
+        output_atoms = database.active_domain() | query.constants()
+    else:
+        output_atoms = universe
+
+    context = _EvaluationContext(database, universe, settings, stats)
+    answers: list[ComplexValue] = []
+    candidates = iter_constructive_domain(query.target_type, output_atoms)
+    for candidate in bounded(candidates, settings.binding_budget, what="output candidates"):
+        stats.output_candidates += 1
+        stats.note_binding(settings.binding_budget)
+        assignment = {query.target_variable: candidate}
+        if _satisfies(context, query.formula, assignment):
+            answers.append(candidate)
+    stats.answers = len(answers)
+    return EvaluationResult(
+        answer=Instance(query.target_type, answers),
+        statistics=stats,
+        universe_atoms=universe,
+    )
+
+
+def check_membership(
+    query: CalculusQuery,
+    database: DatabaseInstance,
+    candidate: ComplexValue,
+    settings: EvaluationSettings | None = None,
+) -> bool:
+    """Decide ``candidate ∈ Q[d]`` without enumerating the whole answer.
+
+    This is the *data complexity* view of query evaluation used in Section 4
+    (deciding ``o ∈ Q[d]``).
+    """
+    settings = settings or EvaluationSettings()
+    stats = EvaluationStatistics()
+    universe = evaluation_universe(query, database, settings)
+    context = _EvaluationContext(database, universe, settings, stats)
+    assignment = {query.target_variable: candidate}
+    return _satisfies(context, query.formula, assignment)
+
+
+def satisfies(
+    database: DatabaseInstance,
+    formula: Formula,
+    assignment: dict[str, ComplexValue],
+    universe_atoms: frozenset[object],
+    settings: EvaluationSettings | None = None,
+    statistics: EvaluationStatistics | None = None,
+) -> bool:
+    """Decide ``d |=_Y phi[assignment]`` over the given atom universe.
+
+    *assignment* must bind every free variable of *formula* to a value.
+    This is the public, stateless entry point; repeated related checks are
+    faster through :func:`evaluate_query_detailed`, which shares caches.
+    """
+    settings = settings or EvaluationSettings()
+    statistics = statistics or EvaluationStatistics()
+    context = _EvaluationContext(database, universe_atoms, settings, statistics)
+    return _satisfies(context, formula, assignment)
+
+
+def _satisfies(
+    context: _EvaluationContext, formula: Formula, assignment: dict[str, ComplexValue]
+) -> bool:
+    stats = context.statistics
+    stats.satisfaction_calls += 1
+
+    if isinstance(formula, Equals):
+        return _term_value(formula.left, assignment) == _term_value(formula.right, assignment)
+
+    if isinstance(formula, Membership):
+        container = _term_value(formula.container, assignment)
+        if not isinstance(container, SetValue):
+            raise EvaluationError(
+                f"membership {formula} evaluated a non-set container value {container}"
+            )
+        element = _term_value(formula.element, assignment)
+        return container.contains(element)
+
+    if isinstance(formula, PredicateAtom):
+        value = _term_value(formula.argument, assignment)
+        instance = context.database.instance(formula.predicate_name)
+        return value in instance
+
+    if isinstance(formula, Not):
+        return not _satisfies(context, formula.operand, assignment)
+
+    if isinstance(formula, And):
+        return _satisfies(context, formula.left, assignment) and _satisfies(
+            context, formula.right, assignment
+        )
+
+    if isinstance(formula, Or):
+        return _satisfies(context, formula.left, assignment) or _satisfies(
+            context, formula.right, assignment
+        )
+
+    if isinstance(formula, Implies):
+        if not _satisfies(context, formula.left, assignment):
+            return True
+        return _satisfies(context, formula.right, assignment)
+
+    if isinstance(formula, (Exists, Forall)):
+        hit, value, key = context.cached_quantifier(formula, assignment)
+        if hit:
+            return value
+        result = _evaluate_quantifier(context, formula, assignment)
+        context.store_quantifier(key, result)
+        return result
+
+    raise EvaluationError(f"unknown formula class {type(formula).__name__}")
+
+
+def _evaluate_quantifier(
+    context: _EvaluationContext, formula: Exists | Forall, assignment: dict[str, ComplexValue]
+) -> bool:
+    settings = context.settings
+    stats = context.statistics
+    domain = _quantifier_range(formula.variable_type, context)
+    key = str(formula.variable_type)
+    stats.quantifier_enumerations.setdefault(key, 0)
+
+    existential = isinstance(formula, Exists)
+    for candidate in domain:
+        stats.quantifier_enumerations[key] += 1
+        stats.note_binding(settings.binding_budget)
+        inner = dict(assignment)
+        inner[formula.variable] = candidate
+        holds = _satisfies(context, formula.body, inner)
+        if existential and holds:
+            return True
+        if not existential and not holds:
+            return False
+    return not existential
+
+
+def _quantifier_range(variable_type: ComplexType, context: _EvaluationContext):
+    if context.settings.strategy is QuantifierStrategy.EAGER:
+        return constructive_domain(
+            variable_type, context.universe_atoms, budget=context.settings.binding_budget
+        )
+    return iter_constructive_domain(variable_type, context.universe_atoms)
+
+
+def _term_value(term: Term, assignment: dict[str, ComplexValue]) -> ComplexValue:
+    if isinstance(term, Constant):
+        return term.as_atom()
+    if isinstance(term, VariableTerm):
+        try:
+            return assignment[term.name]
+        except KeyError:
+            raise EvaluationError(f"variable {term.name!r} is unbound during evaluation") from None
+    if isinstance(term, CoordinateTerm):
+        try:
+            base = assignment[term.variable_name]
+        except KeyError:
+            raise EvaluationError(
+                f"variable {term.variable_name!r} is unbound during evaluation"
+            ) from None
+        if not isinstance(base, TupleValue):
+            raise EvaluationError(
+                f"term {term} selects a coordinate of the non-tuple value {base}"
+            )
+        return base.coordinate(term.index)
+    raise EvaluationError(f"unknown term class {type(term).__name__}")

@@ -1,0 +1,361 @@
+"""Well-formed formulas of the complex-object calculus.
+
+Atomic formulas are ``t1 = t2`` (:class:`Equals`), ``t1 in t2``
+(:class:`Membership`) and ``P(t1)`` (:class:`PredicateAtom`).  Formulas are
+closed under negation, conjunction, disjunction, implication and the typed
+quantifiers ``exists x/T`` and ``forall x/T``.
+
+Formulas are immutable ASTs; the typing rules that make a formula a *t-wff*
+live in :mod:`repro.calculus.typing`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import TypingError
+from repro.calculus.terms import Term, coerce_term
+from repro.types.type_system import ComplexType
+
+
+class Formula:
+    """Abstract base class of calculus formulas."""
+
+    __slots__ = ()
+
+    def free_variables(self) -> frozenset[str]:
+        """Names of variables occurring free in the formula."""
+        raise NotImplementedError
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """This formula and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.subformulas()
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+    def predicates(self) -> frozenset[str]:
+        """Names of database predicates occurring in the formula."""
+        result: set[str] = set()
+        for sub in self.subformulas():
+            if isinstance(sub, PredicateAtom):
+                result.add(sub.predicate_name)
+        return frozenset(result)
+
+    def constants(self) -> frozenset[object]:
+        """Atomic constants occurring in the formula (``adom(phi)``)."""
+        from repro.calculus.terms import Constant
+
+        result: set[object] = set()
+        for sub in self.subformulas():
+            for term in getattr(sub, "terms", lambda: ())():
+                if isinstance(term, Constant):
+                    result.add(term.value)
+        return frozenset(result)
+
+    def quantified_types(self) -> frozenset[ComplexType]:
+        """Types appearing in quantifiers anywhere in the formula."""
+        result: set[ComplexType] = set()
+        for sub in self.subformulas():
+            if isinstance(sub, (Exists, Forall)):
+                result.add(sub.variable_type)
+        return frozenset(result)
+
+    # Connective conveniences -------------------------------------------------
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Implies":
+        return Implies(self, other)
+
+
+class _AtomicFormula(Formula):
+    __slots__ = ()
+
+    def terms(self) -> tuple[Term, ...]:
+        raise NotImplementedError
+
+    def free_variables(self) -> frozenset[str]:
+        result: set[str] = set()
+        for term in self.terms():
+            result |= term.variables()
+        return frozenset(result)
+
+
+class Equals(_AtomicFormula):
+    """The atomic formula ``left = right`` (written ``t1 ~ t2`` in the paper)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Term | str | object, right: Term | str | object) -> None:
+        object.__setattr__(self, "left", coerce_term(left))
+        object.__setattr__(self, "right", coerce_term(right))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Equals is immutable")
+
+    def terms(self) -> tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Equals) and (self.left, self.right) == (other.left, other.right)
+
+    def __hash__(self) -> int:
+        return hash(("eq", self.left, self.right))
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+class Membership(_AtomicFormula):
+    """The atomic formula ``element in container``."""
+
+    __slots__ = ("element", "container")
+
+    def __init__(self, element: Term | str | object, container: Term | str | object) -> None:
+        object.__setattr__(self, "element", coerce_term(element))
+        object.__setattr__(self, "container", coerce_term(container))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Membership is immutable")
+
+    def terms(self) -> tuple[Term, ...]:
+        return (self.element, self.container)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Membership) and (self.element, self.container) == (
+            other.element,
+            other.container,
+        )
+
+    def __hash__(self) -> int:
+        return hash(("in", self.element, self.container))
+
+    def __str__(self) -> str:
+        return f"{self.element} in {self.container}"
+
+
+class PredicateAtom(_AtomicFormula):
+    """The atomic formula ``P(t)`` for a database predicate ``P``."""
+
+    __slots__ = ("predicate_name", "argument")
+
+    def __init__(self, predicate_name: str, argument: Term | str | object) -> None:
+        if not isinstance(predicate_name, str) or not predicate_name:
+            raise TypingError(
+                f"predicate name must be a non-empty string, got {predicate_name!r}"
+            )
+        object.__setattr__(self, "predicate_name", predicate_name)
+        object.__setattr__(self, "argument", coerce_term(argument))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("PredicateAtom is immutable")
+
+    def terms(self) -> tuple[Term, ...]:
+        return (self.argument,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PredicateAtom) and (self.predicate_name, self.argument) == (
+            other.predicate_name,
+            other.argument,
+        )
+
+    def __hash__(self) -> int:
+        return hash(("pred", self.predicate_name, self.argument))
+
+    def __str__(self) -> str:
+        return f"{self.predicate_name}({self.argument})"
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula) -> None:
+        _require_formula(operand, "Not operand")
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Not is immutable")
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def free_variables(self) -> frozenset[str]:
+        return self.operand.free_variables()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash(("not", self.operand))
+
+    def __str__(self) -> str:
+        return f"not ({self.operand})"
+
+
+class _BinaryConnective(Formula):
+    __slots__ = ("left", "right")
+
+    _symbol = "?"
+
+    def __init__(self, left: Formula, right: Formula) -> None:
+        _require_formula(left, f"{type(self).__name__} left operand")
+        _require_formula(right, f"{type(self).__name__} right operand")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def free_variables(self) -> frozenset[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and (self.left, self.right) == (other.left, other.right)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.left, self.right))
+
+    def __str__(self) -> str:
+        return f"({self.left}) {self._symbol} ({self.right})"
+
+
+class And(_BinaryConnective):
+    """Conjunction."""
+
+    __slots__ = ()
+    _symbol = "and"
+
+
+class Or(_BinaryConnective):
+    """Disjunction."""
+
+    __slots__ = ()
+    _symbol = "or"
+
+
+class Implies(_BinaryConnective):
+    """Implication."""
+
+    __slots__ = ()
+    _symbol = "->"
+
+
+class _Quantifier(Formula):
+    __slots__ = ("variable", "variable_type", "body")
+
+    _symbol = "?"
+
+    def __init__(self, variable: str, variable_type: ComplexType, body: Formula) -> None:
+        if not isinstance(variable, str) or not variable:
+            raise TypingError(f"quantified variable must be a non-empty string, got {variable!r}")
+        if not isinstance(variable_type, ComplexType):
+            raise TypingError(
+                f"quantifier for {variable!r} needs a ComplexType, got {type(variable_type).__name__}"
+            )
+        _require_formula(body, f"{type(self).__name__} body")
+        object.__setattr__(self, "variable", variable)
+        object.__setattr__(self, "variable_type", variable_type)
+        object.__setattr__(self, "body", body)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def free_variables(self) -> frozenset[str]:
+        return self.body.free_variables() - {self.variable}
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and (
+            self.variable,
+            self.variable_type,
+            self.body,
+        ) == (other.variable, other.variable_type, other.body)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.variable, self.variable_type, self.body))
+
+    def __str__(self) -> str:
+        return f"{self._symbol} {self.variable}/{self.variable_type} ({self.body})"
+
+
+class Exists(_Quantifier):
+    """Typed existential quantification ``(exists x/T phi)``."""
+
+    __slots__ = ()
+    _symbol = "exists"
+
+
+class Forall(_Quantifier):
+    """Typed universal quantification ``(forall x/T phi)``."""
+
+    __slots__ = ()
+    _symbol = "forall"
+
+
+def _require_formula(value: object, description: str) -> None:
+    if not isinstance(value, Formula):
+        raise TypingError(f"{description} must be a Formula, got {type(value).__name__}")
+
+
+def conjunction(formulas: Iterable[Formula]) -> Formula:
+    """Right-nested conjunction of one or more formulas."""
+    items = list(formulas)
+    if not items:
+        raise TypingError("conjunction requires at least one conjunct")
+    result = items[-1]
+    for item in reversed(items[:-1]):
+        result = And(item, result)
+    return result
+
+
+def disjunction(formulas: Iterable[Formula]) -> Formula:
+    """Right-nested disjunction of one or more formulas."""
+    items = list(formulas)
+    if not items:
+        raise TypingError("disjunction requires at least one disjunct")
+    result = items[-1]
+    for item in reversed(items[:-1]):
+        result = Or(item, result)
+    return result
+
+
+def exists(variable: str, variable_type: ComplexType, body: Formula) -> Exists:
+    """Shorthand constructor for existential quantification."""
+    return Exists(variable, variable_type, body)
+
+
+def forall(variable: str, variable_type: ComplexType, body: Formula) -> Forall:
+    """Shorthand constructor for universal quantification."""
+    return Forall(variable, variable_type, body)
+
+
+def exists_many(bindings: Iterable[tuple[str, ComplexType]], body: Formula) -> Formula:
+    """Nest existential quantifiers over several (variable, type) bindings."""
+    result = body
+    for variable, variable_type in reversed(list(bindings)):
+        result = Exists(variable, variable_type, result)
+    return result
+
+
+def forall_many(bindings: Iterable[tuple[str, ComplexType]], body: Formula) -> Formula:
+    """Nest universal quantifiers over several (variable, type) bindings."""
+    result = body
+    for variable, variable_type in reversed(list(bindings)):
+        result = Forall(variable, variable_type, result)
+    return result

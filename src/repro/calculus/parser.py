@@ -1,0 +1,383 @@
+"""A parser for the concrete text syntax of calculus formulas and queries.
+
+The grammar (whitespace-insensitive)::
+
+    query       := "{" IDENT "/" type "|" formula "}"
+    formula     := quantified
+    quantified  := ("exists" | "forall") IDENT "/" type quantified
+                 | implication
+    implication := disjunction ("->" implication)?          (right-associative)
+    disjunction := conjunction ("or" conjunction)*
+    conjunction := negation ("and" negation)*
+    negation    := "not" negation | primary
+    primary     := "(" formula ")" | atom
+    atom        := IDENT "(" term ")"                        (predicate atom)
+                 | term "=" term
+                 | term "in" term
+    term        := IDENT ("." NUMBER)? | NUMBER | STRING
+    type        := "U" | "{" type "}" | "[" type ("," type)* "]"
+
+Identifiers denote variables (or predicate names before ``(``); constants
+are written as numbers or single-/double-quoted strings.  A quantifier's
+body extends as far to the right as possible, so
+``exists x/U P(x) and Q(x)`` binds both conjuncts; use parentheses to limit
+the scope.
+
+The parser builds exactly the AST classes of :mod:`repro.calculus.formulas`
+and :mod:`repro.calculus.terms`; :func:`parse_query` additionally runs the
+t-wff type check by constructing a :class:`~repro.calculus.query.CalculusQuery`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.calculus.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Membership,
+    Not,
+    Or,
+    PredicateAtom,
+)
+from repro.calculus.query import CalculusQuery
+from repro.calculus.terms import Constant, CoordinateTerm, Term, VariableTerm
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import ComplexType, SetType, TupleType, U
+
+
+class FormulaParseError(ReproError):
+    """A textual formula or query could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None) -> None:
+        details = message
+        if position is not None and text is not None:
+            snippet = text[max(0, position - 20) : position + 20]
+            details = f"{message} (at position {position}, near {snippet!r})"
+        super().__init__(details)
+        self.position = position
+
+
+#: Reserved words that cannot be used as variable or predicate names.
+KEYWORDS = frozenset({"exists", "forall", "not", "and", "or", "in", "U"})
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<ARROW>->)
+  | (?P<STRING>'(?:\\.|[^'\\])*'|"(?:\\.|[^"\\])*")
+  | (?P<NUMBER>\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<SYMBOL>[{}\[\](),/|=.])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise FormulaParseError(
+                f"unexpected character {text[position]!r}", position=position, text=text
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # Token helpers ----------------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise FormulaParseError("unexpected end of input", position=len(self._text), text=self._text)
+        self._index += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _match(self, kind: str, text: str | None = None) -> _Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._match(kind, text)
+        if token is None:
+            found = self._peek()
+            description = f"{found.text!r}" if found else "end of input"
+            wanted = text if text is not None else kind
+            position = found.position if found else len(self._text)
+            raise FormulaParseError(
+                f"expected {wanted!r}, found {description}", position=position, text=self._text
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self._peek() is None
+
+    def require_end(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise FormulaParseError(
+                f"unexpected trailing input {token.text!r}", position=token.position, text=self._text
+            )
+
+    # Types -------------------------------------------------------------------
+    def parse_type(self) -> ComplexType:
+        if self._match("IDENT", "U"):
+            return U
+        if self._match("SYMBOL", "{"):
+            element = self.parse_type()
+            self._expect("SYMBOL", "}")
+            return SetType(element)
+        if self._match("SYMBOL", "["):
+            components = [self.parse_type()]
+            while self._match("SYMBOL", ","):
+                components.append(self.parse_type())
+            self._expect("SYMBOL", "]")
+            return TupleType(components)
+        found = self._peek()
+        position = found.position if found else len(self._text)
+        raise FormulaParseError(
+            "expected a type (U, {...} or [...])", position=position, text=self._text
+        )
+
+    # Terms -------------------------------------------------------------------
+    def parse_term(self) -> Term:
+        token = self._peek()
+        if token is None:
+            raise FormulaParseError("expected a term", position=len(self._text), text=self._text)
+        if token.kind == "NUMBER":
+            self._advance()
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            self._advance()
+            return Constant(_unquote(token.text))
+        if token.kind == "IDENT":
+            if token.text in KEYWORDS:
+                raise FormulaParseError(
+                    f"keyword {token.text!r} cannot be used as a term",
+                    position=token.position,
+                    text=self._text,
+                )
+            self._advance()
+            if self._check("SYMBOL", "."):
+                self._advance()
+                index_token = self._expect("NUMBER")
+                return CoordinateTerm(token.text, int(index_token.text))
+            return VariableTerm(token.text)
+        raise FormulaParseError(
+            f"expected a term, found {token.text!r}", position=token.position, text=self._text
+        )
+
+    # Formulas ----------------------------------------------------------------
+    def parse_formula(self) -> Formula:
+        return self._parse_quantified()
+
+    def _parse_quantified(self) -> Formula:
+        token = self._peek()
+        if token is not None and token.kind == "IDENT" and token.text in ("exists", "forall"):
+            self._advance()
+            variable = self._parse_variable_name()
+            self._expect("SYMBOL", "/")
+            variable_type = self.parse_type()
+            body = self._parse_quantified()
+            constructor = Exists if token.text == "exists" else Forall
+            return constructor(variable, variable_type, body)
+        return self._parse_implication()
+
+    def _parse_variable_name(self) -> str:
+        token = self._expect("IDENT")
+        if token.text in KEYWORDS:
+            raise FormulaParseError(
+                f"keyword {token.text!r} cannot be used as a variable name",
+                position=token.position,
+                text=self._text,
+            )
+        return token.text
+
+    def _parse_implication(self) -> Formula:
+        left = self._parse_disjunction()
+        if self._match("ARROW"):
+            right = self._parse_implication_or_quantified()
+            return Implies(left, right)
+        return left
+
+    def _parse_implication_or_quantified(self) -> Formula:
+        token = self._peek()
+        if token is not None and token.kind == "IDENT" and token.text in ("exists", "forall"):
+            return self._parse_quantified()
+        return self._parse_implication()
+
+    def _parse_disjunction(self) -> Formula:
+        left = self._parse_conjunction()
+        while self._match("IDENT", "or"):
+            right = self._parse_conjunction_or_quantified()
+            left = Or(left, right)
+        return left
+
+    def _parse_conjunction(self) -> Formula:
+        left = self._parse_negation()
+        while self._match("IDENT", "and"):
+            right = self._parse_negation_or_quantified()
+            left = And(left, right)
+        return left
+
+    def _parse_conjunction_or_quantified(self) -> Formula:
+        token = self._peek()
+        if token is not None and token.kind == "IDENT" and token.text in ("exists", "forall"):
+            return self._parse_quantified()
+        return self._parse_conjunction()
+
+    def _parse_negation_or_quantified(self) -> Formula:
+        token = self._peek()
+        if token is not None and token.kind == "IDENT" and token.text in ("exists", "forall"):
+            return self._parse_quantified()
+        return self._parse_negation()
+
+    def _parse_negation(self) -> Formula:
+        if self._match("IDENT", "not"):
+            operand = self._parse_negation_or_quantified()
+            return Not(operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Formula:
+        if self._match("SYMBOL", "("):
+            inner = self.parse_formula()
+            self._expect("SYMBOL", ")")
+            return inner
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Formula:
+        token = self._peek()
+        # Predicate atom: IDENT "(" term ")"
+        if (
+            token is not None
+            and token.kind == "IDENT"
+            and token.text not in KEYWORDS
+            and self._index + 1 < len(self._tokens)
+            and self._tokens[self._index + 1].kind == "SYMBOL"
+            and self._tokens[self._index + 1].text == "("
+            and not self._is_coordinate_ahead()
+        ):
+            predicate = self._advance().text
+            self._expect("SYMBOL", "(")
+            argument = self.parse_term()
+            self._expect("SYMBOL", ")")
+            return PredicateAtom(predicate, argument)
+
+        left = self.parse_term()
+        if self._match("SYMBOL", "="):
+            right = self.parse_term()
+            return Equals(left, right)
+        if self._match("IDENT", "in"):
+            right = self.parse_term()
+            return Membership(left, right)
+        found = self._peek()
+        position = found.position if found else len(self._text)
+        raise FormulaParseError(
+            "expected '=', 'in' or a predicate application", position=position, text=self._text
+        )
+
+    def _is_coordinate_ahead(self) -> bool:
+        # Distinguish `P(x)` (predicate) from `x.1 = ...` — a coordinate term
+        # never has an opening parenthesis right after the identifier, so this
+        # always returns False; kept as an explicit hook for future syntax.
+        return False
+
+    # Queries -----------------------------------------------------------------
+    def parse_query_body(self) -> tuple[str, ComplexType, Formula]:
+        self._expect("SYMBOL", "{")
+        variable = self._parse_variable_name()
+        self._expect("SYMBOL", "/")
+        target_type = self.parse_type()
+        self._expect("SYMBOL", "|")
+        formula = self.parse_formula()
+        self._expect("SYMBOL", "}")
+        return variable, target_type, formula
+
+
+def _unquote(text: str) -> str:
+    body = text[1:-1]
+    result: list[str] = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\" and index + 1 < len(body):
+            result.append(body[index + 1])
+            index += 2
+        else:
+            result.append(char)
+            index += 1
+    return "".join(result)
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (variable, coordinate, or constant)."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    parser.require_end()
+    return term
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a formula in the concrete syntax into a :class:`Formula` AST.
+
+    The result is purely syntactic; it is *not* type-checked (use
+    :func:`parse_query` or :func:`repro.calculus.typing.infer_typing` for
+    that).
+    """
+    parser = _Parser(text)
+    formula = parser.parse_formula()
+    parser.require_end()
+    return formula
+
+
+def parse_query(
+    text: str, schema: DatabaseSchema, name: str | None = None
+) -> CalculusQuery:
+    """Parse a query ``{ t/T | phi }`` and type-check it against *schema*.
+
+    Raises :class:`FormulaParseError` on syntax errors and
+    :class:`repro.errors.TypingError` if the parsed query violates the
+    t-wff rules (unknown predicate, ill-typed atom, stray free variable).
+    """
+    parser = _Parser(text)
+    variable, target_type, formula = parser.parse_query_body()
+    parser.require_end()
+    return CalculusQuery(schema, variable, target_type, formula, name=name)

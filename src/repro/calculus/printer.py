@@ -1,0 +1,133 @@
+"""Pretty printer for calculus terms, formulas and queries.
+
+The printer produces the concrete text syntax accepted by
+:mod:`repro.calculus.parser`, so that ``parse_formula(format_formula(phi))``
+returns a formula equal to ``phi`` (and likewise for queries).  The output
+is fully parenthesised at the connective level, which keeps the grammar
+unambiguous without a precedence table in the reader's head.
+
+The syntax mirrors the paper's notation as closely as plain text allows:
+
+* terms: ``x``, ``x.2``, ``'tom'`` (quoted constants), ``42``;
+* atomic formulas: ``t1 = t2``, ``t1 in t2``, ``PAR(x)``;
+* connectives: ``not``, ``and``, ``or``, ``->``;
+* typed quantifiers: ``exists x/{[U, U]} (...)``, ``forall y/U (...)``;
+* queries: ``{ t/[U, U] | phi }``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypingError
+from repro.calculus.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Membership,
+    Not,
+    Or,
+    PredicateAtom,
+)
+from repro.calculus.query import CalculusQuery
+from repro.calculus.terms import Constant, CoordinateTerm, Term, VariableTerm
+
+
+def format_term(term: Term) -> str:
+    """Render a term in the concrete syntax."""
+    if isinstance(term, Constant):
+        return format_constant(term.value)
+    if isinstance(term, VariableTerm):
+        return term.name
+    if isinstance(term, CoordinateTerm):
+        return f"{term.variable_name}.{term.index}"
+    raise TypingError(f"unknown term class {type(term).__name__}")
+
+
+def format_constant(value: object) -> str:
+    """Render a constant payload: numbers bare, everything else single-quoted."""
+    if isinstance(value, bool):
+        # bool is a subclass of int; render it explicitly to avoid `1`/`0`.
+        return f"'{value}'"
+    if isinstance(value, int):
+        return str(value)
+    text = str(value)
+    escaped = text.replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+def format_formula(formula: Formula) -> str:
+    """Render a formula in the concrete syntax (fully parenthesised)."""
+    if isinstance(formula, Equals):
+        return f"{format_term(formula.left)} = {format_term(formula.right)}"
+    if isinstance(formula, Membership):
+        return f"{format_term(formula.element)} in {format_term(formula.container)}"
+    if isinstance(formula, PredicateAtom):
+        return f"{formula.predicate_name}({format_term(formula.argument)})"
+    if isinstance(formula, Not):
+        return f"not ({format_formula(formula.operand)})"
+    if isinstance(formula, And):
+        return f"({format_formula(formula.left)} and {format_formula(formula.right)})"
+    if isinstance(formula, Or):
+        return f"({format_formula(formula.left)} or {format_formula(formula.right)})"
+    if isinstance(formula, Implies):
+        return f"({format_formula(formula.left)} -> {format_formula(formula.right)})"
+    if isinstance(formula, Exists):
+        # Self-parenthesised so the quantifier's scope never swallows a
+        # following connective when this formula is a sub-formula.
+        return (
+            f"(exists {formula.variable}/{formula.variable_type} "
+            f"({format_formula(formula.body)}))"
+        )
+    if isinstance(formula, Forall):
+        return (
+            f"(forall {formula.variable}/{formula.variable_type} "
+            f"({format_formula(formula.body)}))"
+        )
+    raise TypingError(f"unknown formula class {type(formula).__name__}")
+
+
+def format_query(query: CalculusQuery) -> str:
+    """Render a query ``{ t/T | phi }`` in the concrete syntax."""
+    return (
+        f"{{ {query.target_variable}/{query.target_type} | "
+        f"{format_formula(query.formula)} }}"
+    )
+
+
+def format_formula_pretty(formula: Formula, indent: str = "  ") -> str:
+    """A multi-line rendering with one connective or quantifier per line.
+
+    This form is for human consumption (docs, debugging); it is *also*
+    accepted by the parser, since the grammar is whitespace-insensitive.
+    """
+
+    def render(current: Formula, depth: int) -> list[str]:
+        pad = indent * depth
+        if isinstance(current, (Equals, Membership, PredicateAtom)):
+            return [pad + format_formula(current)]
+        if isinstance(current, Not):
+            return [pad + "not ("] + render(current.operand, depth + 1) + [pad + ")"]
+        if isinstance(current, (And, Or, Implies)):
+            keyword = {And: "and", Or: "or", Implies: "->"}[type(current)]
+            return (
+                [pad + "("]
+                + render(current.left, depth + 1)
+                + [pad + keyword]
+                + render(current.right, depth + 1)
+                + [pad + ")"]
+            )
+        if isinstance(current, (Exists, Forall)):
+            keyword = "exists" if isinstance(current, Exists) else "forall"
+            header = f"{pad}({keyword} {current.variable}/{current.variable_type} ("
+            return [header] + render(current.body, depth + 1) + [pad + "))"]
+        raise TypingError(f"unknown formula class {type(current).__name__}")
+
+    return "\n".join(render(formula, 0))
+
+
+def format_query_pretty(query: CalculusQuery, indent: str = "  ") -> str:
+    """Multi-line rendering of a query, parser-compatible."""
+    body = format_formula_pretty(query.formula, indent)
+    return f"{{ {query.target_variable}/{query.target_type} |\n{body}\n}}"

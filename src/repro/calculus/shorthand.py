@@ -1,0 +1,249 @@
+"""Shorthand formula constructors used by the paper.
+
+The paper freely uses abbreviations such as ``[y, z] ∈ x`` (tuple-building
+inside a membership atom) and ``x = ∅``.  Formally these are shorthands for
+formulas with extra quantified variables; this module expands them.
+
+The expansions are careful about the "no consecutive tuples" restriction:
+when the component type is itself a tuple type, the pair ``[T, T]`` is
+collapsed to a single wide tuple type and coordinates are spliced.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypingError
+from repro.calculus.formulas import (
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Membership,
+    Not,
+    conjunction,
+)
+from repro.calculus.terms import Term, VariableTerm, coerce_term
+from repro.types.type_system import ComplexType, SetType, TupleType
+
+
+_FRESH_COUNTER = [0]
+
+
+def fresh_variable(prefix: str = "_v") -> str:
+    """A fresh variable name, unique within this process."""
+    _FRESH_COUNTER[0] += 1
+    return f"{prefix}{_FRESH_COUNTER[0]}"
+
+
+def pair_type(component_type: ComplexType) -> TupleType:
+    """The type of pairs over *component_type*, collapsed if necessary.
+
+    For a non-tuple component ``T`` this is ``[T, T]``; for a tuple component
+    ``[S1,...,Sm]`` it is the collapsed ``[S1,...,Sm,S1,...,Sm]``.
+    """
+    if isinstance(component_type, TupleType):
+        return TupleType(list(component_type.component_types) * 2)
+    return TupleType([component_type, component_type])
+
+
+def component_equals(
+    pair_variable: str,
+    component_type: ComplexType,
+    which: int,
+    other: Term | str,
+) -> Formula:
+    """``pair.<which> = other`` where ``pair`` encodes a pair over *component_type*.
+
+    *which* is 1 for the first component and 2 for the second.  When the
+    component type is a tuple type of arity ``m``, the pair variable has
+    arity ``2m`` and the comparison is coordinate-wise against the (variable)
+    term *other*, which must then be a variable of the component type.
+    """
+    if which not in (1, 2):
+        raise TypingError(f"a pair has components 1 and 2, got {which}")
+    other_term = coerce_term(other)
+    pair = VariableTerm(pair_variable)
+    if isinstance(component_type, TupleType):
+        if not isinstance(other_term, VariableTerm):
+            raise TypingError(
+                "comparing a tuple-typed pair component requires a variable on the other side"
+            )
+        arity = component_type.arity
+        offset = 0 if which == 1 else arity
+        return conjunction(
+            [
+                Equals(pair.coordinate(offset + j), other_term.coordinate(j))
+                for j in range(1, arity + 1)
+            ]
+        )
+    return Equals(pair.coordinate(which), other_term)
+
+
+def pair_in(
+    first: Term | str,
+    second: Term | str,
+    container: Term | str,
+    component_type: ComplexType,
+) -> Formula:
+    """The shorthand ``[first, second] ∈ container``.
+
+    Expands to ``∃p/PairType (p ∈ container ∧ p.1 = first ∧ p.2 = second)``
+    (with the coordinate splicing of :func:`component_equals` when the
+    component type is a tuple type).
+    """
+    p = fresh_variable("_p")
+    ptype = pair_type(component_type)
+    body = conjunction(
+        [
+            Membership(VariableTerm(p), coerce_term(container)),
+            component_equals(p, component_type, 1, first),
+            component_equals(p, component_type, 2, second),
+        ]
+    )
+    return Exists(p, ptype, body)
+
+
+def is_empty(set_variable: Term | str, element_type: ComplexType) -> Formula:
+    """The shorthand ``x = ∅`` for a variable of type ``{element_type}``.
+
+    Expands to ``∀y/T ¬(y ∈ x)``.
+    """
+    y = fresh_variable("_y")
+    return Forall(y, element_type, Not(Membership(VariableTerm(y), coerce_term(set_variable))))
+
+
+def is_subset(
+    left: Term | str, right: Term | str, element_type: ComplexType
+) -> Formula:
+    """The shorthand ``left ⊆ right`` for two set-typed terms.
+
+    Expands to ``∀y/T (y ∈ left → y ∈ right)``.
+    """
+    y = fresh_variable("_y")
+    return Forall(
+        y,
+        element_type,
+        Membership(VariableTerm(y), coerce_term(left)).implies(
+            Membership(VariableTerm(y), coerce_term(right))
+        ),
+    )
+
+
+def sets_equal(
+    left: Term | str, right: Term | str, element_type: ComplexType
+) -> Formula:
+    """Extensional equality of two set-typed terms via mutual inclusion."""
+    return is_subset(left, right, element_type) & is_subset(right, left, element_type)
+
+
+def tuple_is(variable: str, tuple_type_: TupleType, components: list[Term | str | object]) -> Formula:
+    """``variable = [c1, ..., cn]`` expanded to coordinate-wise equalities."""
+    if len(components) != tuple_type_.arity:
+        raise TypingError(
+            f"tuple type {tuple_type_} has arity {tuple_type_.arity}, got "
+            f"{len(components)} components"
+        )
+    v = VariableTerm(variable)
+    return conjunction(
+        [Equals(v.coordinate(index), coerce_term(component)) for index, component in enumerate(components, start=1)]
+    )
+
+
+def occurs_in_column(
+    atom_variable: Term | str,
+    container: Term | str,
+    component_type: ComplexType,
+    column: int,
+) -> Formula:
+    """``atom occurs in column <column> of container`` (container: set of pairs).
+
+    Used by Example 3.2's φ3 ("z ∈ x.1", "z ∈ x.2" in the paper's informal
+    column notation): expands to
+    ``∃p/PairType (p ∈ container ∧ p.<column> = atom)``.
+    """
+    p = fresh_variable("_p")
+    ptype = pair_type(component_type)
+    return Exists(
+        p,
+        ptype,
+        Membership(VariableTerm(p), coerce_term(container))
+        & component_equals(p, component_type, column, atom_variable),
+    )
+
+
+def total_order_formula(order_variable: str, component_type: ComplexType) -> Formula:
+    """The ORD formula of Example 3.4.
+
+    States that *order_variable* (of type ``{PairType}``) holds a total
+    (reflexive, antisymmetric, transitive, total) order on the constructive
+    domain of *component_type*.  Under the limited interpretation the
+    universally quantified element variables range over exactly
+    ``cons_adom(d,Q)(T)``, which is what the paper's ORD_x requires.
+
+    The orderings admitted are *all* total orders on that domain; the paper
+    only ever uses ``∃x ORD(x)`` or pairs ORD with further constraints.
+    """
+    y = fresh_variable("_oy")
+    z = fresh_variable("_oz")
+    w = fresh_variable("_ow")
+    yv, zv, wv = VariableTerm(y), VariableTerm(z), VariableTerm(w)
+
+    totality = Forall(
+        y,
+        component_type,
+        Forall(
+            z,
+            component_type,
+            pair_in(yv, zv, order_variable, component_type)
+            | pair_in(zv, yv, order_variable, component_type),
+        ),
+    )
+    antisymmetry = Forall(
+        y,
+        component_type,
+        Forall(
+            z,
+            component_type,
+            (
+                pair_in(yv, zv, order_variable, component_type)
+                & pair_in(zv, yv, order_variable, component_type)
+            ).implies(_component_variable_equality(y, z, component_type)),
+        ),
+    )
+    transitivity = Forall(
+        y,
+        component_type,
+        Forall(
+            z,
+            component_type,
+            Forall(
+                w,
+                component_type,
+                (
+                    pair_in(yv, zv, order_variable, component_type)
+                    & pair_in(zv, wv, order_variable, component_type)
+                ).implies(pair_in(yv, wv, order_variable, component_type)),
+            ),
+        ),
+    )
+    return conjunction([totality, antisymmetry, transitivity])
+
+
+def _component_variable_equality(
+    left_variable: str, right_variable: str, component_type: ComplexType
+) -> Formula:
+    """Equality of two variables of *component_type* (coordinate-wise for tuples)."""
+    left = VariableTerm(left_variable)
+    right = VariableTerm(right_variable)
+    if isinstance(component_type, TupleType):
+        return conjunction(
+            [
+                Equals(left.coordinate(j), right.coordinate(j))
+                for j in range(1, component_type.arity + 1)
+            ]
+        )
+    return Equals(left, right)
+
+
+def order_variable_type(component_type: ComplexType) -> SetType:
+    """The type of the ORD witness variable: ``{PairType}`` over *component_type*."""
+    return SetType(pair_type(component_type))

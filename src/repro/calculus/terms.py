@@ -1,0 +1,160 @@
+"""Terms of the complex-object calculus.
+
+A term under a type assignment ``alpha`` is (Section 2):
+
+* a constant symbol (an element of ``U``), whose extended type is ``U``;
+* a variable symbol ``x`` with ``alpha(x)`` defined; or
+* the expression ``x.i`` where ``alpha(x) = [T1, ..., Tn]`` is a tuple type
+  and ``i`` is a coordinate in ``1..n``.
+
+Terms of the form ``x.i.j`` are not needed because formal types never apply
+the tuple constructor consecutively.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypingError
+from repro.objects.values import Atom, ComplexValue
+
+
+class Term:
+    """Abstract base class of calculus terms."""
+
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        """Names of variables occurring in the term."""
+        raise NotImplementedError
+
+
+class Constant(Term):
+    """A constant symbol: an element of the universal atomic domain."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        if isinstance(value, ComplexValue) and not isinstance(value, Atom):
+            raise TypingError(
+                "constant symbols must be atomic values (members of U); "
+                f"got the complex value {value}"
+            )
+        payload = value.value if isinstance(value, Atom) else value
+        object.__setattr__(self, "value", payload)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Constant is immutable")
+
+    def as_atom(self) -> Atom:
+        return Atom(self.value)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+class VariableTerm(Term):
+    """A variable symbol used as a term."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise TypingError(f"variable name must be a non-empty string, got {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("VariableTerm is immutable")
+
+    def coordinate(self, index: int) -> "CoordinateTerm":
+        """The coordinate term ``x.index`` (1-based, paper notation)."""
+        return CoordinateTerm(self.name, index)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VariableTerm) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"VariableTerm({self.name!r})"
+
+
+class CoordinateTerm(Term):
+    """The term ``x.i``: the i-th coordinate of a tuple-typed variable."""
+
+    __slots__ = ("variable_name", "index")
+
+    def __init__(self, variable_name: str, index: int) -> None:
+        if not isinstance(variable_name, str) or not variable_name:
+            raise TypingError(
+                f"variable name must be a non-empty string, got {variable_name!r}"
+            )
+        if not isinstance(index, int) or index < 1:
+            raise TypingError(
+                f"coordinate index must be a positive integer (paper-style 1-based), got {index!r}"
+            )
+        object.__setattr__(self, "variable_name", variable_name)
+        object.__setattr__(self, "index", index)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("CoordinateTerm is immutable")
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.variable_name})
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CoordinateTerm)
+            and self.variable_name == other.variable_name
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash(("coord", self.variable_name, self.index))
+
+    def __str__(self) -> str:
+        return f"{self.variable_name}.{self.index}"
+
+    def __repr__(self) -> str:
+        return f"CoordinateTerm({self.variable_name!r}, {self.index})"
+
+
+def var(name: str) -> VariableTerm:
+    """Shorthand constructor for a variable term."""
+    return VariableTerm(name)
+
+
+def const(value: object) -> Constant:
+    """Shorthand constructor for a constant term."""
+    return Constant(value)
+
+
+def coerce_term(value: Term | str | object) -> Term:
+    """Coerce a convenience value into a term.
+
+    Strings become variables, other plain values become constants, and terms
+    pass through unchanged.  Builder code uses this so that formulas can be
+    written compactly.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        return VariableTerm(value)
+    return Constant(value)

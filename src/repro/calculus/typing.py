@@ -1,0 +1,241 @@
+"""Typing of formulas: type assignments and the t-wff rules (Section 2).
+
+A *type assignment* maps variables and predicates to types.  The *extended*
+assignment gives every term a type: constants have type ``U``, variables
+their assigned type, and ``x.i`` the ``i``-th component of the (tuple) type
+of ``x``.  A formula together with a consistent assignment is a *typed
+well-formed formula* (t-wff); the rules are:
+
+* ``t1 = t2`` requires the two term types to be equal;
+* ``t1 in t2`` requires the container type to be the set type over the
+  element's type;
+* ``P(t)`` requires the term type to equal the predicate's declared type;
+* connectives propagate assignments, requiring consistency on shared free
+  variables;
+* a quantifier ``(Qx/T phi)`` requires that either ``x`` is not free in
+  ``phi`` or its assigned type inside ``phi`` is ``T``.
+
+:func:`infer_typing` walks a formula, validates these rules and reports the
+types of every variable occurrence (the input to intermediate-type
+classification).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import TypingError
+from repro.calculus.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Membership,
+    Not,
+    Or,
+    PredicateAtom,
+)
+from repro.calculus.terms import Constant, CoordinateTerm, Term, VariableTerm
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import ComplexType, SetType, TupleType, U
+
+
+@dataclass(frozen=True)
+class TypeAssignment:
+    """An immutable mapping of variable names and predicate names to types."""
+
+    variables: Mapping[str, ComplexType] = field(default_factory=dict)
+    predicates: Mapping[str, ComplexType] = field(default_factory=dict)
+
+    def variable_type(self, name: str) -> ComplexType:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise TypingError(f"variable {name!r} has no assigned type") from None
+
+    def predicate_type(self, name: str) -> ComplexType:
+        try:
+            return self.predicates[name]
+        except KeyError:
+            raise TypingError(f"predicate {name!r} has no assigned type") from None
+
+    def with_variable(self, name: str, type_: ComplexType) -> "TypeAssignment":
+        updated = dict(self.variables)
+        updated[name] = type_
+        return TypeAssignment(variables=updated, predicates=self.predicates)
+
+
+@dataclass(frozen=True)
+class TypingReport:
+    """The result of successfully type-checking a formula.
+
+    Attributes
+    ----------
+    variable_types:
+        The set of types carried by variable occurrences anywhere in the
+        formula (bound or free).  This is exactly the set the paper's
+        intermediate-type definition quantifies over.
+    free_variable_types:
+        Types of the free variables of the formula.
+    predicate_types:
+        Types of the database predicates mentioned by the formula.
+    """
+
+    variable_types: frozenset[ComplexType]
+    free_variable_types: Mapping[str, ComplexType]
+    predicate_types: Mapping[str, ComplexType]
+
+
+def term_type(term: Term, scope: Mapping[str, ComplexType]) -> ComplexType:
+    """The extended type assignment applied to a term."""
+    if isinstance(term, Constant):
+        return U
+    if isinstance(term, VariableTerm):
+        if term.name not in scope:
+            raise TypingError(f"variable {term.name!r} is used but has no type in scope")
+        return scope[term.name]
+    if isinstance(term, CoordinateTerm):
+        if term.variable_name not in scope:
+            raise TypingError(
+                f"variable {term.variable_name!r} is used as {term} but has no type in scope"
+            )
+        base = scope[term.variable_name]
+        if not isinstance(base, TupleType):
+            raise TypingError(
+                f"term {term} requires {term.variable_name!r} to have a tuple type, "
+                f"but it has type {base}"
+            )
+        if term.index > base.arity:
+            raise TypingError(
+                f"term {term} selects coordinate {term.index} of a tuple type of arity {base.arity}"
+            )
+        return base.component(term.index)
+    raise TypingError(f"unknown term class {type(term).__name__}")
+
+
+def infer_typing(
+    formula: Formula,
+    predicate_types: Mapping[str, ComplexType],
+    free_variable_types: Mapping[str, ComplexType],
+) -> TypingReport:
+    """Validate the t-wff rules for *formula* and collect variable types.
+
+    *free_variable_types* must give a type to every free variable of the
+    formula (for a query this is just the target variable).  Raises
+    :class:`TypingError` if any rule is violated.
+    """
+    missing = formula.free_variables() - set(free_variable_types)
+    if missing:
+        raise TypingError(
+            f"free variables {sorted(missing)} have no declared type; a query formula may only "
+            "have the target variable free"
+        )
+
+    collected: set[ComplexType] = set(free_variable_types[name] for name in formula.free_variables())
+    used_predicates: dict[str, ComplexType] = {}
+
+    def check(current: Formula, scope: dict[str, ComplexType]) -> None:
+        if isinstance(current, Equals):
+            left = term_type(current.left, scope)
+            right = term_type(current.right, scope)
+            if left != right:
+                raise TypingError(
+                    f"equality {current} compares terms of different types {left} and {right}"
+                )
+            _collect_terms(current, scope)
+            return
+        if isinstance(current, Membership):
+            element = term_type(current.element, scope)
+            container = term_type(current.container, scope)
+            if container != SetType(element):
+                raise TypingError(
+                    f"membership {current} requires the container to have type {{{element}}}, "
+                    f"but it has type {container}"
+                )
+            _collect_terms(current, scope)
+            return
+        if isinstance(current, PredicateAtom):
+            if current.predicate_name not in predicate_types:
+                raise TypingError(
+                    f"predicate {current.predicate_name!r} is not declared in the database schema"
+                )
+            declared = predicate_types[current.predicate_name]
+            argument = term_type(current.argument, scope)
+            if argument != declared:
+                raise TypingError(
+                    f"predicate atom {current} applies {current.predicate_name!r} of type "
+                    f"{declared} to a term of type {argument}"
+                )
+            used_predicates[current.predicate_name] = declared
+            _collect_terms(current, scope)
+            return
+        if isinstance(current, Not):
+            check(current.operand, scope)
+            return
+        if isinstance(current, (And, Or, Implies)):
+            check(current.left, scope)
+            check(current.right, scope)
+            return
+        if isinstance(current, (Exists, Forall)):
+            # Rule 3: either the variable is not free in the body, or its
+            # assigned type matches the quantifier's.  Re-binding an
+            # already-scoped variable to a *different* type would make
+            # occurrences ambiguous, so it is rejected outright.
+            if current.variable in scope and scope[current.variable] != current.variable_type:
+                raise TypingError(
+                    f"variable {current.variable!r} is re-quantified with type "
+                    f"{current.variable_type} but is already in scope with type "
+                    f"{scope[current.variable]}"
+                )
+            collected.add(current.variable_type)
+            inner = dict(scope)
+            inner[current.variable] = current.variable_type
+            check(current.body, inner)
+            return
+        raise TypingError(f"unknown formula class {type(current).__name__}")
+
+    def _collect_terms(atomic: Formula, scope: Mapping[str, ComplexType]) -> None:
+        for term in atomic.terms():  # type: ignore[attr-defined]
+            for name in term.variables():
+                collected.add(scope[name])
+
+    check(formula, dict(free_variable_types))
+    return TypingReport(
+        variable_types=frozenset(collected),
+        free_variable_types=dict(free_variable_types),
+        predicate_types=used_predicates,
+    )
+
+
+def check_query_formula(
+    formula: Formula,
+    schema: DatabaseSchema,
+    target_variable: str,
+    target_type: ComplexType,
+) -> TypingReport:
+    """Check that *formula* is a query formula from *schema* (Section 2).
+
+    Requires that the predicates of the formula are all declared in the
+    schema, that the only free variable is the target variable, and that the
+    t-wff rules hold with the target variable assigned *target_type*.
+    """
+    free = formula.free_variables()
+    extraneous = free - {target_variable}
+    if extraneous:
+        raise TypingError(
+            f"a query formula may only have the target variable {target_variable!r} free; "
+            f"found extra free variables {sorted(extraneous)}"
+        )
+    undeclared = formula.predicates() - set(schema.predicate_names)
+    if undeclared:
+        raise TypingError(
+            f"formula uses predicates {sorted(undeclared)} not declared in the schema {schema}"
+        )
+    return infer_typing(
+        formula,
+        predicate_types=schema.as_mapping(),
+        free_variable_types={target_variable: target_type},
+    )

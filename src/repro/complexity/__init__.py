@@ -1,0 +1,28 @@
+"""Hyper-exponential complexity toolkit (Section 4 of the paper)."""
+
+from repro.complexity.hyper import (
+    hyp,
+    hyper_exponential_level,
+    in_hyper_class,
+    iterated_exponential,
+)
+from repro.complexity.bounds import (
+    cons_size_bound,
+    cons_size_bound_holds,
+    object_size_bound,
+    query_space_bound,
+)
+from repro.complexity.analysis import QueryComplexityReport, analyze_query
+
+__all__ = [
+    "hyp",
+    "hyper_exponential_level",
+    "in_hyper_class",
+    "iterated_exponential",
+    "cons_size_bound",
+    "cons_size_bound_holds",
+    "object_size_bound",
+    "query_space_bound",
+    "QueryComplexityReport",
+    "analyze_query",
+]

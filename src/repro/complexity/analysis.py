@@ -1,0 +1,110 @@
+"""Static complexity analysis of calculus queries.
+
+Given a query, :func:`analyze_query` reports its CALC_{k,i} classification,
+the hyper-exponential level the theory assigns to it (Theorem 4.4: CALC_{0,i}
+sits between (i-1)-level hyper-exponential time and space), and the exact
+sizes of the quantifier ranges the brute-force evaluator would enumerate for
+a given active-domain size.  Benchmarks use the report to predict — before
+running — whether an evaluation is feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calculus.classification import calc_classification
+from repro.calculus.formulas import Exists, Forall
+from repro.calculus.query import CalculusQuery
+from repro.objects.constructive import constructive_domain_size
+from repro.types.set_height import set_height
+from repro.types.type_system import ComplexType, max_tuple_width
+
+
+@dataclass(frozen=True)
+class QuantifierProfile:
+    """One quantifier of the query and the size of its range."""
+
+    variable: str
+    variable_type: ComplexType
+    kind: str
+    range_size: int
+
+
+@dataclass(frozen=True)
+class QueryComplexityReport:
+    """The output of :func:`analyze_query`."""
+
+    classification_k: int
+    classification_i: int
+    hyper_level_lower: int
+    hyper_level_upper: int
+    max_tuple_width: int
+    quantifiers: tuple[QuantifierProfile, ...]
+    output_range_size: int
+    worst_case_bindings: int
+
+    @property
+    def feasible(self) -> bool:
+        """A rough feasibility verdict for the brute-force evaluator."""
+        return self.worst_case_bindings <= 10_000_000
+
+
+def analyze_query(query: CalculusQuery, atom_count: int) -> QueryComplexityReport:
+    """Analyse *query* assuming an active domain of *atom_count* atoms."""
+    classification = calc_classification(query)
+    quantifiers: list[QuantifierProfile] = []
+    for sub in query.formula.subformulas():
+        if isinstance(sub, (Exists, Forall)):
+            quantifiers.append(
+                QuantifierProfile(
+                    variable=sub.variable,
+                    variable_type=sub.variable_type,
+                    kind="exists" if isinstance(sub, Exists) else "forall",
+                    range_size=constructive_domain_size(sub.variable_type, atom_count),
+                )
+            )
+    output_range = constructive_domain_size(query.target_type, atom_count)
+
+    # Worst case: the output candidates times the product of the quantifier
+    # ranges along one root-to-leaf nesting.  A simple (over-)estimate is the
+    # product over all quantifiers, which upper-bounds any nesting.
+    worst = output_range
+    for profile in quantifiers:
+        worst = _saturating_multiply(worst, profile.range_size)
+
+    width = max(
+        [max_tuple_width(query.target_type)]
+        + [max_tuple_width(t) for t in query.schema.types]
+        + [max_tuple_width(t) for t in query.variable_types()]
+        + [1]
+    )
+    i = classification.i
+    # Theorem 4.4: QTIME(H_{i-1}) <= CALC_{0,i} <= QSPACE(H_{i-1}); for i = 0
+    # the query is first-order (LOGSPACE data complexity, Theorem 4.1).
+    hyper_lower = max(i - 1, 0)
+    hyper_upper = max(i - 1, 0)
+    return QueryComplexityReport(
+        classification_k=classification.k,
+        classification_i=classification.i,
+        hyper_level_lower=hyper_lower,
+        hyper_level_upper=hyper_upper,
+        max_tuple_width=width,
+        quantifiers=tuple(quantifiers),
+        output_range_size=output_range,
+        worst_case_bindings=worst,
+    )
+
+
+def _saturating_multiply(left: int, right: int, ceiling: int = 10**30) -> int:
+    product = left * right
+    return product if product <= ceiling else ceiling
+
+
+def variable_height_profile(query: CalculusQuery) -> dict[int, int]:
+    """How many quantifiers the query has at each variable set-height."""
+    profile: dict[int, int] = {}
+    for sub in query.formula.subformulas():
+        if isinstance(sub, (Exists, Forall)):
+            height = set_height(sub.variable_type)
+            profile[height] = profile.get(height, 0) + 1
+    return profile

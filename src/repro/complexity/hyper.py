@@ -1,0 +1,99 @@
+"""The hyper-exponential function hierarchy (Section 3/4 notation).
+
+The paper defines ``hyp(c, n, 0) = n**c`` and ``hyp(c, n, i+1) = 2**hyp(c, n, i)``,
+and the families ``H_0`` = polynomials, ``H_{i+1} = {2**f | f in H_i}``.
+The elementary queries are those computable in time (equivalently space)
+bounded by some ``H_i`` function.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+#: Values of hyp() larger than this are represented exactly (Python ints are
+#: unbounded) but most callers should treat them as "do not enumerate".
+ASTRONOMICAL = 10**18
+
+
+def hyp(c: int, n: int, i: int) -> int:
+    """The paper's hyper-exponential function ``hyp(c, n, i)``.
+
+    ``hyp(c, n, 0) = n**c`` and ``hyp(c, n, i+1) = 2**hyp(c, n, i)``.
+    The result is exact (arbitrary-precision); beware that even
+    ``hyp(2, 5, 2)`` has millions of digits, so callers interested only in
+    comparisons should use :func:`hyper_exponential_level` or compare
+    against :data:`ASTRONOMICAL`.
+    """
+    if c < 0 or n < 0 or i < 0:
+        raise ReproError(f"hyp arguments must be non-negative, got c={c}, n={n}, i={i}")
+    value = n**c
+    for _ in range(i):
+        if value > 10**7:
+            raise ReproError(
+                f"hyp({c}, {n}, {i}) is too large to materialise exactly "
+                f"(intermediate exponent {value}); use hyper_exponential_level instead"
+            )
+        value = 2**value
+    return value
+
+
+def iterated_exponential(base_exponent: int, levels: int) -> int:
+    """``2^(2^(...^base_exponent))`` with *levels* twos stacked on top."""
+    if levels < 0:
+        raise ReproError(f"levels must be non-negative, got {levels}")
+    value = base_exponent
+    for _ in range(levels):
+        if value > 10**7:
+            raise ReproError(
+                f"iterated exponential with exponent {value} is too large to materialise"
+            )
+        value = 2**value
+    return value
+
+
+def hyper_exponential_level(value: int) -> int:
+    """The least ``i`` such that *value* <= hyp(1, 2, i) (with hyp(1,2,0)=2).
+
+    A crude but total "which hyper-exponential storey does this number live
+    on" measure used by the reports: level 0 covers values up to 2, level 1
+    up to 4, level 2 up to 16, level 3 up to 65536, level 4 up to 2**65536...
+    """
+    if value < 0:
+        raise ReproError(f"value must be non-negative, got {value}")
+    level = 0
+    bound = 2
+    while value > bound:
+        level += 1
+        if bound > 10**7:
+            # The next storey exceeds anything representable as a bound we
+            # would want to exponentiate again; every practically occurring
+            # value fits below it.
+            return level
+        bound = 2**bound
+    return level
+
+
+def in_hyper_class(time_function, i: int, sample_inputs: tuple[int, ...] = (1, 2, 4, 8, 16)) -> bool:
+    """Empirically check that ``time_function(n) <= hyp(c, n, i)`` for some small ``c``.
+
+    This is a *witness search*, not a proof: it tries constants ``c`` in
+    ``1..6`` against the sample inputs and reports whether one dominates the
+    function there.  The benchmarks use it to sanity-check measured growth
+    rates against the level the theory predicts.
+    """
+    if i < 0:
+        raise ReproError(f"hyper-exponential level must be non-negative, got {i}")
+    for c in range(1, 7):
+        dominated = True
+        for n in sample_inputs:
+            try:
+                bound = hyp(c, n, i)
+            except ReproError:
+                break
+            if time_function(n) > bound:
+                dominated = False
+                break
+        else:
+            if dominated:
+                return True
+    return False

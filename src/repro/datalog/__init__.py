@@ -1,0 +1,25 @@
+"""Stratified Datalog with negation (DATALOG¬).
+
+Section 3 of the paper compares CALC_{0,1} with the queries definable by
+stratified Datalog programs (DATALOG¬ ⊋ CALC_{0,0}); this package provides
+the baseline: a small stratified-Datalog engine with semi-naive evaluation,
+used by the transitive-closure and hierarchy benchmarks.
+"""
+
+from repro.datalog.ast import Atom as DatalogAtom
+from repro.datalog.ast import Literal, Program, Rule
+from repro.datalog.stratify import dependency_graph, stratify
+from repro.datalog.evaluation import evaluate_program
+from repro.datalog.builders import same_generation_program, transitive_closure_program
+
+__all__ = [
+    "DatalogAtom",
+    "Literal",
+    "Program",
+    "Rule",
+    "dependency_graph",
+    "stratify",
+    "evaluate_program",
+    "same_generation_program",
+    "transitive_closure_program",
+]

@@ -1,0 +1,135 @@
+"""Abstract syntax of Datalog¬ programs.
+
+A program is a set of rules ``head :- body`` where the head is an atom over
+an intensional (IDB) predicate and the body is a list of positive or negated
+literals over IDB or extensional (EDB) predicates.  Terms are variables
+(strings starting with an upper-case letter) or constants (anything else).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import DatalogError
+
+
+def is_variable(term: object) -> bool:
+    """Datalog convention: a term is a variable iff it is a capitalised string."""
+    return isinstance(term, str) and len(term) > 0 and term[0].isupper()
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``predicate(term1, ..., termN)``."""
+
+    predicate: str
+    terms: tuple
+
+    def __init__(self, predicate: str, terms: Iterable[object]) -> None:
+        if not isinstance(predicate, str) or not predicate:
+            raise DatalogError(f"predicate name must be a non-empty string, got {predicate!r}")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(t for t in self.terms if is_variable(t))
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(map(str, self.terms))})"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A positive or negated atom in a rule body."""
+
+    atom: Atom
+    positive: bool = True
+
+    def variables(self) -> frozenset[str]:
+        return self.atom.variables()
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"not {self.atom}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A rule ``head :- body1, ..., bodyN`` (facts have an empty body)."""
+
+    head: Atom
+    body: tuple = ()
+
+    def __init__(self, head: Atom, body: Iterable[Literal | Atom] = ()) -> None:
+        object.__setattr__(self, "head", head)
+        normalised = []
+        for literal in body:
+            if isinstance(literal, Atom):
+                literal = Literal(literal, positive=True)
+            if not isinstance(literal, Literal):
+                raise DatalogError(
+                    f"rule bodies contain Literal or Atom entries, got {type(literal).__name__}"
+                )
+            normalised.append(literal)
+        object.__setattr__(self, "body", tuple(normalised))
+        self._validate_safety()
+
+    def _validate_safety(self) -> None:
+        """Range restriction: every head/negated variable occurs in a positive body literal."""
+        positive_variables: set[str] = set()
+        for literal in self.body:
+            if literal.positive:
+                positive_variables |= literal.variables()
+        unsafe_head = self.head.variables() - positive_variables
+        if unsafe_head:
+            raise DatalogError(
+                f"rule {self} is unsafe: head variables {sorted(unsafe_head)} do not occur "
+                "in any positive body literal"
+            )
+        for literal in self.body:
+            if not literal.positive:
+                unsafe = literal.variables() - positive_variables
+                if unsafe:
+                    raise DatalogError(
+                        f"rule {self} is unsafe: negated variables {sorted(unsafe)} do not occur "
+                        "in any positive body literal"
+                    )
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(map(str, self.body))}."
+
+
+@dataclass(frozen=True)
+class Program:
+    """A Datalog¬ program: rules plus the declared EDB predicates."""
+
+    rules: tuple
+    edb_predicates: frozenset = field(default_factory=frozenset)
+
+    def __init__(self, rules: Iterable[Rule], edb_predicates: Iterable[str] = ()) -> None:
+        rules = tuple(rules)
+        edb = frozenset(edb_predicates)
+        idb = {rule.head.predicate for rule in rules}
+        clash = idb & edb
+        if clash:
+            raise DatalogError(
+                f"predicates {sorted(clash)} are declared extensional but appear in rule heads"
+            )
+        object.__setattr__(self, "rules", rules)
+        object.__setattr__(self, "edb_predicates", edb)
+
+    @property
+    def idb_predicates(self) -> frozenset[str]:
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    def rules_for(self, predicate: str) -> tuple[Rule, ...]:
+        return tuple(rule for rule in self.rules if rule.head.predicate == predicate)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

@@ -1,0 +1,63 @@
+"""Standard Datalog programs used by the tests and benchmarks."""
+
+from __future__ import annotations
+
+from repro.datalog.ast import Atom, Literal, Program, Rule
+
+
+def transitive_closure_program(edge_predicate: str = "par", closure_predicate: str = "tc") -> Program:
+    """Transitive closure: ``tc(X,Y) :- par(X,Y).  tc(X,Y) :- par(X,Z), tc(Z,Y).``"""
+    rules = [
+        Rule(Atom(closure_predicate, ["X", "Y"]), [Atom(edge_predicate, ["X", "Y"])]),
+        Rule(
+            Atom(closure_predicate, ["X", "Y"]),
+            [Atom(edge_predicate, ["X", "Z"]), Atom(closure_predicate, ["Z", "Y"])],
+        ),
+    ]
+    return Program(rules, edb_predicates=[edge_predicate])
+
+
+def same_generation_program(parent_predicate: str = "par") -> Program:
+    """Same-generation: the classic nonlinear recursive example."""
+    rules = [
+        Rule(
+            Atom("sg", ["X", "Y"]),
+            [Atom(parent_predicate, ["Z", "X"]), Atom(parent_predicate, ["Z", "Y"])],
+        ),
+        Rule(
+            Atom("sg", ["X", "Y"]),
+            [
+                Atom(parent_predicate, ["W", "X"]),
+                Atom("sg", ["W", "Z"]),
+                Atom(parent_predicate, ["Z", "Y"]),
+            ],
+        ),
+    ]
+    return Program(rules, edb_predicates=[parent_predicate])
+
+
+def non_reachable_program(edge_predicate: str = "par") -> Program:
+    """A stratified program with negation: pairs of nodes *not* connected.
+
+    ``node(X)`` collects endpoints, ``tc`` is the closure, ``disconnected`` is
+    its complement over the node pairs — a two-stratum program exercising
+    stratified negation.
+    """
+    rules = [
+        Rule(Atom("node", ["X"]), [Atom(edge_predicate, ["X", "Y"])]),
+        Rule(Atom("node", ["Y"]), [Atom(edge_predicate, ["X", "Y"])]),
+        Rule(Atom("tc", ["X", "Y"]), [Atom(edge_predicate, ["X", "Y"])]),
+        Rule(
+            Atom("tc", ["X", "Y"]),
+            [Atom(edge_predicate, ["X", "Z"]), Atom("tc", ["Z", "Y"])],
+        ),
+        Rule(
+            Atom("disconnected", ["X", "Y"]),
+            [
+                Atom("node", ["X"]),
+                Atom("node", ["Y"]),
+                Literal(Atom("tc", ["X", "Y"]), positive=False),
+            ],
+        ),
+    ]
+    return Program(rules, edb_predicates=[edge_predicate])

@@ -1,0 +1,143 @@
+"""Semi-naive, stratum-by-stratum evaluation of Datalog¬ programs."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import DatalogError
+from repro.datalog.ast import Atom, Literal, Program, Rule, is_variable
+from repro.datalog.stratify import stratify
+from repro.relational.relation import Relation
+
+
+def evaluate_program(
+    program: Program,
+    edb: Mapping[str, Relation],
+    max_iterations: int = 100_000,
+) -> dict[str, Relation]:
+    """Evaluate *program* on the extensional database *edb*.
+
+    Returns a mapping from every predicate (EDB and IDB) to its relation.
+    The evaluation is stratified: within each stratum rules are applied
+    semi-naively until a fixpoint, with negation evaluated against the
+    already-complete lower strata.
+    """
+    missing = program.edb_predicates - set(edb)
+    if missing:
+        raise DatalogError(f"extensional relations missing for predicates {sorted(missing)}")
+
+    facts: dict[str, Relation] = dict(edb)
+    for rule in program.rules:
+        for literal in rule.body:
+            predicate = literal.atom.predicate
+            if predicate not in program.idb_predicates and predicate not in facts:
+                raise DatalogError(
+                    f"predicate {predicate!r} is neither intensional nor supplied in the EDB"
+                )
+
+    for stratum in stratify(program):
+        _evaluate_stratum(program, stratum, facts, max_iterations)
+
+    # Ensure every IDB predicate is present even if it derived nothing.
+    for rule in program.rules:
+        facts.setdefault(rule.head.predicate, Relation(rule.head.arity, ()))
+    return facts
+
+
+def _evaluate_stratum(
+    program: Program,
+    stratum: list[str],
+    facts: dict[str, Relation],
+    max_iterations: int,
+) -> None:
+    rules = [rule for rule in program.rules if rule.head.predicate in stratum]
+    for rule in rules:
+        facts.setdefault(rule.head.predicate, Relation(rule.head.arity, ()))
+
+    for _ in range(max_iterations):
+        new_tuples: dict[str, set[tuple]] = {}
+        for rule in rules:
+            derived = _apply_rule(rule, facts)
+            existing = facts[rule.head.predicate].tuples
+            fresh = derived - existing
+            if fresh:
+                new_tuples.setdefault(rule.head.predicate, set()).update(fresh)
+        if not new_tuples:
+            return
+        for predicate, rows in new_tuples.items():
+            facts[predicate] = Relation(
+                facts[predicate].arity, facts[predicate].tuples | rows
+            )
+    raise DatalogError(f"stratum {stratum} did not reach a fixpoint within {max_iterations} rounds")
+
+
+def _apply_rule(rule: Rule, facts: Mapping[str, Relation]) -> set[tuple]:
+    """All head tuples derivable by one application of *rule* against *facts*."""
+    bindings: list[dict[str, object]] = [{}]
+    positives = [literal for literal in rule.body if literal.positive]
+    negatives = [literal for literal in rule.body if not literal.positive]
+
+    for literal in positives:
+        bindings = _extend_bindings(bindings, literal, facts)
+        if not bindings:
+            return set()
+
+    results: set[tuple] = set()
+    for binding in bindings:
+        if all(not _matches_negative(literal, binding, facts) for literal in negatives):
+            results.add(_instantiate(rule.head, binding))
+    return results
+
+
+def _extend_bindings(
+    bindings: list[dict[str, object]], literal: Literal, facts: Mapping[str, Relation]
+) -> list[dict[str, object]]:
+    relation = facts.get(literal.atom.predicate)
+    if relation is None:
+        return []
+    extended: list[dict[str, object]] = []
+    for binding in bindings:
+        for row in relation.tuples:
+            candidate = _unify(literal.atom, row, binding)
+            if candidate is not None:
+                extended.append(candidate)
+    return extended
+
+
+def _unify(atom: Atom, row: tuple, binding: dict[str, object]) -> dict[str, object] | None:
+    if len(row) != atom.arity:
+        return None
+    result = dict(binding)
+    for term, value in zip(atom.terms, row):
+        if is_variable(term):
+            if term in result:
+                if result[term] != value:
+                    return None
+            else:
+                result[term] = value
+        else:
+            if term != value:
+                return None
+    return result
+
+
+def _matches_negative(
+    literal: Literal, binding: dict[str, object], facts: Mapping[str, Relation]
+) -> bool:
+    relation = facts.get(literal.atom.predicate)
+    if relation is None:
+        return False
+    row = _instantiate(literal.atom, binding)
+    return row in relation.tuples
+
+
+def _instantiate(atom: Atom, binding: dict[str, object]) -> tuple:
+    row = []
+    for term in atom.terms:
+        if is_variable(term):
+            if term not in binding:
+                raise DatalogError(f"variable {term!r} is unbound when instantiating {atom}")
+            row.append(binding[term])
+        else:
+            row.append(term)
+    return tuple(row)

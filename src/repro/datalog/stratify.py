@@ -1,0 +1,57 @@
+"""Stratification of Datalog¬ programs.
+
+A program is stratifiable iff its predicate dependency graph has no cycle
+through a negative edge.  :func:`stratify` returns the strata (lists of IDB
+predicates) in evaluation order, or raises :class:`DatalogError` when no
+stratification exists.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatalogError
+from repro.datalog.ast import Program
+
+
+def dependency_graph(program: Program) -> dict[str, set[tuple[str, bool]]]:
+    """Edges ``head -> {(body predicate, positive?)}`` restricted to IDB targets."""
+    graph: dict[str, set[tuple[str, bool]]] = {p: set() for p in program.idb_predicates}
+    for rule in program.rules:
+        for literal in rule.body:
+            if literal.atom.predicate in program.idb_predicates:
+                graph[rule.head.predicate].add((literal.atom.predicate, literal.positive))
+    return graph
+
+
+def stratify(program: Program) -> list[list[str]]:
+    """Compute a stratification of the program's IDB predicates.
+
+    Uses the classical iterative stratum-number computation: ``stratum(p)``
+    is the maximum over body dependencies of ``stratum(q)`` (positive edge)
+    or ``stratum(q) + 1`` (negative edge).  If the numbers fail to converge
+    within ``|IDB|`` rounds there is a negative cycle and the program is not
+    stratifiable.
+    """
+    idb = sorted(program.idb_predicates)
+    stratum = {p: 0 for p in idb}
+    graph = dependency_graph(program)
+
+    for _ in range(len(idb) + 1):
+        changed = False
+        for head in idb:
+            for body_predicate, positive in graph[head]:
+                required = stratum[body_predicate] + (0 if positive else 1)
+                if stratum[head] < required:
+                    stratum[head] = required
+                    changed = True
+        if not changed:
+            break
+    else:
+        raise DatalogError("program is not stratifiable (negative cycle through negation)")
+
+    if any(level > len(idb) for level in stratum.values()):
+        raise DatalogError("program is not stratifiable (negative cycle through negation)")
+
+    strata: dict[int, list[str]] = {}
+    for predicate, level in stratum.items():
+        strata.setdefault(level, []).append(predicate)
+    return [sorted(strata[level]) for level in sorted(strata)]

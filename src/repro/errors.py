@@ -1,0 +1,71 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one base class.  The finer-grained subclasses mirror the
+layers of the system: the type system, the object model, the calculus, the
+algebra, and the various evaluators.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` package."""
+
+
+class TypeSystemError(ReproError):
+    """A malformed type expression or an illegal type operation."""
+
+
+class TypeParseError(TypeSystemError):
+    """A textual type expression could not be parsed."""
+
+
+class ObjectModelError(ReproError):
+    """A value does not belong to the domain of the type it claims."""
+
+
+class SchemaError(ReproError):
+    """A database schema or database instance is malformed."""
+
+
+class TypingError(ReproError):
+    """A formula or algebra expression violates the t-wff typing rules."""
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated (bad bindings, missing predicate...)."""
+
+
+class ClassificationError(ReproError):
+    """A query cannot be placed into the requested CALC_{k,i} family."""
+
+
+class InventionError(ReproError):
+    """An invented-value semantics was used incorrectly."""
+
+
+class TuringMachineError(ReproError):
+    """A Turing machine definition or run is invalid."""
+
+
+class DatalogError(ReproError):
+    """A Datalog program is malformed or not stratifiable."""
+
+
+class SpectrumError(ReproError):
+    """A b-formula or spectrum computation is malformed."""
+
+
+class BudgetExceededError(EvaluationError):
+    """An evaluation exceeded its configured enumeration budget.
+
+    Complex-object queries have hyper-exponential data complexity; the
+    evaluator therefore carries an explicit budget on the number of
+    candidate objects it will enumerate and raises this error rather than
+    silently running forever.
+    """
+
+    def __init__(self, message: str, budget: int | None = None) -> None:
+        super().__init__(message)
+        self.budget = budget

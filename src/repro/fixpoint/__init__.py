@@ -1,0 +1,38 @@
+"""Fixpoint and while-change programs over the complex-object algebra.
+
+The procedural layer of Remark 3.6 / [GvG88]: named program variables,
+assignments of algebra expressions, and while-change loops.  Transitive
+closure and same-generation run here in polynomially many algebra steps,
+providing the baseline against which the powerset-based CALC_{0,1} queries
+are measured.
+"""
+
+from repro.fixpoint.programs import (
+    Assign,
+    Program,
+    ProgramResult,
+    Statement,
+    VariableDeclaration,
+    WhileChange,
+    inflationary_fixpoint,
+)
+from repro.fixpoint.builders import (
+    PARENT_SCHEMA,
+    reachable_from_constant_program,
+    same_generation_program,
+    transitive_closure_program,
+)
+
+__all__ = [
+    "Assign",
+    "Program",
+    "ProgramResult",
+    "Statement",
+    "VariableDeclaration",
+    "WhileChange",
+    "inflationary_fixpoint",
+    "PARENT_SCHEMA",
+    "reachable_from_constant_program",
+    "same_generation_program",
+    "transitive_closure_program",
+]

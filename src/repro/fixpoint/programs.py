@@ -1,0 +1,286 @@
+"""Iterative programs over the complex-object algebra (Remark 3.6, [GvG88]).
+
+Remark 3.6 recalls the two classical procedural extensions of the flat
+algebra — fixpoint (PTIME on ordered domains) and while (PSPACE) — and the
+paper's conclusions point to [GvG88] for how fixpoint, while and powerset
+interact over complex objects.  This module provides that procedural layer
+for the complex-object algebra:
+
+* a :class:`Program` is a sequence of statements over named *program
+  variables*, each holding an instance of a declared complex-object type;
+* :class:`Assign` evaluates an algebra expression over the database schema
+  *extended with the program variables* and stores the result;
+* :class:`WhileChange` repeats a block until no program variable changes
+  (the "while change" construct of [Cha81]); an explicit iteration bound
+  guards against non-termination;
+* :func:`inflationary_fixpoint` is the one-variable special case used by the
+  transitive-closure baseline.
+
+Programs let transitive closure be computed in polynomially many algebra
+steps, without a powerset — the baseline against which the hyper-exponential
+CALC_{0,1} query of Example 3.1 is measured (experiment X17).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError, SchemaError
+from repro.algebra.evaluation import AlgebraEvaluationSettings, evaluate_expression
+from repro.algebra.expressions import AlgebraExpression
+from repro.objects.instance import DatabaseInstance, Instance
+from repro.types.schema import DatabaseSchema, PredicateDeclaration
+from repro.types.type_system import ComplexType
+
+
+@dataclass(frozen=True)
+class VariableDeclaration:
+    """A typed program variable, initially holding the empty instance."""
+
+    name: str
+    type: ComplexType
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise SchemaError(f"program variable name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.type, ComplexType):
+            raise SchemaError(
+                f"program variable {self.name!r} needs a ComplexType, got {type(self.type).__name__}"
+            )
+
+
+class Statement:
+    """Abstract base class of program statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``variable := expression`` over the extended schema."""
+
+    variable: str
+    expression: AlgebraExpression
+
+    def __str__(self) -> str:
+        return f"{self.variable} := {self.expression}"
+
+
+@dataclass(frozen=True)
+class WhileChange(Statement):
+    """Repeat *body* until no program variable changes (bounded)."""
+
+    body: tuple[Statement, ...]
+    max_iterations: int = 10_000
+
+    def __init__(self, body: Iterable[Statement], max_iterations: int = 10_000) -> None:
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "max_iterations", max_iterations)
+        if not self.body:
+            raise SchemaError("a while-change loop needs a non-empty body")
+        if max_iterations < 1:
+            raise SchemaError(f"max_iterations must be positive, got {max_iterations}")
+
+    def __str__(self) -> str:
+        inner = "; ".join(str(statement) for statement in self.body)
+        return f"while change do [{inner}]"
+
+
+@dataclass
+class ProgramResult:
+    """The outcome of running a program."""
+
+    output: Instance
+    variables: dict[str, Instance]
+    iterations: int
+    statements_executed: int
+
+
+class Program:
+    """A straight-line / while-change program over the complex-object algebra."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        variables: Sequence[VariableDeclaration | tuple[str, ComplexType]],
+        statements: Sequence[Statement],
+        output_variable: str,
+    ) -> None:
+        declarations: list[VariableDeclaration] = []
+        seen: set[str] = set()
+        for declaration in variables:
+            if isinstance(declaration, tuple):
+                declaration = VariableDeclaration(*declaration)
+            if not isinstance(declaration, VariableDeclaration):
+                raise SchemaError(
+                    "program variables must be VariableDeclaration or (name, type) pairs, "
+                    f"got {type(declaration).__name__}"
+                )
+            if declaration.name in seen:
+                raise SchemaError(f"duplicate program variable {declaration.name!r}")
+            if declaration.name in schema:
+                raise SchemaError(
+                    f"program variable {declaration.name!r} shadows a database predicate"
+                )
+            seen.add(declaration.name)
+            declarations.append(declaration)
+        if output_variable not in seen:
+            raise SchemaError(
+                f"output variable {output_variable!r} is not a declared program variable"
+            )
+        for statement in statements:
+            _check_statement(statement, seen)
+        self._schema = schema
+        self._variables = tuple(declarations)
+        self._statements = tuple(statements)
+        self._output_variable = output_variable
+        self._extended_schema = DatabaseSchema(
+            list(schema.declarations)
+            + [PredicateDeclaration(d.name, d.type) for d in declarations]
+        )
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self._schema
+
+    @property
+    def extended_schema(self) -> DatabaseSchema:
+        """The database schema extended with the program variables."""
+        return self._extended_schema
+
+    @property
+    def variables(self) -> tuple[VariableDeclaration, ...]:
+        return self._variables
+
+    @property
+    def statements(self) -> tuple[Statement, ...]:
+        return self._statements
+
+    @property
+    def output_variable(self) -> str:
+        return self._output_variable
+
+    def run(
+        self,
+        database: DatabaseInstance,
+        settings: AlgebraEvaluationSettings | None = None,
+    ) -> ProgramResult:
+        """Run the program on *database* and return the output instance."""
+        if database.schema != self._schema:
+            raise EvaluationError(
+                f"program is defined over schema {self._schema} but the database has schema "
+                f"{database.schema}"
+            )
+        state: dict[str, Instance] = {
+            declaration.name: Instance(declaration.type, [])
+            for declaration in self._variables
+        }
+        counters = {"iterations": 0, "statements": 0}
+        self._run_block(self._statements, database, state, settings, counters)
+        return ProgramResult(
+            output=state[self._output_variable],
+            variables=dict(state),
+            iterations=counters["iterations"],
+            statements_executed=counters["statements"],
+        )
+
+    # -- internals -------------------------------------------------------------
+    def _run_block(
+        self,
+        statements: tuple[Statement, ...],
+        database: DatabaseInstance,
+        state: dict[str, Instance],
+        settings: AlgebraEvaluationSettings | None,
+        counters: dict[str, int],
+    ) -> None:
+        for statement in statements:
+            counters["statements"] += 1
+            if isinstance(statement, Assign):
+                value = self._evaluate(statement.expression, database, state, settings)
+                declared = self._declared_type(statement.variable)
+                if value.type != declared:
+                    raise EvaluationError(
+                        f"assignment to {statement.variable!r} produced an instance of type "
+                        f"{value.type}, but the variable is declared with type {declared}"
+                    )
+                state[statement.variable] = value
+            elif isinstance(statement, WhileChange):
+                for _ in range(statement.max_iterations):
+                    counters["iterations"] += 1
+                    before = dict(state)
+                    self._run_block(statement.body, database, state, settings, counters)
+                    if state == before:
+                        break
+                else:
+                    raise EvaluationError(
+                        "while-change loop did not converge within "
+                        f"{statement.max_iterations} iterations"
+                    )
+            else:
+                raise EvaluationError(f"unknown statement class {type(statement).__name__}")
+
+    def _declared_type(self, variable: str) -> ComplexType:
+        for declaration in self._variables:
+            if declaration.name == variable:
+                return declaration.type
+        raise EvaluationError(f"unknown program variable {variable!r}")
+
+    def _evaluate(
+        self,
+        expression: AlgebraExpression,
+        database: DatabaseInstance,
+        state: Mapping[str, Instance],
+        settings: AlgebraEvaluationSettings | None,
+    ) -> Instance:
+        assignments: dict[str, Instance] = {
+            name: database.instance(name) for name in self._schema.predicate_names
+        }
+        assignments.update(state)
+        extended_database = DatabaseInstance(self._extended_schema, assignments)
+        return evaluate_expression(expression, extended_database, settings)
+
+
+def _check_statement(statement: Statement, variable_names: set[str]) -> None:
+    if isinstance(statement, Assign):
+        if statement.variable not in variable_names:
+            raise SchemaError(
+                f"assignment target {statement.variable!r} is not a declared program variable"
+            )
+        return
+    if isinstance(statement, WhileChange):
+        for inner in statement.body:
+            _check_statement(inner, variable_names)
+        return
+    raise SchemaError(f"unknown statement class {type(statement).__name__}")
+
+
+def inflationary_fixpoint(
+    schema: DatabaseSchema,
+    database: DatabaseInstance,
+    variable: str,
+    variable_type: ComplexType,
+    step_expression: AlgebraExpression,
+    max_iterations: int = 10_000,
+    settings: AlgebraEvaluationSettings | None = None,
+) -> Instance:
+    """The one-variable inflationary fixpoint ``X := X ∪ step(X)``.
+
+    *step_expression* is an algebra expression over the schema extended with
+    the predicate ``variable`` of type ``variable_type``; iteration starts
+    from the empty instance and stops when nothing new is added.
+    """
+    from repro.algebra.expressions import PredicateExpression, Union
+
+    program = Program(
+        schema,
+        [(variable, variable_type)],
+        [
+            WhileChange(
+                [Assign(variable, Union(PredicateExpression(variable), step_expression))],
+                max_iterations=max_iterations,
+            )
+        ],
+        output_variable=variable,
+    )
+    return program.run(database, settings).output

@@ -1,0 +1,44 @@
+"""Invented-value semantics (Section 6 of the paper).
+
+The calculus can be interpreted with *invented values*: atoms not occurring
+in the database or the query, adjoined to the evaluation universe.  The
+paper studies bounded invention (``Q|_n``), finite invention (``Q^fi``,
+the union over all ``n``), countable invention (``Q^ci``, a countably
+infinite supply) and terminal invention (``Q^ti``, which stops at the first
+``n`` where an invented value reaches the raw answer and is equivalent to
+the computable queries, Theorem 6.19).
+
+Countable invention is not effective; it is exposed here only through its
+finite approximations, as the paper's own definitions suggest
+(``Q^fi[d] = ⋃_n Q|_n[d]``).
+"""
+
+from repro.invention.semantics import (
+    InventionResult,
+    TerminalInventionResult,
+    bounded_invention,
+    finite_invention,
+    terminal_invention,
+)
+from repro.invention.universal import (
+    UniversalEncoding,
+    decode_value,
+    encode_instance,
+    encode_value,
+    encoded_equal,
+    encoded_member,
+)
+
+__all__ = [
+    "InventionResult",
+    "TerminalInventionResult",
+    "bounded_invention",
+    "finite_invention",
+    "terminal_invention",
+    "UniversalEncoding",
+    "decode_value",
+    "encode_instance",
+    "encode_value",
+    "encoded_equal",
+    "encoded_member",
+]

@@ -1,0 +1,164 @@
+"""Bounded, finite and terminal invention semantics (Section 6).
+
+All three are built on the generalised evaluator of
+:mod:`repro.calculus.evaluation`: evaluating ``Q|^Y`` just means running the
+same satisfaction relation with the extra atoms ``Y`` adjoined to the
+universe.  Proposition 6.1 guarantees that only ``|Y − adom(d, Q)|`` matters,
+so a deterministic fresh-value supply loses nothing.
+
+* ``bounded_invention(query, db, n)`` computes ``Q|_n[d]``: the answer with
+  ``n`` invented atoms available, restricted to objects over the active
+  domain.
+* ``finite_invention(query, db, max_invented)`` computes
+  ``⋃_{0<=n<=max_invented} Q|_n[d]`` — the finite-invention answer truncated
+  at an explicit budget (the exact ``Q^fi`` is a union over all ``n`` and is
+  not computable in general; Lemma 6.16 only gives recursive enumerability).
+* ``terminal_invention(query, db, max_invented)`` implements the Section 6
+  definition of ``Q^ti``: find the least ``n`` at which the *unrestricted*
+  answer ``Q|^Y[d]`` contains an invented value, and return the restricted
+  answer at that ``n``; report "undefined" if no such ``n`` is found within
+  the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InventionError
+from repro.calculus.evaluation import (
+    EvaluationSettings,
+    evaluate_query_detailed,
+)
+from repro.calculus.query import CalculusQuery
+from repro.objects.instance import DatabaseInstance, Instance
+from repro.objects.values import ComplexValue
+from repro.utils.fresh import FreshValueSupply
+
+
+@dataclass(frozen=True)
+class InventionResult:
+    """The answer of a query under a (bounded) invention semantics."""
+
+    answer: Instance
+    invented_atoms: tuple[str, ...]
+    levels_evaluated: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TerminalInventionResult:
+    """The outcome of terminal-invention evaluation.
+
+    ``defined`` is False when no invention level within the budget made an
+    invented value reach the raw answer — the paper's "?" (undefined) case.
+    """
+
+    defined: bool
+    terminal_level: int | None
+    answer: Instance | None
+    levels_evaluated: tuple[int, ...]
+
+
+def _fresh_atoms(query: CalculusQuery, database: DatabaseInstance, count: int) -> list[str]:
+    forbidden = set(database.active_domain()) | set(query.constants())
+    supply = FreshValueSupply(forbidden=forbidden, prefix="inv")
+    return supply.take_many(count)
+
+
+def bounded_invention(
+    query: CalculusQuery,
+    database: DatabaseInstance,
+    invented_count: int,
+    settings: EvaluationSettings | None = None,
+) -> InventionResult:
+    """Compute ``Q|_n[d]`` with ``n = invented_count`` invented atoms."""
+    if invented_count < 0:
+        raise InventionError(f"invented_count must be non-negative, got {invented_count}")
+    base = settings or EvaluationSettings()
+    invented = _fresh_atoms(query, database, invented_count)
+    run_settings = EvaluationSettings(
+        binding_budget=base.binding_budget,
+        strategy=base.strategy,
+        memoize_quantifiers=base.memoize_quantifiers,
+        extra_atoms=frozenset(invented),
+        restrict_output_to_active_domain=True,
+    )
+    result = evaluate_query_detailed(query, database, run_settings)
+    return InventionResult(
+        answer=result.answer,
+        invented_atoms=tuple(invented),
+        levels_evaluated=(invented_count,),
+    )
+
+
+def finite_invention(
+    query: CalculusQuery,
+    database: DatabaseInstance,
+    max_invented: int,
+    settings: EvaluationSettings | None = None,
+) -> InventionResult:
+    """Approximate ``Q^fi[d]`` by ``⋃_{n <= max_invented} Q|_n[d]``.
+
+    The union is finite and monotone in *max_invented*; the exact
+    finite-invention answer is the limit as the budget grows (Lemma 6.16
+    shows it is recursively enumerable but not recursive in general).
+    """
+    if max_invented < 0:
+        raise InventionError(f"max_invented must be non-negative, got {max_invented}")
+    accumulated: set[ComplexValue] = set()
+    all_invented: list[str] = []
+    levels = []
+    for n in range(max_invented + 1):
+        level = bounded_invention(query, database, n, settings)
+        accumulated |= set(level.answer.values)
+        all_invented = list(level.invented_atoms)
+        levels.append(n)
+    return InventionResult(
+        answer=Instance(query.target_type, accumulated),
+        invented_atoms=tuple(all_invented),
+        levels_evaluated=tuple(levels),
+    )
+
+
+def terminal_invention(
+    query: CalculusQuery,
+    database: DatabaseInstance,
+    max_invented: int,
+    settings: EvaluationSettings | None = None,
+) -> TerminalInventionResult:
+    """Evaluate ``Q^ti[d]`` searching invention levels ``0..max_invented``.
+
+    At each level ``n`` the *unrestricted* answer ``Q|^Y[d]`` is computed
+    (output candidates may contain invented atoms); the least ``n`` at which
+    some answer object contains an invented atom is the terminal level, and
+    the value of the query is the *restricted* answer ``Q|_n[d]`` there.
+    """
+    if max_invented < 0:
+        raise InventionError(f"max_invented must be non-negative, got {max_invented}")
+    base = settings or EvaluationSettings()
+    baseline_atoms = set(database.active_domain()) | set(query.constants())
+    levels = []
+    for n in range(max_invented + 1):
+        invented = _fresh_atoms(query, database, n)
+        unrestricted = EvaluationSettings(
+            binding_budget=base.binding_budget,
+            strategy=base.strategy,
+            memoize_quantifiers=base.memoize_quantifiers,
+            extra_atoms=frozenset(invented),
+            restrict_output_to_active_domain=False,
+        )
+        raw = evaluate_query_detailed(query, database, unrestricted)
+        levels.append(n)
+        contains_invented = any(
+            not value.atoms() <= baseline_atoms for value in raw.answer.values
+        )
+        if contains_invented:
+            restricted = bounded_invention(query, database, n, settings)
+            return TerminalInventionResult(
+                defined=True,
+                terminal_level=n,
+                answer=restricted.answer,
+                levels_evaluated=tuple(levels),
+            )
+    return TerminalInventionResult(
+        defined=False, terminal_level=None, answer=None, levels_evaluated=tuple(levels)
+    )

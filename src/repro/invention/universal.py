@@ -1,0 +1,242 @@
+"""Encoding arbitrary complex objects into the universal type ``T_univ``.
+
+This is the construction of Example 6.6 / Figure 3, the engine behind the
+hierarchy-collapse results of Section 6 (Theorem 6.4 / Lemma 6.5): with
+invented values available as object identifiers, any object of any type can
+be represented as a flat set of 4-tuples
+
+    ``[node, id, coordinate, value]``
+
+where ``node`` names the type node being instantiated, ``id`` is the
+(invented) identifier of the sub-object, ``coordinate`` is the tuple
+coordinate being described (0 for atoms and set members), and ``value`` is
+either an atomic constant or the identifier of a child sub-object.  The
+empty set is encoded with the reserved value marker so that it is
+distinguishable from "no tuples at all".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InventionError
+from repro.objects.domain import belongs_to
+from repro.objects.instance import Instance
+from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
+from repro.types.type_system import AtomicType, ComplexType, SetType, TupleType
+from repro.types.universal import T_UNIV
+from repro.utils.fresh import FreshValueSupply
+
+#: Marker used as the value column when encoding an empty set.
+EMPTY_SET_MARKER = "<empty>"
+
+#: Coordinate used for atoms and set membership rows.
+NON_TUPLE_COORDINATE = "0"
+
+
+@dataclass(frozen=True)
+class UniversalEncoding:
+    """The ``T_univ`` encoding of one complex object.
+
+    Attributes
+    ----------
+    value:
+        The flat set of 4-tuples (an object of type ``T_univ``).
+    root_identifier:
+        The object identifier of the encoded root object.
+    source_type:
+        The type of the object that was encoded.
+    node_labels:
+        Mapping from node label to the type node it names (pre-order labels
+        ``n0``, ``n1``, ... over the type tree).
+    identifiers:
+        All object identifiers used, in allocation order.
+    """
+
+    value: SetValue
+    root_identifier: str
+    source_type: ComplexType
+    node_labels: dict[str, ComplexType]
+    identifiers: tuple[str, ...]
+
+    @property
+    def tuple_count(self) -> int:
+        return len(self.value)
+
+
+def _label_nodes(type_: ComplexType) -> tuple[dict[str, ComplexType], dict[int, str]]:
+    labels: dict[str, ComplexType] = {}
+    by_identity: dict[int, str] = {}
+    for index, node in enumerate(type_.walk()):
+        label = f"n{index}"
+        labels[label] = node
+        by_identity[id(node)] = label
+    return labels, by_identity
+
+
+def encode_value(
+    value: ComplexValue,
+    type_: ComplexType,
+    identifier_supply: FreshValueSupply | None = None,
+) -> UniversalEncoding:
+    """Encode *value* (of type *type_*) into an object of type ``T_univ``."""
+    if not belongs_to(value, type_):
+        raise InventionError(f"value {value} does not belong to dom({type_}); cannot encode it")
+    supply = identifier_supply or FreshValueSupply(forbidden=value.atoms(), prefix="oid")
+    already_issued = len(supply.issued)
+    labels, label_of = _label_nodes(type_)
+    rows: list[TupleValue] = []
+
+    def encode(node_value: ComplexValue, node_type: ComplexType) -> str:
+        label = label_of[id(node_type)]
+        identifier = supply.take()
+        if isinstance(node_type, AtomicType):
+            if not isinstance(node_value, Atom):
+                raise InventionError(f"expected an atom at node {label}, got {node_value}")
+            rows.append(
+                TupleValue([Atom(label), Atom(identifier), Atom(NON_TUPLE_COORDINATE), node_value])
+            )
+            return identifier
+        if isinstance(node_type, TupleType):
+            if not isinstance(node_value, TupleValue):
+                raise InventionError(f"expected a tuple at node {label}, got {node_value}")
+            for coordinate, (component, component_type) in enumerate(
+                zip(node_value.components, node_type.component_types), start=1
+            ):
+                child_identifier = encode(component, component_type)
+                rows.append(
+                    TupleValue(
+                        [Atom(label), Atom(identifier), Atom(str(coordinate)), Atom(child_identifier)]
+                    )
+                )
+            return identifier
+        if isinstance(node_type, SetType):
+            if not isinstance(node_value, SetValue):
+                raise InventionError(f"expected a set at node {label}, got {node_value}")
+            if not node_value.elements:
+                rows.append(
+                    TupleValue(
+                        [Atom(label), Atom(identifier), Atom(NON_TUPLE_COORDINATE), Atom(EMPTY_SET_MARKER)]
+                    )
+                )
+                return identifier
+            for element in node_value:
+                child_identifier = encode(element, node_type.element_type)
+                rows.append(
+                    TupleValue(
+                        [Atom(label), Atom(identifier), Atom(NON_TUPLE_COORDINATE), Atom(child_identifier)]
+                    )
+                )
+            return identifier
+        raise InventionError(f"unknown type node {type(node_type).__name__}")
+
+    root_identifier = encode(value, type_)
+    encoded = SetValue(rows)
+    if not belongs_to(encoded, T_UNIV):
+        raise InventionError("internal error: the encoding is not an object of T_univ")
+    return UniversalEncoding(
+        value=encoded,
+        root_identifier=root_identifier,
+        source_type=type_,
+        node_labels=labels,
+        identifiers=supply.issued[already_issued:],
+    )
+
+
+def decode_value(encoding: UniversalEncoding) -> ComplexValue:
+    """Decode a ``T_univ`` encoding back into the original complex object."""
+    rows_by_identifier: dict[str, list[TupleValue]] = {}
+    for row in encoding.value:
+        if not isinstance(row, TupleValue) or row.arity != 4:
+            raise InventionError(f"encoding row {row} is not a 4-tuple")
+        identifier = _atom_payload(row.coordinate(2))
+        rows_by_identifier.setdefault(identifier, []).append(row)
+
+    label_types = encoding.node_labels
+
+    def decode(identifier: str, expected_type: ComplexType) -> ComplexValue:
+        rows = rows_by_identifier.get(identifier)
+        if not rows:
+            raise InventionError(f"no encoding rows for object identifier {identifier!r}")
+        node_label = _atom_payload(rows[0].coordinate(1))
+        node_type = label_types.get(node_label)
+        if node_type is None:
+            raise InventionError(f"encoding references the unknown node label {node_label!r}")
+        if node_type != expected_type:
+            raise InventionError(
+                f"object {identifier!r} is encoded at node {node_label!r} of type {node_type}, "
+                f"but type {expected_type} was expected"
+            )
+        if isinstance(node_type, AtomicType):
+            if len(rows) != 1:
+                raise InventionError(f"atom {identifier!r} has {len(rows)} encoding rows")
+            return rows[0].coordinate(4)
+        if isinstance(node_type, TupleType):
+            by_coordinate: dict[int, str] = {}
+            for row in rows:
+                coordinate = int(_atom_payload(row.coordinate(3)))
+                by_coordinate[coordinate] = _atom_payload(row.coordinate(4))
+            if sorted(by_coordinate) != list(range(1, node_type.arity + 1)):
+                raise InventionError(
+                    f"tuple {identifier!r} has coordinates {sorted(by_coordinate)}, expected "
+                    f"1..{node_type.arity}"
+                )
+            return TupleValue(
+                [
+                    decode(by_coordinate[coordinate], node_type.component(coordinate))
+                    for coordinate in range(1, node_type.arity + 1)
+                ]
+            )
+        if isinstance(node_type, SetType):
+            members = []
+            for row in rows:
+                value = _atom_payload(row.coordinate(4))
+                if value == EMPTY_SET_MARKER:
+                    continue
+                members.append(decode(value, node_type.element_type))
+            return SetValue(members)
+        raise InventionError(f"unknown type node {type(node_type).__name__}")
+
+    return decode(encoding.root_identifier, encoding.source_type)
+
+
+def encode_instance(
+    instance: Instance, identifier_supply: FreshValueSupply | None = None
+) -> list[UniversalEncoding]:
+    """Encode every object of an instance (sharing one identifier supply)."""
+    supply = identifier_supply or FreshValueSupply(forbidden=instance.active_domain(), prefix="oid")
+    return [encode_value(value, instance.type, supply) for value in instance]
+
+
+def encoded_equal(left: UniversalEncoding, right: UniversalEncoding) -> bool:
+    """Equality of the *encoded* objects (identifier-renaming invariant).
+
+    Two encodings represent the same object iff their decodings are equal;
+    the object identifiers themselves are irrelevant (they play the role of
+    the invented values of Lemma 6.5, whose choice never matters by
+    Proposition 6.1).
+    """
+    if left.source_type != right.source_type:
+        return False
+    return decode_value(left) == decode_value(right)
+
+
+def encoded_member(element: UniversalEncoding, container: UniversalEncoding) -> bool:
+    """Membership of the encoded *element* in the encoded *container* (a set)."""
+    container_type = container.source_type
+    if not isinstance(container_type, SetType):
+        raise InventionError(
+            f"encoded_member requires the container to encode a set type, got {container_type}"
+        )
+    if element.source_type != container_type.element_type:
+        return False
+    decoded_container = decode_value(container)
+    if not isinstance(decoded_container, SetValue):
+        raise InventionError("container decoding did not produce a set value")
+    return decoded_container.contains(decode_value(element))
+
+
+def _atom_payload(value: ComplexValue) -> str:
+    if not isinstance(value, Atom):
+        raise InventionError(f"expected an atomic encoding field, got {value}")
+    return str(value.value)

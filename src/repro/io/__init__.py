@@ -1,0 +1,33 @@
+"""Serialisation of complex-object data to and from JSON-compatible form."""
+
+from repro.io.serialization import (
+    SerializationError,
+    database_from_data,
+    database_to_data,
+    dumps,
+    instance_from_data,
+    instance_to_data,
+    loads,
+    schema_from_data,
+    schema_to_data,
+    type_from_data,
+    type_to_data,
+    value_from_data,
+    value_to_data,
+)
+
+__all__ = [
+    "SerializationError",
+    "database_from_data",
+    "database_to_data",
+    "dumps",
+    "instance_from_data",
+    "instance_to_data",
+    "loads",
+    "schema_from_data",
+    "schema_to_data",
+    "type_from_data",
+    "type_to_data",
+    "value_from_data",
+    "value_to_data",
+]

@@ -1,0 +1,191 @@
+"""JSON-compatible serialisation of types, values, instances and schemas.
+
+A library for complex objects needs a way to get data in and out of the
+process: benchmarks persist generated workloads, examples ship sample
+databases, and regression tests pin down expected answers.  The format is
+deliberately explicit (every node is tagged with its kind) so that a set of
+tuples and a tuple of sets can never be confused, and it is stable across
+Python versions because dictionaries are emitted with sorted, deterministic
+structure.
+
+The functions come in pairs: ``X_to_data`` produces plain JSON-compatible
+Python data (dicts/lists/strings/numbers) and ``X_from_data`` inverts it.
+``dumps``/``loads`` wrap the pairs with :mod:`json` for convenience.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ReproError
+from repro.objects.instance import DatabaseInstance, Instance
+from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
+from repro.types.parser import parse_type
+from repro.types.schema import DatabaseSchema, PredicateDeclaration
+from repro.types.type_system import ComplexType
+
+
+class SerializationError(ReproError):
+    """Data could not be serialised or deserialised."""
+
+
+# -- types -------------------------------------------------------------------
+
+def type_to_data(type_: ComplexType) -> str:
+    """Serialise a type as its textual form (``"{[U, U]}"``)."""
+    if not isinstance(type_, ComplexType):
+        raise SerializationError(f"expected a ComplexType, got {type(type_).__name__}")
+    return str(type_)
+
+
+def type_from_data(data: object) -> ComplexType:
+    """Parse a type serialised by :func:`type_to_data`."""
+    if not isinstance(data, str):
+        raise SerializationError(f"a serialised type must be a string, got {type(data).__name__}")
+    return parse_type(data)
+
+
+# -- values -------------------------------------------------------------------
+
+def value_to_data(value: ComplexValue) -> dict:
+    """Serialise a complex value as tagged JSON data."""
+    if isinstance(value, Atom):
+        payload = value.value
+        if not isinstance(payload, (str, int, float, bool)) and payload is not None:
+            raise SerializationError(
+                f"atom payload {payload!r} of type {type(payload).__name__} is not JSON-compatible"
+            )
+        return {"kind": "atom", "value": payload}
+    if isinstance(value, TupleValue):
+        return {"kind": "tuple", "items": [value_to_data(c) for c in value.components]}
+    if isinstance(value, SetValue):
+        return {"kind": "set", "items": [value_to_data(e) for e in value.sorted_elements()]}
+    raise SerializationError(f"unknown value class {type(value).__name__}")
+
+
+def value_from_data(data: object) -> ComplexValue:
+    """Invert :func:`value_to_data`."""
+    if not isinstance(data, dict) or "kind" not in data:
+        raise SerializationError(f"a serialised value must be a tagged dict, got {data!r}")
+    kind = data["kind"]
+    if kind == "atom":
+        if "value" not in data:
+            raise SerializationError("atom serialisation is missing its 'value' field")
+        return Atom(data["value"])
+    if kind == "tuple":
+        items = data.get("items")
+        if not isinstance(items, list) or not items:
+            raise SerializationError("tuple serialisation needs a non-empty 'items' list")
+        return TupleValue([value_from_data(item) for item in items])
+    if kind == "set":
+        items = data.get("items", [])
+        if not isinstance(items, list):
+            raise SerializationError("set serialisation needs an 'items' list")
+        return SetValue([value_from_data(item) for item in items])
+    raise SerializationError(f"unknown value kind {kind!r}")
+
+
+# -- schemas -------------------------------------------------------------------
+
+def schema_to_data(schema: DatabaseSchema) -> list[dict]:
+    """Serialise a database schema as an ordered list of declarations."""
+    return [{"name": d.name, "type": type_to_data(d.type)} for d in schema.declarations]
+
+
+def schema_from_data(data: object) -> DatabaseSchema:
+    """Invert :func:`schema_to_data`."""
+    if not isinstance(data, list):
+        raise SerializationError(f"a serialised schema must be a list, got {type(data).__name__}")
+    declarations = []
+    for entry in data:
+        if not isinstance(entry, dict) or "name" not in entry or "type" not in entry:
+            raise SerializationError(f"schema entry {entry!r} needs 'name' and 'type' fields")
+        declarations.append(PredicateDeclaration(entry["name"], type_from_data(entry["type"])))
+    return DatabaseSchema(declarations)
+
+
+# -- instances -------------------------------------------------------------------
+
+def instance_to_data(instance: Instance) -> dict:
+    """Serialise an instance (type plus its objects, in deterministic order)."""
+    return {
+        "type": type_to_data(instance.type),
+        "values": [value_to_data(value) for value in instance.sorted_values()],
+    }
+
+
+def instance_from_data(data: object) -> Instance:
+    """Invert :func:`instance_to_data`."""
+    if not isinstance(data, dict) or "type" not in data:
+        raise SerializationError(f"a serialised instance needs a 'type' field, got {data!r}")
+    type_ = type_from_data(data["type"])
+    values = [value_from_data(item) for item in data.get("values", [])]
+    return Instance(type_, values)
+
+
+def database_to_data(database: DatabaseInstance) -> dict:
+    """Serialise a database instance (schema plus one instance per predicate)."""
+    return {
+        "schema": schema_to_data(database.schema),
+        "instances": {
+            name: instance_to_data(database.instance(name))
+            for name in database.schema.predicate_names
+        },
+    }
+
+
+def database_from_data(data: object) -> DatabaseInstance:
+    """Invert :func:`database_to_data`."""
+    if not isinstance(data, dict) or "schema" not in data or "instances" not in data:
+        raise SerializationError(
+            f"a serialised database needs 'schema' and 'instances' fields, got {data!r}"
+        )
+    schema = schema_from_data(data["schema"])
+    assignments = {}
+    for name in schema.predicate_names:
+        if name not in data["instances"]:
+            raise SerializationError(f"serialised database is missing predicate {name!r}")
+        assignments[name] = instance_from_data(data["instances"][name])
+    return DatabaseInstance(schema, assignments)
+
+
+# -- JSON wrappers ----------------------------------------------------------------
+
+def dumps(obj: ComplexValue | Instance | DatabaseInstance | DatabaseSchema | ComplexType) -> str:
+    """Serialise any supported object to a JSON string."""
+    if isinstance(obj, ComplexType):
+        payload = {"what": "type", "data": type_to_data(obj)}
+    elif isinstance(obj, ComplexValue):
+        payload = {"what": "value", "data": value_to_data(obj)}
+    elif isinstance(obj, Instance):
+        payload = {"what": "instance", "data": instance_to_data(obj)}
+    elif isinstance(obj, DatabaseInstance):
+        payload = {"what": "database", "data": database_to_data(obj)}
+    elif isinstance(obj, DatabaseSchema):
+        payload = {"what": "schema", "data": schema_to_data(obj)}
+    else:
+        raise SerializationError(f"cannot serialise objects of type {type(obj).__name__}")
+    return json.dumps(payload, sort_keys=True)
+
+
+def loads(text: str):
+    """Invert :func:`dumps`, reconstructing whichever object was serialised."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "what" not in payload or "data" not in payload:
+        raise SerializationError("serialised payload needs 'what' and 'data' fields")
+    what = payload["what"]
+    data = payload["data"]
+    if what == "type":
+        return type_from_data(data)
+    if what == "value":
+        return value_from_data(data)
+    if what == "instance":
+        return instance_from_data(data)
+    if what == "database":
+        return database_from_data(data)
+    if what == "schema":
+        return schema_from_data(data)
+    raise SerializationError(f"unknown payload kind {what!r}")

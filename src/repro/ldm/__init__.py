@@ -1,0 +1,44 @@
+"""The Logical Data Model substrate (Kuper & Vardi [KV84], compared in [KV88]).
+
+The paper's Section 4 relates its complexity results to the LDM, and the
+Example 6.6 / Figure 3 encoding of complex objects passes through an LDM-style
+intermediate representation.  This subpackage provides LDM schemas (DAGs of
+basic / product / power nodes), LDM instances (tables of l-values), and the
+exact Figure 3(c) encoding of complex objects into them.
+"""
+
+from repro.ldm.schema import (
+    BASIC,
+    POWER,
+    PRODUCT,
+    LDMNode,
+    LDMSchema,
+    basic_nodes,
+    node_depths,
+    schema_from_type,
+    type_from_schema,
+)
+from repro.ldm.instance import (
+    LDMEncoding,
+    LDMInstance,
+    decode_object,
+    encode_object,
+    identifier_count,
+)
+
+__all__ = [
+    "BASIC",
+    "POWER",
+    "PRODUCT",
+    "LDMNode",
+    "LDMSchema",
+    "basic_nodes",
+    "node_depths",
+    "schema_from_type",
+    "type_from_schema",
+    "LDMEncoding",
+    "LDMInstance",
+    "decode_object",
+    "encode_object",
+    "identifier_count",
+]

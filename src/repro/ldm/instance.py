@@ -1,0 +1,262 @@
+"""LDM instances: tables of l-values, and the Figure 3(c) encoding.
+
+An instance of an LDM schema assigns to every node a finite table mapping
+*l-values* (object identifiers) to values of the appropriate shape:
+
+* basic node — the identifier's value is an atom;
+* product node — a tuple of child identifiers (one per child node);
+* power node — a finite set of child identifiers.
+
+Figure 3(c) of the paper is exactly such an instance: "for each distinct
+subtype of T we have a table which associates unique identifiers to values".
+:func:`encode_object` builds that instance for a given complex object
+(sharing identifiers between equal sub-objects, which is what makes the LDM
+representation a DAG rather than a tree), and :func:`decode_object` inverts
+it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.ldm.schema import BASIC, POWER, PRODUCT, LDMSchema, schema_from_type
+from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
+from repro.types.type_system import AtomicType, ComplexType, SetType, TupleType
+from repro.utils.fresh import FreshValueSupply
+
+
+@dataclass
+class LDMInstance:
+    """Tables of l-values for every node of an LDM schema."""
+
+    schema: LDMSchema
+    tables: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in self.schema.node_names:
+            self.tables.setdefault(name, {})
+        extra = set(self.tables) - set(self.schema.node_names)
+        if extra:
+            raise SchemaError(f"instance has tables for undeclared nodes: {sorted(extra)}")
+
+    # -- access -------------------------------------------------------------
+    def table(self, node_name: str) -> Mapping[str, object]:
+        if node_name not in self.schema:
+            raise SchemaError(f"LDM schema has no node named {node_name!r}")
+        return self.tables[node_name]
+
+    def lvalues(self, node_name: str) -> frozenset[str]:
+        """All identifiers present in the table of *node_name*."""
+        return frozenset(self.table(node_name))
+
+    def total_size(self) -> int:
+        """Total number of (identifier, value) rows across all tables."""
+        return sum(len(table) for table in self.tables.values())
+
+    # -- mutation -------------------------------------------------------------
+    def add(self, node_name: str, identifier: str, value: object) -> None:
+        """Add one row; validates the value's shape against the node kind."""
+        node = self.schema.node(node_name)
+        if identifier in self.tables[node_name]:
+            existing = self.tables[node_name][identifier]
+            if existing != value:
+                raise SchemaError(
+                    f"identifier {identifier!r} already has value {existing!r} at node "
+                    f"{node_name!r}; cannot rebind it to {value!r}"
+                )
+            return
+        if node.kind == BASIC:
+            if isinstance(value, (tuple, frozenset, set, list)):
+                raise SchemaError(f"basic node {node_name!r} values must be atoms, got {value!r}")
+        elif node.kind == PRODUCT:
+            if not isinstance(value, tuple) or len(value) != len(node.children):
+                raise SchemaError(
+                    f"product node {node_name!r} values must be {len(node.children)}-tuples of "
+                    f"identifiers, got {value!r}"
+                )
+        elif node.kind == POWER:
+            if not isinstance(value, frozenset):
+                raise SchemaError(
+                    f"power node {node_name!r} values must be frozensets of identifiers, got {value!r}"
+                )
+        self.tables[node_name][identifier] = value
+
+    # -- integrity -------------------------------------------------------------
+    def check_referential_integrity(self) -> None:
+        """Every child identifier referenced by a row must exist in the child's table."""
+        for node in self.schema:
+            table = self.tables[node.name]
+            if node.kind == BASIC:
+                continue
+            for identifier, value in table.items():
+                if node.kind == PRODUCT:
+                    references = zip(node.children, value)  # type: ignore[arg-type]
+                elif node.kind == POWER:
+                    references = ((node.children[0], child) for child in value)  # type: ignore[union-attr]
+                else:  # pragma: no cover - exhaustive over kinds
+                    continue
+                for child_node, child_identifier in references:
+                    if child_identifier not in self.tables[child_node]:
+                        raise SchemaError(
+                            f"row {identifier!r} of node {node.name!r} references the missing "
+                            f"identifier {child_identifier!r} of node {child_node!r}"
+                        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LDMInstance)
+            and self.schema == other.schema
+            and self.tables == other.tables
+        )
+
+
+@dataclass(frozen=True)
+class LDMEncoding:
+    """The result of encoding one complex object into an LDM instance."""
+
+    schema: LDMSchema
+    instance: LDMInstance
+    root_node: str
+    root_identifier: str
+    source_type: ComplexType
+    node_of_type: dict[str, ComplexType]
+
+
+def encode_object(
+    value: ComplexValue,
+    type_: ComplexType,
+    identifier_supply: FreshValueSupply | None = None,
+    prefix: str = "n",
+) -> LDMEncoding:
+    """Encode a complex object into the Figure 3(c) LDM representation.
+
+    Equal sub-objects at the same type node share one identifier, so the
+    number of rows is the number of *distinct* sub-objects, not the size of
+    the value tree.
+    """
+    schema, root = schema_from_type(type_, prefix=prefix)
+    naming_root = _name_type_tree(type_, prefix)
+    node_of_type = {named.name: named.type for named in naming_root.walk()}
+
+    supply = identifier_supply or FreshValueSupply(forbidden=value.atoms(), prefix="i")
+    instance = LDMInstance(schema)
+    memo: dict[tuple[str, ComplexValue], str] = {}
+
+    def encode(node_value: ComplexValue, named: "_NamedTypeNode") -> str:
+        node_name = named.name
+        node_type = named.type
+        key = (node_name, node_value)
+        if key in memo:
+            return memo[key]
+        identifier = supply.take()
+        if isinstance(node_type, AtomicType):
+            if not isinstance(node_value, Atom):
+                raise SchemaError(f"expected an atom at node {node_name!r}, got {node_value}")
+            instance.add(node_name, identifier, node_value.value)
+        elif isinstance(node_type, TupleType):
+            if not isinstance(node_value, TupleValue):
+                raise SchemaError(f"expected a tuple at node {node_name!r}, got {node_value}")
+            children = tuple(
+                encode(component, child_named)
+                for component, child_named in zip(node_value.components, named.children)
+            )
+            instance.add(node_name, identifier, children)
+        elif isinstance(node_type, SetType):
+            if not isinstance(node_value, SetValue):
+                raise SchemaError(f"expected a set at node {node_name!r}, got {node_value}")
+            members = frozenset(
+                encode(element, named.children[0]) for element in node_value
+            )
+            instance.add(node_name, identifier, members)
+        else:
+            raise SchemaError(f"unknown type node {type(node_type).__name__}")
+        memo[key] = identifier
+        return identifier
+
+    root_identifier = encode(value, naming_root)
+    instance.check_referential_integrity()
+    return LDMEncoding(
+        schema=schema,
+        instance=instance,
+        root_node=root,
+        root_identifier=root_identifier,
+        source_type=type_,
+        node_of_type=node_of_type,
+    )
+
+
+@dataclass
+class _NamedTypeNode:
+    """A type node paired with its pre-order LDM node name."""
+
+    name: str
+    type: ComplexType
+    children: list["_NamedTypeNode"]
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def _name_type_tree(type_: ComplexType, prefix: str) -> _NamedTypeNode:
+    """Assign pre-order names to type nodes, matching :func:`schema_from_type`."""
+    counter = [0]
+
+    def build(node_type: ComplexType) -> _NamedTypeNode:
+        name = f"{prefix}{counter[0]}"
+        counter[0] += 1
+        children = [build(child) for child in node_type.children()]
+        return _NamedTypeNode(name, node_type, children)
+
+    return build(type_)
+
+
+def decode_object(encoding: LDMEncoding) -> ComplexValue:
+    """Invert :func:`encode_object`, reconstructing the complex object."""
+    instance = encoding.instance
+
+    def decode(node_name: str, identifier: str, node_type: ComplexType) -> ComplexValue:
+        table = instance.table(node_name)
+        if identifier not in table:
+            raise SchemaError(
+                f"identifier {identifier!r} is missing from the table of node {node_name!r}"
+            )
+        value = table[identifier]
+        node = encoding.schema.node(node_name)
+        if node.kind == BASIC:
+            return Atom(value)
+        if node.kind == PRODUCT:
+            if not isinstance(node_type, TupleType):
+                raise SchemaError(f"node {node_name!r} is a product but the type is {node_type}")
+            return TupleValue(
+                [
+                    decode(child_node, child_identifier, component_type)
+                    for child_node, child_identifier, component_type in zip(
+                        node.children, value, node_type.component_types
+                    )
+                ]
+            )
+        if node.kind == POWER:
+            if not isinstance(node_type, SetType):
+                raise SchemaError(f"node {node_name!r} is a power node but the type is {node_type}")
+            return SetValue(
+                [
+                    decode(node.children[0], child_identifier, node_type.element_type)
+                    for child_identifier in value
+                ]
+            )
+        raise SchemaError(f"unknown LDM node kind {node.kind!r}")
+
+    return decode(encoding.root_node, encoding.root_identifier, encoding.source_type)
+
+
+def identifier_count(encoding: LDMEncoding) -> int:
+    """Number of distinct l-values used by the encoding.
+
+    This is the "number of additional invented values needed to perform the
+    simulation" measure the paper's Remark 6.8 discusses.
+    """
+    return encoding.instance.total_size()

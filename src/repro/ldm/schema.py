@@ -1,0 +1,243 @@
+"""Schemas of the Logical Data Model (LDM) of Kuper and Vardi [KV84].
+
+The paper's closest relative is the LDM: Section 4 compares its results to
+[KV88] (complexity of LDM queries), and the Example 6.6 / Figure 3 encoding
+of complex objects into ``T_univ`` goes through an "intermediate
+representation ... in the spirit of the LDM".  This subpackage implements
+that intermediate representation directly.
+
+An LDM schema is a finite set of *named* nodes, each of one of three kinds:
+
+* a **basic** node, whose values are atoms;
+* a **product** node with an ordered list of child nodes, whose values are
+  tuples of child l-values; and
+* a **power** node with a single child node, whose values are finite sets of
+  child l-values.
+
+Unlike complex-object types (which are trees), an LDM schema is a DAG: two
+product nodes may share a child, so common substructure is represented once.
+:func:`schema_from_type` converts a complex-object type into an LDM schema
+(one node per type node); :func:`type_from_schema` expands an acyclic schema
+node back into a complex-object type.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.types.type_system import AtomicType, ComplexType, SetType, TupleType, U
+
+
+#: Node kinds of the LDM.
+BASIC = "basic"
+PRODUCT = "product"
+POWER = "power"
+
+_KINDS = (BASIC, PRODUCT, POWER)
+
+
+@dataclass(frozen=True)
+class LDMNode:
+    """One named node of an LDM schema."""
+
+    name: str
+    kind: str
+    children: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise SchemaError(f"LDM node name must be a non-empty string, got {self.name!r}")
+        if self.kind not in _KINDS:
+            raise SchemaError(f"LDM node kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.kind == BASIC and self.children:
+            raise SchemaError(f"basic node {self.name!r} may not have children")
+        if self.kind == PRODUCT and not self.children:
+            raise SchemaError(f"product node {self.name!r} requires at least one child")
+        if self.kind == POWER and len(self.children) != 1:
+            raise SchemaError(f"power node {self.name!r} requires exactly one child")
+
+
+class LDMSchema:
+    """A finite set of LDM nodes referring to each other by name."""
+
+    def __init__(self, nodes: Iterable[LDMNode]) -> None:
+        by_name: dict[str, LDMNode] = {}
+        for node in nodes:
+            if not isinstance(node, LDMNode):
+                raise SchemaError(f"LDM schema entries must be LDMNode, got {type(node).__name__}")
+            if node.name in by_name:
+                raise SchemaError(f"duplicate LDM node name {node.name!r}")
+            by_name[node.name] = node
+        for node in by_name.values():
+            for child in node.children:
+                if child not in by_name:
+                    raise SchemaError(
+                        f"node {node.name!r} references the undeclared child {child!r}"
+                    )
+        self._nodes = by_name
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def node(self, name: str) -> LDMNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SchemaError(f"LDM schema has no node named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes.values())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LDMSchema) and self._nodes == other._nodes
+
+    def __str__(self) -> str:
+        parts = []
+        for node in self._nodes.values():
+            if node.kind == BASIC:
+                parts.append(f"{node.name}: basic")
+            elif node.kind == PRODUCT:
+                parts.append(f"{node.name}: product({', '.join(node.children)})")
+            else:
+                parts.append(f"{node.name}: power({node.children[0]})")
+        return "{" + "; ".join(parts) + "}"
+
+    def __repr__(self) -> str:
+        return f"LDMSchema({str(self)})"
+
+    # -- structural analysis ---------------------------------------------
+    def is_acyclic(self) -> bool:
+        """True iff no node (transitively) reaches itself."""
+        visiting: set[str] = set()
+        finished: set[str] = set()
+
+        def visit(name: str) -> bool:
+            if name in finished:
+                return True
+            if name in visiting:
+                return False
+            visiting.add(name)
+            node = self._nodes[name]
+            for child in node.children:
+                if not visit(child):
+                    return False
+            visiting.discard(name)
+            finished.add(name)
+            return True
+
+        return all(visit(name) for name in self._nodes)
+
+    def reachable_from(self, root: str) -> frozenset[str]:
+        """Names of all nodes reachable from *root* (inclusive)."""
+        self.node(root)
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._nodes[current].children)
+        return frozenset(seen)
+
+
+@dataclass
+class _SchemaBuilder:
+    nodes: list[LDMNode] = field(default_factory=list)
+    labels: dict[int, str] = field(default_factory=dict)
+    prefix: str = "n"
+
+    def label(self, type_: ComplexType, index: int) -> str:
+        return f"{self.prefix}{index}"
+
+
+def schema_from_type(type_: ComplexType, prefix: str = "n") -> tuple[LDMSchema, str]:
+    """Convert a complex-object type into an LDM schema.
+
+    Each type node becomes one LDM node labelled ``<prefix>0``, ``<prefix>1``,
+    ... in pre-order (the labelling of Example 6.6).  Returns the schema and
+    the name of the root node.
+    """
+    if not isinstance(type_, ComplexType):
+        raise SchemaError(f"schema_from_type requires a ComplexType, got {type(type_).__name__}")
+    nodes: list[LDMNode] = []
+    counter = [0]
+
+    def build(node_type: ComplexType) -> str:
+        name = f"{prefix}{counter[0]}"
+        counter[0] += 1
+        if isinstance(node_type, AtomicType):
+            nodes.append(LDMNode(name, BASIC))
+            return name
+        if isinstance(node_type, TupleType):
+            children = [build(component) for component in node_type.component_types]
+            nodes.append(LDMNode(name, PRODUCT, tuple(children)))
+            return name
+        if isinstance(node_type, SetType):
+            child = build(node_type.element_type)
+            nodes.append(LDMNode(name, POWER, (child,)))
+            return name
+        raise SchemaError(f"unknown type node {type(node_type).__name__}")
+
+    root = build(type_)
+    return LDMSchema(nodes), root
+
+
+def type_from_schema(schema: LDMSchema, root: str) -> ComplexType:
+    """Expand the acyclic LDM *schema* rooted at *root* into a complex type.
+
+    Shared sub-nodes are duplicated (types are trees); cyclic schemas are
+    rejected because they have no complex-object counterpart.
+    """
+    if not schema.is_acyclic():
+        raise SchemaError("cannot convert a cyclic LDM schema into a complex-object type")
+
+    def expand(name: str) -> ComplexType:
+        node = schema.node(name)
+        if node.kind == BASIC:
+            return U
+        if node.kind == PRODUCT:
+            components = [expand(child) for child in node.children]
+            # Consecutive tuple constructors are not formal types; collapse
+            # by splicing child tuple components, as the paper's collapse does.
+            spliced: list[ComplexType] = []
+            for component in components:
+                if isinstance(component, TupleType):
+                    spliced.extend(component.component_types)
+                else:
+                    spliced.append(component)
+            return TupleType(spliced)
+        if node.kind == POWER:
+            return SetType(expand(node.children[0]))
+        raise SchemaError(f"unknown LDM node kind {node.kind!r}")
+
+    return expand(root)
+
+
+def basic_nodes(schema: LDMSchema) -> frozenset[str]:
+    """Names of the basic nodes of *schema*."""
+    return frozenset(node.name for node in schema if node.kind == BASIC)
+
+
+def node_depths(schema: LDMSchema, root: str) -> Mapping[str, int]:
+    """Distance (in edges) of every reachable node from *root*."""
+    depths: dict[str, int] = {root: 0}
+    frontier = [root]
+    while frontier:
+        next_frontier: list[str] = []
+        for name in frontier:
+            for child in schema.node(name).children:
+                if child not in depths:
+                    depths[child] = depths[name] + 1
+                    next_frontier.append(child)
+        frontier = next_frontier
+    return depths

@@ -1,0 +1,51 @@
+"""The powerset-free nested algebra ALG⁻ (conclusions of the paper, [PvG88]).
+
+This subpackage provides the nested relational algebra with ``nest`` and
+``unnest`` but without ``powerset``: typed expressions, an evaluator, and
+the ``ALG⁻_{k,i}`` classification.  It exists to exercise the contrast the
+paper draws in its conclusions — the ALG⁻ hierarchy collapses and stays
+within the relational calculus, while a single powerset (or a set-height-1
+intermediate type in the calculus) already yields transitive closure.
+"""
+
+from repro.nested.expressions import (
+    Nest,
+    NestedDifference,
+    NestedExpression,
+    NestedIntersection,
+    NestedPredicate,
+    NestedProduct,
+    NestedProjection,
+    NestedSelection,
+    NestedUnion,
+    Unnest,
+)
+from repro.nested.evaluation import evaluate_nested
+from repro.nested.classification import (
+    AlgMinusClassification,
+    alg_minus_classification,
+    expression_types,
+    in_alg_minus,
+    intermediate_types,
+    max_intermediate_blowup,
+)
+
+__all__ = [
+    "Nest",
+    "NestedDifference",
+    "NestedExpression",
+    "NestedIntersection",
+    "NestedPredicate",
+    "NestedProduct",
+    "NestedProjection",
+    "NestedSelection",
+    "NestedUnion",
+    "Unnest",
+    "evaluate_nested",
+    "AlgMinusClassification",
+    "alg_minus_classification",
+    "expression_types",
+    "in_alg_minus",
+    "intermediate_types",
+    "max_intermediate_blowup",
+]

@@ -1,0 +1,93 @@
+"""Classification of ALG⁻ expressions: intermediate types and ALG⁻_{k,i}.
+
+The families ``ALG⁻_{k,i}`` are defined exactly like the paper's
+``ALG_{k,i}`` — by the maximum set-height of input/output types and of
+intermediate (sub-expression) types — restricted to the powerset-free
+operator set.  The point of exposing them (conclusions of the paper, after
+[PvG88]) is the contrast with the full algebra: the set-height of ALG⁻
+sub-expressions can only ever exceed the input/output set-height by one per
+``nest``, and no operator multiplies the *number* of objects beyond a
+polynomial, so the hierarchy adds no expressive power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClassificationError
+from repro.nested.expressions import Nest, NestedExpression, Unnest
+from repro.types.schema import DatabaseSchema
+from repro.types.set_height import set_height
+from repro.types.type_system import ComplexType
+
+
+def expression_types(
+    expression: NestedExpression, schema: DatabaseSchema
+) -> frozenset[ComplexType]:
+    """The output types of all sub-expressions (including the root)."""
+    return frozenset(node.output_type(schema) for node in expression.walk())
+
+
+def intermediate_types(
+    expression: NestedExpression, schema: DatabaseSchema
+) -> frozenset[ComplexType]:
+    """Sub-expression types that are neither input (predicate) nor output types."""
+    io_types = set(schema.types) | {expression.output_type(schema)}
+    return frozenset(t for t in expression_types(expression, schema) if t not in io_types)
+
+
+@dataclass(frozen=True)
+class AlgMinusClassification:
+    """The minimal ``(k, i)`` such that the expression lies in ``ALG⁻_{k,i}``."""
+
+    k: int
+    i: int
+    intermediate_types: frozenset[ComplexType]
+    nest_count: int
+    unnest_count: int
+
+    def __str__(self) -> str:
+        return f"ALG⁻_{{{self.k},{self.i}}}"
+
+
+def alg_minus_classification(
+    expression: NestedExpression, schema: DatabaseSchema
+) -> AlgMinusClassification:
+    """Compute the minimal ``ALG⁻_{k,i}`` family containing *expression*."""
+    io_heights = [set_height(t) for t in schema.types]
+    io_heights.append(set_height(expression.output_type(schema)))
+    inter = intermediate_types(expression, schema)
+    nest_count = sum(1 for node in expression.walk() if isinstance(node, Nest))
+    unnest_count = sum(1 for node in expression.walk() if isinstance(node, Unnest))
+    return AlgMinusClassification(
+        k=max(io_heights),
+        i=max((set_height(t) for t in inter), default=0),
+        intermediate_types=inter,
+        nest_count=nest_count,
+        unnest_count=unnest_count,
+    )
+
+
+def in_alg_minus(
+    expression: NestedExpression, schema: DatabaseSchema, k: int, i: int
+) -> bool:
+    """True iff *expression* is in ``ALG⁻_{k,i}``."""
+    if k < 0 or i < 0:
+        raise ClassificationError(f"ALG⁻ indices must be non-negative, got k={k}, i={i}")
+    classification = alg_minus_classification(expression, schema)
+    return classification.k <= k and classification.i <= i
+
+
+def max_intermediate_blowup(
+    expression: NestedExpression, schema: DatabaseSchema
+) -> int:
+    """The largest set-height increase of any sub-expression over the inputs.
+
+    For ALG⁻ this is bounded by the nesting depth of ``nest`` operators in
+    the expression — the syntactic quantity behind the collapse result —
+    whereas a single ``powerset`` in the full algebra already adds a level
+    *and* an exponential number of objects.
+    """
+    input_height = max((set_height(t) for t in schema.types), default=0)
+    heights = [set_height(t) for t in expression_types(expression, schema)]
+    return max(max(heights, default=0) - input_height, 0)

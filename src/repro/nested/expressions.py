@@ -1,0 +1,338 @@
+"""Typed expressions of the powerset-free nested algebra ALG⁻.
+
+The paper's conclusions discuss the algebra for nested relations that has
+the usual flat operators plus ``nest`` and ``unnest`` but *not* the powerset
+operator (the ALG⁻ of Paredaens & Van Gucht, cited as [PvG88]): its
+``ALG⁻_{0,i}`` hierarchy collapses, and its union is no more expressive than
+the relational calculus.  This subpackage makes that language a first-class
+object so the separation from the powerset algebra can be exercised by tests
+and benchmarks (experiment X16).
+
+Expression nodes mirror :mod:`repro.algebra.expressions` minus ``powerset``
+(and minus ``collapse``/``untuple``, which the nested-relation literature
+does not include), plus the two restructuring operators:
+
+* ``Nest(E, nested_coordinates)`` groups by the remaining coordinates and
+  collects the nested ones into a set-valued column (appended last);
+* ``Unnest(E, set_coordinate)`` splices one set-valued column back into
+  flat coordinates, dropping tuples whose set is empty.
+
+Every node exposes ``output_type(schema)``; evaluation lives in
+:mod:`repro.nested.evaluation`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import TypingError
+from repro.algebra.expressions import SelectionCondition
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import ComplexType, SetType, TupleType
+
+
+class NestedExpression:
+    """Abstract base class of ALG⁻ expressions."""
+
+    __slots__ = ()
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        """The inferred type of this expression over *schema*."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["NestedExpression", ...]:
+        return ()
+
+    def walk(self):
+        """This expression and all sub-expressions, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def predicates(self) -> frozenset[str]:
+        """Database predicates mentioned anywhere in the expression."""
+        result: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, NestedPredicate):
+                result.add(node.predicate_name)
+        return frozenset(result)
+
+
+class NestedPredicate(NestedExpression):
+    """A database predicate used as an expression."""
+
+    __slots__ = ("predicate_name",)
+
+    def __init__(self, predicate_name: str) -> None:
+        if not isinstance(predicate_name, str) or not predicate_name:
+            raise TypingError(f"predicate name must be a non-empty string, got {predicate_name!r}")
+        object.__setattr__(self, "predicate_name", predicate_name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("NestedPredicate is immutable")
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        return schema.type_of(self.predicate_name)
+
+    def __str__(self) -> str:
+        return self.predicate_name
+
+
+class _NestedBinary(NestedExpression):
+    __slots__ = ("left", "right")
+    _symbol = "?"
+
+    def __init__(self, left: NestedExpression, right: NestedExpression) -> None:
+        _require_expression(left, f"{type(self).__name__} left operand")
+        _require_expression(right, f"{type(self).__name__} right operand")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def children(self) -> tuple[NestedExpression, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self._symbol} {self.right})"
+
+
+class _NestedSetOperation(_NestedBinary):
+    __slots__ = ()
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        left_type = self.left.output_type(schema)
+        right_type = self.right.output_type(schema)
+        if left_type != right_type:
+            raise TypingError(
+                f"{type(self).__name__} requires operands of equal types, "
+                f"got {left_type} and {right_type}"
+            )
+        return left_type
+
+
+class NestedUnion(_NestedSetOperation):
+    """Set union of two instances of the same type."""
+
+    __slots__ = ()
+    _symbol = "∪"
+
+
+class NestedIntersection(_NestedSetOperation):
+    """Set intersection of two instances of the same type."""
+
+    __slots__ = ()
+    _symbol = "∩"
+
+
+class NestedDifference(_NestedSetOperation):
+    """Set difference of two instances of the same type."""
+
+    __slots__ = ()
+    _symbol = "−"
+
+
+class NestedProjection(NestedExpression):
+    """``π_{i1,...,ik}(E)`` over a tuple-typed expression."""
+
+    __slots__ = ("operand", "coordinates")
+
+    def __init__(self, operand: NestedExpression, coordinates: Iterable[int]) -> None:
+        _require_expression(operand, "NestedProjection operand")
+        coords = tuple(coordinates)
+        if not coords:
+            raise TypingError("projection requires at least one coordinate")
+        for coordinate in coords:
+            if not isinstance(coordinate, int) or coordinate < 1:
+                raise TypingError(
+                    f"projection coordinates are 1-based positive integers, got {coordinate!r}"
+                )
+        object.__setattr__(self, "operand", operand)
+        object.__setattr__(self, "coordinates", coords)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("NestedProjection is immutable")
+
+    def children(self) -> tuple[NestedExpression, ...]:
+        return (self.operand,)
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        operand_type = _require_tuple_type(self.operand.output_type(schema), "projection")
+        for coordinate in self.coordinates:
+            if coordinate > operand_type.arity:
+                raise TypingError(
+                    f"projection coordinate {coordinate} exceeds arity {operand_type.arity}"
+                )
+        return TupleType([operand_type.component(c) for c in self.coordinates])
+
+    def __str__(self) -> str:
+        return f"π_{{{','.join(map(str, self.coordinates))}}}({self.operand})"
+
+
+class NestedSelection(NestedExpression):
+    """``σ_F(E)`` with the same condition language as the full algebra."""
+
+    __slots__ = ("operand", "condition")
+
+    def __init__(self, operand: NestedExpression, condition: SelectionCondition) -> None:
+        _require_expression(operand, "NestedSelection operand")
+        if not isinstance(condition, SelectionCondition):
+            raise TypingError(
+                f"selection condition must be a SelectionCondition, got {type(condition).__name__}"
+            )
+        object.__setattr__(self, "operand", operand)
+        object.__setattr__(self, "condition", condition)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("NestedSelection is immutable")
+
+    def children(self) -> tuple[NestedExpression, ...]:
+        return (self.operand,)
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        operand_type = _require_tuple_type(self.operand.output_type(schema), "selection")
+        self.condition.validate(operand_type)
+        return operand_type
+
+    def __str__(self) -> str:
+        return f"σ_{{{self.condition}}}({self.operand})"
+
+
+class NestedProduct(_NestedBinary):
+    """Cartesian product with component-list concatenation."""
+
+    __slots__ = ()
+    _symbol = "×"
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        left_type = self.left.output_type(schema)
+        right_type = self.right.output_type(schema)
+        left_components = _flatten(left_type)
+        right_components = _flatten(right_type)
+        return TupleType(list(left_components) + list(right_components))
+
+
+class Nest(NestedExpression):
+    """``ν_{nested_coordinates}(E)``: group and collect into a set column.
+
+    Grouping coordinates keep their original relative order and come first;
+    the single new set-typed column of nested tuples is appended last.
+    """
+
+    __slots__ = ("operand", "nested_coordinates")
+
+    def __init__(self, operand: NestedExpression, nested_coordinates: Iterable[int]) -> None:
+        _require_expression(operand, "Nest operand")
+        nested = tuple(nested_coordinates)
+        if not nested:
+            raise TypingError("nest requires at least one coordinate to nest")
+        if len(set(nested)) != len(nested):
+            raise TypingError(f"nest coordinates must be distinct, got {nested}")
+        for coordinate in nested:
+            if not isinstance(coordinate, int) or coordinate < 1:
+                raise TypingError(
+                    f"nest coordinates are 1-based positive integers, got {coordinate!r}"
+                )
+        object.__setattr__(self, "operand", operand)
+        object.__setattr__(self, "nested_coordinates", nested)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Nest is immutable")
+
+    def children(self) -> tuple[NestedExpression, ...]:
+        return (self.operand,)
+
+    def grouping_coordinates(self, schema: DatabaseSchema) -> tuple[int, ...]:
+        operand_type = _require_tuple_type(self.operand.output_type(schema), "nest")
+        return tuple(
+            c for c in range(1, operand_type.arity + 1) if c not in self.nested_coordinates
+        )
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        operand_type = _require_tuple_type(self.operand.output_type(schema), "nest")
+        for coordinate in self.nested_coordinates:
+            if coordinate > operand_type.arity:
+                raise TypingError(
+                    f"nest coordinate {coordinate} exceeds arity {operand_type.arity}"
+                )
+        grouping = self.grouping_coordinates(schema)
+        if not grouping:
+            raise TypingError("nest must leave at least one grouping coordinate")
+        nested_tuple_type = TupleType(
+            [operand_type.component(c) for c in self.nested_coordinates]
+        )
+        return TupleType(
+            [operand_type.component(c) for c in grouping] + [SetType(nested_tuple_type)]
+        )
+
+    def __str__(self) -> str:
+        return f"ν_{{{','.join(map(str, self.nested_coordinates))}}}({self.operand})"
+
+
+class Unnest(NestedExpression):
+    """``μ_{set_coordinate}(E)``: splice one set-valued column back in."""
+
+    __slots__ = ("operand", "set_coordinate")
+
+    def __init__(self, operand: NestedExpression, set_coordinate: int) -> None:
+        _require_expression(operand, "Unnest operand")
+        if not isinstance(set_coordinate, int) or set_coordinate < 1:
+            raise TypingError(
+                f"unnest coordinate must be a 1-based positive integer, got {set_coordinate!r}"
+            )
+        object.__setattr__(self, "operand", operand)
+        object.__setattr__(self, "set_coordinate", set_coordinate)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Unnest is immutable")
+
+    def children(self) -> tuple[NestedExpression, ...]:
+        return (self.operand,)
+
+    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+        operand_type = _require_tuple_type(self.operand.output_type(schema), "unnest")
+        if self.set_coordinate > operand_type.arity:
+            raise TypingError(
+                f"unnest coordinate {self.set_coordinate} exceeds arity {operand_type.arity}"
+            )
+        column_type = operand_type.component(self.set_coordinate)
+        if not isinstance(column_type, SetType):
+            raise TypingError(
+                f"unnest coordinate {self.set_coordinate} must be set-typed, got {column_type}"
+            )
+        element_type = column_type.element_type
+        spliced = (
+            list(element_type.component_types)
+            if isinstance(element_type, TupleType)
+            else [element_type]
+        )
+        components: list[ComplexType] = []
+        for index, component in enumerate(operand_type.component_types, start=1):
+            if index == self.set_coordinate:
+                components.extend(spliced)
+            else:
+                components.append(component)
+        return TupleType(components)
+
+    def __str__(self) -> str:
+        return f"μ_{{{self.set_coordinate}}}({self.operand})"
+
+
+def _flatten(type_: ComplexType) -> tuple[ComplexType, ...]:
+    if isinstance(type_, TupleType):
+        return type_.component_types
+    return (type_,)
+
+
+def _require_tuple_type(type_: ComplexType, operator: str) -> TupleType:
+    if not isinstance(type_, TupleType):
+        raise TypingError(f"{operator} requires a tuple-typed operand, got {type_}")
+    return type_
+
+
+def _require_expression(value: object, description: str) -> None:
+    if not isinstance(value, NestedExpression):
+        raise TypingError(
+            f"{description} must be a NestedExpression, got {type(value).__name__}"
+        )

@@ -1,0 +1,26 @@
+"""Active domains of objects, instances and database instances (Section 2).
+
+``adom(X)`` is the set of atomic values occurring anywhere inside ``X``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.objects.values import ComplexValue
+
+
+def active_domain(*values: ComplexValue) -> frozenset[object]:
+    """The union of the atoms of all given values."""
+    result: set[object] = set()
+    for value in values:
+        result |= value.atoms()
+    return frozenset(result)
+
+
+def active_domain_of_instance(values: Iterable[ComplexValue]) -> frozenset[object]:
+    """The active domain of an instance (finite set of objects of one type)."""
+    result: set[object] = set()
+    for value in values:
+        result |= value.atoms()
+    return frozenset(result)

@@ -1,0 +1,274 @@
+"""Complex object values: atoms, tuples and finite sets.
+
+Values are immutable, hashable and totally ordered (the order is an
+implementation artefact used only to make enumeration deterministic; the
+paper's model has no order on ``U``, and no query may observe the order).
+
+Conversion helpers map between plain Python data (strings/ints, tuples,
+frozensets) and the explicit value classes; the explicit classes exist so
+that a tuple of values and a set of values can never be confused, and so
+that every value knows how to render itself in the paper's notation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from functools import total_ordering
+
+from repro.errors import ObjectModelError
+
+
+class ComplexValue:
+    """Abstract base class of all complex-object values."""
+
+    __slots__ = ()
+
+    def atoms(self) -> frozenset[object]:
+        """The active domain of this value (set of atomic constants in it)."""
+        raise NotImplementedError
+
+    def sort_key(self) -> tuple:
+        """A key giving a deterministic total order across all values."""
+        raise NotImplementedError
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, ComplexValue):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: object) -> bool:
+        if not isinstance(other, ComplexValue):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: object) -> bool:
+        if not isinstance(other, ComplexValue):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: object) -> bool:
+        if not isinstance(other, ComplexValue):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
+
+@total_ordering
+class Atom(ComplexValue):
+    """An atomic value: an element of the universal domain ``U``.
+
+    The payload may be any hashable Python object; strings and integers are
+    typical.  Two atoms are equal iff their payloads are equal.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        if isinstance(value, ComplexValue):
+            raise ObjectModelError(
+                "an Atom payload must be a plain Python value, not a ComplexValue"
+            )
+        try:
+            hash(value)
+        except TypeError:
+            raise ObjectModelError(
+                f"an Atom payload must be hashable, got {type(value).__name__}"
+            ) from None
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Atom is immutable")
+
+    def atoms(self) -> frozenset[object]:
+        return frozenset({self.value})
+
+    def sort_key(self) -> tuple:
+        return (0, type(self.value).__name__, repr(self.value))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Atom) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("atom", self.value))
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Atom({self.value!r})"
+
+
+class TupleValue(ComplexValue):
+    """A tuple value ``[x1, ..., xn]`` over n >= 1 component values."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Iterable[ComplexValue]) -> None:
+        normalised = tuple(components)
+        if not normalised:
+            raise ObjectModelError("a tuple value requires at least one component")
+        for component in normalised:
+            if not isinstance(component, ComplexValue):
+                raise ObjectModelError(
+                    f"tuple components must be ComplexValue, got {type(component).__name__}; "
+                    "use value_from_python() to convert plain Python data"
+                )
+        object.__setattr__(self, "components", normalised)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TupleValue is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.components)
+
+    def coordinate(self, index: int) -> ComplexValue:
+        """The 1-based coordinate ``x.index`` (paper-style term ``x.i``)."""
+        if not 1 <= index <= self.arity:
+            raise ObjectModelError(
+                f"coordinate {index} out of range for tuple of arity {self.arity}"
+            )
+        return self.components[index - 1]
+
+    def atoms(self) -> frozenset[object]:
+        result: set[object] = set()
+        for component in self.components:
+            result |= component.atoms()
+        return frozenset(result)
+
+    def sort_key(self) -> tuple:
+        return (1, len(self.components), tuple(c.sort_key() for c in self.components))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TupleValue) and self.components == other.components
+
+    def __hash__(self) -> int:
+        return hash(("tuple", self.components))
+
+    def __iter__(self) -> Iterator[ComplexValue]:
+        return iter(self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(c) for c in self.components) + "]"
+
+    def __repr__(self) -> str:
+        return f"TupleValue({list(self.components)!r})"
+
+
+class SetValue(ComplexValue):
+    """A finite set value ``{x1, ..., xm}`` (possibly empty)."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Iterable[ComplexValue] = ()) -> None:
+        normalised = frozenset(elements)
+        for element in normalised:
+            if not isinstance(element, ComplexValue):
+                raise ObjectModelError(
+                    f"set elements must be ComplexValue, got {type(element).__name__}; "
+                    "use value_from_python() to convert plain Python data"
+                )
+        object.__setattr__(self, "elements", normalised)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SetValue is immutable")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.elements)
+
+    def atoms(self) -> frozenset[object]:
+        result: set[object] = set()
+        for element in self.elements:
+            result |= element.atoms()
+        return frozenset(result)
+
+    def sorted_elements(self) -> list[ComplexValue]:
+        """Elements in the deterministic enumeration order."""
+        return sorted(self.elements, key=lambda v: v.sort_key())
+
+    def sort_key(self) -> tuple:
+        return (2, len(self.elements), tuple(e.sort_key() for e in self.sorted_elements()))
+
+    def contains(self, value: ComplexValue) -> bool:
+        return value in self.elements
+
+    def __contains__(self, value: object) -> bool:
+        return value in self.elements
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetValue) and self.elements == other.elements
+
+    def __hash__(self) -> int:
+        return hash(("set", self.elements))
+
+    def __iter__(self) -> Iterator[ComplexValue]:
+        return iter(self.sorted_elements())
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(e) for e in self.sorted_elements()) + "}"
+
+    def __repr__(self) -> str:
+        return f"SetValue({self.sorted_elements()!r})"
+
+
+def atom(value: object) -> Atom:
+    """Construct an atomic value."""
+    return Atom(value)
+
+
+def make_tuple(*components: ComplexValue | object) -> TupleValue:
+    """Construct a tuple value, converting plain Python components with
+    :func:`value_from_python`."""
+    return TupleValue([_coerce(component) for component in components])
+
+
+def make_set(elements: Iterable[ComplexValue | object] = ()) -> SetValue:
+    """Construct a set value, converting plain Python elements with
+    :func:`value_from_python`."""
+    return SetValue([_coerce(element) for element in elements])
+
+
+def _coerce(value: ComplexValue | object) -> ComplexValue:
+    if isinstance(value, ComplexValue):
+        return value
+    return value_from_python(value)
+
+
+def value_from_python(data: object) -> ComplexValue:
+    """Convert nested Python data into a :class:`ComplexValue`.
+
+    * lists and tuples become :class:`TupleValue`,
+    * sets and frozensets become :class:`SetValue`,
+    * everything else becomes an :class:`Atom`.
+
+    ``value_from_python(("Tom", "Mary"))`` is the object ``[Tom, Mary]`` of
+    Example 2.2.
+    """
+    if isinstance(data, ComplexValue):
+        return data
+    if isinstance(data, (list, tuple)):
+        return TupleValue([value_from_python(item) for item in data])
+    if isinstance(data, (set, frozenset)):
+        return SetValue([value_from_python(item) for item in data])
+    return Atom(data)
+
+
+def value_to_python(value: ComplexValue) -> object:
+    """Convert a :class:`ComplexValue` back into nested Python data.
+
+    Tuples become Python tuples, sets become frozensets of converted
+    elements, atoms become their payload.
+    """
+    if isinstance(value, Atom):
+        return value.value
+    if isinstance(value, TupleValue):
+        return tuple(value_to_python(component) for component in value.components)
+    if isinstance(value, SetValue):
+        return frozenset(value_to_python(element) for element in value.elements)
+    raise ObjectModelError(f"unknown value class {type(value).__name__}")

@@ -1,0 +1,35 @@
+"""Flat (relational) substrate: the baseline the paper builds on.
+
+``CALC_{0,0}`` is the classical relational calculus; this package provides
+flat relations, the relational algebra over them, fixpoint/while iteration
+(the baselines discussed around Remark 3.6), and the Theorem 3.11 rewrite
+that eliminates flat intermediate tuple types from relational queries.
+"""
+
+from repro.relational.relation import Relation
+from repro.relational.algebra import (
+    difference,
+    intersection,
+    join,
+    project,
+    rename_columns,
+    select,
+    union,
+)
+from repro.relational.fixpoint import iterate_to_fixpoint, transitive_closure, while_loop
+from repro.relational.flat_rewrite import eliminate_flat_intermediates
+
+__all__ = [
+    "Relation",
+    "difference",
+    "intersection",
+    "join",
+    "project",
+    "rename_columns",
+    "select",
+    "union",
+    "iterate_to_fixpoint",
+    "transitive_closure",
+    "while_loop",
+    "eliminate_flat_intermediates",
+]

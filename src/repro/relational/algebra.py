@@ -1,0 +1,103 @@
+"""The classical relational algebra over :class:`~repro.relational.relation.Relation`.
+
+These operators implement the flat baseline (``CALC_{0,0}``-equivalent
+machinery) against which the complex-object calculus is compared.  They are
+ordinary set-at-a-time operations with no complex-object overhead, so they
+also serve as the fast reference implementation in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.errors import EvaluationError
+from repro.relational.relation import Relation
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union of two relations of the same arity."""
+    _require_same_arity(left, right, "union")
+    return Relation(left.arity, left.tuples | right.tuples)
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """Set intersection of two relations of the same arity."""
+    _require_same_arity(left, right, "intersection")
+    return Relation(left.arity, left.tuples & right.tuples)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference of two relations of the same arity."""
+    _require_same_arity(left, right, "difference")
+    return Relation(left.arity, left.tuples - right.tuples)
+
+
+def project(relation: Relation, columns: Sequence[int]) -> Relation:
+    """Projection onto 1-based *columns* (duplicates allowed, order preserved)."""
+    if not columns:
+        raise EvaluationError("projection requires at least one column")
+    for column in columns:
+        if not 1 <= column <= relation.arity:
+            raise EvaluationError(
+                f"projection column {column} out of range for arity {relation.arity}"
+            )
+    return Relation(
+        len(columns),
+        {tuple(row[column - 1] for column in columns) for row in relation.tuples},
+    )
+
+
+def select(relation: Relation, predicate: Callable[[tuple], bool]) -> Relation:
+    """Selection by an arbitrary per-tuple Python predicate."""
+    return Relation(relation.arity, {row for row in relation.tuples if predicate(row)})
+
+
+def join(left: Relation, right: Relation, equalities: Iterable[tuple[int, int]]) -> Relation:
+    """Theta-join on 1-based coordinate equalities ``(left column, right column)``.
+
+    The result concatenates the left and right tuples (no column elimination),
+    matching the convention of Example 2.4's ``PAR ⋈_{2=3} PAR``.
+    """
+    pairs = list(equalities)
+    for left_column, right_column in pairs:
+        if not 1 <= left_column <= left.arity:
+            raise EvaluationError(f"join column {left_column} out of range for arity {left.arity}")
+        if not 1 <= right_column <= right.arity:
+            raise EvaluationError(f"join column {right_column} out of range for arity {right.arity}")
+    result = set()
+    # Hash join on the first equality when available; nested loops otherwise.
+    if pairs:
+        key_left, key_right = pairs[0]
+        index: dict[object, list[tuple]] = {}
+        for row in right.tuples:
+            index.setdefault(row[key_right - 1], []).append(row)
+        for left_row in left.tuples:
+            for right_row in index.get(left_row[key_left - 1], ()):
+                if all(left_row[lc - 1] == right_row[rc - 1] for lc, rc in pairs[1:]):
+                    result.add(left_row + right_row)
+    else:
+        for left_row in left.tuples:
+            for right_row in right.tuples:
+                result.add(left_row + right_row)
+    return Relation(left.arity + right.arity, result)
+
+
+def rename_columns(relation: Relation, order: Sequence[int]) -> Relation:
+    """Reorder columns of a relation (a permutation of ``1..arity``)."""
+    if sorted(order) != list(range(1, relation.arity + 1)):
+        raise EvaluationError(
+            f"rename order {order!r} is not a permutation of 1..{relation.arity}"
+        )
+    return project(relation, order)
+
+
+def cartesian_product(left: Relation, right: Relation) -> Relation:
+    """Plain cartesian product (a join with no equalities)."""
+    return join(left, right, [])
+
+
+def _require_same_arity(left: Relation, right: Relation, operation: str) -> None:
+    if left.arity != right.arity:
+        raise EvaluationError(
+            f"{operation} requires equal arities, got {left.arity} and {right.arity}"
+        )

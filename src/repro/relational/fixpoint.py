@@ -1,0 +1,79 @@
+"""Fixpoint and while-loop extensions of the relational algebra.
+
+Remark 3.6 of the paper recalls that relational calculus + fixpoint captures
+PTIME and relational algebra + while captures PSPACE (on ordered domains).
+These operators are the *procedural* baselines against which the
+set-height-1 calculus queries (transitive closure, Example 3.1) are compared
+in the benchmarks: they compute the same mappings at polynomial cost, while
+the calculus query pays the hyper-exponential powerset price.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import EvaluationError
+from repro.relational.algebra import join, project, union
+from repro.relational.relation import Relation
+
+
+def iterate_to_fixpoint(
+    step: Callable[[Relation], Relation],
+    start: Relation,
+    max_iterations: int = 10_000,
+) -> Relation:
+    """Iterate ``R := step(R)`` from *start* until nothing changes.
+
+    *step* must be inflationary or otherwise convergent; the iteration stops
+    when ``step(R) == R`` and raises after *max_iterations* rounds otherwise.
+    """
+    current = start
+    for _ in range(max_iterations):
+        next_relation = step(current)
+        if next_relation == current:
+            return current
+        current = next_relation
+    raise EvaluationError(
+        f"fixpoint iteration did not converge within {max_iterations} iterations"
+    )
+
+
+def transitive_closure(relation: Relation) -> Relation:
+    """Least-fixpoint transitive closure of a binary relation.
+
+    Semi-naive iteration: repeatedly add compositions of newly discovered
+    pairs with the base relation.
+    """
+    if relation.arity != 2:
+        raise EvaluationError(
+            f"transitive closure is defined for binary relations, got arity {relation.arity}"
+        )
+
+    closure = relation
+    delta = relation
+    while len(delta) > 0:
+        composed = project(join(delta, relation, [(2, 1)]), [1, 4])
+        new_pairs = Relation(2, composed.tuples - closure.tuples)
+        closure = union(closure, new_pairs)
+        delta = new_pairs
+    return closure
+
+
+def while_loop(
+    body: Callable[[dict[str, Relation]], dict[str, Relation]],
+    condition: Callable[[dict[str, Relation]], bool],
+    state: dict[str, Relation],
+    max_iterations: int = 10_000,
+) -> dict[str, Relation]:
+    """A relational ``while`` loop over a named-relation state.
+
+    Runs *body* while *condition* holds; the state is a mapping from relation
+    names to relations.  This is the algebra + while language of [Cha81]
+    referenced in Remark 3.6, restricted to what the benchmarks need.
+    """
+    current = dict(state)
+    for _ in range(max_iterations):
+        if not condition(current):
+            return current
+        current = body(current)
+    raise EvaluationError(f"while loop did not terminate within {max_iterations} iterations")

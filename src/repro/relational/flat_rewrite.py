@@ -1,0 +1,184 @@
+"""Elimination of flat intermediate tuple types (Lemma 3.10 / Theorem 3.11).
+
+Theorem 3.11 states that intermediate types arising in relational-calculus
+queries (from tuple variables whose arity differs from the input/output
+arities) do not add expressive power: every ``CALC_{0,0}`` query has an
+equivalent query without intermediate types.
+
+The rewrite implemented here follows the spirit of the paper's proof in the
+direction relevant to execution: each quantified variable whose type is an
+*intermediate* flat tuple type ``[U, ..., U]`` is replaced by one
+atomically-typed variable per coordinate, and its coordinate terms and
+equalities are rewritten accordingly.  The resulting query mentions only the
+schema types, the output type and the atomic type ``U``; the maximum
+set-height of its intermediate types is therefore 0 and no *tuple*
+intermediate type remains.  (The paper's normal form goes one step further
+and reuses relation-arity variables instead of atomic ones; atomic variables
+keep the construction simpler and preserve answers, which is the property
+the experiments verify.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClassificationError
+from repro.calculus.classification import intermediate_types
+from repro.calculus.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Membership,
+    Not,
+    Or,
+    PredicateAtom,
+    conjunction,
+)
+from repro.calculus.query import CalculusQuery
+from repro.calculus.terms import Constant, CoordinateTerm, Term, VariableTerm
+from repro.types.set_height import set_height
+from repro.types.type_system import ComplexType, TupleType, U
+
+
+def eliminate_flat_intermediates(query: CalculusQuery) -> CalculusQuery:
+    """Rewrite a CALC_{0,0} query so no tuple-typed intermediate type remains.
+
+    Raises :class:`ClassificationError` if the query is not in CALC_{0,0}
+    (the rewrite is only meaningful — and only claimed by the paper — for
+    relational queries).
+    """
+    if any(set_height(t) > 0 for t in query.variable_types()):
+        raise ClassificationError(
+            "eliminate_flat_intermediates only applies to CALC_{0,0} queries "
+            "(all variable types must be flat)"
+        )
+    keep_types = set(query.schema.types) | {query.target_type}
+    formula = _rewrite(query.formula, keep_types, {})
+    return CalculusQuery(
+        query.schema,
+        query.target_variable,
+        query.target_type,
+        formula,
+        name=(query.name or "query") + "_no_intermediates",
+    )
+
+
+def _rewrite(
+    formula: Formula,
+    keep_types: set[ComplexType],
+    split_variables: dict[str, tuple[str, ...]],
+) -> Formula:
+    """Rewrite *formula*, where *split_variables* maps each eliminated tuple
+    variable to its per-coordinate atomic replacements."""
+    if isinstance(formula, (Exists, Forall)):
+        variable_type = formula.variable_type
+        should_split = (
+            isinstance(variable_type, TupleType)
+            and variable_type not in keep_types
+            and set_height(variable_type) == 0
+        )
+        if should_split:
+            replacements = tuple(
+                f"{formula.variable}__c{i}" for i in range(1, variable_type.arity + 1)
+            )
+            inner_map = dict(split_variables)
+            inner_map[formula.variable] = replacements
+            body = _rewrite(formula.body, keep_types, inner_map)
+            quantifier = Exists if isinstance(formula, Exists) else Forall
+            for replacement in reversed(replacements):
+                body = quantifier(replacement, U, body)
+            return body
+        body = _rewrite(formula.body, keep_types, split_variables)
+        quantifier = Exists if isinstance(formula, Exists) else Forall
+        return quantifier(formula.variable, formula.variable_type, body)
+
+    if isinstance(formula, Not):
+        return Not(_rewrite(formula.operand, keep_types, split_variables))
+    if isinstance(formula, And):
+        return And(
+            _rewrite(formula.left, keep_types, split_variables),
+            _rewrite(formula.right, keep_types, split_variables),
+        )
+    if isinstance(formula, Or):
+        return Or(
+            _rewrite(formula.left, keep_types, split_variables),
+            _rewrite(formula.right, keep_types, split_variables),
+        )
+    if isinstance(formula, Implies):
+        return Implies(
+            _rewrite(formula.left, keep_types, split_variables),
+            _rewrite(formula.right, keep_types, split_variables),
+        )
+
+    if isinstance(formula, Equals):
+        return _rewrite_equality(formula, split_variables)
+    if isinstance(formula, Membership):
+        # Membership atoms require a set type somewhere; they cannot occur in
+        # a CALC_{0,0} query, which the caller already verified.
+        raise ClassificationError("membership atoms cannot occur in a CALC_{0,0} query")
+    if isinstance(formula, PredicateAtom):
+        argument = formula.argument
+        if isinstance(argument, VariableTerm) and argument.name in split_variables:
+            raise ClassificationError(
+                f"variable {argument.name!r} is used as a predicate argument, so its type is a "
+                "schema type, not an intermediate type; it should not have been split"
+            )
+        return formula
+
+    raise ClassificationError(f"unknown formula class {type(formula).__name__}")
+
+
+def _rewrite_equality(formula: Equals, split_variables: dict[str, tuple[str, ...]]) -> Formula:
+    left = formula.left
+    right = formula.right
+
+    left_split = _split_of(left, split_variables)
+    right_split = _split_of(right, split_variables)
+
+    if left_split is None and right_split is None:
+        return formula
+
+    # A coordinate term over a split variable becomes the matching atomic variable.
+    new_left = _rewrite_term(left, split_variables)
+    new_right = _rewrite_term(right, split_variables)
+    if new_left is not None and new_right is not None:
+        return Equals(new_left, new_right)
+
+    # Whole-variable equality between split tuple variables (x = y) becomes a
+    # coordinate-wise conjunction.
+    if (
+        isinstance(left, VariableTerm)
+        and isinstance(right, VariableTerm)
+        and left_split is not None
+        and right_split is not None
+        and len(left_split) == len(right_split)
+    ):
+        return conjunction(
+            [Equals(VariableTerm(a), VariableTerm(b)) for a, b in zip(left_split, right_split)]
+        )
+    raise ClassificationError(
+        f"cannot rewrite the equality {formula}: it mixes a split tuple variable with an "
+        "incompatible term"
+    )
+
+
+def _split_of(term: Term, split_variables: dict[str, tuple[str, ...]]):
+    if isinstance(term, VariableTerm):
+        return split_variables.get(term.name)
+    if isinstance(term, CoordinateTerm):
+        return split_variables.get(term.variable_name)
+    return None
+
+
+def _rewrite_term(term: Term, split_variables: dict[str, tuple[str, ...]]):
+    """Rewrite a term to its replacement if it is defined pointwise, else None."""
+    if isinstance(term, Constant):
+        return term
+    if isinstance(term, CoordinateTerm) and term.variable_name in split_variables:
+        return VariableTerm(split_variables[term.variable_name][term.index - 1])
+    if isinstance(term, CoordinateTerm) or isinstance(term, VariableTerm):
+        if isinstance(term, VariableTerm) and term.name in split_variables:
+            return None
+        return term
+    return None

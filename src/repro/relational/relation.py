@@ -1,0 +1,100 @@
+"""Flat relations: finite sets of fixed-arity tuples of atomic values.
+
+A :class:`Relation` is the plain relational-model object the paper's
+CALC_{0,i} queries map between.  It interoperates with the complex-object
+layer through :meth:`Relation.to_instance` / :meth:`Relation.from_instance`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ObjectModelError
+from repro.objects.instance import Instance
+from repro.objects.values import Atom, TupleValue
+from repro.types.type_system import TupleType, U
+
+
+class Relation:
+    """A finite relation of fixed arity over atomic values."""
+
+    def __init__(self, arity: int, tuples: Iterable[tuple] = ()) -> None:
+        if not isinstance(arity, int) or arity < 1:
+            raise ObjectModelError(f"relation arity must be a positive integer, got {arity!r}")
+        self._arity = arity
+        normalised: set[tuple] = set()
+        for row in tuples:
+            row = tuple(row)
+            if len(row) != arity:
+                raise ObjectModelError(
+                    f"tuple {row!r} has arity {len(row)}, expected {arity}"
+                )
+            normalised.add(row)
+        self._tuples = frozenset(normalised)
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def tuples(self) -> frozenset[tuple]:
+        return self._tuples
+
+    def active_domain(self) -> frozenset[object]:
+        result: set[object] = set()
+        for row in self._tuples:
+            result.update(row)
+        return frozenset(result)
+
+    # -- conversions ----------------------------------------------------------
+    def to_instance(self) -> Instance:
+        """This relation as an :class:`Instance` of the flat type ``[U,...,U]``."""
+        type_ = TupleType([U] * self._arity)
+        return Instance(type_, [TupleValue([Atom(v) for v in row]) for row in self._tuples])
+
+    @classmethod
+    def from_instance(cls, instance: Instance) -> "Relation":
+        """Convert a flat tuple-typed instance back into a relation."""
+        type_ = instance.type
+        if not isinstance(type_, TupleType) or any(c != U for c in type_.component_types):
+            raise ObjectModelError(
+                f"only flat tuple instances convert to relations, got type {type_}"
+            )
+        rows = []
+        for value in instance:
+            if not isinstance(value, TupleValue):
+                raise ObjectModelError(f"non-tuple value {value} in a flat instance")
+            row = []
+            for component in value.components:
+                if not isinstance(component, Atom):
+                    raise ObjectModelError(f"non-atomic component {component} in a flat tuple")
+                row.append(component.value)
+            rows.append(tuple(row))
+        return cls(type_.arity, rows)
+
+    # -- container protocol ---------------------------------------------------
+    def __contains__(self, row: object) -> bool:
+        return tuple(row) in self._tuples if isinstance(row, (tuple, list)) else False
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(sorted(self._tuples, key=lambda r: tuple(map(repr, r))))
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Relation)
+            and self._arity == other._arity
+            and self._tuples == other._tuples
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._tuples))
+
+    def __str__(self) -> str:
+        rows = ", ".join(str(row) for row in self)
+        return f"Relation/{self._arity}{{{rows}}}"
+
+    def __repr__(self) -> str:
+        return str(self)

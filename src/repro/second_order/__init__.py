@@ -1,0 +1,75 @@
+"""Second-order queries over flat structures (Proposition 3.9, Theorem 4.3).
+
+This subpackage makes the paper's SO comparison point executable: a small
+second-order logic (first-order quantification over atoms, second-order
+quantification over k-ary relations on the active domain), an evaluator, a
+translation into ``CALC_{0,1}`` calculus queries, and the standard specimen
+sentences (even cardinality, 3-colourability, connectivity, reachability).
+"""
+
+from repro.second_order.formulas import (
+    SOAnd,
+    SOConstant,
+    SOEquals,
+    SOExists,
+    SOExistsRelation,
+    SOForall,
+    SOForallRelation,
+    SOFormula,
+    SOImplies,
+    SONot,
+    SOOr,
+    SORelationAtom,
+    SOVariable,
+    is_existential,
+    so_conjunction,
+    so_disjunction,
+    so_term,
+)
+from repro.second_order.evaluation import (
+    SOEvaluationSettings,
+    SOEvaluationStatistics,
+    evaluate_query,
+    evaluate_sentence,
+)
+from repro.second_order.translate import so_query_to_calculus, so_sentence_to_calculus
+from repro.second_order.builders import (
+    GRAPH_SCHEMA,
+    PERSON_SCHEMA,
+    connectivity_sentence,
+    even_cardinality_sentence,
+    reachability_query,
+    three_colorability_sentence,
+)
+
+__all__ = [
+    "SOAnd",
+    "SOConstant",
+    "SOEquals",
+    "SOExists",
+    "SOExistsRelation",
+    "SOForall",
+    "SOForallRelation",
+    "SOFormula",
+    "SOImplies",
+    "SONot",
+    "SOOr",
+    "SORelationAtom",
+    "SOVariable",
+    "is_existential",
+    "so_conjunction",
+    "so_disjunction",
+    "so_term",
+    "SOEvaluationSettings",
+    "SOEvaluationStatistics",
+    "evaluate_query",
+    "evaluate_sentence",
+    "so_query_to_calculus",
+    "so_sentence_to_calculus",
+    "GRAPH_SCHEMA",
+    "PERSON_SCHEMA",
+    "connectivity_sentence",
+    "even_cardinality_sentence",
+    "reachability_query",
+    "three_colorability_sentence",
+]

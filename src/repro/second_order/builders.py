@@ -1,0 +1,188 @@
+"""Ready-made second-order sentences and queries used by tests and benchmarks.
+
+These are the standard SO specimens the paper's Sections 3–4 gesture at:
+
+* **even cardinality** (Example 3.2 / [CH82]) — existential SO;
+* **3-colourability** (the canonical NPTIME-complete property behind
+  Theorem 4.3 / Fagin's theorem) — existential SO;
+* **graph connectivity** — universal SO (not expressible in ∃SO over
+  undirected graphs, a classical separation);
+* the **reachability query** — a binary query whose SO definition mirrors
+  the transitive-closure calculus query of Example 3.1.
+"""
+
+from __future__ import annotations
+
+from repro.second_order.formulas import (
+    SOEquals,
+    SOExists,
+    SOExistsRelation,
+    SOForall,
+    SOForallRelation,
+    SOFormula,
+    SOImplies,
+    SONot,
+    SORelationAtom,
+    so_conjunction,
+    so_disjunction,
+)
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import TupleType, U
+
+#: Schema of a set of persons (Example 3.2).
+PERSON_SCHEMA = DatabaseSchema([("PERSON", U)])
+
+#: Schema of a directed graph with explicit vertex set.
+GRAPH_SCHEMA = DatabaseSchema([("V", U), ("E", TupleType([U, U]))])
+
+
+def even_cardinality_sentence(predicate: str = "PERSON") -> SOFormula:
+    """``|predicate|`` is even, via an existential perfect matching.
+
+    ``∃M ( every element is matched ∧ M ⊆ P×P ∧ M is symmetric and
+    irreflexive ∧ M is functional )`` — such an ``M`` exists iff the set has
+    a partition into unordered pairs, i.e. iff its cardinality is even.
+    """
+    member = lambda *ts: SORelationAtom("M", ts)  # noqa: E731 - local shorthand
+    person = lambda t: SORelationAtom(predicate, (t,))  # noqa: E731
+
+    everyone_matched = SOForall("x", SOImplies(person("x"), SOExists("y", member("x", "y"))))
+    matched_are_persons = SOForall(
+        "x",
+        SOForall(
+            "y",
+            SOImplies(
+                member("x", "y"),
+                so_conjunction(
+                    [
+                        person("x"),
+                        person("y"),
+                        SONot(SOEquals("x", "y")),
+                        member("y", "x"),
+                    ]
+                ),
+            ),
+        ),
+    )
+    functional = SOForall(
+        "x",
+        SOForall(
+            "y",
+            SOForall(
+                "z",
+                SOImplies(
+                    so_conjunction([member("x", "y"), member("x", "z")]),
+                    SOEquals("y", "z"),
+                ),
+            ),
+        ),
+    )
+    body = so_conjunction([everyone_matched, matched_are_persons, functional])
+    return SOExistsRelation("M", 2, body)
+
+
+def three_colorability_sentence(
+    vertex_predicate: str = "V", edge_predicate: str = "E"
+) -> SOFormula:
+    """The graph is 3-colourable: ``∃R ∃G ∃B`` partitioning V with no
+    monochromatic edge.  The canonical existential-SO / NPTIME property
+    (Theorem 4.3, Fagin)."""
+    vertex = lambda t: SORelationAtom(vertex_predicate, (t,))  # noqa: E731
+    edge = lambda s, t: SORelationAtom(edge_predicate, (s, t))  # noqa: E731
+    red = lambda t: SORelationAtom("R", (t,))  # noqa: E731
+    green = lambda t: SORelationAtom("G", (t,))  # noqa: E731
+    blue = lambda t: SORelationAtom("B", (t,))  # noqa: E731
+
+    covered = SOForall(
+        "x", SOImplies(vertex("x"), so_disjunction([red("x"), green("x"), blue("x")]))
+    )
+    disjoint = SOForall(
+        "x",
+        so_conjunction(
+            [
+                SONot(so_conjunction([red("x"), green("x")])),
+                SONot(so_conjunction([red("x"), blue("x")])),
+                SONot(so_conjunction([green("x"), blue("x")])),
+            ]
+        ),
+    )
+    no_monochromatic_edge = SOForall(
+        "x",
+        SOForall(
+            "y",
+            SOImplies(
+                so_conjunction([edge("x", "y"), SONot(SOEquals("x", "y"))]),
+                so_conjunction(
+                    [
+                        SONot(so_conjunction([red("x"), red("y")])),
+                        SONot(so_conjunction([green("x"), green("y")])),
+                        SONot(so_conjunction([blue("x"), blue("y")])),
+                    ]
+                ),
+            ),
+        ),
+    )
+    body = so_conjunction([covered, disjoint, no_monochromatic_edge])
+    return SOExistsRelation("R", 1, SOExistsRelation("G", 1, SOExistsRelation("B", 1, body)))
+
+
+def connectivity_sentence(vertex_predicate: str = "V", edge_predicate: str = "E") -> SOFormula:
+    """The (symmetrically read) graph is connected — universal second order.
+
+    ``∀X ( X non-trivial on V ∧ X closed under edges (in both directions)
+    → X contains all of V )``: every edge-closed set of vertices containing
+    some vertex contains them all.
+    """
+    vertex = lambda t: SORelationAtom(vertex_predicate, (t,))  # noqa: E731
+    edge = lambda s, t: SORelationAtom(edge_predicate, (s, t))  # noqa: E731
+    in_x = lambda t: SORelationAtom("X", (t,))  # noqa: E731
+
+    nonempty = SOExists("x", so_conjunction([vertex("x"), in_x("x")]))
+    closed = SOForall(
+        "x",
+        SOForall(
+            "y",
+            SOImplies(
+                so_conjunction(
+                    [in_x("x"), so_disjunction([edge("x", "y"), edge("y", "x")]), vertex("y")]
+                ),
+                in_x("y"),
+            ),
+        ),
+    )
+    covers = SOForall("y", SOImplies(vertex("y"), in_x("y")))
+    return SOForallRelation("X", 1, SOImplies(so_conjunction([nonempty, closed]), covers))
+
+
+def reachability_query(edge_predicate: str = "E") -> tuple[list[str], SOFormula]:
+    """The binary reachability query ``{(s, t) | t reachable from s}``.
+
+    Second-order form of Example 3.1's transitive closure: ``(s, t)`` is in
+    the answer iff every edge-closed set containing ``s``'s successors-step
+    relation closure contains ``t`` — here phrased as "every transitive
+    relation containing E relates s to t".
+
+    Returns ``(head_variables, formula)`` ready for
+    :func:`repro.second_order.evaluation.evaluate_query` or
+    :func:`repro.second_order.translate.so_query_to_calculus`.
+    """
+    edge = lambda s, t: SORelationAtom(edge_predicate, (s, t))  # noqa: E731
+    rel = lambda s, t: SORelationAtom("T", (s, t))  # noqa: E731
+
+    contains_edges = SOForall(
+        "x", SOForall("y", SOImplies(edge("x", "y"), rel("x", "y")))
+    )
+    transitive = SOForall(
+        "x",
+        SOForall(
+            "y",
+            SOForall(
+                "z",
+                SOImplies(so_conjunction([rel("x", "y"), rel("y", "z")]), rel("x", "z")),
+            ),
+        ),
+    )
+    formula = SOForallRelation(
+        "T", 2, SOImplies(so_conjunction([contains_edges, transitive]), rel("s", "t"))
+    )
+    return (["s", "t"], formula)

@@ -1,0 +1,261 @@
+"""Active-domain evaluation of second-order formulas and queries.
+
+First-order variables range over the active domain of the database plus the
+constants of the formula; second-order relation variables of arity ``k``
+range over *all* subsets of ``adom^k``.  The second-order ranges have size
+``2^(n^k)``, so the evaluator carries an explicit budget, exactly like the
+complex-object calculus evaluator: the hyper-exponential search space is the
+phenomenon the paper studies, not an accident to be optimised away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+
+from repro.errors import EvaluationError
+from repro.second_order.formulas import (
+    SOAnd,
+    SOConstant,
+    SOEquals,
+    SOExists,
+    SOExistsRelation,
+    SOForall,
+    SOForallRelation,
+    SOFormula,
+    SOImplies,
+    SONot,
+    SOOr,
+    SORelationAtom,
+    SOTerm,
+    SOVariable,
+)
+from repro.objects.instance import DatabaseInstance
+from repro.relational.relation import Relation
+from repro.types.type_system import TupleType
+
+
+@dataclass
+class SOEvaluationSettings:
+    """Knobs controlling second-order evaluation.
+
+    ``relation_budget`` bounds the number of candidate relations tried for
+    any single second-order quantifier (there are ``2^(n^k)`` of them);
+    exceeding it raises rather than running forever.
+    """
+
+    relation_budget: int | None = 2_000_000
+
+
+@dataclass
+class SOEvaluationStatistics:
+    """Counters accumulated during one evaluation."""
+
+    relations_tried: int = 0
+    first_order_bindings: int = 0
+    satisfaction_calls: int = 0
+
+
+class _SOContext:
+    def __init__(
+        self,
+        database: DatabaseInstance,
+        domain: tuple[object, ...],
+        settings: SOEvaluationSettings,
+        statistics: SOEvaluationStatistics,
+    ) -> None:
+        self.database = database
+        self.domain = domain
+        self.settings = settings
+        self.statistics = statistics
+        self.database_relations: dict[str, frozenset[tuple]] = {}
+        for name in database.schema.predicate_names:
+            self.database_relations[name] = _instance_as_tuples(database, name)
+
+
+def _instance_as_tuples(database: DatabaseInstance, predicate_name: str) -> frozenset[tuple]:
+    instance = database.instance(predicate_name)
+    rows: set[tuple] = set()
+    for value in instance:
+        if hasattr(value, "components"):
+            rows.add(tuple(component.value for component in value.components))
+        else:
+            rows.add((value.value,))
+    return frozenset(rows)
+
+
+def evaluation_domain(
+    formula: SOFormula, database: DatabaseInstance
+) -> tuple[object, ...]:
+    """The active domain of the database plus the constants of the formula."""
+    constants = {
+        term.value
+        for sub in formula.subformulas()
+        for term in _terms_of(sub)
+        if isinstance(term, SOConstant)
+    }
+    return tuple(sorted(database.active_domain() | constants, key=lambda a: (type(a).__name__, repr(a))))
+
+
+def _terms_of(formula: SOFormula) -> tuple[SOTerm, ...]:
+    if isinstance(formula, SOEquals):
+        return (formula.left, formula.right)
+    if isinstance(formula, SORelationAtom):
+        return formula.terms
+    return ()
+
+
+def evaluate_sentence(
+    formula: SOFormula,
+    database: DatabaseInstance,
+    settings: SOEvaluationSettings | None = None,
+) -> bool:
+    """Decide whether the database satisfies a second-order *sentence*.
+
+    The formula must have no free first-order variables, and its free
+    relation symbols must all be database predicates.
+    """
+    settings = settings or SOEvaluationSettings()
+    if formula.free_first_order_variables():
+        raise EvaluationError(
+            "a sentence may not have free first-order variables: "
+            f"{sorted(formula.free_first_order_variables())}"
+        )
+    unknown = formula.free_relation_variables() - set(database.schema.predicate_names)
+    if unknown:
+        raise EvaluationError(
+            f"free relation symbols {sorted(unknown)} are not database predicates"
+        )
+    statistics = SOEvaluationStatistics()
+    domain = evaluation_domain(formula, database)
+    context = _SOContext(database, domain, settings, statistics)
+    return _satisfies(context, formula, {}, {})
+
+
+def evaluate_query(
+    head_variables: list[str],
+    formula: SOFormula,
+    database: DatabaseInstance,
+    settings: SOEvaluationSettings | None = None,
+) -> Relation:
+    """Evaluate the second-order query ``{(x1,...,xk) | phi}``.
+
+    Returns the flat relation of all bindings of the head variables (over
+    the active domain plus formula constants) that satisfy *phi*.
+    """
+    settings = settings or SOEvaluationSettings()
+    if not head_variables:
+        raise EvaluationError("a query needs at least one head variable")
+    stray = formula.free_first_order_variables() - set(head_variables)
+    if stray:
+        raise EvaluationError(f"free variables {sorted(stray)} are not head variables")
+    statistics = SOEvaluationStatistics()
+    domain = evaluation_domain(formula, database)
+    context = _SOContext(database, domain, settings, statistics)
+    rows: set[tuple] = set()
+    for binding in product(domain, repeat=len(head_variables)):
+        assignment = dict(zip(head_variables, binding))
+        statistics.first_order_bindings += 1
+        if _satisfies(context, formula, assignment, {}):
+            rows.add(binding)
+    return Relation(len(head_variables), rows)
+
+
+def _satisfies(
+    context: _SOContext,
+    formula: SOFormula,
+    assignment: dict[str, object],
+    relations: dict[str, frozenset[tuple]],
+) -> bool:
+    context.statistics.satisfaction_calls += 1
+
+    if isinstance(formula, SOEquals):
+        return _term_value(formula.left, assignment) == _term_value(formula.right, assignment)
+
+    if isinstance(formula, SORelationAtom):
+        row = tuple(_term_value(term, assignment) for term in formula.terms)
+        if formula.relation_name in relations:
+            return row in relations[formula.relation_name]
+        if formula.relation_name in context.database_relations:
+            return row in context.database_relations[formula.relation_name]
+        raise EvaluationError(
+            f"relation symbol {formula.relation_name!r} is neither quantified nor a "
+            "database predicate"
+        )
+
+    if isinstance(formula, SONot):
+        return not _satisfies(context, formula.operand, assignment, relations)
+
+    if isinstance(formula, SOAnd):
+        return _satisfies(context, formula.left, assignment, relations) and _satisfies(
+            context, formula.right, assignment, relations
+        )
+
+    if isinstance(formula, SOOr):
+        return _satisfies(context, formula.left, assignment, relations) or _satisfies(
+            context, formula.right, assignment, relations
+        )
+
+    if isinstance(formula, SOImplies):
+        if not _satisfies(context, formula.left, assignment, relations):
+            return True
+        return _satisfies(context, formula.right, assignment, relations)
+
+    if isinstance(formula, (SOExists, SOForall)):
+        existential = isinstance(formula, SOExists)
+        for candidate in context.domain:
+            context.statistics.first_order_bindings += 1
+            inner = dict(assignment)
+            inner[formula.variable] = candidate
+            holds = _satisfies(context, formula.body, inner, relations)
+            if existential and holds:
+                return True
+            if not existential and not holds:
+                return False
+        return not existential
+
+    if isinstance(formula, (SOExistsRelation, SOForallRelation)):
+        existential = isinstance(formula, SOExistsRelation)
+        budget = context.settings.relation_budget
+        for candidate in _iter_relations(context.domain, formula.arity):
+            context.statistics.relations_tried += 1
+            if budget is not None and context.statistics.relations_tried > budget:
+                raise EvaluationError(
+                    f"second-order quantifier exceeded the relation budget of {budget}"
+                )
+            inner = dict(relations)
+            inner[formula.relation_variable] = candidate
+            holds = _satisfies(context, formula.body, assignment, inner)
+            if existential and holds:
+                return True
+            if not existential and not holds:
+                return False
+        return not existential
+
+    raise EvaluationError(f"unknown second-order formula class {type(formula).__name__}")
+
+
+def _iter_relations(domain: tuple[object, ...], arity: int):
+    """All relations of the given arity over *domain*, by increasing size."""
+    rows = list(product(domain, repeat=arity))
+    for size in range(len(rows) + 1):
+        for combo in combinations(rows, size):
+            yield frozenset(combo)
+
+
+def _term_value(term: SOTerm, assignment: dict[str, object]) -> object:
+    if isinstance(term, SOConstant):
+        return term.value
+    if isinstance(term, SOVariable):
+        try:
+            return assignment[term.name]
+        except KeyError:
+            raise EvaluationError(f"variable {term.name!r} is unbound during evaluation") from None
+    raise EvaluationError(f"unknown term class {type(term).__name__}")
+
+
+def relation_variable_type(arity: int) -> TupleType:
+    """The flat tuple type ``[U,...,U]`` matching a relation variable's rows."""
+    from repro.types.type_system import relation_type
+
+    return relation_type(arity)

@@ -1,0 +1,391 @@
+"""Second-order formulas over flat relational structures (Proposition 3.9).
+
+The paper's Proposition 3.9 states that ``CALC_{0,1}`` is equivalent in
+expressive power to the second-order queries SO of Chandra and Harel
+[CH82].  To make that equivalence executable we provide a small second-order
+logic over flat databases:
+
+* first-order terms are atom-valued variables and constants;
+* atomic formulas are ``t1 = t2`` and relation atoms ``X(t1, ..., tk)``
+  where ``X`` is either a database predicate or a quantified second-order
+  relation variable of arity ``k``;
+* formulas are closed under the sentential connectives, first-order
+  quantifiers over atoms, and second-order quantifiers over ``k``-ary
+  relations on the active domain.
+
+:mod:`repro.second_order.evaluation` evaluates these formulas with the
+active-domain semantics, and :mod:`repro.second_order.translate` compiles a
+second-order query into a ``CALC_{0,1}`` calculus query — one direction of
+Proposition 3.9, checked instance-by-instance in the tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import TypingError
+
+
+class SOTerm:
+    """A first-order term: an atom-valued variable or a constant."""
+
+    __slots__ = ()
+
+
+class SOVariable(SOTerm):
+    """An atom-valued (first-order) variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise TypingError(f"variable name must be a non-empty string, got {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SOVariable is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SOVariable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("sovar", self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class SOConstant(SOTerm):
+    """An atomic constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SOConstant is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SOConstant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("soconst", self.value))
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+def so_term(value: SOTerm | str | object) -> SOTerm:
+    """Coerce strings to variables and other plain values to constants."""
+    if isinstance(value, SOTerm):
+        return value
+    if isinstance(value, str):
+        return SOVariable(value)
+    return SOConstant(value)
+
+
+class SOFormula:
+    """Abstract base class of second-order formulas."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["SOFormula", ...]:
+        return ()
+
+    def subformulas(self) -> Iterator["SOFormula"]:
+        yield self
+        for child in self.children():
+            yield from child.subformulas()
+
+    def free_first_order_variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def free_relation_variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def relation_symbols(self) -> frozenset[tuple[str, int]]:
+        """All relation symbols used in atoms, with their arities."""
+        result: set[tuple[str, int]] = set()
+        for sub in self.subformulas():
+            if isinstance(sub, SORelationAtom):
+                result.add((sub.relation_name, len(sub.terms)))
+        return frozenset(result)
+
+    # Connective conveniences --------------------------------------------
+    def __and__(self, other: "SOFormula") -> "SOAnd":
+        return SOAnd(self, other)
+
+    def __or__(self, other: "SOFormula") -> "SOOr":
+        return SOOr(self, other)
+
+    def __invert__(self) -> "SONot":
+        return SONot(self)
+
+    def implies(self, other: "SOFormula") -> "SOImplies":
+        return SOImplies(self, other)
+
+
+class SOEquals(SOFormula):
+    """The atomic formula ``t1 = t2``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: SOTerm | str | object, right: SOTerm | str | object) -> None:
+        object.__setattr__(self, "left", so_term(left))
+        object.__setattr__(self, "right", so_term(right))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SOEquals is immutable")
+
+    def free_first_order_variables(self) -> frozenset[str]:
+        return frozenset(
+            term.name for term in (self.left, self.right) if isinstance(term, SOVariable)
+        )
+
+    def free_relation_variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+class SORelationAtom(SOFormula):
+    """The atomic formula ``X(t1, ..., tk)``.
+
+    ``X`` may be a database predicate or a second-order relation variable;
+    which one it is gets decided by the enclosing quantifiers and the
+    database schema at evaluation time.
+    """
+
+    __slots__ = ("relation_name", "terms")
+
+    def __init__(self, relation_name: str, terms: Iterable[SOTerm | str | object]) -> None:
+        if not isinstance(relation_name, str) or not relation_name:
+            raise TypingError(
+                f"relation name must be a non-empty string, got {relation_name!r}"
+            )
+        normalised = tuple(so_term(term) for term in terms)
+        if not normalised:
+            raise TypingError(f"relation atom {relation_name} requires at least one term")
+        object.__setattr__(self, "relation_name", relation_name)
+        object.__setattr__(self, "terms", normalised)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SORelationAtom is immutable")
+
+    def free_first_order_variables(self) -> frozenset[str]:
+        return frozenset(term.name for term in self.terms if isinstance(term, SOVariable))
+
+    def free_relation_variables(self) -> frozenset[str]:
+        return frozenset({self.relation_name})
+
+    def __str__(self) -> str:
+        return f"{self.relation_name}({', '.join(str(t) for t in self.terms)})"
+
+
+class SONot(SOFormula):
+    """Negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: SOFormula) -> None:
+        _require_formula(operand, "SONot operand")
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SONot is immutable")
+
+    def children(self) -> tuple[SOFormula, ...]:
+        return (self.operand,)
+
+    def free_first_order_variables(self) -> frozenset[str]:
+        return self.operand.free_first_order_variables()
+
+    def free_relation_variables(self) -> frozenset[str]:
+        return self.operand.free_relation_variables()
+
+    def __str__(self) -> str:
+        return f"not ({self.operand})"
+
+
+class _SOBinary(SOFormula):
+    __slots__ = ("left", "right")
+    _symbol = "?"
+
+    def __init__(self, left: SOFormula, right: SOFormula) -> None:
+        _require_formula(left, f"{type(self).__name__} left operand")
+        _require_formula(right, f"{type(self).__name__} right operand")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def children(self) -> tuple[SOFormula, ...]:
+        return (self.left, self.right)
+
+    def free_first_order_variables(self) -> frozenset[str]:
+        return self.left.free_first_order_variables() | self.right.free_first_order_variables()
+
+    def free_relation_variables(self) -> frozenset[str]:
+        return self.left.free_relation_variables() | self.right.free_relation_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left}) {self._symbol} ({self.right})"
+
+
+class SOAnd(_SOBinary):
+    """Conjunction."""
+
+    __slots__ = ()
+    _symbol = "and"
+
+
+class SOOr(_SOBinary):
+    """Disjunction."""
+
+    __slots__ = ()
+    _symbol = "or"
+
+
+class SOImplies(_SOBinary):
+    """Implication."""
+
+    __slots__ = ()
+    _symbol = "->"
+
+
+class _SOFirstOrderQuantifier(SOFormula):
+    __slots__ = ("variable", "body")
+    _symbol = "?"
+
+    def __init__(self, variable: str, body: SOFormula) -> None:
+        if not isinstance(variable, str) or not variable:
+            raise TypingError(f"quantified variable must be a non-empty string, got {variable!r}")
+        _require_formula(body, f"{type(self).__name__} body")
+        object.__setattr__(self, "variable", variable)
+        object.__setattr__(self, "body", body)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def children(self) -> tuple[SOFormula, ...]:
+        return (self.body,)
+
+    def free_first_order_variables(self) -> frozenset[str]:
+        return self.body.free_first_order_variables() - {self.variable}
+
+    def free_relation_variables(self) -> frozenset[str]:
+        return self.body.free_relation_variables()
+
+    def __str__(self) -> str:
+        return f"{self._symbol} {self.variable} ({self.body})"
+
+
+class SOExists(_SOFirstOrderQuantifier):
+    """First-order existential quantification over atoms."""
+
+    __slots__ = ()
+    _symbol = "exists"
+
+
+class SOForall(_SOFirstOrderQuantifier):
+    """First-order universal quantification over atoms."""
+
+    __slots__ = ()
+    _symbol = "forall"
+
+
+class _SORelationQuantifier(SOFormula):
+    __slots__ = ("relation_variable", "arity", "body")
+    _symbol = "?"
+
+    def __init__(self, relation_variable: str, arity: int, body: SOFormula) -> None:
+        if not isinstance(relation_variable, str) or not relation_variable:
+            raise TypingError(
+                f"relation variable must be a non-empty string, got {relation_variable!r}"
+            )
+        if not isinstance(arity, int) or arity < 1:
+            raise TypingError(f"relation arity must be a positive integer, got {arity!r}")
+        _require_formula(body, f"{type(self).__name__} body")
+        object.__setattr__(self, "relation_variable", relation_variable)
+        object.__setattr__(self, "arity", arity)
+        object.__setattr__(self, "body", body)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def children(self) -> tuple[SOFormula, ...]:
+        return (self.body,)
+
+    def free_first_order_variables(self) -> frozenset[str]:
+        return self.body.free_first_order_variables()
+
+    def free_relation_variables(self) -> frozenset[str]:
+        return self.body.free_relation_variables() - {self.relation_variable}
+
+    def __str__(self) -> str:
+        return f"{self._symbol} {self.relation_variable}^{self.arity} ({self.body})"
+
+
+class SOExistsRelation(_SORelationQuantifier):
+    """Second-order existential quantification over k-ary relations."""
+
+    __slots__ = ()
+    _symbol = "EXISTS"
+
+
+class SOForallRelation(_SORelationQuantifier):
+    """Second-order universal quantification over k-ary relations."""
+
+    __slots__ = ()
+    _symbol = "FORALL"
+
+
+def _require_formula(value: object, description: str) -> None:
+    if not isinstance(value, SOFormula):
+        raise TypingError(f"{description} must be an SOFormula, got {type(value).__name__}")
+
+
+def so_conjunction(formulas: Iterable[SOFormula]) -> SOFormula:
+    """Right-nested conjunction of one or more formulas."""
+    items = list(formulas)
+    if not items:
+        raise TypingError("so_conjunction requires at least one conjunct")
+    result = items[-1]
+    for item in reversed(items[:-1]):
+        result = SOAnd(item, result)
+    return result
+
+
+def so_disjunction(formulas: Iterable[SOFormula]) -> SOFormula:
+    """Right-nested disjunction of one or more formulas."""
+    items = list(formulas)
+    if not items:
+        raise TypingError("so_disjunction requires at least one disjunct")
+    result = items[-1]
+    for item in reversed(items[:-1]):
+        result = SOOr(item, result)
+    return result
+
+
+def is_existential(formula: SOFormula) -> bool:
+    """True iff every second-order quantifier occurs existentially and positively.
+
+    Existential second-order logic corresponds to the SF fragment /
+    ``CALC_{0,1}^∃`` of Theorem 4.3 (Fagin's NPTIME characterisation).
+    """
+
+    def check(current: SOFormula, positive: bool) -> bool:
+        if isinstance(current, SOForallRelation):
+            return not positive and check(current.body, positive)
+        if isinstance(current, SOExistsRelation):
+            return positive and check(current.body, positive)
+        if isinstance(current, SONot):
+            return check(current.operand, not positive)
+        if isinstance(current, SOImplies):
+            return check(current.left, not positive) and check(current.right, positive)
+        return all(check(child, positive) for child in current.children())
+
+    return check(formula, True)

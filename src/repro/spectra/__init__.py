@@ -1,0 +1,26 @@
+"""Spectra and the order of formulas (Section 5 of the paper).
+
+The Hierarchy Theorem (Theorem 5.1) is proved by reduction to Bennett's
+spectra theorem: spectra of order ``2i`` are strictly contained in spectra
+of order ``2i+2``.  This package provides the *order* function on formulas
+(adapted to our calculus syntax) and an executable spectrum computer: the
+set of cardinality vectors of inputs on which a query returns a non-empty
+answer.  The strict-containment statement itself is a theorem and is cited,
+not re-proved; the benchmarks exhibit spectra realised at each order and
+check they match the theory on small domains.
+"""
+
+from repro.spectra.order import formula_order, query_order
+from repro.spectra.spectrum import (
+    cardinality_spectrum,
+    canonical_database,
+    spectrum_of_predicate,
+)
+
+__all__ = [
+    "formula_order",
+    "query_order",
+    "cardinality_spectrum",
+    "canonical_database",
+    "spectrum_of_predicate",
+]

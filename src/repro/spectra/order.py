@@ -1,0 +1,68 @@
+"""The order of formulas (Section 5, after Bennett).
+
+The paper defines the order of *b-formulas*; our calculus differs from
+b-formulas in inessential ways (named predicates, coordinate terms, a single
+basic sort), so we adapt the definition:
+
+1. ``o(y = z) = 1`` for terms of any type; likewise ``o(P(t)) = 1``
+   (predicate atoms play the role of basic-sorted atoms);
+2. ``o(t ∈ z) = 2·sh(type of z) − 1``;
+3. ``o(∀y/T ψ) = max(2·sh(T), o(ψ))`` and the same for ``∃``;
+4. negation preserves order; binary connectives take the maximum
+   (implication is treated as ``¬ψ ∨ θ``).
+
+With this adaptation a query whose quantified variables all have set-height
+``≤ i`` has order ``≤ 2i`` (or ``2i − 1`` if set-height-``i`` variables only
+feed membership atoms), matching the correspondence the paper's proof uses:
+``CALC_{0,i}`` queries translate to b-formulas of order ``2i``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import SpectrumError
+from repro.calculus.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Membership,
+    Not,
+    Or,
+    PredicateAtom,
+)
+from repro.calculus.query import CalculusQuery
+from repro.calculus.typing import term_type
+from repro.types.set_height import set_height
+from repro.types.type_system import ComplexType
+
+
+def formula_order(formula: Formula, scope: Mapping[str, ComplexType]) -> int:
+    """The order of *formula* given types for its free variables."""
+    if isinstance(formula, Equals):
+        return 1
+    if isinstance(formula, PredicateAtom):
+        return 1
+    if isinstance(formula, Membership):
+        container_type = term_type(formula.container, scope)
+        return max(2 * set_height(container_type) - 1, 1)
+    if isinstance(formula, Not):
+        return formula_order(formula.operand, scope)
+    if isinstance(formula, (And, Or, Implies)):
+        return max(formula_order(formula.left, scope), formula_order(formula.right, scope))
+    if isinstance(formula, (Exists, Forall)):
+        inner_scope = dict(scope)
+        inner_scope[formula.variable] = formula.variable_type
+        return max(
+            2 * set_height(formula.variable_type),
+            formula_order(formula.body, inner_scope),
+        )
+    raise SpectrumError(f"unknown formula class {type(formula).__name__}")
+
+
+def query_order(query: CalculusQuery) -> int:
+    """The order of a query's formula (the target variable typed as declared)."""
+    return formula_order(query.formula, {query.target_variable: query.target_type})

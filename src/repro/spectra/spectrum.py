@@ -1,0 +1,90 @@
+"""Executable spectra: cardinality vectors on which a query is satisfiable.
+
+The spectrum of a b-formula (Section 5) is the set of cardinality vectors of
+its basic domains that admit a satisfying interpretation.  Our executable
+counterpart works with calculus queries over schemas whose predicates all
+have type ``U``: because queries are generic, only the cardinalities of the
+predicate instances matter (up to their overlap pattern), so evaluating on
+*canonical* pairwise-disjoint instances of the requested sizes computes the
+spectrum restricted to disjoint domains — exactly the many-sorted setting of
+Bennett's theorem.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from itertools import product
+
+from repro.errors import SpectrumError
+from repro.calculus.evaluation import EvaluationSettings, evaluate_query
+from repro.calculus.query import CalculusQuery
+from repro.objects.instance import DatabaseInstance
+from repro.types.type_system import U
+
+
+def canonical_database(query: CalculusQuery, sizes: tuple[int, ...]) -> DatabaseInstance:
+    """A database with pairwise-disjoint unary instances of the given sizes.
+
+    The ``j``-th predicate receives the atoms ``d<j>_0 .. d<j>_{k_j - 1}``.
+    Requires every predicate of the query's schema to have type ``U``.
+    """
+    schema = query.schema
+    if len(sizes) != len(schema.predicate_names):
+        raise SpectrumError(
+            f"expected {len(schema.predicate_names)} sizes (one per predicate), got {len(sizes)}"
+        )
+    assignments = {}
+    for index, declaration in enumerate(schema):
+        if declaration.type != U:
+            raise SpectrumError(
+                f"spectrum computation requires unary (type U) predicates; "
+                f"{declaration.name!r} has type {declaration.type}"
+            )
+        assignments[declaration.name] = [f"d{index}_{k}" for k in range(sizes[index])]
+    return DatabaseInstance(schema, assignments)
+
+
+def cardinality_spectrum(
+    query: CalculusQuery,
+    max_size: int,
+    settings: EvaluationSettings | None = None,
+    nonempty: Callable[[frozenset], bool] | None = None,
+) -> frozenset[tuple[int, ...]]:
+    """All size vectors ``(k_1, ..., k_s)`` with ``k_j <= max_size`` in the spectrum.
+
+    A vector is in the spectrum iff the query's answer on the canonical
+    database of those sizes is non-empty (or satisfies the custom *nonempty*
+    predicate over the answer's value set).
+    """
+    if max_size < 0:
+        raise SpectrumError(f"max_size must be non-negative, got {max_size}")
+    predicate_count = len(query.schema.predicate_names)
+    accept = nonempty or (lambda values: len(values) > 0)
+    spectrum: set[tuple[int, ...]] = set()
+    for sizes in product(range(max_size + 1), repeat=predicate_count):
+        database = canonical_database(query, sizes)
+        answer = evaluate_query(query, database, settings)
+        if accept(answer.values):
+            spectrum.add(sizes)
+    return frozenset(spectrum)
+
+
+def spectrum_of_predicate(predicate: Callable[[tuple[int, ...]], bool], arity: int, max_size: int) -> frozenset[tuple[int, ...]]:
+    """The spectrum described *extensionally* by a Python predicate on size vectors.
+
+    Used as ground truth to compare an executable query spectrum against,
+    e.g. ``spectrum_of_predicate(lambda v: v[0] % 2 == 0, 1, 8)`` for the
+    even-cardinality query.
+    """
+    if arity < 1:
+        raise SpectrumError(f"arity must be at least 1, got {arity}")
+    result = set()
+    for sizes in product(range(max_size + 1), repeat=arity):
+        if predicate(sizes):
+            result.add(sizes)
+    return frozenset(result)
+
+
+def iter_spectrum_members(spectrum: frozenset[tuple[int, ...]]) -> Iterator[tuple[int, ...]]:
+    """Deterministic iteration order over a spectrum (sorted vectors)."""
+    yield from sorted(spectrum)

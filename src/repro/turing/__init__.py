@@ -1,0 +1,46 @@
+"""Turing machine substrate (the complexity yardstick of Sections 4 and 6).
+
+The paper measures query complexity with Turing machines and encodes their
+computations into complex objects of type ``{[T, T, U, U]}`` (Figure 2 /
+Example 3.5).  This package provides deterministic and nondeterministic
+machines, runners, a few standard machines, and the encoding/decoding of
+computations into complex-object values.
+"""
+
+from repro.turing.machine import (
+    Configuration,
+    RunResult,
+    Transition,
+    TuringMachine,
+    run_machine,
+)
+from repro.turing.builders import (
+    binary_increment_machine,
+    even_zeros_machine,
+    halting_loop_machine,
+    palindrome_machine,
+    unary_parity_machine,
+)
+from repro.turing.encoding import (
+    ComputationEncoding,
+    decode_computation,
+    encode_computation,
+    verify_encoding,
+)
+
+__all__ = [
+    "Configuration",
+    "RunResult",
+    "Transition",
+    "TuringMachine",
+    "run_machine",
+    "binary_increment_machine",
+    "even_zeros_machine",
+    "halting_loop_machine",
+    "palindrome_machine",
+    "unary_parity_machine",
+    "ComputationEncoding",
+    "decode_computation",
+    "encode_computation",
+    "verify_encoding",
+]

@@ -1,0 +1,171 @@
+"""A small library of concrete Turing machines used in tests and benchmarks."""
+
+from __future__ import annotations
+
+from repro.turing.machine import BLANK, LEFT, RIGHT, STAY, Transition, TuringMachine
+
+
+def unary_parity_machine() -> TuringMachine:
+    """Accept unary strings ``a^n`` with ``n`` even.
+
+    The machine sweeps right flipping between two states; it accepts when it
+    reaches the blank in the "even" state.  This is the machine behind the
+    halting-style queries of Examples 6.14/6.17 restricted to a decidable
+    language (our executable stand-in for an arbitrary ``M`` on ``a^|I|``).
+    """
+    states = frozenset({"even", "odd", "accept", "reject"})
+    transitions = {
+        ("even", "a"): Transition("a", RIGHT, "odd"),
+        ("odd", "a"): Transition("a", RIGHT, "even"),
+        ("even", BLANK): Transition(BLANK, STAY, "accept"),
+        ("odd", BLANK): Transition(BLANK, STAY, "reject"),
+    }
+    return TuringMachine(
+        name="unary_parity",
+        states=states,
+        input_alphabet=frozenset({"a"}),
+        tape_alphabet=frozenset({"a", BLANK}),
+        transitions=transitions,
+        start_state="even",
+        accept_states=frozenset({"accept"}),
+        reject_states=frozenset({"reject"}),
+    )
+
+
+def even_zeros_machine() -> TuringMachine:
+    """Accept binary strings containing an even number of ``0`` symbols."""
+    states = frozenset({"even", "odd", "accept", "reject"})
+    transitions = {
+        ("even", "0"): Transition("0", RIGHT, "odd"),
+        ("odd", "0"): Transition("0", RIGHT, "even"),
+        ("even", "1"): Transition("1", RIGHT, "even"),
+        ("odd", "1"): Transition("1", RIGHT, "odd"),
+        ("even", BLANK): Transition(BLANK, STAY, "accept"),
+        ("odd", BLANK): Transition(BLANK, STAY, "reject"),
+    }
+    return TuringMachine(
+        name="even_zeros",
+        states=states,
+        input_alphabet=frozenset({"0", "1"}),
+        tape_alphabet=frozenset({"0", "1", BLANK}),
+        transitions=transitions,
+        start_state="even",
+        accept_states=frozenset({"accept"}),
+        reject_states=frozenset({"reject"}),
+    )
+
+
+def palindrome_machine() -> TuringMachine:
+    """Accept binary palindromes (the classic quadratic-time zig-zag machine)."""
+    states = frozenset(
+        {
+            "start",
+            "have0",
+            "have1",
+            "seek_end0",
+            "seek_end1",
+            "check0",
+            "check1",
+            "rewind",
+            "accept",
+            "reject",
+        }
+    )
+    t = {}
+    # Read and erase the leftmost symbol.
+    t[("start", "0")] = Transition(BLANK, RIGHT, "seek_end0")
+    t[("start", "1")] = Transition(BLANK, RIGHT, "seek_end1")
+    t[("start", BLANK)] = Transition(BLANK, STAY, "accept")
+    # Move to the right end.
+    for symbol in ("0", "1"):
+        t[("seek_end0", symbol)] = Transition(symbol, RIGHT, "seek_end0")
+        t[("seek_end1", symbol)] = Transition(symbol, RIGHT, "seek_end1")
+    t[("seek_end0", BLANK)] = Transition(BLANK, LEFT, "check0")
+    t[("seek_end1", BLANK)] = Transition(BLANK, LEFT, "check1")
+    # Check the rightmost symbol matches, erase it.
+    t[("check0", "0")] = Transition(BLANK, LEFT, "rewind")
+    t[("check0", "1")] = Transition("1", STAY, "reject")
+    t[("check0", BLANK)] = Transition(BLANK, STAY, "accept")
+    t[("check1", "1")] = Transition(BLANK, LEFT, "rewind")
+    t[("check1", "0")] = Transition("0", STAY, "reject")
+    t[("check1", BLANK)] = Transition(BLANK, STAY, "accept")
+    # Move back to the left end.
+    for symbol in ("0", "1"):
+        t[("rewind", symbol)] = Transition(symbol, LEFT, "rewind")
+    t[("rewind", BLANK)] = Transition(BLANK, RIGHT, "start")
+    return TuringMachine(
+        name="palindrome",
+        states=states,
+        input_alphabet=frozenset({"0", "1"}),
+        tape_alphabet=frozenset({"0", "1", BLANK}),
+        transitions=t,
+        start_state="start",
+        accept_states=frozenset({"accept"}),
+        reject_states=frozenset({"reject"}),
+    )
+
+
+def binary_increment_machine() -> TuringMachine:
+    """Compute the successor of a binary number written most-significant-bit first.
+
+    The machine moves to the rightmost bit and propagates a carry leftwards;
+    it is the simplest machine whose *output tape* (not just accept/reject)
+    matters, used by the terminal-invention experiments (Theorem 6.19) where
+    a query must reproduce a machine's output.
+    """
+    states = frozenset({"right", "carry", "done", "accept"})
+    t = {
+        ("right", "0"): Transition("0", RIGHT, "right"),
+        ("right", "1"): Transition("1", RIGHT, "right"),
+        ("right", BLANK): Transition(BLANK, LEFT, "carry"),
+        ("carry", "0"): Transition("1", STAY, "done"),
+        ("carry", "1"): Transition("0", LEFT, "carry"),
+        ("carry", BLANK): Transition("1", STAY, "done"),
+        ("done", "0"): Transition("0", STAY, "accept"),
+        ("done", "1"): Transition("1", STAY, "accept"),
+    }
+    return TuringMachine(
+        name="binary_increment",
+        states=states,
+        input_alphabet=frozenset({"0", "1"}),
+        tape_alphabet=frozenset({"0", "1", BLANK}),
+        transitions=t,
+        start_state="right",
+        accept_states=frozenset({"accept"}),
+    )
+
+
+def halting_loop_machine(loop_forever: bool) -> TuringMachine:
+    """A machine that either halts immediately or loops forever on every input.
+
+    Used by the invention experiments (Example 6.14) as the two extreme cases
+    of "does M halt on a^|I|": with ``loop_forever=False`` the machine accepts
+    in one step; with ``loop_forever=True`` it bounces between two states
+    forever (so any step-bounded simulation reports "not halted yet").
+    """
+    states = frozenset({"start", "ping", "pong", "accept"})
+    if loop_forever:
+        transitions = {
+            ("start", "a"): Transition("a", STAY, "ping"),
+            ("start", BLANK): Transition(BLANK, STAY, "ping"),
+            ("ping", "a"): Transition("a", STAY, "pong"),
+            ("ping", BLANK): Transition(BLANK, STAY, "pong"),
+            ("pong", "a"): Transition("a", STAY, "ping"),
+            ("pong", BLANK): Transition(BLANK, STAY, "ping"),
+        }
+        name = "loop_forever"
+    else:
+        transitions = {
+            ("start", "a"): Transition("a", STAY, "accept"),
+            ("start", BLANK): Transition(BLANK, STAY, "accept"),
+        }
+        name = "halt_immediately"
+    return TuringMachine(
+        name=name,
+        states=states,
+        input_alphabet=frozenset({"a"}),
+        tape_alphabet=frozenset({"a", BLANK}),
+        transitions=transitions,
+        start_state="start",
+        accept_states=frozenset({"accept"}),
+    )

@@ -1,0 +1,251 @@
+"""Encoding Turing machine computations as complex objects (Figure 2 / Example 3.5).
+
+A computation of a machine ``M`` is encoded as a value of type
+``{[T, T, U, U]}``: a set of tuples ``(t, p, r, s)`` meaning that at step
+``t`` the ``p``-th tape square holds symbol ``r``, and ``s`` is the current
+state if the head is on square ``p`` (the placeholder ``"-"`` otherwise).
+The step and position indices ``t, p`` range over an *index sequence* — in
+the paper this is the constructive domain ``cons_A(T)`` equipped with a
+total order (the ORD formula of Example 3.4); here the caller passes the
+ordered index values explicitly, either drawn from a constructive domain or
+freshly invented (Section 6).
+
+The paper's formula ``COMP_{M,T}`` asserts inside the calculus that such a
+set really encodes a halting computation.  Evaluating that formula by brute
+force would require enumerating all subsets of the four-column table, which
+is astronomically infeasible even for toy machines, so this module provides
+the *programmatic* checker :func:`verify_encoding` — the executable content
+of COMP — and documents the substitution in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import TuringMachineError
+from repro.objects.constructive import iter_constructive_domain
+from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
+from repro.turing.machine import BLANK, Configuration, RunResult, TuringMachine
+from repro.types.type_system import ComplexType, SetType, TupleType, U
+
+#: The placeholder used in the fourth column when the head is elsewhere.
+NO_HEAD = "-"
+
+
+@dataclass(frozen=True)
+class ComputationEncoding:
+    """A computation encoded into the complex-object model.
+
+    Attributes
+    ----------
+    value:
+        The set value of type ``{[T, T, U, U]}`` holding the encoding.
+    index_values:
+        The ordered index sequence used for steps and positions.
+    steps:
+        Number of configurations encoded (final step index + 1).
+    positions:
+        Number of tape squares encoded per configuration.
+    """
+
+    value: SetValue
+    index_values: tuple[ComplexValue, ...]
+    steps: int
+    positions: int
+
+    @property
+    def tuple_count(self) -> int:
+        """Number of 4-tuples in the encoding (steps × positions)."""
+        return len(self.value)
+
+    def encoding_type(self, index_type: ComplexType) -> SetType:
+        """The type ``{[T, T, U, U]}`` of :attr:`value` for the given index type."""
+        return SetType(TupleType([index_type, index_type, U, U], strict=False))
+
+
+def default_index_values(atoms: Sequence[object], index_type: ComplexType, count: int) -> list[ComplexValue]:
+    """The first *count* values of ``cons_atoms(index_type)`` in enumeration order.
+
+    This plays the role of the ordered index set provided by ``ORD_T`` in
+    Example 3.5: a deterministic total order on the constructive domain.
+    Raises if the constructive domain is too small — which is exactly the
+    situation the paper's hyp(w, a, i) bound describes.
+    """
+    values: list[ComplexValue] = []
+    for value in iter_constructive_domain(index_type, atoms):
+        values.append(value)
+        if len(values) == count:
+            return values
+    raise TuringMachineError(
+        f"the constructive domain of {index_type} over {len(set(atoms))} atoms has only "
+        f"{len(values)} elements; {count} index values are required to encode the computation"
+    )
+
+
+def invented_index_values(count: int, prefix: str = "idx") -> list[ComplexValue]:
+    """Fresh atomic index values, the Section 6 alternative to a big index type."""
+    return [Atom(f"{prefix}{i}") for i in range(count)]
+
+
+def encode_computation(
+    run: RunResult, index_values: Sequence[ComplexValue]
+) -> ComputationEncoding:
+    """Encode the configuration history of a run as a ``{[T,T,U,U]}`` value."""
+    history = run.history
+    if not history:
+        raise TuringMachineError("cannot encode a run with an empty history")
+    steps = len(history)
+    positions = max(max(len(c.tape), c.head + 1) for c in history)
+    needed = max(steps, positions)
+    if len(index_values) < needed:
+        raise TuringMachineError(
+            f"{needed} index values are needed (steps={steps}, positions={positions}) "
+            f"but only {len(index_values)} were supplied"
+        )
+    tuples = []
+    for time_index, configuration in enumerate(history):
+        for position in range(positions):
+            symbol = configuration.tape_symbol(position)
+            state = configuration.state if configuration.head == position else NO_HEAD
+            tuples.append(
+                TupleValue(
+                    [
+                        index_values[time_index],
+                        index_values[position],
+                        Atom(symbol),
+                        Atom(state),
+                    ]
+                )
+            )
+    return ComputationEncoding(
+        value=SetValue(tuples),
+        index_values=tuple(index_values),
+        steps=steps,
+        positions=positions,
+    )
+
+
+def decode_computation(
+    encoding: ComputationEncoding,
+) -> list[Configuration]:
+    """Rebuild the configuration history from an encoding.
+
+    Raises :class:`TuringMachineError` if the encoding is malformed (missing
+    cells, several states per step, duplicate (step, position) keys, ...).
+    """
+    index_position = {value: i for i, value in enumerate(encoding.index_values)}
+    cells: dict[tuple[int, int], tuple[str, str]] = {}
+    for element in encoding.value:
+        if not isinstance(element, TupleValue) or element.arity != 4:
+            raise TuringMachineError(f"encoding element {element} is not a 4-tuple")
+        time_value, position_value, symbol_value, state_value = element.components
+        if time_value not in index_position or position_value not in index_position:
+            raise TuringMachineError(
+                f"encoding element {element} uses an index value outside the index sequence"
+            )
+        if not isinstance(symbol_value, Atom) or not isinstance(state_value, Atom):
+            raise TuringMachineError(f"encoding element {element} has non-atomic symbol or state")
+        key = (index_position[time_value], index_position[position_value])
+        if key in cells:
+            raise TuringMachineError(
+                f"the (step, position) pair {key} occurs twice in the encoding — the first two "
+                "columns must form a key"
+            )
+        cells[key] = (str(symbol_value.value), str(state_value.value))
+
+    steps = encoding.steps
+    positions = encoding.positions
+    configurations: list[Configuration] = []
+    for time_index in range(steps):
+        tape: list[str] = []
+        head: int | None = None
+        state: str | None = None
+        for position in range(positions):
+            if (time_index, position) not in cells:
+                raise TuringMachineError(
+                    f"the encoding is missing the cell for step {time_index}, position {position}"
+                )
+            symbol, cell_state = cells[(time_index, position)]
+            tape.append(symbol)
+            if cell_state != NO_HEAD:
+                if state is not None:
+                    raise TuringMachineError(
+                        f"step {time_index} records the head on two positions ({head} and {position})"
+                    )
+                head = position
+                state = cell_state
+        if state is None or head is None:
+            raise TuringMachineError(f"step {time_index} records no head position")
+        configurations.append(Configuration(tape=tuple(tape), head=head, state=state, step=time_index))
+    return configurations
+
+
+def verify_encoding(
+    machine: TuringMachine,
+    encoding: ComputationEncoding,
+    input_string: Sequence[str] | str,
+    require_halting: bool = True,
+) -> bool:
+    """The programmatic ``COMP_{M,T}`` check of Example 3.5.
+
+    Returns True iff the encoding is well formed, starts from the initial
+    configuration of *machine* on *input_string*, every consecutive pair of
+    configurations is a legal move of *machine*, and (if *require_halting*)
+    the final state is an accept or reject state or has no applicable
+    transition.
+    """
+    try:
+        configurations = decode_computation(encoding)
+    except TuringMachineError:
+        return False
+    if not configurations:
+        return False
+
+    first = configurations[0]
+    expected_input = list(input_string)
+    observed_input = list(first.tape[: len(expected_input)]) if expected_input else []
+    if observed_input != expected_input:
+        return False
+    if any(symbol != BLANK for symbol in first.tape[len(expected_input):]):
+        return False
+    if first.head != 0 or first.state != machine.start_state:
+        return False
+
+    for before, after in zip(configurations, configurations[1:]):
+        if not _is_legal_move(machine, before, after):
+            return False
+
+    last = configurations[-1]
+    if require_halting:
+        halted = (
+            last.state in machine.accept_states
+            or last.state in machine.reject_states
+            or not machine.transition_options(last.state, last.tape_symbol(last.head))
+        )
+        if not halted:
+            return False
+    return True
+
+
+def _is_legal_move(machine: TuringMachine, before: Configuration, after: Configuration) -> bool:
+    options = machine.transition_options(before.state, before.tape_symbol(before.head))
+    width = max(len(before.tape), len(after.tape), before.head + 2, after.head + 2)
+    before_tape = [before.tape_symbol(i) for i in range(width)]
+    after_tape = [after.tape_symbol(i) for i in range(width)]
+    for option in options:
+        expected = list(before_tape)
+        expected[before.head] = option.write
+        if option.move == "R":
+            expected_head = before.head + 1
+        elif option.move == "L":
+            expected_head = max(before.head - 1, 0)
+        else:
+            expected_head = before.head
+        if (
+            after.state == option.next_state
+            and after_tape == expected
+            and after.head == expected_head
+        ):
+            return True
+    return False

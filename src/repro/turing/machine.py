@@ -1,0 +1,235 @@
+"""Single-tape Turing machines: definitions and runners.
+
+Machines are deterministic unless several transitions share the same
+(state, symbol) key, in which case :func:`run_machine` refuses and
+:func:`accepts_nondeterministically` explores the computation tree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import TuringMachineError
+
+#: The blank tape symbol.
+BLANK = "_"
+
+#: Head movement directions.
+LEFT, RIGHT, STAY = "L", "R", "S"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One transition: write *write*, move *move*, go to *next_state*."""
+
+    write: str
+    move: str
+    next_state: str
+
+    def __post_init__(self) -> None:
+        if self.move not in (LEFT, RIGHT, STAY):
+            raise TuringMachineError(f"move must be one of L/R/S, got {self.move!r}")
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A machine configuration: tape contents, head position, state and time."""
+
+    tape: tuple[str, ...]
+    head: int
+    state: str
+    step: int
+
+    def tape_symbol(self, position: int) -> str:
+        if 0 <= position < len(self.tape):
+            return self.tape[position]
+        return BLANK
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The outcome of a (deterministic) run."""
+
+    halted: bool
+    accepted: bool
+    steps: int
+    final_configuration: Configuration
+    history: tuple[Configuration, ...]
+
+    @property
+    def output(self) -> str:
+        """The non-blank prefix of the final tape, as a string."""
+        symbols = list(self.final_configuration.tape)
+        while symbols and symbols[-1] == BLANK:
+            symbols.pop()
+        return "".join(symbols)
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A single-tape Turing machine.
+
+    ``transitions`` maps ``(state, symbol)`` to one :class:`Transition`
+    (deterministic) or a tuple of them (nondeterministic).  Any missing key
+    halts the machine; it accepts iff it halts in a state in
+    ``accept_states``.
+    """
+
+    name: str
+    states: frozenset[str]
+    input_alphabet: frozenset[str]
+    tape_alphabet: frozenset[str]
+    transitions: Mapping[tuple[str, str], Transition | tuple[Transition, ...]]
+    start_state: str
+    accept_states: frozenset[str]
+    reject_states: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.start_state not in self.states:
+            raise TuringMachineError(f"start state {self.start_state!r} is not a declared state")
+        unknown_accept = self.accept_states - self.states
+        if unknown_accept:
+            raise TuringMachineError(f"accept states {sorted(unknown_accept)} are not declared")
+        if BLANK not in self.tape_alphabet:
+            raise TuringMachineError("the tape alphabet must contain the blank symbol '_'")
+        if not self.input_alphabet <= self.tape_alphabet:
+            raise TuringMachineError("the input alphabet must be a subset of the tape alphabet")
+        for (state, symbol), value in self.transitions.items():
+            if state not in self.states:
+                raise TuringMachineError(f"transition from undeclared state {state!r}")
+            if symbol not in self.tape_alphabet:
+                raise TuringMachineError(f"transition on undeclared symbol {symbol!r}")
+            options = value if isinstance(value, tuple) else (value,)
+            for option in options:
+                if option.next_state not in self.states:
+                    raise TuringMachineError(
+                        f"transition targets undeclared state {option.next_state!r}"
+                    )
+                if option.write not in self.tape_alphabet:
+                    raise TuringMachineError(f"transition writes undeclared symbol {option.write!r}")
+
+    @property
+    def is_deterministic(self) -> bool:
+        return all(not isinstance(value, tuple) or len(value) == 1 for value in self.transitions.values())
+
+    def transition_options(self, state: str, symbol: str) -> tuple[Transition, ...]:
+        value = self.transitions.get((state, symbol))
+        if value is None:
+            return ()
+        return value if isinstance(value, tuple) else (value,)
+
+
+def initial_configuration(machine: TuringMachine, input_string: Sequence[str]) -> Configuration:
+    """The start configuration over *input_string* (head on the first cell)."""
+    for symbol in input_string:
+        if symbol not in machine.input_alphabet:
+            raise TuringMachineError(
+                f"input symbol {symbol!r} is not in the input alphabet of {machine.name}"
+            )
+    tape = tuple(input_string) if input_string else (BLANK,)
+    return Configuration(tape=tape, head=0, state=machine.start_state, step=0)
+
+
+def step(machine: TuringMachine, configuration: Configuration, transition: Transition) -> Configuration:
+    """Apply one transition to a configuration."""
+    tape = list(configuration.tape)
+    head = configuration.head
+    # Grow the tape lazily in both directions.
+    if head >= len(tape):
+        tape.extend([BLANK] * (head - len(tape) + 1))
+    tape[head] = transition.write
+    if transition.move == RIGHT:
+        head += 1
+        if head >= len(tape):
+            tape.append(BLANK)
+    elif transition.move == LEFT:
+        if head == 0:
+            tape.insert(0, BLANK)
+        else:
+            head -= 1
+    return Configuration(
+        tape=tuple(tape), head=head, state=transition.next_state, step=configuration.step + 1
+    )
+
+
+def run_machine(
+    machine: TuringMachine,
+    input_string: Sequence[str] | str,
+    max_steps: int = 100_000,
+    record_history: bool = True,
+) -> RunResult:
+    """Run a deterministic machine, recording the configuration history.
+
+    Raises :class:`TuringMachineError` if the machine is nondeterministic or
+    exceeds *max_steps* without halting (so a looping machine is reported,
+    not run forever).
+    """
+    if not machine.is_deterministic:
+        raise TuringMachineError(
+            f"machine {machine.name!r} is nondeterministic; use accepts_nondeterministically"
+        )
+    configuration = initial_configuration(machine, list(input_string))
+    history = [configuration] if record_history else []
+    for _ in range(max_steps):
+        if configuration.state in machine.accept_states or configuration.state in machine.reject_states:
+            break
+        options = machine.transition_options(
+            configuration.state, configuration.tape_symbol(configuration.head)
+        )
+        if not options:
+            break
+        configuration = step(machine, configuration, options[0])
+        if record_history:
+            history.append(configuration)
+    else:
+        raise TuringMachineError(
+            f"machine {machine.name!r} did not halt within {max_steps} steps"
+        )
+    accepted = configuration.state in machine.accept_states
+    return RunResult(
+        halted=True,
+        accepted=accepted,
+        steps=configuration.step,
+        final_configuration=configuration,
+        history=tuple(history) if record_history else (configuration,),
+    )
+
+
+def halts_within(machine: TuringMachine, input_string: Sequence[str] | str, max_steps: int) -> bool:
+    """True iff the deterministic machine halts within *max_steps* steps."""
+    try:
+        run_machine(machine, input_string, max_steps=max_steps, record_history=False)
+        return True
+    except TuringMachineError:
+        return False
+
+
+def accepts_nondeterministically(
+    machine: TuringMachine,
+    input_string: Sequence[str] | str,
+    max_steps: int = 10_000,
+    max_branches: int = 100_000,
+) -> bool:
+    """Breadth-first acceptance check for a (possibly) nondeterministic machine."""
+    from collections import deque
+
+    queue = deque([initial_configuration(machine, list(input_string))])
+    explored = 0
+    while queue:
+        configuration = queue.popleft()
+        explored += 1
+        if explored > max_branches:
+            raise TuringMachineError(
+                f"nondeterministic exploration exceeded {max_branches} configurations"
+            )
+        if configuration.state in machine.accept_states:
+            return True
+        if configuration.state in machine.reject_states or configuration.step >= max_steps:
+            continue
+        options = machine.transition_options(
+            configuration.state, configuration.tape_symbol(configuration.head)
+        )
+        for option in options:
+            queue.append(step(machine, configuration, option))
+    return False

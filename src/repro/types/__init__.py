@@ -1,0 +1,54 @@
+"""The complex-object type system of Hull & Su (Section 2 of the paper).
+
+Types are built from the atomic type ``U`` with the set constructor ``{T}``
+and the tuple constructor ``[T1, ..., Tn]``.  This package provides:
+
+* the type classes (:class:`AtomicType`, :class:`SetType`, :class:`TupleType`),
+* the set-height function ``sh`` and the partition ``tau_i`` of types,
+* the collapse transformation removing consecutive tuple constructors,
+* a parser and pretty printer for textual type expressions,
+* database schemas (named sequences of typed predicates), and
+* the universal types ``T_univ`` of Section 6.
+"""
+
+from repro.types.type_system import (
+    AtomicType,
+    ComplexType,
+    SetType,
+    TupleType,
+    U,
+    is_type,
+    set_type,
+    tuple_type,
+)
+from repro.types.set_height import is_flat, set_height, tau, types_of_height_upto
+from repro.types.collapse import collapse, has_consecutive_tuples
+from repro.types.parser import parse_type
+from repro.types.printer import format_type, type_tree
+from repro.types.schema import DatabaseSchema, PredicateDeclaration
+from repro.types.universal import T_UNIV, T_UNIV_BINARY, universal_type
+
+__all__ = [
+    "AtomicType",
+    "ComplexType",
+    "SetType",
+    "TupleType",
+    "U",
+    "is_type",
+    "set_type",
+    "tuple_type",
+    "is_flat",
+    "set_height",
+    "tau",
+    "types_of_height_upto",
+    "collapse",
+    "has_consecutive_tuples",
+    "parse_type",
+    "format_type",
+    "type_tree",
+    "DatabaseSchema",
+    "PredicateDeclaration",
+    "T_UNIV",
+    "T_UNIV_BINARY",
+    "universal_type",
+]

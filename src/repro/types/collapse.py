@@ -1,0 +1,75 @@
+"""The collapse transformation on types (Section 2 of the paper).
+
+The formal definition of types forbids consecutive application of the tuple
+constructor, but the paper sometimes builds informal "types" such as
+``[[U, U], U]``.  The *collapse* of such an expression flattens nested tuple
+nodes into a single tuple node, preserving information capacity.  For
+example ``[[U, U], U]`` collapses to ``[U, U, U]`` and
+``[{[U, [U, U]]}, U]`` collapses to ``[{[U, U, U]}, U]``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeSystemError
+from repro.types.type_system import AtomicType, ComplexType, SetType, TupleType
+
+
+def has_consecutive_tuples(type_: ComplexType) -> bool:
+    """True iff *type_* contains a tuple node with a tuple child."""
+    for node in type_.walk():
+        if isinstance(node, TupleType):
+            if any(isinstance(child, TupleType) for child in node.component_types):
+                return True
+    return False
+
+
+def collapse(type_: ComplexType) -> ComplexType:
+    """Return the collapse of *type_*: a formal type with no consecutive tuples.
+
+    The transformation is applied bottom-up:
+
+    * atomic and set nodes are rebuilt over collapsed children;
+    * a tuple node whose (collapsed) children include tuple nodes is replaced
+      by a single tuple node whose components are the concatenation, in
+      order, of the children's components (splicing the nested tuples).
+    """
+    if isinstance(type_, AtomicType):
+        return type_
+    if isinstance(type_, SetType):
+        return SetType(collapse(type_.element_type))
+    if isinstance(type_, TupleType):
+        flattened: list[ComplexType] = []
+        for component in type_.component_types:
+            collapsed = collapse(component)
+            if isinstance(collapsed, TupleType):
+                flattened.extend(collapsed.component_types)
+            else:
+                flattened.append(collapsed)
+        return TupleType(flattened)
+    raise TypeSystemError(f"unknown type node {type(type_).__name__}")
+
+
+def collapse_coordinate_map(type_: ComplexType) -> list[tuple[int, ...]]:
+    """Map collapsed coordinates back to paths in the original tuple nesting.
+
+    For an (informal) tuple type, returns a list whose ``j``-th entry is the
+    sequence of 1-based coordinate selections in the *original* type that
+    reaches the ``j+1``-th component of the collapsed type.  For example, for
+    ``[[U, U], U]`` the map is ``[(1, 1), (1, 2), (2,)]``.
+
+    For a non-tuple type the map is empty.
+    """
+    if not isinstance(type_, TupleType):
+        return []
+
+    paths: list[tuple[int, ...]] = []
+
+    def descend(node: ComplexType, prefix: tuple[int, ...]) -> None:
+        if isinstance(node, TupleType):
+            for index, child in enumerate(node.component_types, start=1):
+                descend(child, prefix + (index,))
+        else:
+            paths.append(prefix)
+
+    descend(type_, ())
+    return paths

@@ -1,0 +1,92 @@
+"""A small parser for textual type expressions.
+
+Grammar (whitespace-insensitive)::
+
+    type   := "U" | set | tuple
+    set    := "{" type "}"
+    tuple  := "[" type ("," type)* "]"
+
+Examples: ``"U"``, ``"[U, U]"``, ``"{[U, U]}"``, ``"{{[U, U]}}"`` — the three
+types of Figure 1 are ``[U, U]``, ``{[U, U]}`` and ``{{[U, U]}}``.
+
+By default the parser enforces the formal restriction that tuple components
+may not themselves be tuples; ``parse_type(text, strict=False)`` accepts the
+informal notation, producing a type that should be collapsed before use.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeParseError
+from repro.types.type_system import ComplexType, SetType, TupleType, U
+
+
+def parse_type(text: str, strict: bool = True) -> ComplexType:
+    """Parse a textual type expression into a :class:`ComplexType`."""
+    parser = _TypeParser(text, strict=strict)
+    result = parser.parse()
+    return result
+
+
+class _TypeParser:
+    def __init__(self, text: str, strict: bool) -> None:
+        self._text = text
+        self._pos = 0
+        self._strict = strict
+
+    def parse(self) -> ComplexType:
+        result = self._parse_type()
+        self._skip_whitespace()
+        if self._pos != len(self._text):
+            raise TypeParseError(
+                f"unexpected trailing input at position {self._pos}: {self._text[self._pos:]!r}"
+            )
+        return result
+
+    def _parse_type(self) -> ComplexType:
+        self._skip_whitespace()
+        if self._pos >= len(self._text):
+            raise TypeParseError("unexpected end of input while parsing a type")
+        char = self._text[self._pos]
+        if char == "U":
+            self._pos += 1
+            return U
+        if char == "{":
+            return self._parse_set()
+        if char == "[":
+            return self._parse_tuple()
+        raise TypeParseError(
+            f"unexpected character {char!r} at position {self._pos} in {self._text!r}"
+        )
+
+    def _parse_set(self) -> SetType:
+        self._expect("{")
+        element = self._parse_type()
+        self._expect("}")
+        return SetType(element)
+
+    def _parse_tuple(self) -> TupleType:
+        self._expect("[")
+        components = [self._parse_type()]
+        self._skip_whitespace()
+        while self._pos < len(self._text) and self._text[self._pos] == ",":
+            self._pos += 1
+            components.append(self._parse_type())
+            self._skip_whitespace()
+        self._expect("]")
+        try:
+            return TupleType(components, strict=self._strict)
+        except Exception as exc:  # re-raise with parse context
+            raise TypeParseError(f"invalid tuple type in {self._text!r}: {exc}") from exc
+
+    def _expect(self, char: str) -> None:
+        self._skip_whitespace()
+        if self._pos >= len(self._text) or self._text[self._pos] != char:
+            found = self._text[self._pos] if self._pos < len(self._text) else "end of input"
+            raise TypeParseError(
+                f"expected {char!r} at position {self._pos}, found {found!r} in {self._text!r}"
+            )
+        self._pos += 1
+
+    def _skip_whitespace(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos].isspace():
+            self._pos += 1

@@ -1,0 +1,64 @@
+"""Pretty printing of types, including the tree rendering of Figure 1."""
+
+from __future__ import annotations
+
+from repro.errors import TypeSystemError
+from repro.types.type_system import AtomicType, ComplexType, SetType, TupleType
+
+
+def format_type(type_: ComplexType) -> str:
+    """Render *type_* in the paper's linear notation, e.g. ``"{[U, U]}"``."""
+    if isinstance(type_, AtomicType):
+        return "U"
+    if isinstance(type_, SetType):
+        return "{" + format_type(type_.element_type) + "}"
+    if isinstance(type_, TupleType):
+        return "[" + ", ".join(format_type(c) for c in type_.component_types) + "]"
+    raise TypeSystemError(f"unknown type node {type(type_).__name__}")
+
+
+def type_tree(type_: ComplexType, indent: str = "  ") -> str:
+    """Render *type_* as an indented tree, one node per line.
+
+    Figure 1 of the paper draws types as trees with leaf nodes for the basic
+    type and internal nodes for the set (``{}``) and tuple (``[]``)
+    constructors; this produces the same structure as text, e.g. for
+    ``{{[U, U]}}``::
+
+        {}
+          {}
+            []
+              U
+              U
+    """
+    lines: list[str] = []
+
+    def descend(node: ComplexType, depth: int) -> None:
+        prefix = indent * depth
+        if isinstance(node, AtomicType):
+            lines.append(f"{prefix}U")
+        elif isinstance(node, SetType):
+            lines.append(f"{prefix}{{}}")
+            descend(node.element_type, depth + 1)
+        elif isinstance(node, TupleType):
+            lines.append(f"{prefix}[]")
+            for child in node.component_types:
+                descend(child, depth + 1)
+        else:
+            raise TypeSystemError(f"unknown type node {type(node).__name__}")
+
+    descend(type_, 0)
+    return "\n".join(lines)
+
+
+def label_nodes(type_: ComplexType, prefix: str = "n") -> dict[str, ComplexType]:
+    """Assign stable labels to the nodes of a type tree (pre-order).
+
+    The universal-type encoding of Section 6 (Figure 3) identifies subobjects
+    by the *node identifier* of the type node they instantiate; this helper
+    provides those identifiers (``n0``, ``n1``, ...).
+    """
+    labels: dict[str, ComplexType] = {}
+    for index, node in enumerate(type_.walk()):
+        labels[f"{prefix}{index}"] = node
+    return labels

@@ -1,0 +1,118 @@
+"""Database schemas: named sequences of typed predicates (Section 2).
+
+A database schema is a sequence ``D = (P1: T1, ..., Pn: Tn)`` of distinct
+predicate names, each with an associated type.  A database *instance* of
+``D`` assigns to each ``Pi`` a finite set of objects of type ``Ti``
+(implemented in :mod:`repro.objects.instance`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.types.set_height import is_flat, set_height
+from repro.types.type_system import ComplexType
+
+
+@dataclass(frozen=True)
+class PredicateDeclaration:
+    """A single ``P : T`` entry of a database schema."""
+
+    name: str
+    type: ComplexType
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise SchemaError(f"predicate name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.type, ComplexType):
+            raise SchemaError(
+                f"predicate {self.name!r} must be declared with a ComplexType, "
+                f"got {type(self.type).__name__}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.type}"
+
+
+class DatabaseSchema:
+    """An ordered sequence of distinct predicate declarations."""
+
+    def __init__(self, declarations: Iterable[PredicateDeclaration | tuple[str, ComplexType]]) -> None:
+        normalised: list[PredicateDeclaration] = []
+        seen: set[str] = set()
+        for declaration in declarations:
+            if isinstance(declaration, tuple):
+                declaration = PredicateDeclaration(*declaration)
+            if not isinstance(declaration, PredicateDeclaration):
+                raise SchemaError(
+                    f"schema entries must be PredicateDeclaration or (name, type) pairs, "
+                    f"got {type(declaration).__name__}"
+                )
+            if declaration.name in seen:
+                raise SchemaError(f"duplicate predicate name {declaration.name!r} in schema")
+            seen.add(declaration.name)
+            normalised.append(declaration)
+        self._declarations = tuple(normalised)
+        self._by_name = {d.name: d for d in normalised}
+
+    @classmethod
+    def of(cls, **predicates: ComplexType) -> "DatabaseSchema":
+        """Convenience constructor: ``DatabaseSchema.of(PAR=tuple_type(U, U))``."""
+        return cls(list(predicates.items()))
+
+    @property
+    def declarations(self) -> tuple[PredicateDeclaration, ...]:
+        return self._declarations
+
+    @property
+    def predicate_names(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self._declarations)
+
+    @property
+    def types(self) -> tuple[ComplexType, ...]:
+        return tuple(d.type for d in self._declarations)
+
+    def type_of(self, predicate_name: str) -> ComplexType:
+        """The declared type of *predicate_name*."""
+        try:
+            return self._by_name[predicate_name].type
+        except KeyError:
+            raise SchemaError(
+                f"predicate {predicate_name!r} is not declared in this schema "
+                f"(declared: {', '.join(self.predicate_names) or 'none'})"
+            ) from None
+
+    def __contains__(self, predicate_name: object) -> bool:
+        return predicate_name in self._by_name
+
+    def __iter__(self) -> Iterator[PredicateDeclaration]:
+        return iter(self._declarations)
+
+    def __len__(self) -> int:
+        return len(self._declarations)
+
+    def as_mapping(self) -> Mapping[str, ComplexType]:
+        """Predicate name -> type mapping (a copy)."""
+        return {d.name: d.type for d in self._declarations}
+
+    def is_flat(self) -> bool:
+        """True iff every declared type has set-height 0 (a relational schema)."""
+        return all(is_flat(d.type) for d in self._declarations)
+
+    def set_height(self) -> int:
+        """Maximum set-height over the declared types (0 for an empty schema)."""
+        return max((set_height(d.type) for d in self._declarations), default=0)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DatabaseSchema) and self._declarations == other._declarations
+
+    def __hash__(self) -> int:
+        return hash(self._declarations)
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(d) for d in self._declarations) + ")"
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({str(self)})"

@@ -1,0 +1,87 @@
+"""Set-height of types and the partition ``tau_i`` (Section 2 of the paper).
+
+The set-height ``sh(T)`` of a type ``T`` is the maximum number of set nodes
+on any path of the type tree from root to leaf.  The families
+``tau_i = { T | sh(T) = i }`` partition the types; ``tau_0`` corresponds to
+relation schemas of the classical relational model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import TypeSystemError
+from repro.types.type_system import AtomicType, ComplexType, SetType, TupleType, U
+
+
+def set_height(type_: ComplexType) -> int:
+    """The set-height ``sh(T)``: maximum number of set nodes on a root-to-leaf path."""
+    if isinstance(type_, AtomicType):
+        return 0
+    if isinstance(type_, SetType):
+        return 1 + set_height(type_.element_type)
+    if isinstance(type_, TupleType):
+        return max(set_height(component) for component in type_.component_types)
+    raise TypeSystemError(f"unknown type node {type(type_).__name__}")
+
+
+def is_flat(type_: ComplexType) -> bool:
+    """True iff ``sh(T) = 0``, i.e. *type_* is a relational (flat) type."""
+    return set_height(type_) == 0
+
+
+def tau(i: int, type_: ComplexType) -> bool:
+    """True iff *type_* belongs to ``tau_i``, i.e. ``sh(T) = i``."""
+    if i < 0:
+        raise TypeSystemError(f"tau index must be non-negative, got {i}")
+    return set_height(type_) == i
+
+
+def types_of_height_upto(max_height: int, max_width: int, max_depth: int) -> Iterator[ComplexType]:
+    """Enumerate all types with set-height <= *max_height*.
+
+    The enumeration is restricted to tuple nodes of arity at most *max_width*
+    and type trees of depth at most *max_depth*; without such bounds the
+    family of types is infinite.  Used by the spectra and hierarchy
+    experiments to sweep candidate intermediate types.
+
+    Types are produced in (weakly) increasing structural size; no type is
+    produced twice.
+    """
+    if max_height < 0:
+        raise TypeSystemError(f"max_height must be non-negative, got {max_height}")
+    if max_width < 1:
+        raise TypeSystemError(f"max_width must be at least 1, got {max_width}")
+    if max_depth < 1:
+        raise TypeSystemError(f"max_depth must be at least 1, got {max_depth}")
+
+    from itertools import product
+
+    collected: list[ComplexType] = [U]
+    seen: set[ComplexType] = {U}
+
+    def consider(candidate: ComplexType, sink: list[ComplexType]) -> None:
+        if candidate not in seen and set_height(candidate) <= max_height:
+            seen.add(candidate)
+            sink.append(candidate)
+
+    for _ in range(2, max_depth + 1):
+        new_types: list[ComplexType] = []
+        pool = list(collected)
+        for inner in pool:
+            consider(SetType(inner), new_types)
+        # Tuple components must be basic or set types (no consecutive tuples).
+        component_pool = [t for t in pool if not isinstance(t, TupleType)]
+        for width in range(1, max_width + 1):
+            for combo in product(component_pool, repeat=width):
+                consider(TupleType(combo), new_types)
+        if not new_types:
+            break
+        collected.extend(new_types)
+
+    yield from collected
+
+
+def max_set_height(types: Iterable[ComplexType]) -> int:
+    """Maximum set-height over a collection of types (0 for an empty collection)."""
+    return max((set_height(t) for t in types), default=0)

@@ -1,0 +1,251 @@
+"""Core type classes for the complex-object model.
+
+Following the paper's definition (Section 2):
+
+* the symbol ``U`` is the basic (atomic) type;
+* if ``T`` is a type then ``{T}`` is a set type;
+* if ``T1, ..., Tn`` (n >= 1) are basic and/or set types then
+  ``[T1, ..., Tn]`` is a tuple type.
+
+The definition deliberately forbids consecutive application of the tuple
+constructor; "types" that use it can be normalised with
+:func:`repro.types.collapse.collapse`.  The constructors below enforce the
+restriction so that every constructed :class:`TupleType` is a type in the
+formal sense; use :func:`tuple_type` with ``strict=False`` (or build the
+components and call :func:`repro.types.collapse.collapse`) when modelling the
+informal "types with consecutive tuples" the paper occasionally uses.
+
+Types are immutable, hashable and compare structurally, so they can be used
+as dictionary keys throughout the calculus and algebra layers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from functools import total_ordering
+
+from repro.errors import TypeSystemError
+
+
+class ComplexType:
+    """Abstract base class of all complex-object types."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["ComplexType", ...]:
+        """Immediate child types (empty for the atomic type)."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["ComplexType"]:
+        """Yield this type and all of its descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def node_count(self) -> int:
+        """Number of nodes in the type tree."""
+        return sum(1 for _ in self.walk())
+
+    @property
+    def is_atomic(self) -> bool:
+        return isinstance(self, AtomicType)
+
+    @property
+    def is_set(self) -> bool:
+        return isinstance(self, SetType)
+
+    @property
+    def is_tuple(self) -> bool:
+        return isinstance(self, TupleType)
+
+    # Rendering is delegated to the printer module to keep this module small,
+    # but __repr__/__str__ must be importable without a cycle, so we inline a
+    # minimal renderer here.
+    def __str__(self) -> str:
+        if isinstance(self, AtomicType):
+            return "U"
+        if isinstance(self, SetType):
+            return "{" + str(self.element_type) + "}"
+        if isinstance(self, TupleType):
+            return "[" + ", ".join(str(c) for c in self.component_types) + "]"
+        raise TypeSystemError(f"unknown type node {type(self).__name__}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({str(self)!r})"
+
+
+@total_ordering
+class AtomicType(ComplexType):
+    """The basic type ``U`` whose domain is the universal atomic domain."""
+
+    __slots__ = ()
+
+    _instance: "AtomicType | None" = None
+
+    def __new__(cls) -> "AtomicType":
+        # The atomic type is a singleton: every occurrence of U is the same
+        # type, which keeps structural equality trivially correct.
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def children(self) -> tuple[ComplexType, ...]:
+        return ()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AtomicType)
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, ComplexType):
+            return NotImplemented
+        return _sort_key(self) < _sort_key(other)
+
+    def __hash__(self) -> int:
+        return hash("U")
+
+
+@total_ordering
+class SetType(ComplexType):
+    """A set type ``{T}`` over an element type ``T``."""
+
+    __slots__ = ("element_type",)
+
+    def __init__(self, element_type: ComplexType) -> None:
+        if not isinstance(element_type, ComplexType):
+            raise TypeSystemError(
+                f"set element type must be a ComplexType, got {type(element_type).__name__}"
+            )
+        object.__setattr__(self, "element_type", element_type)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SetType is immutable")
+
+    def children(self) -> tuple[ComplexType, ...]:
+        return (self.element_type,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetType) and self.element_type == other.element_type
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, ComplexType):
+            return NotImplemented
+        return _sort_key(self) < _sort_key(other)
+
+    def __hash__(self) -> int:
+        return hash(("set", self.element_type))
+
+
+@total_ordering
+class TupleType(ComplexType):
+    """A tuple type ``[T1, ..., Tn]`` with n >= 1 components.
+
+    By the formal definition each component must be a basic or set type
+    (never another tuple type).  Pass ``strict=False`` to allow tuple
+    components when modelling the informal notation; such "types" should be
+    normalised with :func:`repro.types.collapse.collapse` before being used
+    by the calculus.
+    """
+
+    __slots__ = ("component_types", "strict")
+
+    def __init__(self, component_types: Iterable[ComplexType], strict: bool = True) -> None:
+        components = tuple(component_types)
+        if not components:
+            raise TypeSystemError("tuple type requires at least one component")
+        for component in components:
+            if not isinstance(component, ComplexType):
+                raise TypeSystemError(
+                    f"tuple component must be a ComplexType, got {type(component).__name__}"
+                )
+            if strict and isinstance(component, TupleType):
+                raise TypeSystemError(
+                    "consecutive tuple constructors are not permitted in formal types; "
+                    "use tuple_type(..., strict=False) and collapse() for the informal notation"
+                )
+        object.__setattr__(self, "component_types", components)
+        object.__setattr__(self, "strict", strict)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TupleType is immutable")
+
+    @property
+    def arity(self) -> int:
+        """Number of components (the tuple's width at this node)."""
+        return len(self.component_types)
+
+    def component(self, index: int) -> ComplexType:
+        """Return the 1-based component type ``T_index`` (paper-style indexing)."""
+        if not 1 <= index <= self.arity:
+            raise TypeSystemError(
+                f"coordinate {index} out of range for tuple type of arity {self.arity}"
+            )
+        return self.component_types[index - 1]
+
+    def children(self) -> tuple[ComplexType, ...]:
+        return self.component_types
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TupleType) and self.component_types == other.component_types
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, ComplexType):
+            return NotImplemented
+        return _sort_key(self) < _sort_key(other)
+
+    def __hash__(self) -> int:
+        return hash(("tuple", self.component_types))
+
+
+#: The unique atomic type ``U``.
+U = AtomicType()
+
+
+def set_type(element_type: ComplexType) -> SetType:
+    """Construct the set type ``{element_type}``."""
+    return SetType(element_type)
+
+
+def tuple_type(*component_types: ComplexType, strict: bool = True) -> TupleType:
+    """Construct the tuple type ``[T1, ..., Tn]``.
+
+    ``tuple_type(U, U)`` is the binary-relation tuple type of Figure 1(a).
+    """
+    return TupleType(component_types, strict=strict)
+
+
+def is_type(value: object) -> bool:
+    """True iff *value* is a complex-object type."""
+    return isinstance(value, ComplexType)
+
+
+def relation_type(arity: int) -> TupleType:
+    """The flat tuple type ``[U, ..., U]`` of the given arity.
+
+    Every relation schema of the relational model corresponds to such a type
+    (Example 2.3 remarks that each type in ``tau_0`` corresponds to a
+    relation schema).
+    """
+    if arity < 1:
+        raise TypeSystemError(f"relation arity must be at least 1, got {arity}")
+    return TupleType([U] * arity)
+
+
+def max_tuple_width(type_: ComplexType) -> int:
+    """Maximum arity of any tuple node in *type_* (0 if there is none).
+
+    This is the quantity ``w`` in the paper's bound
+    ``|cons_A(T)| <= hyp(w, a, i)`` (Example 3.5 / Theorem 4.4).
+    """
+    widths = [node.arity for node in type_.walk() if isinstance(node, TupleType)]
+    return max(widths, default=0)
+
+
+def _sort_key(type_: ComplexType) -> tuple:
+    """A total order on types: atomic < set < tuple, then structurally."""
+    if isinstance(type_, AtomicType):
+        return (0,)
+    if isinstance(type_, SetType):
+        return (1, _sort_key(type_.element_type))
+    if isinstance(type_, TupleType):
+        return (2, len(type_.component_types), tuple(_sort_key(c) for c in type_.component_types))
+    raise TypeSystemError(f"unknown type node {type(type_).__name__}")

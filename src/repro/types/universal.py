@@ -1,0 +1,43 @@
+"""Universal types of Section 6.
+
+Under invented-value semantics the type ``T_univ = {[U, U, U, U]}`` can
+encode objects of every type (Lemma 6.5 / Example 6.6): each tuple
+``[node, id, coordinate, value]`` records that the subobject identified by
+``id`` (an instance of the type node ``node``) has *value* at *coordinate*
+(0 for non-tuple nodes).  Remark 6.8 notes the encoding can be refined to the
+binary universal type ``{[U, U]}``; we expose both.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeSystemError
+from repro.types.type_system import ComplexType, SetType, TupleType, U
+
+#: The universal type ``{[U, U, U, U]}`` used throughout Section 6.
+T_UNIV: SetType = SetType(TupleType([U, U, U, U]))
+
+#: The binary universal type ``{[U, U]}`` of Remark 6.8.
+T_UNIV_BINARY: SetType = SetType(TupleType([U, U]))
+
+#: The computation-encoding type ``{[U, U, U, U]}`` of Examples 3.5/6.3/6.14,
+#: structurally identical to ``T_UNIV`` but named separately for readability.
+T_COMPUTATION: SetType = T_UNIV
+
+
+def universal_type(width: int = 4) -> SetType:
+    """The universal type of the given tuple width (4 for ``T_univ``, 2 for binary)."""
+    if width < 2:
+        raise TypeSystemError(
+            f"a universal type needs tuple width at least 2, got {width}"
+        )
+    return SetType(TupleType([U] * width))
+
+
+def is_universal_type(type_: ComplexType) -> bool:
+    """True iff *type_* is ``{[U, ..., U]}`` for some width >= 2."""
+    if not isinstance(type_, SetType):
+        return False
+    element = type_.element_type
+    if not isinstance(element, TupleType) or element.arity < 2:
+        return False
+    return all(component is U or component == U for component in element.component_types)

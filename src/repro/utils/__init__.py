@@ -1,0 +1,11 @@
+"""Small utilities shared across the package."""
+
+from repro.utils.fresh import FreshValueSupply
+from repro.utils.iteration import bounded, cross_product, subsets_upto
+
+__all__ = [
+    "FreshValueSupply",
+    "bounded",
+    "cross_product",
+    "subsets_upto",
+]

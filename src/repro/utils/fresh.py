@@ -1,0 +1,64 @@
+"""Deterministic supplies of fresh atomic values.
+
+Invented-value semantics (Section 6 of the paper) need atomic values that do
+not occur in the database instance or the query.  The paper treats these as
+arbitrary elements of the countably infinite universe ``U``; any two choices
+of fresh values give isomorphic answers (Proposition 6.1), so a deterministic
+supply is sufficient and makes runs reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class FreshValueSupply:
+    """Generate atomic values guaranteed not to clash with a forbidden set.
+
+    Values are plain strings of the form ``"<prefix>0"``, ``"<prefix>1"``,
+    ... skipping any value in *forbidden*.
+
+    Parameters
+    ----------
+    forbidden:
+        Atomic values that must never be produced (typically the active
+        domain of the database and the query constants).
+    prefix:
+        Prefix for generated names; mostly useful to make traces readable
+        (``"inv"`` for invented values, ``"oid"`` for object identifiers).
+    """
+
+    def __init__(self, forbidden: Iterable[object] = (), prefix: str = "inv") -> None:
+        self._forbidden = set(forbidden)
+        self._prefix = prefix
+        self._next_index = 0
+        self._issued: list[str] = []
+
+    @property
+    def issued(self) -> tuple[str, ...]:
+        """All values issued so far, in order."""
+        return tuple(self._issued)
+
+    def forbid(self, values: Iterable[object]) -> None:
+        """Add more values to the forbidden set."""
+        self._forbidden.update(values)
+
+    def take(self) -> str:
+        """Return one fresh value."""
+        while True:
+            candidate = f"{self._prefix}{self._next_index}"
+            self._next_index += 1
+            if candidate not in self._forbidden:
+                self._forbidden.add(candidate)
+                self._issued.append(candidate)
+                return candidate
+
+    def take_many(self, count: int) -> list[str]:
+        """Return *count* distinct fresh values."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.take() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.take()

@@ -1,0 +1,77 @@
+"""Iteration helpers used by the enumeration-heavy parts of the library.
+
+The constructive domain of a type grows hyper-exponentially in its
+set-height, so every enumerator in the package is written as a generator and
+composed with :func:`bounded` to enforce explicit budgets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from itertools import combinations
+
+from repro.errors import BudgetExceededError
+
+
+def bounded(iterable: Iterable[object], budget: int | None, what: str = "items") -> Iterator[object]:
+    """Yield from *iterable*, raising :class:`BudgetExceededError` past *budget*.
+
+    A ``None`` budget means "unbounded".  The budget counts *yielded* items,
+    so a budget of ``n`` allows exactly ``n`` items through.
+    """
+    if budget is None:
+        yield from iterable
+        return
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    produced = 0
+    for item in iterable:
+        if produced >= budget:
+            raise BudgetExceededError(
+                f"enumeration of {what} exceeded budget of {budget}", budget=budget
+            )
+        produced += 1
+        yield item
+
+
+def cross_product(components: Sequence[Sequence[object]]) -> Iterator[tuple[object, ...]]:
+    """Lazily enumerate the cartesian product of already-materialised components.
+
+    Unlike :func:`itertools.product` this keeps the inputs as sequences the
+    caller controls, which matters because constructive-domain components can
+    be large and we want the caller to decide whether to materialise them.
+    """
+    if not components:
+        yield ()
+        return
+
+    def recurse(index: int, prefix: tuple[object, ...]) -> Iterator[tuple[object, ...]]:
+        if index == len(components):
+            yield prefix
+            return
+        for item in components[index]:
+            yield from recurse(index + 1, prefix + (item,))
+
+    yield from recurse(0, ())
+
+
+def subsets_upto(items: Sequence[object], max_size: int | None = None) -> Iterator[frozenset[object]]:
+    """Enumerate all subsets of *items* (as frozensets), smallest first.
+
+    If *max_size* is given, only subsets of at most that cardinality are
+    produced.  The order (by increasing size, then by the order induced by
+    *items*) is deterministic, which the finite-invention evaluator relies on.
+    """
+    limit = len(items) if max_size is None else min(max_size, len(items))
+    if limit < 0:
+        raise ValueError(f"max_size must be non-negative, got {max_size}")
+    for size in range(limit + 1):
+        for combo in combinations(items, size):
+            yield frozenset(combo)
+
+
+def powerset_count(n: int) -> int:
+    """Number of subsets of an ``n``-element set (2**n), for budget checks."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return 2**n

@@ -1,0 +1,27 @@
+"""Deterministic workload generators for the benchmark and example suites."""
+
+from repro.workloads.generators import (
+    WorkloadError,
+    binary_tree_pairs,
+    chain_pairs,
+    cycle_pairs,
+    genealogy_database,
+    parent_database,
+    person_database,
+    random_graph_pairs,
+    random_instance,
+    random_objects,
+)
+
+__all__ = [
+    "WorkloadError",
+    "binary_tree_pairs",
+    "chain_pairs",
+    "cycle_pairs",
+    "genealogy_database",
+    "parent_database",
+    "person_database",
+    "random_graph_pairs",
+    "random_instance",
+    "random_objects",
+]

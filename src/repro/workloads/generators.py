@@ -1,0 +1,161 @@
+"""Deterministic workload generators used by benchmarks, examples and tests.
+
+The paper has no dataset; its experiments are worked examples over small
+synthetic instances.  The generators here produce the instance families the
+benchmarks sweep over — chains, cycles, trees, random graphs, genealogies,
+random complex objects of a given type — all seeded so that every run of the
+benchmark suite sees exactly the same data.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.calculus.builders import PARENT_SCHEMA, PERSON_SCHEMA
+from repro.objects.constructive import constructive_domain_size, iter_constructive_domain
+from repro.objects.instance import DatabaseInstance, Instance
+from repro.objects.values import ComplexValue
+from repro.types.type_system import ComplexType
+from repro.utils.iteration import bounded
+
+
+class WorkloadError(ReproError):
+    """A workload could not be generated with the requested parameters."""
+
+
+def _names(count: int, prefix: str = "v") -> list[str]:
+    if count < 0:
+        raise WorkloadError(f"cannot generate {count} names")
+    return [f"{prefix}{index}" for index in range(count)]
+
+
+# -- flat graph / relation workloads -------------------------------------------
+
+def chain_pairs(length: int, prefix: str = "v") -> list[tuple[str, str]]:
+    """The edge list of a simple path ``v0 -> v1 -> ... -> v<length>``."""
+    names = _names(length + 1, prefix)
+    return list(zip(names[:-1], names[1:]))
+
+
+def cycle_pairs(length: int, prefix: str = "v") -> list[tuple[str, str]]:
+    """The edge list of a directed cycle on *length* vertices."""
+    if length < 1:
+        raise WorkloadError(f"a cycle needs at least one vertex, got {length}")
+    names = _names(length, prefix)
+    return list(zip(names, names[1:] + names[:1]))
+
+
+def binary_tree_pairs(depth: int, prefix: str = "v") -> list[tuple[str, str]]:
+    """Parent->child edges of a complete binary tree of the given depth."""
+    if depth < 0:
+        raise WorkloadError(f"tree depth must be non-negative, got {depth}")
+    pairs: list[tuple[str, str]] = []
+    node_count = 2 ** (depth + 1) - 1
+    for index in range(node_count):
+        for child in (2 * index + 1, 2 * index + 2):
+            if child < node_count:
+                pairs.append((f"{prefix}{index}", f"{prefix}{child}"))
+    return pairs
+
+
+def random_graph_pairs(
+    vertex_count: int, edge_count: int, seed: int = 0, prefix: str = "v"
+) -> list[tuple[str, str]]:
+    """A random simple directed graph with the requested numbers of vertices and edges."""
+    if vertex_count < 1:
+        raise WorkloadError(f"a graph needs at least one vertex, got {vertex_count}")
+    maximum = vertex_count * (vertex_count - 1)
+    if edge_count > maximum:
+        raise WorkloadError(
+            f"{edge_count} edges requested but only {maximum} distinct non-loop edges exist"
+        )
+    names = _names(vertex_count, prefix)
+    rng = random.Random(seed)
+    edges: set[tuple[str, str]] = set()
+    while len(edges) < edge_count:
+        source, target = rng.choice(names), rng.choice(names)
+        if source != target:
+            edges.add((source, target))
+    return sorted(edges)
+
+
+def parent_database(pairs: Sequence[tuple[str, str]]) -> DatabaseInstance:
+    """Wrap an edge list as the Example 2.4 database ``(PAR: [U, U])``."""
+    return DatabaseInstance.build(PARENT_SCHEMA, PAR=list(pairs))
+
+
+def person_database(count: int, prefix: str = "p") -> DatabaseInstance:
+    """The Example 3.2 database ``(PERSON: U)`` with *count* persons."""
+    return DatabaseInstance.build(PERSON_SCHEMA, PERSON=_names(count, prefix))
+
+
+def genealogy_database(generations: int, children_per_person: int = 2) -> DatabaseInstance:
+    """A multi-generation genealogy as a parent database.
+
+    Generation 0 is a single ancestor; every person in generation ``g`` has
+    *children_per_person* children in generation ``g + 1``.
+    """
+    if generations < 1:
+        raise WorkloadError(f"a genealogy needs at least one generation, got {generations}")
+    if children_per_person < 1:
+        raise WorkloadError(
+            f"children_per_person must be at least 1, got {children_per_person}"
+        )
+    pairs: list[tuple[str, str]] = []
+    previous = ["g0_p0"]
+    for generation in range(1, generations):
+        current: list[str] = []
+        for parent_index, parent in enumerate(previous):
+            for child_index in range(children_per_person):
+                child = f"g{generation}_p{parent_index * children_per_person + child_index}"
+                pairs.append((parent, child))
+                current.append(child)
+        previous = current
+    return parent_database(pairs)
+
+
+# -- complex-object workloads -------------------------------------------------------
+
+def random_objects(
+    type_: ComplexType,
+    atoms: Sequence[object],
+    count: int,
+    seed: int = 0,
+    enumeration_budget: int = 200_000,
+) -> list[ComplexValue]:
+    """Sample *count* distinct objects of ``cons_atoms(type_)`` deterministically.
+
+    The constructive domain is enumerated up to *enumeration_budget* objects
+    and sampled without replacement with the seeded generator; asking for
+    more objects than the (possibly truncated) domain holds is an error.
+    """
+    if count < 0:
+        raise WorkloadError(f"cannot sample {count} objects")
+    domain_size = constructive_domain_size(type_, len(set(atoms)))
+    pool_size = min(domain_size, enumeration_budget)
+    if count > pool_size:
+        raise WorkloadError(
+            f"requested {count} objects but only {pool_size} are available "
+            f"(domain size {domain_size}, budget {enumeration_budget})"
+        )
+    pool = list(
+        bounded(
+            iter_constructive_domain(type_, frozenset(atoms)),
+            enumeration_budget,
+            what=f"cons({type_})",
+        )
+    )
+    rng = random.Random(seed)
+    return rng.sample(pool, count)
+
+
+def random_instance(
+    type_: ComplexType,
+    atoms: Sequence[object],
+    count: int,
+    seed: int = 0,
+) -> Instance:
+    """An instance of *type_* holding *count* deterministically sampled objects."""
+    return Instance(type_, random_objects(type_, atoms, count, seed=seed))

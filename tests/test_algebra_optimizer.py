@@ -1,0 +1,350 @@
+"""Tests for the algebra optimizer: rewrites preserve semantics and types."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TypingError
+from repro.algebra.evaluation import evaluate_expression
+from repro.algebra.expressions import (
+    Collapse,
+    ConstantOperand,
+    Difference,
+    Intersection,
+    Powerset,
+    PredicateExpression,
+    Product,
+    Projection,
+    Selection,
+    SelectionCondition,
+    Union,
+)
+from repro.algebra.optimizer import (
+    CostEstimate,
+    DatabaseStatistics,
+    DEFAULT_RULES,
+    OptimizationResult,
+    condition_coordinates,
+    conjoin,
+    conjuncts,
+    estimate_cost,
+    optimize,
+    rule_collapse_of_powerset,
+    rule_idempotent_set_operations,
+    rule_merge_projections,
+    rule_push_projection_through_union,
+    rule_push_selection_into_product,
+    rule_push_selection_through_union,
+    rule_split_conjunctive_selection,
+    shift_condition,
+)
+from repro.objects.instance import DatabaseInstance
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import TupleType, U
+
+
+PAIR = TupleType([U, U])
+SCHEMA = DatabaseSchema([("R", PAIR), ("S", PAIR), ("P", U)])
+
+R = PredicateExpression("R")
+S = PredicateExpression("S")
+P = PredicateExpression("P")
+
+
+@pytest.fixture()
+def database():
+    return DatabaseInstance.build(
+        SCHEMA,
+        R=[("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")],
+        S=[("b", "c"), ("d", "e"), ("a", "b")],
+        P=["a", "b", "c"],
+    )
+
+
+def eq(left, right):
+    return SelectionCondition.eq(left, right)
+
+
+class TestConditionHelpers:
+    def test_condition_coordinates_atomic(self):
+        assert condition_coordinates(eq(1, 2)) == frozenset({1, 2})
+
+    def test_condition_coordinates_with_constant(self):
+        assert condition_coordinates(eq(1, ConstantOperand("a"))) == frozenset({1})
+
+    def test_condition_coordinates_boolean(self):
+        condition = SelectionCondition.conjunction(eq(1, 2), eq(3, ConstantOperand("x")))
+        assert condition_coordinates(condition) == frozenset({1, 2, 3})
+
+    def test_shift_condition(self):
+        condition = SelectionCondition.disjunction(eq(3, 4), eq(3, ConstantOperand("x")))
+        shifted = shift_condition(condition, -2)
+        assert condition_coordinates(shifted) == frozenset({1, 2})
+
+    def test_conjuncts_flatten(self):
+        condition = SelectionCondition.conjunction(
+            eq(1, 2), SelectionCondition.conjunction(eq(2, 3), eq(3, 4))
+        )
+        assert len(conjuncts(condition)) == 3
+
+    def test_conjoin_single(self):
+        condition = eq(1, 2)
+        assert conjoin([condition]) == condition
+
+    def test_conjoin_empty_is_error(self):
+        with pytest.raises(TypingError):
+            conjoin([])
+
+
+class TestIndividualRules:
+    def test_collapse_of_powerset(self):
+        expression = Collapse(Powerset(R))
+        replacement = rule_collapse_of_powerset(expression, SCHEMA)
+        assert replacement is R
+
+    def test_collapse_of_powerset_does_not_apply_elsewhere(self):
+        assert rule_collapse_of_powerset(Powerset(R), SCHEMA) is None
+
+    def test_idempotent_union(self):
+        assert rule_idempotent_set_operations(Union(R, R), SCHEMA) is R
+
+    def test_idempotent_intersection(self):
+        assert rule_idempotent_set_operations(Intersection(R, R), SCHEMA) is R
+
+    def test_idempotent_does_not_touch_difference(self):
+        assert rule_idempotent_set_operations(Difference(R, R), SCHEMA) is None
+
+    def test_idempotent_requires_identical_operands(self):
+        assert rule_idempotent_set_operations(Union(R, S), SCHEMA) is None
+
+    def test_split_conjunctive_selection(self):
+        condition = SelectionCondition.conjunction(eq(1, 2), eq(2, ConstantOperand("b")))
+        replacement = rule_split_conjunctive_selection(Selection(R, condition), SCHEMA)
+        assert isinstance(replacement, Selection)
+        assert isinstance(replacement.operand, Selection)
+
+    def test_split_does_not_apply_to_atomic_condition(self):
+        assert rule_split_conjunctive_selection(Selection(R, eq(1, 2)), SCHEMA) is None
+
+    def test_push_selection_through_union(self):
+        replacement = rule_push_selection_through_union(Selection(Union(R, S), eq(1, 2)), SCHEMA)
+        assert isinstance(replacement, Union)
+        assert isinstance(replacement.left, Selection)
+        assert isinstance(replacement.right, Selection)
+
+    def test_push_selection_through_difference_only_filters_left(self):
+        replacement = rule_push_selection_through_union(
+            Selection(Difference(R, S), eq(1, 2)), SCHEMA
+        )
+        assert isinstance(replacement, Difference)
+        assert isinstance(replacement.left, Selection)
+        assert isinstance(replacement.right, PredicateExpression)
+
+    def test_push_selection_into_left_factor(self):
+        replacement = rule_push_selection_into_product(
+            Selection(Product(R, S), eq(1, ConstantOperand("a"))), SCHEMA
+        )
+        assert isinstance(replacement, Product)
+        assert isinstance(replacement.left, Selection)
+        assert isinstance(replacement.right, PredicateExpression)
+
+    def test_push_selection_into_right_factor_shifts_coordinates(self):
+        replacement = rule_push_selection_into_product(
+            Selection(Product(R, S), eq(3, ConstantOperand("b"))), SCHEMA
+        )
+        assert isinstance(replacement, Product)
+        assert isinstance(replacement.right, Selection)
+        assert condition_coordinates(replacement.right.condition) == frozenset({1})
+
+    def test_join_condition_is_not_pushed(self):
+        replacement = rule_push_selection_into_product(
+            Selection(Product(R, S), eq(2, 3)), SCHEMA
+        )
+        assert replacement is None
+
+    def test_merge_projections(self):
+        expression = Projection(Projection(Product(R, S), (1, 3, 4)), (2, 1))
+        replacement = rule_merge_projections(expression, SCHEMA)
+        assert isinstance(replacement, Projection)
+        assert replacement.coordinates == (3, 1)
+        assert isinstance(replacement.operand, Product)
+
+    def test_push_projection_through_union(self):
+        replacement = rule_push_projection_through_union(Projection(Union(R, S), (1,)), SCHEMA)
+        assert isinstance(replacement, Union)
+        assert isinstance(replacement.left, Projection)
+
+
+class TestOptimizeEndToEnd:
+    def test_optimize_returns_result_object(self):
+        result = optimize(R, SCHEMA)
+        assert isinstance(result, OptimizationResult)
+        assert result.expression is R
+        assert not result.changed
+
+    def test_optimize_preserves_semantics_on_pushdown(self, database):
+        expression = Selection(
+            Product(R, S),
+            SelectionCondition.conjunction(eq(2, 3), eq(1, ConstantOperand("a"))),
+        )
+        result = optimize(expression, SCHEMA)
+        assert result.changed
+        original = evaluate_expression(expression, database)
+        optimized = evaluate_expression(result.expression, database)
+        assert original == optimized
+
+    def test_optimize_preserves_semantics_collapse_powerset(self, database):
+        expression = Collapse(Powerset(Union(R, S)))
+        result = optimize(expression, SCHEMA)
+        assert "rule_collapse_of_powerset" in result.applied_rules
+        original = evaluate_expression(expression, database)
+        optimized = evaluate_expression(result.expression, database)
+        assert original == optimized
+
+    def test_optimize_preserves_output_type(self):
+        expression = Projection(Projection(Product(R, S), (1, 2, 3)), (3, 1))
+        result = optimize(expression, SCHEMA)
+        assert result.expression.output_type(SCHEMA) == expression.output_type(SCHEMA)
+
+    def test_optimize_selection_union_semantics(self, database):
+        expression = Selection(Union(R, S), eq(1, ConstantOperand("a")))
+        result = optimize(expression, SCHEMA)
+        assert evaluate_expression(expression, database) == evaluate_expression(
+            result.expression, database
+        )
+
+    def test_optimize_idempotent_union_semantics(self, database):
+        expression = Selection(Union(R, R), eq(1, ConstantOperand("a")))
+        result = optimize(expression, SCHEMA)
+        assert "rule_idempotent_set_operations" in result.applied_rules
+        assert evaluate_expression(expression, database) == evaluate_expression(
+            result.expression, database
+        )
+
+    def test_optimize_with_custom_rule_subset(self, database):
+        expression = Selection(Union(R, S), eq(1, ConstantOperand("a")))
+        result = optimize(expression, SCHEMA, rules=[rule_merge_projections])
+        assert not result.changed
+        assert str(result.expression) == str(expression)
+
+    def test_optimize_deep_expression_terminates(self):
+        expression = R
+        for _ in range(6):
+            expression = Union(expression, R)
+        result = optimize(expression, SCHEMA)
+        assert result.passes <= 25
+
+    def test_optimizer_rejects_unknown_nodes(self):
+        class Bogus:
+            pass
+
+        with pytest.raises(TypingError):
+            optimize(Bogus(), SCHEMA)  # type: ignore[arg-type]
+
+
+class TestCostModel:
+    def test_statistics_from_database(self, database):
+        stats = DatabaseStatistics.from_database(database)
+        assert stats.predicate_cardinalities == {"R": 4, "S": 3, "P": 3}
+        assert stats.active_domain_size == 5
+
+    def test_predicate_cost(self, database):
+        stats = DatabaseStatistics.from_database(database)
+        estimate = estimate_cost(R, SCHEMA, stats)
+        assert estimate.output_cardinality == 4.0
+
+    def test_product_cost_multiplies(self, database):
+        stats = DatabaseStatistics.from_database(database)
+        estimate = estimate_cost(Product(R, S), SCHEMA, stats)
+        assert estimate.output_cardinality == 12.0
+
+    def test_selection_reduces_cost(self, database):
+        stats = DatabaseStatistics.from_database(database)
+        plain = estimate_cost(Product(R, S), SCHEMA, stats)
+        selected = estimate_cost(Selection(Product(R, S), eq(2, 3)), SCHEMA, stats)
+        assert selected.output_cardinality < plain.output_cardinality
+
+    def test_pushdown_reduces_total_intermediate_cost(self, database):
+        stats = DatabaseStatistics.from_database(database)
+        expression = Selection(Product(R, S), eq(1, ConstantOperand("a")))
+        optimized = optimize(expression, SCHEMA).expression
+        before = estimate_cost(expression, SCHEMA, stats)
+        after = estimate_cost(optimized, SCHEMA, stats)
+        assert after.total_intermediate < before.total_intermediate
+
+    def test_powerset_cost_is_exponential(self, database):
+        stats = DatabaseStatistics.from_database(database)
+        estimate = estimate_cost(Powerset(R), SCHEMA, stats)
+        assert estimate.output_cardinality == 2.0 ** 4
+
+    def test_powerset_cost_is_capped(self):
+        stats = DatabaseStatistics({"R": 5000, "S": 0, "P": 0}, 5000)
+        estimate = estimate_cost(Powerset(R), SCHEMA, stats)
+        assert estimate.output_cardinality == 2.0 ** 1000
+
+    def test_cost_estimate_records_per_node(self, database):
+        stats = DatabaseStatistics.from_database(database)
+        estimate = estimate_cost(Union(R, S), SCHEMA, stats)
+        assert isinstance(estimate, CostEstimate)
+        assert len(estimate.per_node) == 3
+
+    def test_or_selectivity_bounded_by_one(self, database):
+        stats = DatabaseStatistics.from_database(database)
+        condition = SelectionCondition.disjunction(eq(1, 2), eq(1, ConstantOperand("a")))
+        estimate = estimate_cost(Selection(R, condition), SCHEMA, stats, selectivity=0.9)
+        assert estimate.output_cardinality <= 4.0
+
+    def test_not_selectivity_complements(self, database):
+        stats = DatabaseStatistics.from_database(database)
+        condition = SelectionCondition.negation(eq(1, 2))
+        estimate = estimate_cost(Selection(R, condition), SCHEMA, stats, selectivity=0.25)
+        assert estimate.output_cardinality == pytest.approx(4 * 0.75)
+
+
+# ---------------------------------------------------------------------------
+# Property-based semantic preservation over random expressions.
+# ---------------------------------------------------------------------------
+
+_conditions = st.one_of(
+    st.tuples(st.integers(1, 2), st.integers(1, 2)).map(lambda ab: eq(*ab)),
+    st.sampled_from(["a", "b", "c", "z"]).map(lambda c: eq(1, ConstantOperand(c))),
+)
+
+
+def _binary_tuple_expressions():
+    base = st.sampled_from([R, S])
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda pair: Union(*pair)),
+            st.tuples(children, children).map(lambda pair: Intersection(*pair)),
+            st.tuples(children, children).map(lambda pair: Difference(*pair)),
+            st.tuples(children, _conditions).map(lambda pair: Selection(*pair)),
+            children.map(lambda e: Projection(e, (2, 1))),
+        ),
+        max_leaves=6,
+    )
+
+
+class TestPropertyOptimizerPreservesSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(expression=_binary_tuple_expressions())
+    def test_random_expression_semantics_preserved(self, expression):
+        database = DatabaseInstance.build(
+            SCHEMA,
+            R=[("a", "b"), ("b", "c"), ("c", "a")],
+            S=[("b", "c"), ("c", "z")],
+            P=["a"],
+        )
+        result = optimize(expression, SCHEMA)
+        assert evaluate_expression(expression, database) == evaluate_expression(
+            result.expression, database
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(expression=_binary_tuple_expressions())
+    def test_random_expression_type_preserved(self, expression):
+        result = optimize(expression, SCHEMA)
+        assert result.expression.output_type(SCHEMA) == expression.output_type(SCHEMA)

@@ -1,0 +1,148 @@
+"""Tests for the paper's example queries (Examples 2.4, 3.1, 3.2, 3.4)."""
+
+import pytest
+
+from repro.calculus.builders import (
+    PAIR_OF_ATOMS,
+    PARENT_SCHEMA,
+    PERSON_SCHEMA,
+    SET_OF_PAIRS,
+    active_domain_query,
+    even_cardinality_query,
+    grandparent_query,
+    ordering_witness_query,
+    transitive_closure_query,
+    transitive_supersets_query,
+)
+from repro.calculus.classification import calc_classification, intermediate_types
+from repro.calculus.evaluation import EvaluationSettings, evaluate_query
+from repro.objects.instance import DatabaseInstance
+from repro.objects.values import make_set, make_tuple
+from repro.relational.fixpoint import transitive_closure
+from repro.relational.relation import Relation
+
+
+SETTINGS = EvaluationSettings(binding_budget=None)
+
+
+class TestGrandparentQuery:
+    """Example 2.4, query Q1."""
+
+    def test_on_paper_style_instance(self, parent_db):
+        answer = evaluate_query(grandparent_query(), parent_db)
+        assert set(answer.values) == {make_tuple("tom", "sue")}
+
+    def test_on_longer_chain(self):
+        db = DatabaseInstance.build(
+            PARENT_SCHEMA, PAR=[("a", "b"), ("b", "c"), ("c", "d")]
+        )
+        answer = evaluate_query(grandparent_query(), db)
+        assert set(answer.values) == {make_tuple("a", "c"), make_tuple("b", "d")}
+
+    def test_empty_input(self):
+        db = DatabaseInstance.build(PARENT_SCHEMA, PAR=[])
+        assert len(evaluate_query(grandparent_query(), db)) == 0
+
+    def test_is_relational_query(self):
+        classification = calc_classification(grandparent_query())
+        assert (classification.k, classification.i) == (0, 0)
+        assert intermediate_types(grandparent_query()) == frozenset()
+
+
+class TestTransitiveSupersetsQuery:
+    """Example 2.4, query Q2: maps (PAR: [U,U]) to {[U,U]}."""
+
+    def test_answer_contains_transitive_closure(self, chain_db):
+        answer = evaluate_query(transitive_supersets_query(), chain_db, SETTINGS)
+        closure_value = make_set([("a", "b"), ("b", "c"), ("a", "c")])
+        assert closure_value in answer.values
+
+    def test_every_answer_is_transitive_superset(self, chain_db):
+        base = set(chain_db["PAR"].values)
+        answer = evaluate_query(transitive_supersets_query(), chain_db, SETTINGS)
+        for relation in answer.values:
+            pairs = {(str(p.coordinate(1)), str(p.coordinate(2))) for p in relation}
+            assert {("a", "b"), ("b", "c")} <= pairs
+            for (x, y) in pairs:
+                for (y2, z) in pairs:
+                    if y == y2:
+                        assert (x, z) in pairs
+
+    def test_classification_is_1_1(self):
+        classification = calc_classification(transitive_supersets_query())
+        assert (classification.k, classification.i) == (1, 0)
+
+
+class TestTransitiveClosureQuery:
+    """Example 3.1: transitive closure in CALC_{0,1}."""
+
+    def test_matches_fixpoint_baseline(self, chain_db):
+        answer = evaluate_query(transitive_closure_query(), chain_db, SETTINGS)
+        expected = transitive_closure(Relation(2, [("a", "b"), ("b", "c")]))
+        got = {(str(v.coordinate(1)), str(v.coordinate(2))) for v in answer.values}
+        assert got == set(expected.tuples)
+
+    def test_on_cycle(self):
+        db = DatabaseInstance.build(PARENT_SCHEMA, PAR=[("a", "b"), ("b", "a")])
+        answer = evaluate_query(transitive_closure_query(), db, SETTINGS)
+        got = {(str(v.coordinate(1)), str(v.coordinate(2))) for v in answer.values}
+        assert got == {("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")}
+
+    def test_uses_set_height_one_intermediate(self):
+        q = transitive_closure_query()
+        classification = calc_classification(q)
+        assert (classification.k, classification.i) == (0, 1)
+        assert SET_OF_PAIRS in intermediate_types(q)
+
+
+class TestEvenCardinalityQuery:
+    """Example 3.2: output PERSON iff |PERSON| is even."""
+
+    @pytest.mark.parametrize("size,expect_all", [(0, True), (1, False), (2, True), (3, False), (4, True)])
+    def test_parity_behaviour(self, size, expect_all):
+        people = [f"p{i}" for i in range(size)]
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=people)
+        answer = evaluate_query(even_cardinality_query(), db, SETTINGS)
+        if expect_all:
+            assert {str(v) for v in answer.values} == set(people)
+        else:
+            assert len(answer) == 0
+
+    def test_classification_is_0_1(self):
+        classification = calc_classification(even_cardinality_query())
+        assert (classification.k, classification.i) == (0, 1)
+
+
+class TestActiveDomainQuery:
+    def test_returns_active_domain(self, parent_db):
+        answer = evaluate_query(active_domain_query(PARENT_SCHEMA), parent_db)
+        assert {str(v) for v in answer.values} == {"tom", "mary", "sue"}
+
+    def test_empty_database(self):
+        db = DatabaseInstance.build(PARENT_SCHEMA, PAR=[])
+        assert len(evaluate_query(active_domain_query(PARENT_SCHEMA), db)) == 0
+
+
+class TestOrderingWitnessQuery:
+    """Example 3.4: the ORD formula admits exactly the total orders."""
+
+    def test_number_of_total_orders_on_two_atoms(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a", "b"])
+        q = ordering_witness_query(PERSON_SCHEMA)
+        answer = evaluate_query(q, db, SETTINGS)
+        # On a 2-element domain there are exactly 2 total orders.
+        assert len(answer) == 2
+
+    def test_orders_are_reflexive_and_total(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a", "b"])
+        q = ordering_witness_query(PERSON_SCHEMA)
+        answer = evaluate_query(q, db, SETTINGS)
+        for order in answer.values:
+            pairs = {(str(p.coordinate(1)), str(p.coordinate(2))) for p in order}
+            assert ("a", "a") in pairs and ("b", "b") in pairs
+            assert ("a", "b") in pairs or ("b", "a") in pairs
+
+    def test_classification(self):
+        q = ordering_witness_query(PERSON_SCHEMA)
+        classification = calc_classification(q)
+        assert classification.k == 1  # the output itself is the order (set-height 1)

@@ -1,0 +1,191 @@
+"""Tests for CALC_{k,i} classification, intermediate types and shorthands."""
+
+import pytest
+
+from repro.errors import ClassificationError
+from repro.calculus.builders import (
+    PARENT_SCHEMA,
+    PERSON_SCHEMA,
+    even_cardinality_query,
+    grandparent_query,
+    transitive_closure_query,
+    transitive_supersets_query,
+)
+from repro.calculus.classification import (
+    calc_classification,
+    in_calc,
+    intermediate_types,
+    io_set_height,
+    is_domain_independent_on,
+    is_relational_query,
+    uses_only_existential_top_level,
+)
+from repro.calculus.evaluation import EvaluationSettings, evaluate_query
+from repro.calculus.formulas import Equals, Exists, Membership, PredicateAtom
+from repro.calculus.query import CalculusQuery
+from repro.calculus.shorthand import (
+    is_empty,
+    is_subset,
+    occurs_in_column,
+    pair_in,
+    pair_type,
+    sets_equal,
+    total_order_formula,
+    tuple_is,
+)
+from repro.calculus.terms import var
+from repro.objects.instance import DatabaseInstance
+from repro.objects.values import make_set, make_tuple, value_from_python
+from repro.types.parser import parse_type
+from repro.types.type_system import SetType, TupleType, U
+
+
+class TestClassification:
+    def test_grandparent_is_calc00(self):
+        assert in_calc(grandparent_query(), 0, 0)
+        assert is_relational_query(grandparent_query())
+
+    def test_transitive_closure_is_calc01_not_calc00(self):
+        q = transitive_closure_query()
+        assert in_calc(q, 0, 1)
+        assert not in_calc(q, 0, 0)
+
+    def test_monotone_in_indices(self):
+        q = even_cardinality_query()
+        assert in_calc(q, 0, 1)
+        assert in_calc(q, 1, 2)
+        assert in_calc(q, 3, 5)
+
+    def test_io_set_height(self):
+        assert io_set_height(grandparent_query()) == 0
+        assert io_set_height(transitive_supersets_query()) == 1
+
+    def test_intermediate_types_exclude_io_types(self):
+        q = transitive_supersets_query()
+        # The target type {[U,U]} is an output type, so not intermediate.
+        assert parse_type("{[U, U]}") not in intermediate_types(q)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ClassificationError):
+            in_calc(grandparent_query(), -1, 0)
+
+    def test_classification_str(self):
+        assert str(calc_classification(transitive_closure_query())) == "CALC_{0,1}"
+
+    def test_existential_shape_detection(self):
+        # The even-cardinality query uses a positive existential set variable.
+        assert uses_only_existential_top_level(even_cardinality_query())
+        # The transitive-closure query universally quantifies a set variable.
+        assert not uses_only_existential_top_level(transitive_closure_query())
+
+    def test_domain_independence_probe(self):
+        # PERSON(t) is domain independent; probing with extra atoms finds no
+        # counterexample.
+        q = CalculusQuery(PERSON_SCHEMA, "t", U, PredicateAtom("PERSON", var("t")))
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a", "b"])
+        assert is_domain_independent_on(q, [db], [frozenset({"x1"}), frozenset({"x1", "x2"})])
+
+    def test_domain_dependence_detected(self):
+        # "there exist two distinct atoms" is not domain independent.
+        q = CalculusQuery(
+            PERSON_SCHEMA,
+            "t",
+            U,
+            PredicateAtom("PERSON", var("t"))
+            & Exists("x", U, Exists("y", U, ~Equals(var("x"), var("y")))),
+        )
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a"])
+        assert not is_domain_independent_on(q, [db], [frozenset({"x1"})])
+
+
+class TestShorthands:
+    def test_pair_type_for_atoms_and_tuples(self):
+        assert pair_type(U) == TupleType([U, U])
+        assert pair_type(TupleType([U, U])) == TupleType([U, U, U, U])
+        assert pair_type(SetType(U)) == TupleType([SetType(U), SetType(U)])
+
+    def test_pair_in_evaluates_correctly(self, parent_db):
+        # [tom, mary] ∈ x where x is bound to the PAR instance as a set value.
+        formula = pair_in(var("a"), var("b"), var("x"), U)
+        from repro.calculus.evaluation import satisfies
+
+        assignment = {
+            "a": value_from_python("tom"),
+            "b": value_from_python("mary"),
+            "x": parent_db["PAR"].as_set_value(),
+        }
+        assert satisfies(parent_db, formula, assignment, parent_db.active_domain())
+        assignment["b"] = value_from_python("sue")
+        assert not satisfies(parent_db, formula, assignment, parent_db.active_domain())
+
+    def test_is_empty_and_subset(self, parent_db):
+        from repro.calculus.evaluation import satisfies
+
+        empty = make_set()
+        par = parent_db["PAR"].as_set_value()
+        pair = parse_type("[U, U]")
+        assert satisfies(parent_db, is_empty(var("x"), pair), {"x": empty}, parent_db.active_domain())
+        assert not satisfies(parent_db, is_empty(var("x"), pair), {"x": par}, parent_db.active_domain())
+        assert satisfies(
+            parent_db,
+            is_subset(var("x"), var("y"), pair),
+            {"x": empty, "y": par},
+            parent_db.active_domain(),
+        )
+        assert not satisfies(
+            parent_db,
+            is_subset(var("x"), var("y"), pair),
+            {"x": par, "y": empty},
+            parent_db.active_domain(),
+        )
+
+    def test_sets_equal(self, parent_db):
+        from repro.calculus.evaluation import satisfies
+
+        pair = parse_type("[U, U]")
+        par = parent_db["PAR"].as_set_value()
+        assert satisfies(
+            parent_db,
+            sets_equal(var("x"), var("y"), pair),
+            {"x": par, "y": par},
+            parent_db.active_domain(),
+        )
+
+    def test_tuple_is(self, parent_db):
+        from repro.calculus.evaluation import satisfies
+
+        pair = TupleType([U, U])
+        formula = tuple_is("x", pair, ["tom", "mary"])
+        # "tom"/"mary" coerce to variables (strings); use constants instead.
+        from repro.calculus.terms import Constant
+
+        formula = tuple_is("x", pair, [Constant("tom"), Constant("mary")])
+        assert satisfies(
+            parent_db,
+            formula,
+            {"x": make_tuple("tom", "mary")},
+            parent_db.active_domain(),
+        )
+
+    def test_tuple_is_arity_mismatch(self):
+        from repro.calculus.terms import Constant
+
+        with pytest.raises(Exception):
+            tuple_is("x", TupleType([U, U]), [Constant("a")])
+
+    def test_occurs_in_column(self, parent_db):
+        from repro.calculus.evaluation import satisfies
+
+        par = parent_db["PAR"].as_set_value()
+        first = occurs_in_column(var("z"), var("x"), U, 1)
+        second = occurs_in_column(var("z"), var("x"), U, 2)
+        assignment = {"z": value_from_python("tom"), "x": par}
+        assert satisfies(parent_db, first, assignment, parent_db.active_domain())
+        assert not satisfies(parent_db, second, assignment, parent_db.active_domain())
+
+    def test_total_order_formula_types_check(self):
+        # Building a query with the ORD formula must pass the t-wff rules.
+        from repro.calculus.builders import ordering_witness_query
+
+        q = ordering_witness_query(PERSON_SCHEMA)
+        assert q.target_type == SetType(TupleType([U, U]))

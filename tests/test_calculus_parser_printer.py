@@ -1,0 +1,404 @@
+"""Tests for the calculus text parser and printer (concrete syntax)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TypingError
+from repro.calculus.builders import (
+    PARENT_SCHEMA,
+    PERSON_SCHEMA,
+    even_cardinality_query,
+    grandparent_query,
+    transitive_closure_query,
+    transitive_supersets_query,
+)
+from repro.calculus.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Implies,
+    Membership,
+    Not,
+    Or,
+    PredicateAtom,
+)
+from repro.calculus.parser import (
+    FormulaParseError,
+    parse_formula,
+    parse_query,
+    parse_term,
+)
+from repro.calculus.printer import (
+    format_formula,
+    format_formula_pretty,
+    format_query,
+    format_query_pretty,
+    format_term,
+)
+from repro.calculus.terms import Constant, CoordinateTerm, VariableTerm
+from repro.objects.instance import DatabaseInstance
+from repro.types.type_system import SetType, TupleType, U
+
+
+PAIR = TupleType([U, U])
+SET_OF_PAIRS = SetType(PAIR)
+
+
+class TestParseTerm:
+    def test_variable(self):
+        assert parse_term("x") == VariableTerm("x")
+
+    def test_coordinate(self):
+        assert parse_term("x.2") == CoordinateTerm("x", 2)
+
+    def test_integer_constant(self):
+        assert parse_term("42") == Constant(42)
+
+    def test_string_constant_single_quotes(self):
+        assert parse_term("'tom'") == Constant("tom")
+
+    def test_string_constant_double_quotes(self):
+        assert parse_term('"mary"') == Constant("mary")
+
+    def test_string_with_escaped_quote(self):
+        assert parse_term(r"'o\'brien'") == Constant("o'brien")
+
+    def test_keyword_rejected_as_term(self):
+        with pytest.raises(FormulaParseError):
+            parse_term("exists")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(FormulaParseError):
+            parse_term("x y")
+
+    def test_coordinate_requires_number(self):
+        with pytest.raises(FormulaParseError):
+            parse_term("x.y")
+
+
+class TestParseFormulaAtoms:
+    def test_equality(self):
+        formula = parse_formula("x.1 = y.2")
+        assert formula == Equals(CoordinateTerm("x", 1), CoordinateTerm("y", 2))
+
+    def test_membership(self):
+        formula = parse_formula("y in x")
+        assert formula == Membership(VariableTerm("y"), VariableTerm("x"))
+
+    def test_predicate_atom(self):
+        formula = parse_formula("PAR(x)")
+        assert formula == PredicateAtom("PAR", VariableTerm("x"))
+
+    def test_equality_with_constant(self):
+        formula = parse_formula("t = 'tom'")
+        assert formula == Equals(VariableTerm("t"), Constant("tom"))
+
+    def test_missing_operator_is_error(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("x y")
+
+    def test_unclosed_parenthesis_is_error(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("(x = y")
+
+    def test_empty_input_is_error(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("")
+
+    def test_unknown_character_is_error(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("x @ y")
+
+
+class TestParseFormulaConnectives:
+    def test_conjunction(self):
+        formula = parse_formula("x = y and y = z")
+        assert isinstance(formula, And)
+
+    def test_disjunction(self):
+        formula = parse_formula("x = y or y = z")
+        assert isinstance(formula, Or)
+
+    def test_implication(self):
+        formula = parse_formula("x = y -> y = x")
+        assert isinstance(formula, Implies)
+
+    def test_negation(self):
+        formula = parse_formula("not x = y")
+        assert formula == Not(Equals(VariableTerm("x"), VariableTerm("y")))
+
+    def test_precedence_not_binds_tighter_than_and(self):
+        formula = parse_formula("not x = y and y = z")
+        assert isinstance(formula, And)
+        assert isinstance(formula.left, Not)
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        formula = parse_formula("a = b or c = d and e = f")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.right, And)
+
+    def test_precedence_or_binds_tighter_than_implies(self):
+        formula = parse_formula("a = b or c = d -> e = f")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.left, Or)
+
+    def test_implication_is_right_associative(self):
+        formula = parse_formula("a = b -> c = d -> e = f")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.right, Implies)
+
+    def test_parentheses_override_precedence(self):
+        formula = parse_formula("(a = b or c = d) and e = f")
+        assert isinstance(formula, And)
+        assert isinstance(formula.left, Or)
+
+    def test_conjunction_is_left_associative(self):
+        formula = parse_formula("a = b and c = d and e = f")
+        assert isinstance(formula, And)
+        assert isinstance(formula.left, And)
+
+
+class TestParseFormulaQuantifiers:
+    def test_existential(self):
+        formula = parse_formula("exists x/U P(x)")
+        assert formula == Exists("x", U, PredicateAtom("P", VariableTerm("x")))
+
+    def test_universal(self):
+        formula = parse_formula("forall x/[U, U] PAR(x)")
+        assert formula == Forall("x", PAIR, PredicateAtom("PAR", VariableTerm("x")))
+
+    def test_set_typed_quantifier(self):
+        formula = parse_formula("exists x/{[U, U]} y in x")
+        assert isinstance(formula, Exists)
+        assert formula.variable_type == SET_OF_PAIRS
+
+    def test_quantifier_scope_extends_right(self):
+        formula = parse_formula("exists x/U P(x) and Q(x)")
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.body, And)
+
+    def test_quantifier_scope_limited_by_parentheses(self):
+        formula = parse_formula("(exists x/U P(x)) and Q(y)")
+        assert isinstance(formula, And)
+        assert isinstance(formula.left, Exists)
+
+    def test_nested_quantifiers(self):
+        formula = parse_formula("forall x/U exists y/U x = y")
+        assert isinstance(formula, Forall)
+        assert isinstance(formula.body, Exists)
+
+    def test_quantifier_after_arrow(self):
+        formula = parse_formula("P(x) -> exists y/U x = y")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.right, Exists)
+
+    def test_quantifier_after_and(self):
+        formula = parse_formula("P(x) and exists y/U x = y")
+        assert isinstance(formula, And)
+        assert isinstance(formula.right, Exists)
+
+    def test_quantifier_after_not(self):
+        formula = parse_formula("not exists y/U P(y)")
+        assert isinstance(formula, Not)
+        assert isinstance(formula.operand, Exists)
+
+    def test_missing_type_is_error(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("exists x P(x)")
+
+    def test_keyword_variable_is_error(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("exists in/U P(in)")
+
+    def test_bad_type_is_error(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("exists x/[U P(x)")
+
+
+class TestParseQuery:
+    def test_grandparent_query_round_trip_evaluation(self):
+        text = (
+            "{ t/[U, U] | exists x/[U, U] exists y/[U, U] "
+            "(PAR(x) and PAR(y) and x.2 = y.1 and t.1 = x.1 and t.2 = y.2) }"
+        )
+        query = parse_query(text, PARENT_SCHEMA)
+        db = DatabaseInstance.build(
+            PARENT_SCHEMA, PAR=[("tom", "mary"), ("mary", "sue"), ("sue", "ann")]
+        )
+        parsed_answer = query.evaluate(db)
+        built_answer = grandparent_query().evaluate(db)
+        assert parsed_answer == built_answer
+
+    def test_parse_query_checks_predicates(self):
+        with pytest.raises(TypingError):
+            parse_query("{ t/U | NOPE(t) }", PERSON_SCHEMA)
+
+    def test_parse_query_checks_free_variables(self):
+        with pytest.raises(TypingError):
+            parse_query("{ t/U | t = z }", PERSON_SCHEMA)
+
+    def test_parse_query_checks_typing(self):
+        # Membership of an atom in an atom-typed predicate argument is ill-typed.
+        with pytest.raises(TypingError):
+            parse_query("{ t/U | exists x/U t in x }", PERSON_SCHEMA)
+
+    def test_parse_query_syntax_error(self):
+        with pytest.raises(FormulaParseError):
+            parse_query("{ t/U t = t }", PERSON_SCHEMA)
+
+    def test_parse_query_trailing_garbage(self):
+        with pytest.raises(FormulaParseError):
+            parse_query("{ t/U | t = t } extra", PERSON_SCHEMA)
+
+    def test_parse_query_name_is_attached(self):
+        query = parse_query("{ t/U | PERSON(t) }", PERSON_SCHEMA, name="identity")
+        assert query.name == "identity"
+
+
+class TestPrinterRoundTrip:
+    """format then parse returns an equal AST, for the paper's own queries."""
+
+    @pytest.mark.parametrize(
+        "query_factory",
+        [
+            grandparent_query,
+            transitive_supersets_query,
+            transitive_closure_query,
+            even_cardinality_query,
+        ],
+        ids=["grandparent", "transitive_supersets", "transitive_closure", "even_cardinality"],
+    )
+    def test_paper_query_round_trip(self, query_factory):
+        query = query_factory()
+        text = format_query(query)
+        reparsed = parse_query(text, query.schema)
+        assert reparsed.formula == query.formula
+        assert reparsed.target_type == query.target_type
+        assert reparsed.target_variable == query.target_variable
+
+    @pytest.mark.parametrize(
+        "query_factory",
+        [grandparent_query, transitive_closure_query],
+        ids=["grandparent", "transitive_closure"],
+    )
+    def test_pretty_printer_round_trip(self, query_factory):
+        query = query_factory()
+        text = format_query_pretty(query)
+        reparsed = parse_query(text, query.schema)
+        assert reparsed.formula == query.formula
+
+    def test_format_term_variable(self):
+        assert format_term(VariableTerm("x")) == "x"
+
+    def test_format_term_coordinate(self):
+        assert format_term(CoordinateTerm("x", 3)) == "x.3"
+
+    def test_format_term_string_constant(self):
+        assert format_term(Constant("tom")) == "'tom'"
+
+    def test_format_term_integer_constant(self):
+        assert format_term(Constant(7)) == "7"
+
+    def test_format_formula_is_parseable(self):
+        formula = Forall(
+            "x",
+            SET_OF_PAIRS,
+            Exists("y", PAIR, Membership(VariableTerm("y"), VariableTerm("x"))),
+        )
+        assert parse_formula(format_formula(formula)) == formula
+
+    def test_pretty_formula_is_parseable(self):
+        formula = Not(
+            And(
+                Equals(VariableTerm("a"), VariableTerm("b")),
+                Or(
+                    PredicateAtom("P", VariableTerm("a")),
+                    Implies(
+                        Equals(VariableTerm("a"), Constant("c")),
+                        PredicateAtom("P", VariableTerm("b")),
+                    ),
+                ),
+            )
+        )
+        assert parse_formula(format_formula_pretty(formula)) == formula
+
+
+# --------------------------------------------------------------------------
+# Property-based round-trip testing over randomly generated formulas.
+# --------------------------------------------------------------------------
+
+_variable_names = st.sampled_from(["x", "y", "z", "t", "w1", "w2"])
+_predicate_names = st.sampled_from(["P", "Q", "PAR", "REL3"])
+_constants = st.one_of(
+    st.integers(min_value=0, max_value=99),
+    st.text(alphabet="abcdefg' \\", min_size=1, max_size=6),
+)
+
+
+def _terms():
+    return st.one_of(
+        _variable_names.map(VariableTerm),
+        st.tuples(_variable_names, st.integers(min_value=1, max_value=4)).map(
+            lambda pair: CoordinateTerm(*pair)
+        ),
+        _constants.map(Constant),
+    )
+
+
+def _types(max_depth: int = 2):
+    return st.recursive(
+        st.just(U),
+        lambda children: st.one_of(
+            children.map(SetType),
+            st.lists(children.filter(lambda t: not isinstance(t, TupleType)), min_size=1, max_size=3).map(
+                TupleType
+            ),
+        ),
+        max_leaves=4,
+    )
+
+
+def _atoms():
+    return st.one_of(
+        st.tuples(_terms(), _terms()).map(lambda pair: Equals(*pair)),
+        st.tuples(_terms(), _terms()).map(lambda pair: Membership(*pair)),
+        st.tuples(_predicate_names, _terms()).map(lambda pair: PredicateAtom(*pair)),
+    )
+
+
+def _formulas():
+    return st.recursive(
+        _atoms(),
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda pair: And(*pair)),
+            st.tuples(children, children).map(lambda pair: Or(*pair)),
+            st.tuples(children, children).map(lambda pair: Implies(*pair)),
+            st.tuples(_variable_names, _types(), children).map(lambda triple: Exists(*triple)),
+            st.tuples(_variable_names, _types(), children).map(lambda triple: Forall(*triple)),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(formula=_formulas())
+    def test_format_parse_round_trip(self, formula):
+        text = format_formula(formula)
+        assert parse_formula(text) == formula
+
+    @settings(max_examples=75, deadline=None)
+    @given(formula=_formulas())
+    def test_pretty_format_parse_round_trip(self, formula):
+        text = format_formula_pretty(formula)
+        assert parse_formula(text) == formula
+
+    @settings(max_examples=100, deadline=None)
+    @given(term=_terms())
+    def test_term_round_trip(self, term):
+        assert parse_term(format_term(term)) == term

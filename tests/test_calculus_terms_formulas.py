@@ -1,0 +1,158 @@
+"""Tests for calculus terms and formula ASTs."""
+
+import pytest
+
+from repro.errors import TypingError
+from repro.calculus.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Implies,
+    Membership,
+    Not,
+    Or,
+    PredicateAtom,
+    conjunction,
+    disjunction,
+    exists_many,
+    forall_many,
+)
+from repro.calculus.terms import Constant, CoordinateTerm, VariableTerm, coerce_term, const, var
+from repro.types.parser import parse_type
+from repro.types.type_system import U
+
+
+class TestTerms:
+    def test_constant(self):
+        c = Constant("alice")
+        assert c.value == "alice"
+        assert c.variables() == frozenset()
+        assert c == const("alice")
+
+    def test_constant_from_atom(self):
+        from repro.objects.values import Atom
+
+        assert Constant(Atom("a")).value == "a"
+
+    def test_constant_rejects_complex_value(self):
+        from repro.objects.values import TupleValue, Atom
+
+        with pytest.raises(TypingError):
+            Constant(TupleValue([Atom("a")]))
+
+    def test_variable(self):
+        x = var("x")
+        assert x.name == "x"
+        assert x.variables() == frozenset({"x"})
+        with pytest.raises(TypingError):
+            VariableTerm("")
+
+    def test_coordinate_term(self):
+        t = var("x").coordinate(2)
+        assert isinstance(t, CoordinateTerm)
+        assert t.variable_name == "x" and t.index == 2
+        assert t.variables() == frozenset({"x"})
+        assert str(t) == "x.2"
+
+    def test_coordinate_index_must_be_positive(self):
+        with pytest.raises(TypingError):
+            CoordinateTerm("x", 0)
+
+    def test_coerce_term(self):
+        assert coerce_term("x") == var("x")
+        assert coerce_term(5) == const(5)
+        assert coerce_term(var("y")) == var("y")
+
+    def test_term_equality_and_hash(self):
+        assert len({var("x"), var("x"), var("y")}) == 2
+        assert len({const(1), const(1)}) == 1
+        assert len({CoordinateTerm("x", 1), CoordinateTerm("x", 1)}) == 1
+
+
+class TestAtomicFormulas:
+    def test_equals_free_variables(self):
+        f = Equals(var("x").coordinate(1), var("y"))
+        assert f.free_variables() == frozenset({"x", "y"})
+
+    def test_membership_free_variables(self):
+        f = Membership(var("z"), var("x"))
+        assert f.free_variables() == frozenset({"z", "x"})
+
+    def test_predicate_atom(self):
+        f = PredicateAtom("PAR", var("x"))
+        assert f.predicates() == frozenset({"PAR"})
+        assert f.free_variables() == frozenset({"x"})
+        with pytest.raises(TypingError):
+            PredicateAtom("", var("x"))
+
+    def test_constants_collection(self):
+        f = And(Equals(var("x"), const("a")), Equals(var("y"), const("b")))
+        assert f.constants() == frozenset({"a", "b"})
+
+    def test_string_coercion_in_atoms(self):
+        # Strings become variables, other values constants.
+        f = Equals("x", 5)
+        assert f.free_variables() == frozenset({"x"})
+        assert f.constants() == frozenset({5})
+
+
+class TestConnectivesAndQuantifiers:
+    def test_operator_sugar(self):
+        a = Equals(var("x"), var("y"))
+        b = Equals(var("y"), var("z"))
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+        assert isinstance(a.implies(b), Implies)
+
+    def test_free_variables_through_connectives(self):
+        f = And(Equals(var("x"), var("y")), Not(Equals(var("y"), var("z"))))
+        assert f.free_variables() == frozenset({"x", "y", "z"})
+
+    def test_quantifier_binds_variable(self):
+        body = Equals(var("x"), var("y"))
+        f = Exists("x", U, body)
+        assert f.free_variables() == frozenset({"y"})
+        assert Forall("y", U, f).free_variables() == frozenset()
+
+    def test_quantifier_validation(self):
+        with pytest.raises(TypingError):
+            Exists("", U, Equals(var("x"), var("x")))
+        with pytest.raises(TypingError):
+            Exists("x", "U", Equals(var("x"), var("x")))
+        with pytest.raises(TypingError):
+            Exists("x", U, "not a formula")
+
+    def test_quantified_types_collection(self):
+        pair = parse_type("[U, U]")
+        f = Exists("x", pair, Forall("y", U, Equals(var("y"), var("y"))))
+        assert f.quantified_types() == frozenset({pair, U})
+
+    def test_subformulas_preorder(self):
+        f = And(Equals(var("x"), var("x")), Not(Equals(var("y"), var("y"))))
+        subs = list(f.subformulas())
+        assert subs[0] is f
+        assert len(subs) == 4
+
+    def test_conjunction_disjunction_helpers(self):
+        atoms = [Equals(var(n), var(n)) for n in ("x", "y", "z")]
+        c = conjunction(atoms)
+        d = disjunction(atoms)
+        assert c.free_variables() == frozenset({"x", "y", "z"})
+        assert d.free_variables() == frozenset({"x", "y", "z"})
+        with pytest.raises(TypingError):
+            conjunction([])
+
+    def test_exists_forall_many(self):
+        body = Equals(var("x"), var("y"))
+        f = exists_many([("x", U), ("y", U)], body)
+        assert f.free_variables() == frozenset()
+        g = forall_many([("x", U)], body)
+        assert g.free_variables() == frozenset({"y"})
+
+    def test_formula_equality_and_hash(self):
+        a = Exists("x", U, Equals(var("x"), const("a")))
+        b = Exists("x", U, Equals(var("x"), const("a")))
+        assert a == b and hash(a) == hash(b)
+        assert a != Forall("x", U, Equals(var("x"), const("a")))

@@ -1,0 +1,118 @@
+"""Tests for the t-wff typing rules (Section 2)."""
+
+import pytest
+
+from repro.errors import TypingError
+from repro.calculus.formulas import Equals, Exists, Forall, Membership, Not, PredicateAtom
+from repro.calculus.terms import Constant, CoordinateTerm, VariableTerm, var
+from repro.calculus.typing import check_query_formula, infer_typing, term_type
+from repro.types.parser import parse_type
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import SetType, TupleType, U
+
+PAIR = parse_type("[U, U]")
+SET_OF_PAIRS = parse_type("{[U, U]}")
+SCHEMA = DatabaseSchema([("PAR", PAIR), ("PERSON", U)])
+
+
+class TestTermType:
+    def test_constant_is_u(self):
+        assert term_type(Constant("a"), {}) is U
+
+    def test_variable_from_scope(self):
+        assert term_type(var("x"), {"x": PAIR}) == PAIR
+
+    def test_variable_missing_from_scope(self):
+        with pytest.raises(TypingError):
+            term_type(var("x"), {})
+
+    def test_coordinate_of_tuple(self):
+        assert term_type(CoordinateTerm("x", 2), {"x": PAIR}) is U
+
+    def test_coordinate_of_non_tuple_rejected(self):
+        with pytest.raises(TypingError):
+            term_type(CoordinateTerm("x", 1), {"x": U})
+        with pytest.raises(TypingError):
+            term_type(CoordinateTerm("x", 1), {"x": SET_OF_PAIRS})
+
+    def test_coordinate_out_of_range(self):
+        with pytest.raises(TypingError):
+            term_type(CoordinateTerm("x", 3), {"x": PAIR})
+
+
+class TestAtomicRules:
+    def test_equality_requires_equal_types(self):
+        good = Equals(var("x").coordinate(1), var("y"))
+        infer_typing(good, {}, {"x": PAIR, "y": U})
+        bad = Equals(var("x"), var("y"))
+        with pytest.raises(TypingError):
+            infer_typing(bad, {}, {"x": PAIR, "y": U})
+
+    def test_membership_requires_set_of_element_type(self):
+        good = Membership(var("z"), var("x"))
+        infer_typing(good, {}, {"z": PAIR, "x": SET_OF_PAIRS})
+        bad = Membership(var("z"), var("x"))
+        with pytest.raises(TypingError):
+            infer_typing(bad, {}, {"z": U, "x": SET_OF_PAIRS})
+
+    def test_predicate_atom_requires_declared_type(self):
+        good = PredicateAtom("PAR", var("x"))
+        infer_typing(good, SCHEMA.as_mapping(), {"x": PAIR})
+        with pytest.raises(TypingError):
+            infer_typing(PredicateAtom("PAR", var("x")), SCHEMA.as_mapping(), {"x": U})
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(TypingError):
+            infer_typing(PredicateAtom("NOPE", var("x")), SCHEMA.as_mapping(), {"x": U})
+
+
+class TestQuantifierRules:
+    def test_quantifier_introduces_type(self):
+        f = Exists("x", PAIR, PredicateAtom("PAR", var("x")))
+        report = infer_typing(f, SCHEMA.as_mapping(), {})
+        assert PAIR in report.variable_types
+
+    def test_requantification_with_different_type_rejected(self):
+        f = Exists("x", PAIR, Exists("x", U, Equals(var("x"), var("x"))))
+        with pytest.raises(TypingError):
+            infer_typing(f, {}, {})
+
+    def test_requantification_with_same_type_allowed(self):
+        f = Exists("x", U, Exists("x", U, Equals(var("x"), var("x"))))
+        infer_typing(f, {}, {})
+
+    def test_free_variable_needs_declared_type(self):
+        f = Equals(var("x"), var("x"))
+        with pytest.raises(TypingError):
+            infer_typing(f, {}, {})
+
+    def test_variable_types_collects_all(self):
+        f = Exists(
+            "x",
+            SET_OF_PAIRS,
+            Forall("y", PAIR, Membership(var("y"), var("x"))),
+        )
+        report = infer_typing(f, {}, {})
+        assert report.variable_types == frozenset({SET_OF_PAIRS, PAIR})
+
+
+class TestCheckQueryFormula:
+    def test_valid_query_formula(self):
+        f = PredicateAtom("PERSON", var("t"))
+        report = check_query_formula(f, SCHEMA, "t", U)
+        assert report.predicate_types == {"PERSON": U}
+
+    def test_extra_free_variable_rejected(self):
+        f = Equals(var("t"), var("u"))
+        with pytest.raises(TypingError):
+            check_query_formula(f, SCHEMA, "t", U)
+
+    def test_undeclared_predicate_rejected(self):
+        f = PredicateAtom("MISSING", var("t"))
+        with pytest.raises(TypingError):
+            check_query_formula(f, SCHEMA, "t", U)
+
+    def test_negation_and_connectives_pass_through(self):
+        f = Not(PredicateAtom("PERSON", var("t"))) & Equals(var("t"), Constant("a"))
+        report = check_query_formula(f, SCHEMA, "t", U)
+        assert U in report.variable_types

@@ -1,0 +1,121 @@
+"""Tests for the stratified Datalog engine."""
+
+import pytest
+
+from repro.errors import DatalogError
+from repro.datalog.ast import Atom, Literal, Program, Rule, is_variable
+from repro.datalog.builders import (
+    non_reachable_program,
+    same_generation_program,
+    transitive_closure_program,
+)
+from repro.datalog.evaluation import evaluate_program
+from repro.datalog.stratify import dependency_graph, stratify
+from repro.relational.fixpoint import transitive_closure
+from repro.relational.relation import Relation
+
+
+class TestAst:
+    def test_is_variable_convention(self):
+        assert is_variable("X") and is_variable("Xs")
+        assert not is_variable("x") and not is_variable(3) and not is_variable("")
+
+    def test_atom_variables(self):
+        atom = Atom("p", ["X", "a", "Y"])
+        assert atom.variables() == frozenset({"X", "Y"})
+        assert atom.arity == 3
+
+    def test_rule_safety_head(self):
+        with pytest.raises(DatalogError):
+            Rule(Atom("p", ["X", "Y"]), [Atom("q", ["X"])])
+
+    def test_rule_safety_negation(self):
+        with pytest.raises(DatalogError):
+            Rule(
+                Atom("p", ["X"]),
+                [Atom("q", ["X"]), Literal(Atom("r", ["Y"]), positive=False)],
+            )
+
+    def test_facts_allowed(self):
+        fact = Rule(Atom("p", ["a", "b"]), [])
+        assert str(fact) == "p(a, b)."
+
+    def test_program_rejects_edb_in_head(self):
+        rule = Rule(Atom("p", ["X"]), [Atom("q", ["X"])])
+        with pytest.raises(DatalogError):
+            Program([rule], edb_predicates=["p", "q"])
+
+
+class TestStratification:
+    def test_positive_program_single_stratum(self):
+        program = transitive_closure_program()
+        assert stratify(program) == [["tc"]]
+
+    def test_negation_forces_second_stratum(self):
+        program = non_reachable_program()
+        strata = stratify(program)
+        tc_level = next(i for i, s in enumerate(strata) if "tc" in s)
+        disc_level = next(i for i, s in enumerate(strata) if "disconnected" in s)
+        assert disc_level > tc_level
+
+    def test_unstratifiable_program_rejected(self):
+        rules = [
+            Rule(Atom("p", ["X"]), [Atom("e", ["X"]), Literal(Atom("q", ["X"]), False)]),
+            Rule(Atom("q", ["X"]), [Atom("e", ["X"]), Literal(Atom("p", ["X"]), False)]),
+        ]
+        program = Program(rules, edb_predicates=["e"])
+        with pytest.raises(DatalogError):
+            stratify(program)
+
+    def test_dependency_graph(self):
+        program = transitive_closure_program()
+        graph = dependency_graph(program)
+        assert ("tc", True) in graph["tc"]
+
+
+class TestEvaluation:
+    def test_transitive_closure_matches_fixpoint(self):
+        par = Relation(2, [("a", "b"), ("b", "c"), ("c", "d"), ("x", "y")])
+        facts = evaluate_program(transitive_closure_program(), {"par": par})
+        assert facts["tc"] == transitive_closure(par)
+
+    def test_same_generation(self):
+        par = Relation(2, [("root", "a"), ("root", "b"), ("a", "c"), ("b", "d")])
+        facts = evaluate_program(same_generation_program(), {"par": par})
+        assert ("a", "b") in facts["sg"]
+        assert ("c", "d") in facts["sg"]
+        assert ("a", "d") not in facts["sg"]
+
+    def test_negation_program(self):
+        par = Relation(2, [("a", "b"), ("c", "d")])
+        facts = evaluate_program(non_reachable_program(), {"par": par})
+        assert ("a", "d") in facts["disconnected"]
+        assert ("a", "b") not in facts["disconnected"]
+
+    def test_constants_in_rules(self):
+        rules = [
+            Rule(Atom("child_of_tom", ["X"]), [Atom("par", ["tom", "X"])]),
+        ]
+        program = Program(rules, edb_predicates=["par"])
+        par = Relation(2, [("tom", "mary"), ("mary", "sue")])
+        facts = evaluate_program(program, {"par": par})
+        assert facts["child_of_tom"] == Relation(1, [("mary",)])
+
+    def test_missing_edb_rejected(self):
+        with pytest.raises(DatalogError):
+            evaluate_program(transitive_closure_program(), {})
+
+    def test_undeclared_body_predicate_rejected(self):
+        rules = [Rule(Atom("p", ["X"]), [Atom("mystery", ["X"])])]
+        program = Program(rules)
+        with pytest.raises(DatalogError):
+            evaluate_program(program, {})
+
+    def test_empty_edb_gives_empty_idb(self):
+        facts = evaluate_program(transitive_closure_program(), {"par": Relation(2, [])})
+        assert len(facts["tc"]) == 0
+
+    def test_idb_relations_always_present(self):
+        par = Relation(2, [("a", "b")])
+        facts = evaluate_program(same_generation_program(), {"par": par})
+        assert "sg" in facts

@@ -1,0 +1,263 @@
+"""Tests for the fixpoint / while-change program layer (repro.fixpoint)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError, SchemaError
+from repro.algebra.expressions import (
+    Difference,
+    PredicateExpression,
+    Product,
+    Projection,
+    Selection,
+    SelectionCondition,
+    Union,
+)
+from repro.calculus.builders import transitive_closure_query
+from repro.calculus.evaluation import EvaluationSettings
+from repro.fixpoint import (
+    Assign,
+    PARENT_SCHEMA,
+    Program,
+    WhileChange,
+    inflationary_fixpoint,
+    reachable_from_constant_program,
+    same_generation_program,
+    transitive_closure_program,
+)
+from repro.objects.instance import DatabaseInstance
+from repro.objects.values import value_from_python
+from repro.relational.fixpoint import transitive_closure
+from repro.relational.relation import Relation
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import TupleType, U
+
+
+PAIR = TupleType([U, U])
+
+
+def parent_db(pairs) -> DatabaseInstance:
+    return DatabaseInstance.build(PARENT_SCHEMA, PAR=list(pairs))
+
+
+def as_rows(instance) -> set[tuple]:
+    return {tuple(component.value for component in value.components) for value in instance}
+
+
+class TestProgramConstruction:
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            Program(PARENT_SCHEMA, [("X", PAIR), ("X", PAIR)], [], output_variable="X")
+
+    def test_variable_shadowing_predicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Program(PARENT_SCHEMA, [("PAR", PAIR)], [], output_variable="PAR")
+
+    def test_unknown_output_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            Program(PARENT_SCHEMA, [("X", PAIR)], [], output_variable="Y")
+
+    def test_assignment_to_undeclared_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            Program(
+                PARENT_SCHEMA,
+                [("X", PAIR)],
+                [Assign("Y", PredicateExpression("PAR"))],
+                output_variable="X",
+            )
+
+    def test_empty_while_body_rejected(self):
+        with pytest.raises(SchemaError):
+            WhileChange([])
+
+    def test_extended_schema_contains_variables(self):
+        program = transitive_closure_program()
+        assert "TC" in program.extended_schema
+        assert "PAR" in program.extended_schema
+
+    def test_statement_rendering(self):
+        program = transitive_closure_program()
+        assert "TC :=" in str(program.statements[0])
+        assert "while change" in str(program.statements[1])
+
+
+class TestProgramExecution:
+    def test_program_requires_matching_schema(self):
+        program = transitive_closure_program()
+        other = DatabaseSchema([("OTHER", PAIR)])
+        database = DatabaseInstance.build(other, OTHER=[("a", "b")])
+        with pytest.raises(EvaluationError):
+            program.run(database)
+
+    def test_straight_line_assignment(self):
+        program = Program(
+            PARENT_SCHEMA,
+            [("X", PAIR)],
+            [Assign("X", PredicateExpression("PAR"))],
+            output_variable="X",
+        )
+        result = program.run(parent_db([("a", "b")]))
+        assert as_rows(result.output) == {("a", "b")}
+        assert result.statements_executed == 1
+
+    def test_assignment_type_mismatch_is_error(self):
+        program = Program(
+            PARENT_SCHEMA,
+            [("X", TupleType([U]))],
+            [Assign("X", PredicateExpression("PAR"))],
+            output_variable="X",
+        )
+        with pytest.raises(EvaluationError):
+            program.run(parent_db([("a", "b")]))
+
+    def test_while_change_that_never_converges_raises(self):
+        # X := (PAR − X) flips between PAR and ∅ forever.
+        program = Program(
+            PARENT_SCHEMA,
+            [("X", PAIR)],
+            [
+                WhileChange(
+                    [
+                        Assign(
+                            "X",
+                            Difference(PredicateExpression("PAR"), PredicateExpression("X")),
+                        )
+                    ],
+                    max_iterations=10,
+                )
+            ],
+            output_variable="X",
+        )
+        with pytest.raises(EvaluationError):
+            program.run(parent_db([("a", "b")]))
+
+    def test_program_result_reports_iterations(self):
+        program = transitive_closure_program()
+        result = program.run(parent_db([("a", "b"), ("b", "c"), ("c", "d")]))
+        assert result.iterations >= 2
+        assert result.variables["TC"] == result.output
+
+
+class TestTransitiveClosureProgram:
+    @pytest.mark.parametrize(
+        "pairs",
+        [
+            [("a", "b")],
+            [("a", "b"), ("b", "c")],
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],  # cycle
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],  # diamond
+        ],
+    )
+    def test_matches_relational_fixpoint(self, pairs):
+        program = transitive_closure_program()
+        result = program.run(parent_db(pairs))
+        expected = transitive_closure(Relation(2, pairs))
+        assert as_rows(result.output) == set(expected.tuples)
+
+    def test_matches_calculus_query_on_small_input(self):
+        pairs = [("a", "b"), ("b", "c")]
+        database = parent_db(pairs)
+        program_answer = as_rows(transitive_closure_program().run(database).output)
+        calculus_answer = as_rows(
+            transitive_closure_query().evaluate(
+                database, EvaluationSettings(binding_budget=None)
+            )
+        )
+        assert program_answer == calculus_answer
+
+    def test_empty_input(self):
+        result = transitive_closure_program().run(parent_db([]))
+        assert len(result.output) == 0
+
+
+class TestOtherPrograms:
+    def test_reachability_from_constant(self):
+        program = reachable_from_constant_program("a")
+        result = program.run(parent_db([("a", "b"), ("b", "c"), ("x", "y")]))
+        atoms = {value.coordinate(1).value for value in result.output}
+        assert atoms == {"b", "c"}
+
+    def test_reachability_from_missing_source_is_empty(self):
+        program = reachable_from_constant_program("nobody")
+        result = program.run(parent_db([("a", "b")]))
+        assert len(result.output) == 0
+
+    def test_same_generation_of_two_families(self):
+        # parents: r -> a, r -> b, a -> x, b -> y  (x and y are cousins).
+        pairs = [("r", "a"), ("r", "b"), ("a", "x"), ("b", "y")]
+        result = same_generation_program().run(parent_db(pairs))
+        rows = as_rows(result.output)
+        assert ("a", "b") in rows and ("b", "a") in rows
+        assert ("x", "y") in rows and ("y", "x") in rows
+        assert ("a", "x") not in rows
+
+    def test_inflationary_fixpoint_helper_computes_closure(self):
+        database = parent_db([("a", "b"), ("b", "c"), ("c", "d")])
+        step = Projection(
+            Selection(
+                Product(PredicateExpression("TC"), PredicateExpression("PAR")),
+                SelectionCondition.eq(2, 3),
+            ),
+            (1, 4),
+        )
+        seeded = inflationary_fixpoint(
+            PARENT_SCHEMA,
+            database,
+            "TC",
+            PAIR,
+            Union(PredicateExpression("PAR"), step),
+        )
+        expected = transitive_closure(Relation(2, [("a", "b"), ("b", "c"), ("c", "d")]))
+        assert as_rows(seeded) == set(expected.tuples)
+
+    def test_inflationary_fixpoint_respects_iteration_bound(self):
+        database = parent_db([(f"v{i}", f"v{i+1}") for i in range(8)])
+        step = Projection(
+            Selection(
+                Product(PredicateExpression("TC"), PredicateExpression("PAR")),
+                SelectionCondition.eq(2, 3),
+            ),
+            (1, 4),
+        )
+        with pytest.raises(EvaluationError):
+            inflationary_fixpoint(
+                PARENT_SCHEMA,
+                database,
+                "TC",
+                PAIR,
+                Union(PredicateExpression("PAR"), step),
+                max_iterations=2,
+            )
+
+
+class TestPropertyClosureAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(st.sampled_from("abcde"), st.sampled_from("abcde")),
+            max_size=8,
+            unique=True,
+        )
+    )
+    def test_program_matches_semi_naive_closure(self, pairs):
+        result = transitive_closure_program().run(parent_db(pairs))
+        expected = transitive_closure(Relation(2, pairs))
+        assert as_rows(result.output) == set(expected.tuples)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(st.sampled_from("abcd"), st.sampled_from("abcd")),
+            max_size=6,
+            unique=True,
+        )
+    )
+    def test_iterations_are_polynomial_in_input(self, pairs):
+        result = transitive_closure_program().run(parent_db(pairs))
+        # Each while-change iteration adds at least one new pair (or stops);
+        # the number of pairs over <= 4 atoms is at most 16, plus the final
+        # no-change round and the initial seeding.
+        assert result.iterations <= 16 + 2

@@ -1,0 +1,248 @@
+"""Tests for invented-value semantics and the universal-type encoding (Section 6)."""
+
+import pytest
+
+from repro.errors import InventionError
+from repro.calculus.builders import (
+    PARENT_SCHEMA,
+    PERSON_SCHEMA,
+    active_domain_query,
+    even_cardinality_query,
+)
+from repro.calculus.evaluation import EvaluationSettings
+from repro.calculus.formulas import Equals, Exists, Not, PredicateAtom
+from repro.calculus.query import CalculusQuery
+from repro.calculus.terms import var
+from repro.invention.semantics import bounded_invention, finite_invention, terminal_invention
+from repro.invention.universal import (
+    EMPTY_SET_MARKER,
+    decode_value,
+    encode_instance,
+    encode_value,
+    encoded_equal,
+    encoded_member,
+)
+from repro.objects.domain import belongs_to
+from repro.objects.instance import DatabaseInstance
+from repro.objects.values import make_set, make_tuple, value_from_python
+from repro.types.parser import parse_type
+from repro.types.type_system import SetType, TupleType, U
+from repro.types.universal import T_UNIV
+from repro.utils.fresh import FreshValueSupply
+
+SETTINGS = EvaluationSettings(binding_budget=None)
+
+
+def two_distinct_atoms_query() -> CalculusQuery:
+    """Return PERSON iff the evaluation universe has two distinct atoms.
+
+    Under the limited interpretation with |PERSON| = 1 the answer is empty;
+    with one invented value it becomes PERSON — a minimal query separating
+    the semantics.
+    """
+    formula = PredicateAtom("PERSON", var("t")) & Exists(
+        "x", U, Exists("y", U, Not(Equals(var("x"), var("y"))))
+    )
+    return CalculusQuery(PERSON_SCHEMA, "t", U, formula, name="two_distinct_atoms")
+
+
+def invented_witness_query() -> CalculusQuery:
+    """Return atoms t for which some atom differs from every PERSON and from t.
+
+    With zero invented values (and PERSON = {a}) the answer is empty; with an
+    invented value available the *unrestricted* answer contains the invented
+    atom itself, which makes this a terminal-invention witness.
+    """
+    body = Exists(
+        "x",
+        U,
+        Not(PredicateAtom("PERSON", var("x"))) & Not(Equals(var("x"), var("t"))),
+    )
+    return CalculusQuery(PERSON_SCHEMA, "t", U, body, name="invented_witness")
+
+
+class TestBoundedInvention:
+    def test_zero_invention_is_limited_interpretation(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a"])
+        result = bounded_invention(two_distinct_atoms_query(), db, 0, SETTINGS)
+        assert len(result.answer) == 0
+
+    def test_one_invented_atom_changes_answer(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a"])
+        result = bounded_invention(two_distinct_atoms_query(), db, 1, SETTINGS)
+        assert {str(v) for v in result.answer} == {"a"}
+        assert len(result.invented_atoms) == 1
+
+    def test_output_restricted_to_active_domain(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a"])
+        result = bounded_invention(active_domain_query(PERSON_SCHEMA), db, 3, SETTINGS)
+        # Even with invented atoms in the universe, the answer may only use
+        # active-domain atoms (the Q|_n convention).
+        assert {str(v) for v in result.answer} == {"a"}
+
+    def test_invented_atoms_avoid_active_domain(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["inv0", "inv1"])
+        result = bounded_invention(two_distinct_atoms_query(), db, 2, SETTINGS)
+        assert set(result.invented_atoms).isdisjoint(db.active_domain())
+
+    def test_negative_count_rejected(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a"])
+        with pytest.raises(InventionError):
+            bounded_invention(two_distinct_atoms_query(), db, -1)
+
+    def test_proposition_6_1_only_count_matters(self):
+        # Evaluating twice with the same count gives the same answer even
+        # though fresh atoms are re-generated.
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a", "b", "c"])
+        q = even_cardinality_query()
+        first = bounded_invention(q, db, 1, SETTINGS)
+        second = bounded_invention(q, db, 1, SETTINGS)
+        assert first.answer == second.answer
+
+    def test_even_cardinality_not_domain_independent(self):
+        # Under the limited interpretation |PERSON| = 3 is odd, so the answer
+        # is empty.  With one invented atom the pairing witness may use the
+        # invented atom in its second column ({(a,inv0), (b,c)} say), so all
+        # three persons become "paired" and the answer flips to PERSON — a
+        # concrete demonstration that the even-cardinality query is *not*
+        # domain independent, which is exactly why Section 6 studies these
+        # semantics separately.
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a", "b", "c"])
+        limited = bounded_invention(even_cardinality_query(), db, 0, SETTINGS)
+        invented = bounded_invention(even_cardinality_query(), db, 1, SETTINGS)
+        assert len(limited.answer) == 0
+        assert {str(v) for v in invented.answer} == {"a", "b", "c"}
+
+
+class TestFiniteInvention:
+    def test_union_over_levels(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a"])
+        result = finite_invention(two_distinct_atoms_query(), db, 2, SETTINGS)
+        assert {str(v) for v in result.answer} == {"a"}
+        assert result.levels_evaluated == (0, 1, 2)
+
+    def test_zero_budget_equals_limited(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a"])
+        result = finite_invention(two_distinct_atoms_query(), db, 0, SETTINGS)
+        assert len(result.answer) == 0
+
+    def test_monotone_in_budget(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a"])
+        small = finite_invention(two_distinct_atoms_query(), db, 0, SETTINGS)
+        large = finite_invention(two_distinct_atoms_query(), db, 1, SETTINGS)
+        assert set(small.answer.values) <= set(large.answer.values)
+
+
+class TestTerminalInvention:
+    def test_defined_when_invented_value_reaches_answer(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a"])
+        result = terminal_invention(invented_witness_query(), db, 3, SETTINGS)
+        assert result.defined
+        assert result.terminal_level == 2
+        # The restricted answer at the terminal level contains the active atom
+        # (witnessed by the other invented value).
+        assert {str(v) for v in result.answer} == {"a"}
+
+    def test_undefined_when_no_invention_needed(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a", "b"])
+        q = CalculusQuery(PERSON_SCHEMA, "t", U, PredicateAtom("PERSON", var("t")))
+        result = terminal_invention(q, db, 2, SETTINGS)
+        assert not result.defined
+        assert result.answer is None
+
+    def test_levels_recorded(self):
+        db = DatabaseInstance.build(PERSON_SCHEMA, PERSON=["a"])
+        result = terminal_invention(invented_witness_query(), db, 3, SETTINGS)
+        assert result.levels_evaluated == (0, 1, 2)
+
+
+class TestUniversalEncoding:
+    @pytest.mark.parametrize(
+        "text_type,python_value",
+        [
+            ("U", "a"),
+            ("[U, U]", ("a", "b")),
+            ("{U}", frozenset({"a", "b"})),
+            ("{[U, U]}", frozenset({("a", "b"), ("b", "c")})),
+            ("[{[U, U]}, U]", (frozenset({("a", "b")}), "c")),
+            ("{{U}}", frozenset({frozenset({"a"}), frozenset({"a", "b"})})),
+            ("{U}", frozenset()),
+        ],
+    )
+    def test_roundtrip(self, text_type, python_value):
+        type_ = parse_type(text_type)
+        value = value_from_python(python_value)
+        encoding = encode_value(value, type_)
+        assert belongs_to(encoding.value, T_UNIV)
+        assert decode_value(encoding) == value
+
+    def test_figure3_style_object(self):
+        """The Example 6.6 object {[{a,b}, c], [{}, b]} of type {[{U}, U]}."""
+        type_ = parse_type("{[{U}, U]}")
+        value = value_from_python(
+            frozenset({(frozenset({"a", "b"}), "c"), (frozenset(), "b")})
+        )
+        encoding = encode_value(value, type_)
+        assert decode_value(encoding) == value
+        # The empty-set member is encoded explicitly, not dropped.
+        markers = [
+            row
+            for row in encoding.value
+            if str(row.coordinate(4).value) == EMPTY_SET_MARKER
+        ]
+        assert len(markers) == 1
+
+    def test_rejects_ill_typed_value(self):
+        with pytest.raises(InventionError):
+            encode_value(make_tuple("a"), parse_type("[U, U]"))
+
+    def test_identifiers_disjoint_from_value_atoms(self):
+        value = value_from_python(frozenset({("a", "b")}))
+        encoding = encode_value(value, parse_type("{[U, U]}"))
+        assert set(encoding.identifiers).isdisjoint(value.atoms())
+
+    def test_encoded_equal_ignores_identifier_choice(self):
+        type_ = parse_type("{[U, U]}")
+        value = value_from_python(frozenset({("a", "b"), ("b", "c")}))
+        enc1 = encode_value(value, type_, FreshValueSupply(value.atoms(), prefix="p"))
+        enc2 = encode_value(value, type_, FreshValueSupply(value.atoms(), prefix="q"))
+        assert enc1.value != enc2.value  # different identifiers...
+        assert encoded_equal(enc1, enc2)  # ...same encoded object
+
+    def test_encoded_equal_distinguishes_objects(self):
+        type_ = parse_type("{U}")
+        enc1 = encode_value(value_from_python(frozenset({"a"})), type_)
+        enc2 = encode_value(value_from_python(frozenset({"a", "b"})), type_)
+        assert not encoded_equal(enc1, enc2)
+
+    def test_encoded_member(self):
+        set_type = parse_type("{[U, U]}")
+        element_type = parse_type("[U, U]")
+        container = encode_value(
+            value_from_python(frozenset({("a", "b"), ("b", "c")})), set_type
+        )
+        inside = encode_value(value_from_python(("a", "b")), element_type)
+        outside = encode_value(value_from_python(("c", "a")), element_type)
+        assert encoded_member(inside, container)
+        assert not encoded_member(outside, container)
+
+    def test_encoded_member_requires_set_container(self):
+        enc = encode_value(value_from_python(("a", "b")), parse_type("[U, U]"))
+        with pytest.raises(InventionError):
+            encoded_member(enc, enc)
+
+    def test_encode_instance_shares_supply(self):
+        from repro.objects.instance import Instance
+
+        instance = Instance(parse_type("[U, U]"), [("a", "b"), ("b", "c")])
+        encodings = encode_instance(instance)
+        identifiers = [oid for enc in encodings for oid in enc.identifiers]
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_encoding_size_grows_with_object(self):
+        type_ = parse_type("{[U, U]}")
+        small = encode_value(value_from_python(frozenset({("a", "b")})), type_)
+        large = encode_value(
+            value_from_python(frozenset({("a", "b"), ("b", "c"), ("c", "a")})), type_
+        )
+        assert large.tuple_count > small.tuple_count

@@ -1,0 +1,293 @@
+"""Tests for the LDM substrate (repro.ldm): schemas, instances, Fig. 3(c) encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.ldm import (
+    BASIC,
+    POWER,
+    PRODUCT,
+    LDMInstance,
+    LDMNode,
+    LDMSchema,
+    basic_nodes,
+    decode_object,
+    encode_object,
+    identifier_count,
+    node_depths,
+    schema_from_type,
+    type_from_schema,
+)
+from repro.objects.values import value_from_python
+from repro.types.parser import parse_type
+from repro.types.set_height import set_height
+from repro.types.type_system import SetType, TupleType, U
+
+
+# The type T of Figure 3(a): [ {[U, U]}, U ].
+FIGURE3_TYPE = TupleType([SetType(TupleType([U, U])), U])
+
+# The object o of Figure 3(b): [ {[a, b], [a, c]}, b ]  (modulo renaming).
+FIGURE3_OBJECT = value_from_python((frozenset({("a", "b"), ("a", "c")}), "b"))
+
+
+class TestLDMNodesAndSchemas:
+    def test_basic_node(self):
+        node = LDMNode("n0", BASIC)
+        assert node.children == ()
+
+    def test_basic_node_rejects_children(self):
+        with pytest.raises(SchemaError):
+            LDMNode("n0", BASIC, ("n1",))
+
+    def test_product_node_requires_children(self):
+        with pytest.raises(SchemaError):
+            LDMNode("n0", PRODUCT)
+
+    def test_power_node_requires_exactly_one_child(self):
+        with pytest.raises(SchemaError):
+            LDMNode("n0", POWER, ("a", "b"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            LDMNode("n0", "weird")
+
+    def test_schema_rejects_duplicate_names(self):
+        with pytest.raises(SchemaError):
+            LDMSchema([LDMNode("n0", BASIC), LDMNode("n0", BASIC)])
+
+    def test_schema_rejects_dangling_child(self):
+        with pytest.raises(SchemaError):
+            LDMSchema([LDMNode("n0", POWER, ("missing",))])
+
+    def test_schema_lookup(self):
+        schema = LDMSchema([LDMNode("a", BASIC), LDMNode("s", POWER, ("a",))])
+        assert schema.node("s").kind == POWER
+        assert "a" in schema
+        assert len(schema) == 2
+
+    def test_schema_lookup_missing(self):
+        schema = LDMSchema([LDMNode("a", BASIC)])
+        with pytest.raises(SchemaError):
+            schema.node("b")
+
+    def test_acyclic_detection(self):
+        acyclic = LDMSchema([LDMNode("a", BASIC), LDMNode("s", POWER, ("a",))])
+        assert acyclic.is_acyclic()
+        cyclic = LDMSchema(
+            [LDMNode("p", PRODUCT, ("q",)), LDMNode("q", POWER, ("p",))]
+        )
+        assert not cyclic.is_acyclic()
+
+    def test_shared_child_is_a_dag_not_a_cycle(self):
+        schema = LDMSchema(
+            [
+                LDMNode("atom", BASIC),
+                LDMNode("left", POWER, ("atom",)),
+                LDMNode("right", POWER, ("atom",)),
+                LDMNode("pair", PRODUCT, ("left", "right")),
+            ]
+        )
+        assert schema.is_acyclic()
+        assert schema.reachable_from("pair") == {"pair", "left", "right", "atom"}
+
+    def test_basic_nodes_helper(self):
+        schema, _ = schema_from_type(FIGURE3_TYPE)
+        names = basic_nodes(schema)
+        assert all(schema.node(name).kind == BASIC for name in names)
+        assert len(names) == 3  # two leaves under the pair plus the second component
+
+    def test_node_depths(self):
+        schema, root = schema_from_type(FIGURE3_TYPE)
+        depths = node_depths(schema, root)
+        assert depths[root] == 0
+        assert max(depths.values()) == 3
+
+
+class TestSchemaTypeRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        ["U", "[U, U]", "{[U, U]}", "{{[U, U]}}", "[{[U, U]}, U]", "{[{U}, U, {U}]}"],
+    )
+    def test_round_trip_preserves_type(self, text):
+        type_ = parse_type(text)
+        schema, root = schema_from_type(type_)
+        assert type_from_schema(schema, root) == type_
+
+    def test_node_count_matches_type_nodes(self):
+        schema, _ = schema_from_type(FIGURE3_TYPE)
+        assert len(schema) == FIGURE3_TYPE.node_count()
+
+    def test_cyclic_schema_has_no_type(self):
+        cyclic = LDMSchema(
+            [LDMNode("p", PRODUCT, ("q",)), LDMNode("q", POWER, ("p",))]
+        )
+        with pytest.raises(SchemaError):
+            type_from_schema(cyclic, "p")
+
+    def test_shared_node_expands_to_duplicated_subtree(self):
+        schema = LDMSchema(
+            [
+                LDMNode("atom", BASIC),
+                LDMNode("s", POWER, ("atom",)),
+                LDMNode("pair", PRODUCT, ("s", "s")),
+            ]
+        )
+        assert type_from_schema(schema, "pair") == TupleType([SetType(U), SetType(U)])
+
+
+class TestLDMInstances:
+    def _schema(self):
+        return LDMSchema(
+            [
+                LDMNode("atom", BASIC),
+                LDMNode("s", POWER, ("atom",)),
+            ]
+        )
+
+    def test_add_and_lookup(self):
+        instance = LDMInstance(self._schema())
+        instance.add("atom", "i1", "a")
+        instance.add("s", "i2", frozenset({"i1"}))
+        assert instance.table("atom")["i1"] == "a"
+        assert instance.lvalues("s") == {"i2"}
+        assert instance.total_size() == 2
+
+    def test_add_validates_shapes(self):
+        instance = LDMInstance(self._schema())
+        with pytest.raises(SchemaError):
+            instance.add("s", "i1", ("not", "a", "frozenset"))
+        with pytest.raises(SchemaError):
+            instance.add("atom", "i1", frozenset({"x"}))
+
+    def test_add_rejects_rebinding(self):
+        instance = LDMInstance(self._schema())
+        instance.add("atom", "i1", "a")
+        with pytest.raises(SchemaError):
+            instance.add("atom", "i1", "b")
+        # Re-adding the identical row is idempotent, not an error.
+        instance.add("atom", "i1", "a")
+
+    def test_unknown_node_table(self):
+        instance = LDMInstance(self._schema())
+        with pytest.raises(SchemaError):
+            instance.table("missing")
+
+    def test_referential_integrity(self):
+        instance = LDMInstance(self._schema())
+        instance.add("s", "i2", frozenset({"dangling"}))
+        with pytest.raises(SchemaError):
+            instance.check_referential_integrity()
+
+
+class TestFigure3Encoding:
+    def test_figure3_object_round_trip(self):
+        encoding = encode_object(FIGURE3_OBJECT, FIGURE3_TYPE)
+        assert decode_object(encoding) == FIGURE3_OBJECT
+
+    def test_encoding_tables_follow_schema(self):
+        encoding = encode_object(FIGURE3_OBJECT, FIGURE3_TYPE)
+        encoding.instance.check_referential_integrity()
+        # Root table has exactly one row: the encoded object itself.
+        assert len(encoding.instance.table(encoding.root_node)) == 1
+
+    def test_shared_subobjects_share_identifiers(self):
+        # The object {[a, b], [a, c]} mentions the atom "a" twice at the same
+        # node; the Fig. 3(c) tables assign it a single identifier.
+        encoding = encode_object(FIGURE3_OBJECT, FIGURE3_TYPE)
+        pair_node_children = encoding.schema.node(encoding.root_node).children
+        set_node = pair_node_children[0]
+        pair_node = encoding.schema.node(set_node).children[0]
+        first_leaf = encoding.schema.node(pair_node).children[0]
+        assert len(encoding.instance.table(first_leaf)) == 1  # just "a"
+
+    def test_identifier_count_counts_distinct_subobjects(self):
+        encoding = encode_object(FIGURE3_OBJECT, FIGURE3_TYPE)
+        # distinct sub-objects: a, b, c, b(second component leaf), [a,b], [a,c],
+        # the set, and the root = 8 rows (atoms at different nodes are distinct rows).
+        assert identifier_count(encoding) == encoding.instance.total_size()
+        assert identifier_count(encoding) == 8
+
+    def test_encoding_of_wrongly_shaped_value_fails(self):
+        with pytest.raises(SchemaError):
+            encode_object(value_from_python("just_an_atom"), FIGURE3_TYPE)
+
+    def test_empty_set_encodes_and_decodes(self):
+        type_ = SetType(U)
+        empty = value_from_python(frozenset())
+        encoding = encode_object(empty, type_)
+        assert decode_object(encoding) == empty
+
+    def test_deeply_nested_round_trip(self):
+        type_ = parse_type("{{[U, U]}}")
+        value = value_from_python(
+            frozenset({frozenset({("a", "b"), ("b", "c")}), frozenset({("a", "a")})})
+        )
+        encoding = encode_object(value, type_)
+        assert decode_object(encoding) == value
+
+    def test_decode_detects_missing_identifier(self):
+        encoding = encode_object(FIGURE3_OBJECT, FIGURE3_TYPE)
+        # Corrupt the instance: drop the root row.
+        encoding.instance.tables[encoding.root_node].clear()
+        with pytest.raises(SchemaError):
+            decode_object(encoding)
+
+
+# ---------------------------------------------------------------------------
+# Property-based round trips over randomly generated objects of random types.
+# ---------------------------------------------------------------------------
+
+_types = st.recursive(
+    st.just(U),
+    lambda children: st.one_of(
+        children.map(SetType),
+        st.lists(
+            children.filter(lambda t: not isinstance(t, TupleType)), min_size=1, max_size=3
+        ).map(TupleType),
+    ),
+    max_leaves=4,
+)
+
+_atom_pool = st.sampled_from(["a", "b", "c", "d"])
+
+
+def _values_of(type_):
+    if isinstance(type_, TupleType):
+        return st.tuples(*[_values_of(c) for c in type_.component_types]).map(value_from_python)
+    if isinstance(type_, SetType):
+        return st.frozensets(
+            _values_of(type_.element_type).map(lambda v: v), max_size=3
+        ).map(lambda s: value_from_python(frozenset(s)))
+    return _atom_pool.map(value_from_python)
+
+
+class TestPropertyLDMRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_encode_decode_round_trip(self, data):
+        type_ = data.draw(_types)
+        value = data.draw(_values_of(type_))
+        encoding = encode_object(value, type_)
+        assert decode_object(encoding) == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_schema_type_round_trip(self, data):
+        type_ = data.draw(_types)
+        schema, root = schema_from_type(type_)
+        assert type_from_schema(schema, root) == type_
+        assert set_height(type_from_schema(schema, root)) == set_height(type_)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_identifier_count_is_bounded_by_subobject_count(self, data):
+        type_ = data.draw(_types)
+        value = data.draw(_values_of(type_))
+        encoding = encode_object(value, type_)
+        encoding.instance.check_referential_integrity()
+        assert identifier_count(encoding) >= 1

@@ -1,0 +1,337 @@
+"""Tests for the powerset-free nested algebra ALG⁻ (repro.nested)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError, TypingError
+from repro.algebra.evaluation import evaluate_expression
+from repro.algebra.expressions import (
+    ConstantOperand,
+    Powerset,
+    PredicateExpression,
+    SelectionCondition,
+)
+from repro.nested import (
+    Nest,
+    NestedDifference,
+    NestedIntersection,
+    NestedPredicate,
+    NestedProduct,
+    NestedProjection,
+    NestedSelection,
+    NestedUnion,
+    Unnest,
+    alg_minus_classification,
+    evaluate_nested,
+    in_alg_minus,
+    intermediate_types,
+    max_intermediate_blowup,
+)
+from repro.objects.instance import DatabaseInstance
+from repro.objects.values import SetValue, TupleValue, value_from_python
+from repro.relational.fixpoint import transitive_closure
+from repro.relational.relation import Relation
+from repro.types.schema import DatabaseSchema
+from repro.types.set_height import set_height
+from repro.types.type_system import SetType, TupleType, U
+
+
+PAIR = TupleType([U, U])
+TRIPLE = TupleType([U, U, U])
+SCHEMA = DatabaseSchema([("R", PAIR), ("EMP", TRIPLE)])
+
+R = NestedPredicate("R")
+EMP = NestedPredicate("EMP")
+
+
+@pytest.fixture()
+def database():
+    return DatabaseInstance.build(
+        SCHEMA,
+        R=[("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")],
+        EMP=[
+            ("sales", "tom", "ny"),
+            ("sales", "mary", "la"),
+            ("eng", "sue", "ny"),
+            ("eng", "ann", "sf"),
+        ],
+    )
+
+
+class TestTyping:
+    def test_predicate_type(self):
+        assert R.output_type(SCHEMA) == PAIR
+
+    def test_unknown_predicate_is_error(self):
+        with pytest.raises(Exception):
+            NestedPredicate("NOPE").output_type(SCHEMA)
+
+    def test_union_requires_equal_types(self):
+        with pytest.raises(TypingError):
+            NestedUnion(R, EMP).output_type(SCHEMA)
+
+    def test_projection_type(self):
+        assert NestedProjection(EMP, (1, 3)).output_type(SCHEMA) == TupleType([U, U])
+
+    def test_projection_out_of_range(self):
+        with pytest.raises(TypingError):
+            NestedProjection(R, (3,)).output_type(SCHEMA)
+
+    def test_projection_requires_coordinates(self):
+        with pytest.raises(TypingError):
+            NestedProjection(R, ())
+
+    def test_product_type_concatenates(self):
+        assert NestedProduct(R, EMP).output_type(SCHEMA) == TupleType([U] * 5)
+
+    def test_nest_type_appends_set_column(self):
+        nested = Nest(EMP, (2, 3))
+        expected = TupleType([U, SetType(TupleType([U, U]))])
+        assert nested.output_type(SCHEMA) == expected
+
+    def test_nest_must_leave_grouping_coordinate(self):
+        with pytest.raises(TypingError):
+            Nest(R, (1, 2)).output_type(SCHEMA)
+
+    def test_nest_coordinates_must_be_distinct(self):
+        with pytest.raises(TypingError):
+            Nest(EMP, (2, 2))
+
+    def test_unnest_restores_flat_type(self):
+        expression = Unnest(Nest(EMP, (2, 3)), 2)
+        result_type = expression.output_type(SCHEMA)
+        assert result_type == TupleType([U, U, U])
+
+    def test_unnest_requires_set_column(self):
+        with pytest.raises(TypingError):
+            Unnest(EMP, 2).output_type(SCHEMA)
+
+    def test_unnest_out_of_range(self):
+        with pytest.raises(TypingError):
+            Unnest(Nest(EMP, (2, 3)), 5).output_type(SCHEMA)
+
+    def test_selection_validates_condition(self):
+        with pytest.raises(TypingError):
+            NestedSelection(
+                Nest(EMP, (2, 3)), SelectionCondition.eq(1, 2)
+            ).output_type(SCHEMA)
+
+
+class TestEvaluation:
+    def test_predicate_evaluation(self, database):
+        assert len(evaluate_nested(R, database)) == 4
+
+    def test_union_intersection_difference(self, database):
+        union = evaluate_nested(NestedUnion(R, R), database)
+        inter = evaluate_nested(NestedIntersection(R, R), database)
+        diff = evaluate_nested(NestedDifference(R, R), database)
+        assert union == evaluate_nested(R, database)
+        assert inter == evaluate_nested(R, database)
+        assert len(diff) == 0
+
+    def test_projection(self, database):
+        departments = evaluate_nested(NestedProjection(EMP, (1,)), database)
+        assert {value_from_python(("sales",)), value_from_python(("eng",))} == set(
+            departments.values
+        )
+
+    def test_selection_with_constant(self, database):
+        sales = evaluate_nested(
+            NestedSelection(EMP, SelectionCondition.eq(1, ConstantOperand("sales"))), database
+        )
+        assert len(sales) == 2
+
+    def test_product_cardinality(self, database):
+        product = evaluate_nested(NestedProduct(R, R), database)
+        assert len(product) == 16
+
+    def test_nest_groups_by_remaining_coordinates(self, database):
+        nested = evaluate_nested(Nest(EMP, (2, 3)), database)
+        assert len(nested) == 2
+        by_department = {value.coordinate(1): value.coordinate(2) for value in nested}
+        sales_group = by_department[value_from_python("sales")]
+        assert isinstance(sales_group, SetValue)
+        assert len(sales_group) == 2
+
+    def test_unnest_of_nest_is_identity(self, database):
+        round_trip = evaluate_nested(Unnest(Nest(EMP, (2, 3)), 2), database)
+        original = evaluate_nested(EMP, database)
+        assert set(round_trip.values) == set(original.values)
+
+    def test_unnest_drops_empty_sets(self):
+        schema = DatabaseSchema([("G", TupleType([U, SetType(U)]))])
+        database = DatabaseInstance.build(
+            schema,
+            G=[
+                value_from_python(("a", frozenset({"x", "y"}))),
+                value_from_python(("b", frozenset())),
+            ],
+        )
+        result = evaluate_nested(Unnest(NestedPredicate("G"), 2), database)
+        atoms = {value.coordinate(1) for value in result}
+        assert atoms == {value_from_python("a")}
+
+    def test_nest_unnest_not_inverse_when_groups_merge(self):
+        # nest(unnest(...)) normalises partitioned groups: the classical
+        # asymmetry of the two operators.
+        schema = DatabaseSchema([("G", TupleType([U, SetType(U)]))])
+        database = DatabaseInstance.build(
+            schema,
+            G=[
+                value_from_python(("a", frozenset({"x"}))),
+                value_from_python(("a", frozenset({"y"}))),
+            ],
+        )
+        round_trip = evaluate_nested(Nest(Unnest(NestedPredicate("G"), 2), (2,)), database)
+        assert len(round_trip) == 1
+        merged = next(iter(round_trip))
+        assert len(merged.coordinate(2)) == 2
+
+    def test_selection_membership_condition(self, database):
+        # Nest employees, then keep groups containing ("tom", "ny").
+        expression = NestedSelection(
+            Nest(EMP, (2, 3)),
+            SelectionCondition("in", (ConstantOperand("__placeholder__"), 2)),
+        )
+        # Membership of a constant in a set of pairs is ill-typed (U vs [U,U]);
+        # the type checker must reject it rather than evaluate.
+        with pytest.raises(TypingError):
+            evaluate_nested(expression, database)
+
+    def test_unknown_expression_class_is_error(self, database):
+        class Bogus:
+            pass
+
+        with pytest.raises(EvaluationError):
+            from repro.nested.evaluation import _evaluate
+
+            _evaluate(Bogus(), database, SCHEMA)  # type: ignore[arg-type]
+
+
+class TestClassification:
+    def test_flat_expression_classification(self, database):
+        classification = alg_minus_classification(NestedProjection(EMP, (1,)), SCHEMA)
+        assert classification.k == 0
+        assert classification.i == 0
+        assert classification.nest_count == 0
+
+    def test_nest_unnest_pipeline_classification(self):
+        expression = Unnest(Nest(EMP, (2, 3)), 2)
+        classification = alg_minus_classification(expression, SCHEMA)
+        assert classification.k == 0
+        assert classification.i == 1
+        assert classification.nest_count == 1
+        assert classification.unnest_count == 1
+
+    def test_in_alg_minus(self):
+        expression = Unnest(Nest(EMP, (2, 3)), 2)
+        assert in_alg_minus(expression, SCHEMA, 0, 1)
+        assert not in_alg_minus(expression, SCHEMA, 0, 0)
+
+    def test_in_alg_minus_rejects_negative_indices(self):
+        with pytest.raises(Exception):
+            in_alg_minus(R, SCHEMA, -1, 0)
+
+    def test_intermediate_types_of_pipeline(self):
+        expression = Unnest(Nest(EMP, (2, 3)), 2)
+        inter = intermediate_types(expression, SCHEMA)
+        assert any(set_height(t) == 1 for t in inter)
+
+    def test_max_intermediate_blowup_bounded_by_nest_depth(self):
+        single = Nest(EMP, (2, 3))
+        double = Nest(single, (2,))
+        assert max_intermediate_blowup(single, SCHEMA) == 1
+        assert max_intermediate_blowup(double, SCHEMA) == 2
+
+
+class TestSeparationFromPowersetAlgebra:
+    """Experiment X16: ALG⁻ pipelines stay polynomial and miss transitive closure."""
+
+    def _chain_database(self, n: int) -> DatabaseInstance:
+        pairs = [(f"v{i}", f"v{i+1}") for i in range(n)]
+        return DatabaseInstance.build(SCHEMA, R=pairs, EMP=[])
+
+    def test_nest_does_not_enumerate_subsets(self, database):
+        # The powerset of R has 2^4 members; nest produces at most |R| groups.
+        nested = evaluate_nested(Nest(R, (2,)), database)
+        powerset = evaluate_expression(Powerset(PredicateExpression("R")), database)
+        assert len(nested) <= 4
+        assert len(powerset) == 2 ** 4
+
+    @pytest.mark.parametrize("length", [2, 3, 4])
+    def test_nest_unnest_pipelines_do_not_compute_transitive_closure(self, length):
+        database = self._chain_database(length)
+        expected = transitive_closure(Relation(2, [(f"v{i}", f"v{i+1}") for i in range(length)]))
+        # A representative family of ALG⁻ pipelines over R with output type [U, U].
+        pipelines = [
+            R,
+            NestedUnion(R, NestedProjection(NestedProduct(R, R), (1, 4))),
+            NestedProjection(
+                NestedSelection(NestedProduct(R, R), SelectionCondition.eq(2, 3)), (1, 4)
+            ),
+            Unnest(Nest(R, (2,)), 2),
+            NestedProjection(Unnest(Nest(R, (1,)), 2), (2, 1)),
+        ]
+        closure_tuples = {tuple(v.value for v in value) for value in expected.to_instance()}
+        for pipeline in pipelines:
+            answer = evaluate_nested(pipeline, database)
+            answer_tuples = {
+                tuple(component.value for component in value.components) for value in answer
+            }
+            # None of the single-pass pipelines reaches the full closure once
+            # the chain is long enough to need composition of length >= 3.
+            if length >= 3:
+                assert answer_tuples != closure_tuples
+
+    def test_composition_pipeline_computes_bounded_paths_only(self):
+        database = self._chain_database(4)
+        two_step = NestedProjection(
+            NestedSelection(NestedProduct(R, R), SelectionCondition.eq(2, 3)), (1, 4)
+        )
+        answer = evaluate_nested(NestedUnion(R, two_step), database)
+        # Paths of length 1 and 2 are present, length 3 and 4 are not.
+        tuples = {tuple(c.value for c in value.components) for value in answer}
+        assert ("v0", "v2") in tuples
+        assert ("v0", "v3") not in tuples
+
+
+# ---------------------------------------------------------------------------
+# Property: nest/unnest round trip is the identity on flat relations with a
+# functional grouping (every tuple has a non-empty group by construction).
+# ---------------------------------------------------------------------------
+
+_rows = st.lists(
+    st.tuples(
+        st.sampled_from(["d1", "d2", "d3"]),
+        st.sampled_from(["p", "q", "r", "s"]),
+        st.sampled_from(["x", "y"]),
+    ),
+    min_size=1,
+    max_size=12,
+    unique=True,
+)
+
+
+class TestPropertyNestUnnest:
+    @settings(max_examples=60, deadline=None)
+    @given(rows=_rows)
+    def test_unnest_nest_round_trip(self, rows):
+        database = DatabaseInstance.build(SCHEMA, R=[], EMP=rows)
+        round_trip = evaluate_nested(Unnest(Nest(EMP, (2, 3)), 2), database)
+        assert set(round_trip.values) == {value_from_python(row) for row in rows}
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows=_rows)
+    def test_nest_partitions_rows(self, rows):
+        database = DatabaseInstance.build(SCHEMA, R=[], EMP=rows)
+        nested = evaluate_nested(Nest(EMP, (2, 3)), database)
+        total = 0
+        for group in nested:
+            members = group.coordinate(2)
+            assert isinstance(members, SetValue)
+            assert len(members) >= 1
+            total += len(members)
+        assert total == len(rows)

@@ -1,0 +1,138 @@
+"""Tests for dom(T) membership, active domains, and constructive domains."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, ObjectModelError
+from repro.objects.active_domain import active_domain, active_domain_of_instance
+from repro.objects.constructive import (
+    constructive_domain,
+    constructive_domain_size,
+    iter_constructive_domain,
+)
+from repro.objects.domain import belongs_to, check_belongs, infer_types
+from repro.objects.values import make_set, make_tuple, value_from_python
+from repro.types.parser import parse_type
+from repro.types.type_system import SetType, TupleType, U
+
+
+class TestBelongsTo:
+    def test_atom_in_u(self):
+        assert belongs_to(value_from_python("a"), U)
+        assert not belongs_to(make_tuple("a"), U)
+
+    def test_tuple_typing(self):
+        pair = parse_type("[U, U]")
+        assert belongs_to(make_tuple("a", "b"), pair)
+        assert not belongs_to(make_tuple("a"), pair)
+        assert not belongs_to(make_set(["a"]), pair)
+
+    def test_set_typing(self):
+        set_of_pairs = parse_type("{[U, U]}")
+        assert belongs_to(make_set([("a", "b"), ("c", "d")]), set_of_pairs)
+        assert not belongs_to(make_set(["a"]), set_of_pairs)
+
+    def test_empty_set_belongs_to_every_set_type(self):
+        assert belongs_to(make_set(), parse_type("{U}"))
+        assert belongs_to(make_set(), parse_type("{{[U, U]}}"))
+
+    def test_example_2_2(self):
+        """An instance of T1 = [U,U] is an object of T2 = {[U,U]}."""
+        instance_value = make_set([("Tom", "Mary"), ("Mary", "Sue")])
+        assert belongs_to(instance_value, parse_type("{[U, U]}"))
+
+    def test_check_belongs_raises(self):
+        with pytest.raises(ObjectModelError):
+            check_belongs(make_tuple("a"), U)
+
+    def test_nested_mixed(self):
+        t = parse_type("[{[U, U]}, U]")
+        good = value_from_python((frozenset({("a", "b")}), "c"))
+        bad = value_from_python((frozenset({"a"}), "c"))
+        assert belongs_to(good, t)
+        assert not belongs_to(bad, t)
+
+
+class TestInferTypes:
+    def test_atom(self):
+        assert infer_types(value_from_python("a")) == U
+
+    def test_pair(self):
+        assert infer_types(make_tuple("a", "b")) == TupleType([U, U])
+
+    def test_set_of_pairs(self):
+        assert infer_types(make_set([("a", "b")])) == SetType(TupleType([U, U]))
+
+    def test_empty_set_infers_set_of_u(self):
+        assert infer_types(make_set()) == SetType(U)
+
+    def test_incompatible_set_elements_raise(self):
+        mixed = make_set([("a", "b"), "c"])
+        with pytest.raises(ObjectModelError):
+            infer_types(mixed)
+
+
+class TestActiveDomain:
+    def test_single_value(self):
+        assert active_domain(make_tuple("a", "b")) == frozenset({"a", "b"})
+
+    def test_multiple_values(self):
+        assert active_domain(make_tuple("a", "b"), make_set(["c"])) == frozenset({"a", "b", "c"})
+
+    def test_instance_active_domain(self):
+        values = [make_tuple("a", "b"), make_tuple("b", "c")]
+        assert active_domain_of_instance(values) == frozenset({"a", "b", "c"})
+
+
+class TestConstructiveDomain:
+    def test_atomic_size(self):
+        assert constructive_domain_size(U, 3) == 3
+        assert len(constructive_domain(U, ["a", "b", "c"])) == 3
+
+    def test_pair_size(self):
+        pair = parse_type("[U, U]")
+        assert constructive_domain_size(pair, 3) == 9
+        assert len(constructive_domain(pair, ["a", "b", "c"])) == 9
+
+    def test_set_of_u_size(self):
+        set_u = parse_type("{U}")
+        assert constructive_domain_size(set_u, 3) == 8
+        assert len(constructive_domain(set_u, ["a", "b", "c"])) == 8
+
+    def test_set_of_pairs_size(self):
+        t = parse_type("{[U, U]}")
+        assert constructive_domain_size(t, 2) == 2**4
+        assert len(constructive_domain(t, ["a", "b"])) == 16
+
+    def test_height_two_size(self):
+        t = parse_type("{{U}}")
+        assert constructive_domain_size(t, 2) == 2 ** (2**2)
+
+    def test_enumeration_matches_size_counts(self):
+        t = parse_type("[{U}, U]")
+        atoms = ["a", "b"]
+        assert len(constructive_domain(t, atoms)) == constructive_domain_size(t, 2)
+
+    def test_every_enumerated_object_belongs(self):
+        t = parse_type("{[U, U]}")
+        for value in constructive_domain(t, ["a", "b"]):
+            assert belongs_to(value, t)
+
+    def test_enumeration_is_deterministic(self):
+        t = parse_type("{U}")
+        first = [str(v) for v in iter_constructive_domain(t, ["b", "a"])]
+        second = [str(v) for v in iter_constructive_domain(t, ["a", "b"])]
+        assert first == second
+
+    def test_budget_guard(self):
+        t = parse_type("{[U, U]}")
+        with pytest.raises(BudgetExceededError):
+            constructive_domain(t, ["a", "b", "c"], budget=10)
+
+    def test_zero_atoms(self):
+        assert constructive_domain(U, []) == []
+        # The empty set is still constructible over no atoms.
+        assert len(constructive_domain(parse_type("{U}"), [])) == 1
+
+    def test_negative_atom_count_rejected(self):
+        with pytest.raises(ObjectModelError):
+            constructive_domain_size(U, -1)

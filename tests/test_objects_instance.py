@@ -1,0 +1,106 @@
+"""Tests for instances and database instances."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.objects.instance import DatabaseInstance, Instance
+from repro.objects.values import make_set, make_tuple
+from repro.types.parser import parse_type
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import TupleType, U
+
+
+PAIR = parse_type("[U, U]")
+
+
+class TestInstance:
+    def test_construction_from_python_data(self):
+        inst = Instance(PAIR, [("a", "b"), ("b", "c")])
+        assert len(inst) == 2
+        assert make_tuple("a", "b") in inst
+
+    def test_rejects_ill_typed_values(self):
+        with pytest.raises(SchemaError):
+            Instance(PAIR, ["a"])
+        with pytest.raises(SchemaError):
+            Instance(U, [("a", "b")])
+
+    def test_active_domain(self):
+        inst = Instance(PAIR, [("a", "b"), ("b", "c")])
+        assert inst.active_domain() == frozenset({"a", "b", "c"})
+
+    def test_as_set_value(self):
+        inst = Instance(PAIR, [("a", "b")])
+        as_set = inst.as_set_value()
+        assert as_set == make_set([("a", "b")])
+
+    def test_equality(self):
+        assert Instance(PAIR, [("a", "b")]) == Instance(PAIR, [("a", "b")])
+        assert Instance(PAIR, [("a", "b")]) != Instance(PAIR, [])
+
+    def test_sorted_values_deterministic(self):
+        inst = Instance(U, ["c", "a", "b"])
+        assert [str(v) for v in inst.sorted_values()] == ["a", "b", "c"]
+
+    def test_empty_instance(self):
+        inst = Instance(PAIR, [])
+        assert len(inst) == 0
+        assert inst.active_domain() == frozenset()
+
+    def test_duplicates_collapse(self):
+        inst = Instance(U, ["a", "a"])
+        assert len(inst) == 1
+
+
+class TestDatabaseInstance:
+    def setup_method(self):
+        self.schema = DatabaseSchema([("PAR", PAIR), ("PERSON", U)])
+
+    def test_build(self):
+        db = DatabaseInstance.build(self.schema, PAR=[("a", "b")], PERSON=["a", "c"])
+        assert len(db["PAR"]) == 1
+        assert len(db["PERSON"]) == 2
+
+    def test_missing_predicate_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseInstance(self.schema, {"PAR": [("a", "b")]})
+
+    def test_extra_predicate_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseInstance(
+                self.schema, {"PAR": [], "PERSON": [], "EXTRA": []}
+            )
+
+    def test_wrong_instance_type_rejected(self):
+        wrong = Instance(U, ["a"])
+        with pytest.raises(SchemaError):
+            DatabaseInstance(self.schema, {"PAR": wrong, "PERSON": []})
+
+    def test_accepts_prebuilt_instances(self):
+        par = Instance(PAIR, [("a", "b")])
+        db = DatabaseInstance(self.schema, {"PAR": par, "PERSON": ["a"]})
+        assert db.instance("PAR") == par
+
+    def test_active_domain_is_union(self):
+        db = DatabaseInstance.build(self.schema, PAR=[("a", "b")], PERSON=["c"])
+        assert db.active_domain() == frozenset({"a", "b", "c"})
+
+    def test_total_size(self):
+        db = DatabaseInstance.build(self.schema, PAR=[("a", "b"), ("b", "c")], PERSON=["a"])
+        assert db.total_size() == 3
+
+    def test_unknown_predicate_access(self):
+        db = DatabaseInstance.build(self.schema, PAR=[], PERSON=[])
+        with pytest.raises(SchemaError):
+            db.instance("NOPE")
+
+    def test_equality_and_hash(self):
+        db1 = DatabaseInstance.build(self.schema, PAR=[("a", "b")], PERSON=[])
+        db2 = DatabaseInstance.build(self.schema, PAR=[("a", "b")], PERSON=[])
+        assert db1 == db2
+        assert hash(db1) == hash(db2)
+
+    def test_nested_schema(self):
+        nested_schema = DatabaseSchema([("REL", parse_type("{[U, U]}"))])
+        db = DatabaseInstance.build(nested_schema, REL=[frozenset({("a", "b")})])
+        assert len(db["REL"]) == 1

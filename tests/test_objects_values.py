@@ -1,0 +1,138 @@
+"""Tests for complex object values (atoms, tuples, sets)."""
+
+import pytest
+
+from repro.errors import ObjectModelError
+from repro.objects.values import (
+    Atom,
+    SetValue,
+    TupleValue,
+    atom,
+    make_set,
+    make_tuple,
+    value_from_python,
+    value_to_python,
+)
+
+
+class TestAtom:
+    def test_equality(self):
+        assert Atom("a") == Atom("a")
+        assert Atom("a") != Atom("b")
+        assert Atom(1) != Atom("1")
+
+    def test_hashable(self):
+        assert len({Atom("a"), Atom("a"), Atom("b")}) == 2
+
+    def test_atoms(self):
+        assert Atom("a").atoms() == frozenset({"a"})
+
+    def test_immutable(self):
+        a = Atom("a")
+        with pytest.raises(AttributeError):
+            a.value = "b"
+
+    def test_rejects_unhashable_payload(self):
+        with pytest.raises(ObjectModelError):
+            Atom([1, 2])
+
+    def test_rejects_complex_payload(self):
+        with pytest.raises(ObjectModelError):
+            Atom(TupleValue([Atom("a")]))
+
+
+class TestTupleValue:
+    def test_example_2_2_object(self):
+        t = make_tuple("Tom", "Mary")
+        assert t.arity == 2
+        assert t.coordinate(1) == Atom("Tom")
+        assert str(t) == "[Tom, Mary]"
+
+    def test_coordinate_bounds(self):
+        t = make_tuple("a", "b")
+        with pytest.raises(ObjectModelError):
+            t.coordinate(0)
+        with pytest.raises(ObjectModelError):
+            t.coordinate(3)
+
+    def test_requires_components(self):
+        with pytest.raises(ObjectModelError):
+            TupleValue([])
+
+    def test_requires_complex_components(self):
+        with pytest.raises(ObjectModelError):
+            TupleValue(["raw string"])
+
+    def test_equality_and_hash(self):
+        assert make_tuple("a", "b") == make_tuple("a", "b")
+        assert make_tuple("a", "b") != make_tuple("b", "a")
+        assert len({make_tuple("a", "b"), make_tuple("a", "b")}) == 1
+
+    def test_atoms_are_union(self):
+        nested = make_tuple("a", make_set(["b", "c"]))
+        assert nested.atoms() == frozenset({"a", "b", "c"})
+
+    def test_iteration_and_len(self):
+        t = make_tuple("a", "b", "c")
+        assert len(t) == 3
+        assert [str(c) for c in t] == ["a", "b", "c"]
+
+
+class TestSetValue:
+    def test_example_2_2_instance(self):
+        s = make_set([("Tom", "Mary"), ("Mary", "Sue")])
+        assert s.cardinality == 2
+        assert make_tuple("Tom", "Mary") in s
+
+    def test_duplicates_collapse(self):
+        assert make_set(["a", "a", "a"]).cardinality == 1
+
+    def test_empty_set(self):
+        s = make_set()
+        assert len(s) == 0
+        assert s.atoms() == frozenset()
+        assert str(s) == "{}"
+
+    def test_set_of_sets(self):
+        s = make_set([frozenset({"a"}), frozenset({"a", "b"})])
+        assert s.cardinality == 2
+
+    def test_equality_is_extensional(self):
+        assert make_set(["a", "b"]) == make_set(["b", "a"])
+
+    def test_sorted_elements_deterministic(self):
+        s = make_set(["b", "a", "c"])
+        assert [str(e) for e in s.sorted_elements()] == ["a", "b", "c"]
+
+    def test_contains(self):
+        s = make_set(["a", "b"])
+        assert s.contains(Atom("a"))
+        assert not s.contains(Atom("z"))
+
+    def test_requires_complex_elements(self):
+        with pytest.raises(ObjectModelError):
+            SetValue(["raw"])
+
+
+class TestConversions:
+    def test_value_from_python_shapes(self):
+        v = value_from_python((frozenset({("a", "b")}), "c"))
+        assert isinstance(v, TupleValue)
+        assert isinstance(v.coordinate(1), SetValue)
+        assert v.coordinate(2) == Atom("c")
+
+    def test_roundtrip(self):
+        data = (frozenset({("a", "b"), ("b", "c")}), "x")
+        assert value_to_python(value_from_python(data)) == data
+
+    def test_atoms_pass_through(self):
+        assert value_from_python(Atom("a")) == Atom("a")
+
+    def test_atom_shorthand(self):
+        assert atom("a") == Atom("a")
+
+    def test_total_order_is_consistent(self):
+        values = [Atom("b"), make_tuple("a", "b"), make_set(["a"]), Atom("a")]
+        ordered = sorted(values)
+        assert sorted(ordered) == ordered
+        assert ordered[0] == Atom("a")

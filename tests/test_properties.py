@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.invention.universal import decode_value, encode_value
+from repro.objects.constructive import constructive_domain, constructive_domain_size
+from repro.objects.domain import belongs_to, infer_types
+from repro.objects.values import value_from_python, value_to_python
+from repro.relational.algebra import difference, intersection, project, union
+from repro.relational.fixpoint import transitive_closure
+from repro.relational.relation import Relation
+from repro.types.collapse import collapse, has_consecutive_tuples
+from repro.types.parser import parse_type
+from repro.types.printer import format_type
+from repro.types.set_height import set_height
+from repro.types.type_system import ComplexType, SetType, TupleType, U
+from repro.complexity.bounds import cons_size_bound_holds
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+ATOMS = st.sampled_from(["a", "b", "c", "d"])
+
+
+def formal_types(max_depth: int = 3) -> st.SearchStrategy[ComplexType]:
+    """Random *formal* types (no consecutive tuple constructors)."""
+    return st.recursive(
+        st.just(U),
+        lambda children: st.one_of(
+            children.map(SetType),
+            st.lists(
+                children.filter(lambda t: not isinstance(t, TupleType)),
+                min_size=1,
+                max_size=3,
+            ).map(TupleType),
+        ),
+        max_leaves=max_depth,
+    )
+
+
+def informal_types() -> st.SearchStrategy[ComplexType]:
+    """Random types possibly containing consecutive tuples."""
+    return st.recursive(
+        st.just(U),
+        lambda children: st.one_of(
+            children.map(SetType),
+            st.lists(children, min_size=1, max_size=3).map(
+                lambda cs: TupleType(cs, strict=False)
+            ),
+        ),
+        max_leaves=4,
+    )
+
+
+def values_of_type(type_: ComplexType, atoms=("a", "b")) -> st.SearchStrategy:
+    """Random values belonging to dom(type_)."""
+    if isinstance(type_, TupleType):
+        return st.tuples(*[values_of_type(c, atoms) for c in type_.component_types]).map(
+            lambda t: value_from_python(tuple(t))
+        )
+    if isinstance(type_, SetType):
+        return st.frozensets(
+            values_of_type(type_.element_type, atoms).map(value_to_python), max_size=3
+        ).map(value_from_python)
+    return st.sampled_from(atoms).map(value_from_python)
+
+
+def small_relations(arity: int = 2) -> st.SearchStrategy[Relation]:
+    return st.frozensets(
+        st.tuples(*([ATOMS] * arity)), max_size=8
+    ).map(lambda rows: Relation(arity, rows))
+
+
+# ---------------------------------------------------------------------------
+# Type-system properties
+# ---------------------------------------------------------------------------
+
+
+class TestTypeProperties:
+    @given(formal_types())
+    def test_parse_format_roundtrip(self, type_):
+        assert parse_type(format_type(type_)) == type_
+
+    @given(formal_types())
+    def test_set_height_of_set_wrapper(self, type_):
+        assert set_height(SetType(type_)) == set_height(type_) + 1
+
+    @given(informal_types())
+    def test_collapse_is_idempotent_and_formal(self, type_):
+        collapsed = collapse(type_)
+        assert not has_consecutive_tuples(collapsed)
+        assert collapse(collapsed) == collapsed
+
+    @given(informal_types())
+    def test_collapse_preserves_set_height(self, type_):
+        assert set_height(collapse(type_)) == set_height(type_)
+
+    @given(formal_types())
+    def test_types_are_hashable_and_self_equal(self, type_):
+        assert type_ == type_
+        assert len({type_, type_}) == 1
+
+
+# ---------------------------------------------------------------------------
+# Object-model properties
+# ---------------------------------------------------------------------------
+
+
+class TestValueProperties:
+    @given(formal_types(max_depth=2).flatmap(lambda t: st.tuples(st.just(t), values_of_type(t))))
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_generated_values_belong_to_their_type(self, type_and_value):
+        type_, value = type_and_value
+        assert belongs_to(value, type_)
+
+    @given(formal_types(max_depth=2).flatmap(lambda t: values_of_type(t)))
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_python_roundtrip(self, value):
+        assert value_from_python(value_to_python(value)) == value
+
+    @given(formal_types(max_depth=2).flatmap(lambda t: st.tuples(st.just(t), values_of_type(t))))
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_inferred_type_admits_value(self, type_and_value):
+        _, value = type_and_value
+        inferred = infer_types(value)
+        assert belongs_to(value, collapse(inferred))
+
+    @given(formal_types(max_depth=2).flatmap(lambda t: st.tuples(st.just(t), values_of_type(t))))
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_universal_encoding_roundtrip(self, type_and_value):
+        type_, value = type_and_value
+        encoding = encode_value(value, type_)
+        assert decode_value(encoding) == value
+
+
+# ---------------------------------------------------------------------------
+# Constructive-domain properties (the heart of Section 4's bounds)
+# ---------------------------------------------------------------------------
+
+
+SMALL_TYPES = st.sampled_from(
+    [
+        parse_type("U"),
+        parse_type("[U, U]"),
+        parse_type("{U}"),
+        parse_type("[{U}, U]"),
+        parse_type("{[U, U]}"),
+    ]
+)
+
+
+class TestConstructiveDomainProperties:
+    @given(SMALL_TYPES, st.integers(min_value=0, max_value=2))
+    @settings(deadline=None)
+    def test_enumeration_count_matches_arithmetic_size(self, type_, atom_count):
+        atoms = [f"x{i}" for i in range(atom_count)]
+        enumerated = constructive_domain(type_, atoms, budget=100_000)
+        assert len(enumerated) == constructive_domain_size(type_, atom_count)
+
+    @given(SMALL_TYPES, st.integers(min_value=0, max_value=2))
+    @settings(deadline=None)
+    def test_enumerated_objects_belong_and_are_distinct(self, type_, atom_count):
+        atoms = [f"x{i}" for i in range(atom_count)]
+        enumerated = constructive_domain(type_, atoms, budget=100_000)
+        assert len(set(enumerated)) == len(enumerated)
+        assert all(belongs_to(v, type_) for v in enumerated)
+
+    @given(SMALL_TYPES, st.integers(min_value=0, max_value=4))
+    def test_paper_bound_holds(self, type_, atom_count):
+        assert cons_size_bound_holds(type_, atom_count)
+
+
+# ---------------------------------------------------------------------------
+# Relational algebra properties
+# ---------------------------------------------------------------------------
+
+
+class TestRelationalProperties:
+    @given(small_relations(), small_relations())
+    def test_union_commutative_and_idempotent(self, r, s):
+        assert union(r, s) == union(s, r)
+        assert union(r, r) == r
+
+    @given(small_relations(), small_relations())
+    def test_intersection_is_lower_bound(self, r, s):
+        both = intersection(r, s)
+        assert both.tuples <= r.tuples and both.tuples <= s.tuples
+
+    @given(small_relations(), small_relations())
+    def test_difference_disjoint_from_right(self, r, s):
+        assert difference(r, s).tuples.isdisjoint(s.tuples)
+
+    @given(small_relations())
+    def test_projection_cardinality_bounded(self, r):
+        assert len(project(r, [1])) <= len(r)
+
+    @given(small_relations())
+    def test_transitive_closure_is_transitive_and_contains_base(self, r):
+        closure = transitive_closure(r)
+        assert r.tuples <= closure.tuples
+        pairs = closure.tuples
+        for (x, y) in pairs:
+            for (y2, z) in pairs:
+                if y == y2:
+                    assert (x, z) in pairs
+
+    @given(small_relations())
+    def test_transitive_closure_idempotent(self, r):
+        once = transitive_closure(r)
+        assert transitive_closure(once) == once

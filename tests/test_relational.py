@@ -1,0 +1,162 @@
+"""Tests for the flat relational substrate (relations, algebra, fixpoint)."""
+
+import pytest
+
+from repro.errors import EvaluationError, ObjectModelError
+from repro.relational.algebra import (
+    cartesian_product,
+    difference,
+    intersection,
+    join,
+    project,
+    rename_columns,
+    select,
+    union,
+)
+from repro.relational.fixpoint import iterate_to_fixpoint, transitive_closure, while_loop
+from repro.relational.relation import Relation
+
+
+class TestRelation:
+    def test_construction_and_dedup(self):
+        r = Relation(2, [("a", "b"), ("a", "b"), ("b", "c")])
+        assert len(r) == 2
+        assert ("a", "b") in r
+
+    def test_arity_validation(self):
+        with pytest.raises(ObjectModelError):
+            Relation(0)
+        with pytest.raises(ObjectModelError):
+            Relation(2, [("a",)])
+
+    def test_active_domain(self):
+        r = Relation(2, [("a", "b"), ("b", "c")])
+        assert r.active_domain() == frozenset({"a", "b", "c"})
+
+    def test_instance_roundtrip(self):
+        r = Relation(3, [("a", "b", "c"), ("x", "y", "z")])
+        assert Relation.from_instance(r.to_instance()) == r
+
+    def test_from_instance_rejects_nested(self):
+        from repro.objects.instance import Instance
+        from repro.types.parser import parse_type
+
+        nested = Instance(parse_type("{U}"), [frozenset({"a"})])
+        with pytest.raises(ObjectModelError):
+            Relation.from_instance(nested)
+
+    def test_equality_and_hash(self):
+        assert Relation(1, [("a",)]) == Relation(1, [("a",)])
+        assert hash(Relation(1, [("a",)])) == hash(Relation(1, [("a",)]))
+
+    def test_iteration_is_deterministic(self):
+        r = Relation(1, [("b",), ("a",), ("c",)])
+        assert list(r) == [("a",), ("b",), ("c",)]
+
+
+class TestRelationalAlgebra:
+    def setup_method(self):
+        self.par = Relation(2, [("tom", "mary"), ("mary", "sue")])
+
+    def test_union_intersection_difference(self):
+        other = Relation(2, [("mary", "sue"), ("sue", "ann")])
+        assert len(union(self.par, other)) == 3
+        assert intersection(self.par, other) == Relation(2, [("mary", "sue")])
+        assert difference(self.par, other) == Relation(2, [("tom", "mary")])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            union(self.par, Relation(1, [("a",)]))
+
+    def test_project(self):
+        assert project(self.par, [2]) == Relation(1, [("mary",), ("sue",)])
+        assert project(self.par, [2, 1]) == Relation(2, [("mary", "tom"), ("sue", "mary")])
+        with pytest.raises(EvaluationError):
+            project(self.par, [3])
+        with pytest.raises(EvaluationError):
+            project(self.par, [])
+
+    def test_select(self):
+        assert select(self.par, lambda row: row[0] == "tom") == Relation(2, [("tom", "mary")])
+
+    def test_join_grandparent(self):
+        joined = join(self.par, self.par, [(2, 1)])
+        assert joined == Relation(4, [("tom", "mary", "mary", "sue")])
+        grand = project(joined, [1, 4])
+        assert grand == Relation(2, [("tom", "sue")])
+
+    def test_join_without_equalities_is_product(self):
+        assert join(self.par, self.par, []) == cartesian_product(self.par, self.par)
+        assert len(cartesian_product(self.par, self.par)) == 4
+
+    def test_join_multiple_equalities(self):
+        left = Relation(2, [("a", "b"), ("a", "c")])
+        right = Relation(2, [("a", "b"), ("c", "d")])
+        assert join(left, right, [(1, 1), (2, 2)]) == Relation(4, [("a", "b", "a", "b")])
+
+    def test_join_column_validation(self):
+        with pytest.raises(EvaluationError):
+            join(self.par, self.par, [(3, 1)])
+
+    def test_rename_columns(self):
+        assert rename_columns(self.par, [2, 1]) == project(self.par, [2, 1])
+        with pytest.raises(EvaluationError):
+            rename_columns(self.par, [1, 1])
+
+
+class TestFixpoint:
+    def test_transitive_closure_chain(self):
+        chain = Relation(2, [("a", "b"), ("b", "c"), ("c", "d")])
+        tc = transitive_closure(chain)
+        assert ("a", "d") in tc
+        assert len(tc) == 6
+
+    def test_transitive_closure_cycle(self):
+        cycle = Relation(2, [("a", "b"), ("b", "a")])
+        tc = transitive_closure(cycle)
+        assert set(tc.tuples) == {("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")}
+
+    def test_transitive_closure_empty(self):
+        assert len(transitive_closure(Relation(2, []))) == 0
+
+    def test_transitive_closure_requires_binary(self):
+        with pytest.raises(EvaluationError):
+            transitive_closure(Relation(3, []))
+
+    def test_iterate_to_fixpoint(self):
+        base = Relation(2, [("a", "b"), ("b", "c")])
+
+        def step(r: Relation) -> Relation:
+            new = project(join(r, base, [(2, 1)]), [1, 4])
+            return union(r, new)
+
+        assert iterate_to_fixpoint(step, base) == transitive_closure(base)
+
+    def test_iterate_to_fixpoint_divergence_detected(self):
+        counter = {"n": 0}
+
+        def diverge(r: Relation) -> Relation:
+            counter["n"] += 1
+            return Relation(1, [(f"v{counter['n']}",)])
+
+        with pytest.raises(EvaluationError):
+            iterate_to_fixpoint(diverge, Relation(1, []), max_iterations=10)
+
+    def test_while_loop(self):
+        base = Relation(2, [("a", "b"), ("b", "c"), ("c", "d")])
+        state = {"tc": base}
+
+        def condition(s):
+            new = project(join(s["tc"], base, [(2, 1)]), [1, 4])
+            return len(difference(new, s["tc"])) > 0
+
+        def body(s):
+            new = project(join(s["tc"], base, [(2, 1)]), [1, 4])
+            return {"tc": union(s["tc"], new)}
+
+        final = while_loop(body, condition, state)
+        assert final["tc"] == transitive_closure(base)
+
+    def test_while_loop_divergence_detected(self):
+        with pytest.raises(EvaluationError):
+            while_loop(lambda s: s, lambda s: True, {}, max_iterations=5)

@@ -1,0 +1,133 @@
+"""Tests for Theorem 3.11: flat intermediate types add no power to CALC_{0,0}."""
+
+import pytest
+
+from repro.errors import ClassificationError
+from repro.calculus.builders import PARENT_SCHEMA
+from repro.calculus.classification import calc_classification, intermediate_types
+from repro.calculus.evaluation import evaluate_query
+from repro.calculus.formulas import Equals, Exists, Forall, Not, PredicateAtom
+from repro.calculus.query import CalculusQuery
+from repro.calculus.terms import Constant, var
+from repro.calculus.builders import transitive_closure_query
+from repro.objects.instance import DatabaseInstance
+from repro.relational.flat_rewrite import eliminate_flat_intermediates
+from repro.types.parser import parse_type
+from repro.types.type_system import TupleType, U
+
+PAIR = parse_type("[U, U]")
+TRIPLE = parse_type("[U, U, U]")
+
+
+def path_of_length_two_query() -> CalculusQuery:
+    """A CALC_{0,0} query using an intermediate triple [U,U,U] as scratch."""
+    t, w = var("t"), var("w")
+    formula = Exists(
+        "w",
+        TRIPLE,
+        Exists(
+            "x",
+            PAIR,
+            Exists(
+                "y",
+                PAIR,
+                PredicateAtom("PAR", var("x"))
+                & PredicateAtom("PAR", var("y"))
+                & Equals(w.coordinate(1), var("x").coordinate(1))
+                & Equals(w.coordinate(2), var("x").coordinate(2))
+                & Equals(w.coordinate(2), var("y").coordinate(1))
+                & Equals(w.coordinate(3), var("y").coordinate(2))
+                & Equals(t.coordinate(1), w.coordinate(1))
+                & Equals(t.coordinate(2), w.coordinate(3)),
+            ),
+        ),
+    )
+    return CalculusQuery(PARENT_SCHEMA, "t", PAIR, formula, name="path2_with_scratch")
+
+
+class TestEliminateFlatIntermediates:
+    def test_intermediate_triple_is_removed(self):
+        q = path_of_length_two_query()
+        assert TRIPLE in intermediate_types(q)
+        rewritten = eliminate_flat_intermediates(q)
+        assert TRIPLE not in intermediate_types(rewritten)
+        assert all(not t.is_tuple or t in set(q.schema.types) | {q.target_type}
+                   for t in intermediate_types(rewritten))
+
+    def test_answers_preserved(self, parent_db):
+        q = path_of_length_two_query()
+        rewritten = eliminate_flat_intermediates(q)
+        assert set(evaluate_query(q, parent_db).values) == set(
+            evaluate_query(rewritten, parent_db).values
+        )
+
+    def test_answers_preserved_on_longer_chain(self):
+        db = DatabaseInstance.build(
+            PARENT_SCHEMA, PAR=[("a", "b"), ("b", "c"), ("c", "d")]
+        )
+        q = path_of_length_two_query()
+        rewritten = eliminate_flat_intermediates(q)
+        assert set(evaluate_query(q, db).values) == set(evaluate_query(rewritten, db).values)
+
+    def test_classification_stays_relational(self):
+        rewritten = eliminate_flat_intermediates(path_of_length_two_query())
+        classification = calc_classification(rewritten)
+        assert (classification.k, classification.i) == (0, 0)
+
+    def test_whole_variable_equality_is_split(self, parent_db):
+        # exists w, w' of intermediate arity with w = w' and coordinates tied
+        # to the output.
+        formula = Exists(
+            "w",
+            TRIPLE,
+            Exists(
+                "v",
+                TRIPLE,
+                Equals(var("w"), var("v"))
+                & Exists(
+                    "x",
+                    PAIR,
+                    PredicateAtom("PAR", var("x"))
+                    & Equals(var("w").coordinate(1), var("x").coordinate(1))
+                    & Equals(var("w").coordinate(2), var("x").coordinate(2))
+                    & Equals(var("w").coordinate(3), var("x").coordinate(1))
+                    & Equals(var("t").coordinate(1), var("v").coordinate(1))
+                    & Equals(var("t").coordinate(2), var("v").coordinate(2)),
+                ),
+            ),
+        )
+        q = CalculusQuery(PARENT_SCHEMA, "t", PAIR, formula)
+        rewritten = eliminate_flat_intermediates(q)
+        assert set(evaluate_query(q, parent_db).values) == set(
+            evaluate_query(rewritten, parent_db).values
+        )
+
+    def test_universal_intermediate_quantifier(self, parent_db):
+        # forall w/[U,U,U] (w.1 = w.2 or t = t): trivially true, exercises the
+        # Forall branch of the rewriter.
+        formula = (
+            PredicateAtom("PAR", var("t"))
+            & Forall(
+                "w",
+                TRIPLE,
+                Equals(var("w").coordinate(1), var("w").coordinate(1)),
+            )
+        )
+        q = CalculusQuery(PARENT_SCHEMA, "t", PAIR, formula)
+        rewritten = eliminate_flat_intermediates(q)
+        assert set(evaluate_query(q, parent_db).values) == set(
+            evaluate_query(rewritten, parent_db).values
+        )
+
+    def test_rejects_non_relational_queries(self):
+        with pytest.raises(ClassificationError):
+            eliminate_flat_intermediates(transitive_closure_query())
+
+    def test_queries_without_intermediates_pass_through(self, parent_db):
+        from repro.calculus.builders import grandparent_query
+
+        q = grandparent_query()
+        rewritten = eliminate_flat_intermediates(q)
+        assert set(evaluate_query(q, parent_db).values) == set(
+            evaluate_query(rewritten, parent_db).values
+        )

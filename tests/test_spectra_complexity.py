@@ -1,0 +1,187 @@
+"""Tests for formula order, spectra (Section 5), and the complexity toolkit (Section 4)."""
+
+import pytest
+
+from repro.errors import ReproError, SpectrumError
+from repro.calculus.builders import (
+    PERSON_SCHEMA,
+    even_cardinality_query,
+    grandparent_query,
+    transitive_closure_query,
+)
+from repro.calculus.formulas import Equals, Exists, Forall, Membership, PredicateAtom
+from repro.calculus.query import CalculusQuery
+from repro.calculus.terms import var
+from repro.complexity.analysis import analyze_query, variable_height_profile
+from repro.complexity.bounds import (
+    cons_size_bound,
+    cons_size_bound_holds,
+    measured_object_size,
+    object_size_bound,
+    query_space_bound,
+)
+from repro.complexity.hyper import (
+    hyp,
+    hyper_exponential_level,
+    in_hyper_class,
+    iterated_exponential,
+)
+from repro.objects.constructive import constructive_domain
+from repro.spectra.order import formula_order, query_order
+from repro.spectra.spectrum import (
+    canonical_database,
+    cardinality_spectrum,
+    spectrum_of_predicate,
+)
+from repro.calculus.evaluation import EvaluationSettings
+from repro.types.parser import parse_type
+from repro.types.type_system import SetType, TupleType, U
+
+
+class TestFormulaOrder:
+    def test_equalities_have_order_one(self):
+        assert formula_order(Equals(var("x"), var("y")), {"x": U, "y": U}) == 1
+
+    def test_membership_order_uses_container_height(self):
+        pair, set_of_pairs = parse_type("[U, U]"), parse_type("{[U, U]}")
+        f = Membership(var("y"), var("x"))
+        assert formula_order(f, {"y": pair, "x": set_of_pairs}) == 1
+        deep = parse_type("{{[U, U]}}")
+        g = Membership(var("y"), var("x"))
+        assert formula_order(g, {"y": set_of_pairs, "x": deep}) == 3
+
+    def test_quantifier_order(self):
+        f = Exists("x", parse_type("{[U, U]}"), Equals(var("x"), var("x")))
+        assert formula_order(f, {}) == 2
+        g = Forall("x", parse_type("{{U}}"), Equals(var("x"), var("x")))
+        assert formula_order(g, {}) == 4
+
+    def test_relational_queries_have_order_one(self):
+        assert query_order(grandparent_query()) == 1
+
+    def test_set_height_one_queries_have_order_two(self):
+        assert query_order(even_cardinality_query()) == 2
+        assert query_order(transitive_closure_query()) == 2
+
+
+class TestSpectra:
+    def test_canonical_database_sizes(self):
+        q = even_cardinality_query()
+        db = canonical_database(q, (3,))
+        assert len(db["PERSON"]) == 3
+
+    def test_canonical_database_requires_unary_predicates(self):
+        with pytest.raises(SpectrumError):
+            canonical_database(grandparent_query(), (2,))
+
+    def test_size_vector_length_checked(self):
+        with pytest.raises(SpectrumError):
+            canonical_database(even_cardinality_query(), (1, 2))
+
+    def test_even_cardinality_spectrum(self):
+        q = even_cardinality_query()
+        spectrum = cardinality_spectrum(q, 4, EvaluationSettings(binding_budget=None))
+        # The query answers PERSON (non-empty) exactly on even positive sizes;
+        # size 0 yields the empty answer because the output is drawn from PERSON.
+        expected = spectrum_of_predicate(lambda v: v[0] % 2 == 0 and v[0] > 0, 1, 4)
+        assert spectrum == expected
+
+    def test_spectrum_with_custom_acceptance(self):
+        q = even_cardinality_query()
+        spectrum = cardinality_spectrum(
+            q,
+            3,
+            EvaluationSettings(binding_budget=None),
+            nonempty=lambda values: len(values) == 0,
+        )
+        assert spectrum == spectrum_of_predicate(lambda v: v[0] % 2 == 1 or v[0] == 0, 1, 3)
+
+    def test_spectrum_of_predicate_validation(self):
+        with pytest.raises(SpectrumError):
+            spectrum_of_predicate(lambda v: True, 0, 3)
+
+
+class TestHyperExponential:
+    def test_base_case_is_polynomial(self):
+        assert hyp(3, 2, 0) == 8
+        assert hyp(1, 7, 0) == 7
+
+    def test_iterated_exponentiation(self):
+        assert hyp(1, 2, 1) == 4
+        assert hyp(2, 3, 1) == 2**9
+        assert hyp(1, 2, 2) == 16
+        assert iterated_exponential(3, 2) == 2**8
+
+    def test_guard_against_astronomical_values(self):
+        with pytest.raises(ReproError):
+            hyp(2, 10, 3)
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ReproError):
+            hyp(-1, 2, 0)
+
+    def test_hyper_exponential_level(self):
+        assert hyper_exponential_level(0) == 0
+        assert hyper_exponential_level(2) == 0
+        assert hyper_exponential_level(4) == 1
+        assert hyper_exponential_level(16) == 2
+        assert hyper_exponential_level(65536) == 3
+        assert hyper_exponential_level(65537) == 4
+
+    def test_in_hyper_class(self):
+        assert in_hyper_class(lambda n: n**2, 0)
+        assert in_hyper_class(lambda n: 2 ** (n**2), 1)
+        assert not in_hyper_class(lambda n: 2 ** (2**n), 0, sample_inputs=(4, 8))
+
+
+class TestBounds:
+    def test_cons_bound_formula(self):
+        pair = parse_type("[U, U]")
+        assert cons_size_bound(pair, 3) == 9
+        set_of_pairs = parse_type("{[U, U]}")
+        assert cons_size_bound(set_of_pairs, 3) == 2**9
+
+    @pytest.mark.parametrize("text", ["U", "[U, U]", "{U}", "{[U, U]}", "[{U}, U]"])
+    @pytest.mark.parametrize("atoms", [0, 1, 2, 3])
+    def test_bound_dominates_exact_size(self, text, atoms):
+        assert cons_size_bound_holds(parse_type(text), atoms)
+
+    def test_object_size_bound_dominates_measured_sizes(self):
+        type_ = parse_type("{[U, U]}")
+        atoms = ["a", "b"]
+        bound = object_size_bound(type_, len(atoms), atom_length=3)
+        for value in constructive_domain(type_, atoms):
+            assert measured_object_size(value) <= bound
+
+    def test_query_space_bound_levels(self):
+        flat = query_space_bound(0, 2, 10)
+        level1 = query_space_bound(1, 2, 10)
+        level2 = query_space_bound(2, 2, 10)
+        assert flat < level1 < level2
+
+    def test_negative_atoms_rejected(self):
+        with pytest.raises(ReproError):
+            cons_size_bound(U, -1)
+
+
+class TestQueryAnalysis:
+    def test_grandparent_analysis(self):
+        report = analyze_query(grandparent_query(), 4)
+        assert (report.classification_k, report.classification_i) == (0, 0)
+        assert report.output_range_size == 16
+        assert report.feasible
+
+    def test_transitive_closure_analysis(self):
+        report = analyze_query(transitive_closure_query(), 3)
+        assert report.classification_i == 1
+        # The {[U,U]} quantifier ranges over 2**9 relations.
+        assert any(p.range_size == 2**9 for p in report.quantifiers)
+
+    def test_infeasibility_detected_for_large_domains(self):
+        report = analyze_query(transitive_closure_query(), 6)
+        assert not report.feasible
+
+    def test_variable_height_profile(self):
+        profile = variable_height_profile(even_cardinality_query())
+        assert profile[1] == 1  # one set-height-1 quantifier
+        assert profile[0] >= 3

@@ -1,0 +1,240 @@
+"""Tests for the Turing machine substrate and the Figure 2 encoding."""
+
+import pytest
+
+from repro.errors import TuringMachineError
+from repro.objects.domain import belongs_to
+from repro.turing.builders import (
+    binary_increment_machine,
+    even_zeros_machine,
+    halting_loop_machine,
+    palindrome_machine,
+    unary_parity_machine,
+)
+from repro.turing.encoding import (
+    NO_HEAD,
+    decode_computation,
+    default_index_values,
+    encode_computation,
+    invented_index_values,
+    verify_encoding,
+)
+from repro.turing.machine import (
+    BLANK,
+    Transition,
+    TuringMachine,
+    accepts_nondeterministically,
+    halts_within,
+    initial_configuration,
+    run_machine,
+)
+from repro.types.parser import parse_type
+
+
+class TestMachineDefinitions:
+    def test_invalid_start_state(self):
+        with pytest.raises(TuringMachineError):
+            TuringMachine(
+                name="bad",
+                states=frozenset({"a"}),
+                input_alphabet=frozenset({"0"}),
+                tape_alphabet=frozenset({"0", BLANK}),
+                transitions={},
+                start_state="missing",
+                accept_states=frozenset(),
+            )
+
+    def test_blank_required_in_tape_alphabet(self):
+        with pytest.raises(TuringMachineError):
+            TuringMachine(
+                name="bad",
+                states=frozenset({"a"}),
+                input_alphabet=frozenset({"0"}),
+                tape_alphabet=frozenset({"0"}),
+                transitions={},
+                start_state="a",
+                accept_states=frozenset(),
+            )
+
+    def test_transition_validation(self):
+        with pytest.raises(TuringMachineError):
+            Transition("0", "X", "a")
+
+    def test_determinism_flag(self):
+        assert unary_parity_machine().is_deterministic
+
+
+class TestRunning:
+    @pytest.mark.parametrize("n,expected", [(0, True), (1, False), (2, True), (5, False), (8, True)])
+    def test_unary_parity(self, n, expected):
+        result = run_machine(unary_parity_machine(), "a" * n)
+        assert result.accepted is expected
+        assert result.halted
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [("", True), ("0", False), ("00", True), ("0101", True), ("10100", False)],
+    )
+    def test_even_zeros(self, word, expected):
+        assert run_machine(even_zeros_machine(), word).accepted is expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [("", True), ("0", True), ("01", False), ("010", True), ("0110", True), ("0111", False)],
+    )
+    def test_palindrome(self, word, expected):
+        assert run_machine(palindrome_machine(), word).accepted is expected
+
+    @pytest.mark.parametrize(
+        "word,expected", [("0", "1"), ("1", "10"), ("011", "100"), ("111", "1000")]
+    )
+    def test_binary_increment_output(self, word, expected):
+        result = run_machine(binary_increment_machine(), word)
+        assert result.output == expected
+
+    def test_loop_machine_detected(self):
+        with pytest.raises(TuringMachineError):
+            run_machine(halting_loop_machine(loop_forever=True), "a", max_steps=50)
+
+    def test_halts_within(self):
+        assert halts_within(halting_loop_machine(loop_forever=False), "a", 10)
+        assert not halts_within(halting_loop_machine(loop_forever=True), "a", 10)
+
+    def test_history_is_contiguous(self):
+        result = run_machine(unary_parity_machine(), "aaaa")
+        steps = [c.step for c in result.history]
+        assert steps == list(range(len(steps)))
+
+    def test_rejects_bad_input_symbol(self):
+        with pytest.raises(TuringMachineError):
+            run_machine(unary_parity_machine(), "b")
+
+    def test_nondeterministic_acceptance(self):
+        # A machine guessing whether to accept: one branch accepts, one rejects.
+        machine = TuringMachine(
+            name="guess",
+            states=frozenset({"s", "acc", "rej"}),
+            input_alphabet=frozenset({"a"}),
+            tape_alphabet=frozenset({"a", BLANK}),
+            transitions={
+                ("s", "a"): (
+                    Transition("a", "S", "acc"),
+                    Transition("a", "S", "rej"),
+                ),
+            },
+            start_state="s",
+            accept_states=frozenset({"acc"}),
+            reject_states=frozenset({"rej"}),
+        )
+        assert not machine.is_deterministic
+        assert accepts_nondeterministically(machine, "a")
+        with pytest.raises(TuringMachineError):
+            run_machine(machine, "a")
+
+    def test_initial_configuration(self):
+        config = initial_configuration(unary_parity_machine(), "aa")
+        assert config.tape == ("a", "a")
+        assert config.head == 0 and config.step == 0
+
+
+class TestEncoding:
+    def test_encode_decode_roundtrip(self):
+        machine = unary_parity_machine()
+        run = run_machine(machine, "aaaa")
+        indices = invented_index_values(max(run.steps + 1, 6))
+        encoding = encode_computation(run, indices)
+        decoded = decode_computation(encoding)
+        assert len(decoded) == len(run.history)
+        for original, rebuilt in zip(run.history, decoded):
+            assert rebuilt.state == original.state
+            assert rebuilt.head == original.head
+            assert rebuilt.tape[: len(original.tape)] == original.tape
+
+    def test_encoding_is_object_of_figure2_type(self):
+        machine = unary_parity_machine()
+        run = run_machine(machine, "aa")
+        encoding = encode_computation(run, invented_index_values(6))
+        assert belongs_to(encoding.value, parse_type("{[U, U, U, U]}"))
+
+    def test_verify_accepts_genuine_computation(self):
+        machine = even_zeros_machine()
+        run = run_machine(machine, "0101")
+        encoding = encode_computation(run, invented_index_values(run.steps + 2))
+        assert verify_encoding(machine, encoding, "0101")
+
+    def test_verify_rejects_wrong_input(self):
+        machine = even_zeros_machine()
+        run = run_machine(machine, "0101")
+        encoding = encode_computation(run, invented_index_values(run.steps + 2))
+        assert not verify_encoding(machine, encoding, "1111")
+
+    def test_verify_rejects_tampered_computation(self):
+        from repro.objects.values import Atom, SetValue, TupleValue
+
+        machine = unary_parity_machine()
+        run = run_machine(machine, "aa")
+        indices = invented_index_values(6)
+        encoding = encode_computation(run, indices)
+        # Flip one tape symbol in the middle of the computation.
+        tampered_rows = []
+        flipped = False
+        for row in encoding.value:
+            symbol = str(row.coordinate(3).value)
+            state = str(row.coordinate(4).value)
+            if not flipped and symbol == "a" and state == NO_HEAD and row.coordinate(1) == indices[1]:
+                tampered_rows.append(
+                    TupleValue([row.coordinate(1), row.coordinate(2), Atom(BLANK), row.coordinate(4)])
+                )
+                flipped = True
+            else:
+                tampered_rows.append(row)
+        assert flipped
+        from dataclasses import replace
+
+        tampered = replace(encoding, value=SetValue(tampered_rows))
+        assert not verify_encoding(machine, tampered, "aa")
+
+    def test_verify_rejects_non_halting_prefix(self):
+        from dataclasses import replace
+        from repro.objects.values import SetValue
+
+        machine = unary_parity_machine()
+        run = run_machine(machine, "aaaa")
+        indices = invented_index_values(run.steps + 2)
+        encoding = encode_computation(run, indices)
+        # Drop the final configuration: the remaining prefix does not halt.
+        truncated_rows = [
+            row for row in encoding.value if row.coordinate(1) != indices[run.steps]
+        ]
+        truncated = replace(
+            encoding, value=SetValue(truncated_rows), steps=encoding.steps - 1
+        )
+        assert not verify_encoding(machine, truncated, "aaaa", require_halting=True)
+        assert verify_encoding(machine, truncated, "aaaa", require_halting=False)
+
+    def test_insufficient_indices_rejected(self):
+        machine = unary_parity_machine()
+        run = run_machine(machine, "aaaa")
+        with pytest.raises(TuringMachineError):
+            encode_computation(run, invented_index_values(2))
+
+    def test_default_index_values_from_constructive_domain(self):
+        pair = parse_type("[U, U]")
+        indices = default_index_values(["a", "b", "c"], pair, 9)
+        assert len(indices) == 9
+        with pytest.raises(TuringMachineError):
+            default_index_values(["a", "b"], pair, 5)
+
+    def test_paper_bound_on_index_supply(self):
+        """An index type of set-height i over a atoms supplies at most hyp(w,a,i) indices
+        (Example 3.5): the encoder must fail beyond that and succeed within it."""
+        machine = unary_parity_machine()
+        run = run_machine(machine, "aa")  # 4 configurations, 3 tape cells
+        # With 2 atoms, [U, U] supplies only hyp(2,2,0) = 4 index values: just enough.
+        indices = default_index_values(["x", "y"], parse_type("[U, U]"), 4)
+        encoding = encode_computation(run, indices)
+        assert verify_encoding(machine, encoding, "aa")
+        # A longer input needs more indices than cons([U,U]) over 2 atoms offers.
+        longer = run_machine(machine, "aaaa")
+        with pytest.raises(TuringMachineError):
+            encode_computation(longer, indices)

@@ -1,0 +1,67 @@
+"""Tests for the collapse transformation (Section 2)."""
+
+from repro.types.collapse import collapse, collapse_coordinate_map, has_consecutive_tuples
+from repro.types.parser import parse_type
+from repro.types.type_system import SetType, TupleType, U
+
+
+class TestHasConsecutiveTuples:
+    def test_formal_types_have_none(self):
+        assert not has_consecutive_tuples(parse_type("{[U, {U}]}"))
+
+    def test_informal_type_detected(self):
+        informal = TupleType([TupleType([U, U], strict=False), U], strict=False)
+        assert has_consecutive_tuples(informal)
+
+    def test_nested_inside_set(self):
+        informal = SetType(TupleType([TupleType([U], strict=False)], strict=False))
+        assert has_consecutive_tuples(informal)
+
+
+class TestCollapse:
+    def test_identity_on_formal_types(self):
+        t = parse_type("{[U, {U}]}")
+        assert collapse(t) == t
+
+    def test_flattens_nested_tuples(self):
+        informal = TupleType([TupleType([U, U], strict=False), U], strict=False)
+        assert collapse(informal) == TupleType([U, U, U])
+
+    def test_flattens_deeply(self):
+        inner = TupleType([U, U], strict=False)
+        middle = TupleType([inner, inner], strict=False)
+        outer = TupleType([middle, U], strict=False)
+        assert collapse(outer) == TupleType([U] * 5)
+
+    def test_collapse_under_set(self):
+        informal = SetType(TupleType([TupleType([U, U], strict=False), U], strict=False))
+        assert collapse(informal) == SetType(TupleType([U, U, U]))
+
+    def test_collapse_preserves_set_subtrees(self):
+        informal = TupleType(
+            [TupleType([SetType(TupleType([U, U])), U], strict=False), U], strict=False
+        )
+        collapsed = collapse(informal)
+        assert collapsed == TupleType([SetType(TupleType([U, U])), U, U])
+
+    def test_collapse_result_is_formal(self):
+        informal = TupleType([TupleType([U, U], strict=False), U], strict=False)
+        assert not has_consecutive_tuples(collapse(informal))
+
+
+class TestCoordinateMap:
+    def test_simple_map(self):
+        informal = TupleType([TupleType([U, U], strict=False), U], strict=False)
+        assert collapse_coordinate_map(informal) == [(1, 1), (1, 2), (2,)]
+
+    def test_non_tuple_has_empty_map(self):
+        assert collapse_coordinate_map(U) == []
+        assert collapse_coordinate_map(SetType(U)) == []
+
+    def test_map_length_matches_collapsed_arity(self):
+        informal = TupleType(
+            [TupleType([U, SetType(U)], strict=False), TupleType([U], strict=False)],
+            strict=False,
+        )
+        collapsed = collapse(informal)
+        assert len(collapse_coordinate_map(informal)) == collapsed.arity

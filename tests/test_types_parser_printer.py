@@ -1,0 +1,68 @@
+"""Tests for the type parser and pretty printer (Figure 1 notation)."""
+
+import pytest
+
+from repro.errors import TypeParseError
+from repro.types.parser import parse_type
+from repro.types.printer import format_type, label_nodes, type_tree
+from repro.types.type_system import SetType, TupleType, U
+
+
+class TestParser:
+    def test_atomic(self):
+        assert parse_type("U") is U
+
+    def test_pair(self):
+        assert parse_type("[U, U]") == TupleType([U, U])
+
+    def test_figure1_types(self):
+        assert parse_type("{[U, U]}") == SetType(TupleType([U, U]))
+        assert parse_type("{{[U, U]}}") == SetType(SetType(TupleType([U, U])))
+
+    def test_whitespace_insensitive(self):
+        assert parse_type("  {  [ U ,U ] } ") == SetType(TupleType([U, U]))
+
+    def test_mixed_components(self):
+        assert parse_type("[{U}, U, {[U, U]}]") == TupleType(
+            [SetType(U), U, SetType(TupleType([U, U]))]
+        )
+
+    def test_rejects_consecutive_tuples_by_default(self):
+        with pytest.raises(TypeParseError):
+            parse_type("[[U, U], U]")
+
+    def test_accepts_consecutive_tuples_when_not_strict(self):
+        t = parse_type("[[U, U], U]", strict=False)
+        assert t.arity == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "X", "{U", "[U,]", "[U] extra", "{}", "[]", "U}", "[U U]"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(TypeParseError):
+            parse_type(bad)
+
+    def test_roundtrip_through_format(self):
+        for text in ["U", "[U, U]", "{[U, U]}", "{{[U, U]}}", "[{U}, U]"]:
+            assert format_type(parse_type(text)) == text
+
+
+class TestPrinter:
+    def test_format_matches_str(self):
+        t = parse_type("{[U, {U}]}")
+        assert format_type(t) == str(t)
+
+    def test_tree_rendering_figure1c(self):
+        tree = type_tree(parse_type("{{[U, U]}}"))
+        assert tree.splitlines() == ["{}", "  {}", "    []", "      U", "      U"]
+
+    def test_tree_rendering_atomic(self):
+        assert type_tree(U) == "U"
+
+    def test_label_nodes_preorder(self):
+        t = parse_type("{[U, U]}")
+        labels = label_nodes(t)
+        assert set(labels) == {"n0", "n1", "n2", "n3"}
+        assert labels["n0"] == t
+        assert labels["n2"] is U

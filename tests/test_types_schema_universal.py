@@ -1,0 +1,86 @@
+"""Tests for database schemas and the universal types of Section 6."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.types.parser import parse_type
+from repro.types.schema import DatabaseSchema, PredicateDeclaration
+from repro.types.type_system import SetType, TupleType, U
+from repro.types.universal import T_UNIV, T_UNIV_BINARY, is_universal_type, universal_type
+
+
+class TestPredicateDeclaration:
+    def test_construction(self):
+        d = PredicateDeclaration("PAR", TupleType([U, U]))
+        assert d.name == "PAR"
+        assert str(d) == "PAR: [U, U]"
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(SchemaError):
+            PredicateDeclaration("", U)
+
+    def test_rejects_non_type(self):
+        with pytest.raises(SchemaError):
+            PredicateDeclaration("P", "[U, U]")
+
+
+class TestDatabaseSchema:
+    def test_of_constructor(self):
+        schema = DatabaseSchema.of(PAR=TupleType([U, U]), PERSON=U)
+        assert schema.predicate_names == ("PAR", "PERSON")
+        assert schema.type_of("PERSON") is U
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([("P", U), ("P", U)])
+
+    def test_type_of_unknown_predicate(self):
+        schema = DatabaseSchema([("P", U)])
+        with pytest.raises(SchemaError):
+            schema.type_of("Q")
+
+    def test_contains_len_iter(self):
+        schema = DatabaseSchema([("P", U), ("Q", TupleType([U, U]))])
+        assert "P" in schema and "R" not in schema
+        assert len(schema) == 2
+        assert [d.name for d in schema] == ["P", "Q"]
+
+    def test_flatness_and_height(self):
+        flat = DatabaseSchema([("P", TupleType([U, U]))])
+        nested = DatabaseSchema([("P", SetType(TupleType([U, U])))])
+        assert flat.is_flat() and flat.set_height() == 0
+        assert not nested.is_flat() and nested.set_height() == 1
+
+    def test_equality_and_hash(self):
+        a = DatabaseSchema([("P", U)])
+        b = DatabaseSchema([("P", U)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_accepts_tuple_pairs(self):
+        schema = DatabaseSchema([("P", U)])
+        assert schema.type_of("P") is U
+
+    def test_as_mapping_is_copy(self):
+        schema = DatabaseSchema([("P", U)])
+        mapping = dict(schema.as_mapping())
+        mapping["Q"] = U
+        assert "Q" not in schema
+
+
+class TestUniversalTypes:
+    def test_t_univ_shape(self):
+        assert T_UNIV == parse_type("{[U, U, U, U]}")
+        assert T_UNIV_BINARY == parse_type("{[U, U]}")
+
+    def test_universal_type_constructor(self):
+        assert universal_type(4) == T_UNIV
+        assert universal_type(2) == T_UNIV_BINARY
+        with pytest.raises(Exception):
+            universal_type(1)
+
+    def test_is_universal_type(self):
+        assert is_universal_type(T_UNIV)
+        assert is_universal_type(T_UNIV_BINARY)
+        assert not is_universal_type(parse_type("{[U, {U}]}"))
+        assert not is_universal_type(parse_type("[U, U]"))
+        assert not is_universal_type(U)

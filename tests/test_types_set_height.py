@@ -1,0 +1,82 @@
+"""Tests for set-height and the tau_i partition (Examples 2.1/2.3, Figure 1)."""
+
+import pytest
+
+from repro.errors import TypeSystemError
+from repro.types.parser import parse_type
+from repro.types.set_height import (
+    is_flat,
+    max_set_height,
+    set_height,
+    tau,
+    types_of_height_upto,
+)
+from repro.types.type_system import SetType, TupleType, U
+
+
+class TestSetHeightOnFigure1:
+    """The three types of Figure 1 have set-heights 0, 1 and 2 (Example 2.3)."""
+
+    def test_t1(self):
+        assert set_height(parse_type("[U, U]")) == 0
+
+    def test_t2(self):
+        assert set_height(parse_type("{[U, U]}")) == 1
+
+    def test_t3(self):
+        assert set_height(parse_type("{{[U, U]}}")) == 2
+
+
+class TestSetHeightGeneral:
+    def test_atomic(self):
+        assert set_height(U) == 0
+
+    def test_tuple_takes_max_over_components(self):
+        t = TupleType([U, SetType(SetType(U)), SetType(U)])
+        assert set_height(t) == 2
+
+    def test_deep_nesting(self):
+        t = U
+        for depth in range(5):
+            t = SetType(t)
+            assert set_height(t) == depth + 1
+
+    def test_is_flat(self):
+        assert is_flat(TupleType([U, U, U]))
+        assert not is_flat(SetType(U))
+
+    def test_tau(self):
+        assert tau(0, U)
+        assert tau(1, SetType(U))
+        assert not tau(0, SetType(U))
+        with pytest.raises(TypeSystemError):
+            tau(-1, U)
+
+    def test_max_set_height(self):
+        assert max_set_height([]) == 0
+        assert max_set_height([U, SetType(U), SetType(SetType(U))]) == 2
+
+
+class TestTypeEnumeration:
+    def test_enumeration_respects_height_bound(self):
+        types = list(types_of_height_upto(1, max_width=2, max_depth=3))
+        assert all(set_height(t) <= 1 for t in types)
+        assert U in types
+        assert SetType(U) in types
+
+    def test_enumeration_no_duplicates(self):
+        types = list(types_of_height_upto(1, max_width=2, max_depth=3))
+        assert len(types) == len(set(types))
+
+    def test_enumeration_contains_pair_and_set_of_pairs(self):
+        types = set(types_of_height_upto(1, max_width=2, max_depth=4))
+        assert TupleType([U, U]) in types
+        assert SetType(TupleType([U, U])) in types
+
+    def test_enumeration_argument_validation(self):
+        with pytest.raises(TypeSystemError):
+            list(types_of_height_upto(-1, 2, 2))
+        with pytest.raises(TypeSystemError):
+            list(types_of_height_upto(1, 0, 2))
+        with pytest.raises(TypeSystemError):
+            list(types_of_height_upto(1, 2, 0))

@@ -1,0 +1,136 @@
+"""Tests for the core type classes (Section 2 definitions)."""
+
+import pytest
+
+from repro.errors import TypeSystemError
+from repro.types.type_system import (
+    AtomicType,
+    SetType,
+    TupleType,
+    U,
+    is_type,
+    max_tuple_width,
+    relation_type,
+    set_type,
+    tuple_type,
+)
+
+
+class TestAtomicType:
+    def test_singleton(self):
+        assert AtomicType() is U
+        assert AtomicType() is AtomicType()
+
+    def test_equality_and_hash(self):
+        assert U == AtomicType()
+        assert hash(U) == hash(AtomicType())
+
+    def test_no_children(self):
+        assert U.children() == ()
+
+    def test_flags(self):
+        assert U.is_atomic and not U.is_set and not U.is_tuple
+
+    def test_str(self):
+        assert str(U) == "U"
+
+
+class TestSetType:
+    def test_construction(self):
+        t = SetType(U)
+        assert t.element_type is U
+        assert t.is_set
+
+    def test_equality_is_structural(self):
+        assert SetType(U) == SetType(U)
+        assert SetType(SetType(U)) != SetType(U)
+
+    def test_hashable(self):
+        assert len({SetType(U), SetType(U)}) == 1
+
+    def test_immutable(self):
+        t = SetType(U)
+        with pytest.raises(AttributeError):
+            t.element_type = U
+
+    def test_rejects_non_type_element(self):
+        with pytest.raises(TypeSystemError):
+            SetType("U")
+
+    def test_str(self):
+        assert str(SetType(TupleType([U, U]))) == "{[U, U]}"
+
+
+class TestTupleType:
+    def test_construction_and_arity(self):
+        t = TupleType([U, SetType(U)])
+        assert t.arity == 2
+        assert t.component(1) is U
+        assert t.component(2) == SetType(U)
+
+    def test_requires_at_least_one_component(self):
+        with pytest.raises(TypeSystemError):
+            TupleType([])
+
+    def test_rejects_consecutive_tuples_when_strict(self):
+        with pytest.raises(TypeSystemError):
+            TupleType([TupleType([U]), U])
+
+    def test_allows_consecutive_tuples_when_not_strict(self):
+        t = TupleType([TupleType([U, U]), U], strict=False)
+        assert t.arity == 2
+
+    def test_component_out_of_range(self):
+        t = TupleType([U, U])
+        with pytest.raises(TypeSystemError):
+            t.component(3)
+        with pytest.raises(TypeSystemError):
+            t.component(0)
+
+    def test_equality_and_hash(self):
+        assert TupleType([U, U]) == TupleType([U, U])
+        assert TupleType([U]) != TupleType([U, U])
+        assert len({TupleType([U, U]), TupleType([U, U])}) == 1
+
+    def test_immutable(self):
+        t = TupleType([U, U])
+        with pytest.raises(AttributeError):
+            t.component_types = ()
+
+    def test_rejects_non_type_component(self):
+        with pytest.raises(TypeSystemError):
+            TupleType([U, 42])
+
+
+class TestHelpers:
+    def test_set_type_and_tuple_type_shorthands(self):
+        assert set_type(U) == SetType(U)
+        assert tuple_type(U, U) == TupleType([U, U])
+
+    def test_is_type(self):
+        assert is_type(U)
+        assert is_type(SetType(U))
+        assert not is_type("U")
+
+    def test_relation_type(self):
+        assert relation_type(3) == TupleType([U, U, U])
+        with pytest.raises(TypeSystemError):
+            relation_type(0)
+
+    def test_max_tuple_width(self):
+        assert max_tuple_width(U) == 0
+        assert max_tuple_width(TupleType([U, U, U])) == 3
+        nested = SetType(TupleType([U, SetType(TupleType([U, U, U, U]))]))
+        assert max_tuple_width(nested) == 4
+
+    def test_walk_and_node_count(self):
+        t = SetType(TupleType([U, U]))
+        assert t.node_count() == 4
+        nodes = list(t.walk())
+        assert nodes[0] is t
+
+    def test_total_order_is_consistent(self):
+        types = [TupleType([U, U]), U, SetType(U), TupleType([U])]
+        ordered = sorted(types)
+        assert ordered[0] == U
+        assert sorted(ordered) == ordered

@@ -1,0 +1,94 @@
+"""Tests for the utility helpers."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.utils.fresh import FreshValueSupply
+from repro.utils.iteration import bounded, cross_product, powerset_count, subsets_upto
+
+
+class TestFreshValueSupply:
+    def test_avoids_forbidden_values(self):
+        supply = FreshValueSupply(forbidden={"inv0", "inv1"})
+        assert supply.take() == "inv2"
+
+    def test_never_repeats(self):
+        supply = FreshValueSupply()
+        values = supply.take_many(50)
+        assert len(set(values)) == 50
+
+    def test_forbid_after_construction(self):
+        supply = FreshValueSupply()
+        supply.forbid({"inv0"})
+        assert supply.take() == "inv1"
+
+    def test_issued_records_order(self):
+        supply = FreshValueSupply(prefix="x")
+        supply.take_many(3)
+        assert supply.issued == ("x0", "x1", "x2")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FreshValueSupply().take_many(-1)
+
+    def test_iteration_protocol(self):
+        supply = FreshValueSupply(prefix="i")
+        iterator = iter(supply)
+        assert next(iterator) == "i0"
+        assert next(iterator) == "i1"
+
+
+class TestBounded:
+    def test_unbounded_passthrough(self):
+        assert list(bounded(range(5), None)) == [0, 1, 2, 3, 4]
+
+    def test_budget_allows_exactly_n(self):
+        assert list(bounded(range(3), 3)) == [0, 1, 2]
+
+    def test_budget_exceeded(self):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            list(bounded(range(10), 4, what="things"))
+        assert excinfo.value.budget == 4
+        assert "things" in str(excinfo.value)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            list(bounded(range(3), -1))
+
+
+class TestCrossProduct:
+    def test_empty_components_yield_single_empty_tuple(self):
+        assert list(cross_product([])) == [()]
+
+    def test_product_order(self):
+        assert list(cross_product([[1, 2], ["a", "b"]])) == [
+            (1, "a"),
+            (1, "b"),
+            (2, "a"),
+            (2, "b"),
+        ]
+
+    def test_empty_factor_gives_no_results(self):
+        assert list(cross_product([[1, 2], []])) == []
+
+
+class TestSubsets:
+    def test_all_subsets(self):
+        subsets = list(subsets_upto([1, 2]))
+        assert len(subsets) == 4
+        assert frozenset() in subsets and frozenset({1, 2}) in subsets
+
+    def test_max_size_restriction(self):
+        subsets = list(subsets_upto([1, 2, 3], max_size=1))
+        assert all(len(s) <= 1 for s in subsets)
+        assert len(subsets) == 4
+
+    def test_ordered_by_size(self):
+        sizes = [len(s) for s in subsets_upto([1, 2, 3])]
+        assert sizes == sorted(sizes)
+
+    def test_powerset_count(self):
+        assert powerset_count(0) == 1
+        assert powerset_count(5) == 32
+        with pytest.raises(ValueError):
+            powerset_count(-1)

@@ -1,0 +1,135 @@
+"""Tests for the workload generators (repro.workloads)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.domain import belongs_to
+from repro.types.parser import parse_type
+from repro.types.type_system import SetType, TupleType, U
+from repro.workloads import (
+    WorkloadError,
+    binary_tree_pairs,
+    chain_pairs,
+    cycle_pairs,
+    genealogy_database,
+    parent_database,
+    person_database,
+    random_graph_pairs,
+    random_instance,
+    random_objects,
+)
+
+
+class TestFlatWorkloads:
+    def test_chain_has_length_edges(self):
+        pairs = chain_pairs(5)
+        assert len(pairs) == 5
+        assert pairs[0] == ("v0", "v1")
+        assert pairs[-1] == ("v4", "v5")
+
+    def test_chain_of_length_zero_is_empty(self):
+        assert chain_pairs(0) == []
+
+    def test_cycle_wraps_around(self):
+        pairs = cycle_pairs(3)
+        assert ("v2", "v0") in pairs
+        assert len(pairs) == 3
+
+    def test_cycle_requires_a_vertex(self):
+        with pytest.raises(WorkloadError):
+            cycle_pairs(0)
+
+    def test_binary_tree_edge_count(self):
+        # A complete binary tree with 2^(d+1)-1 nodes has 2^(d+1)-2 edges.
+        for depth in range(4):
+            pairs = binary_tree_pairs(depth)
+            assert len(pairs) == 2 ** (depth + 1) - 2
+
+    def test_binary_tree_rejects_negative_depth(self):
+        with pytest.raises(WorkloadError):
+            binary_tree_pairs(-1)
+
+    def test_random_graph_is_deterministic(self):
+        assert random_graph_pairs(6, 10, seed=7) == random_graph_pairs(6, 10, seed=7)
+
+    def test_random_graph_respects_edge_count(self):
+        pairs = random_graph_pairs(5, 8, seed=1)
+        assert len(pairs) == 8
+        assert all(source != target for source, target in pairs)
+
+    def test_random_graph_rejects_impossible_requests(self):
+        with pytest.raises(WorkloadError):
+            random_graph_pairs(3, 100)
+
+    def test_parent_database_wraps_pairs(self):
+        database = parent_database(chain_pairs(3))
+        assert len(database.instance("PAR")) == 3
+
+    def test_person_database(self):
+        database = person_database(4)
+        assert len(database.instance("PERSON")) == 4
+
+    def test_genealogy_counts(self):
+        database = genealogy_database(generations=3, children_per_person=2)
+        # 1 ancestor with 2 children, each with 2 children: 2 + 4 = 6 edges.
+        assert len(database.instance("PAR")) == 6
+
+    def test_genealogy_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            genealogy_database(0)
+        with pytest.raises(WorkloadError):
+            genealogy_database(2, children_per_person=0)
+
+
+class TestComplexObjectWorkloads:
+    def test_random_objects_belong_to_the_type(self):
+        type_ = parse_type("{[U, U]}")
+        objects = random_objects(type_, ["a", "b"], count=5, seed=3)
+        assert len(objects) == 5
+        assert all(belongs_to(value, type_) for value in objects)
+
+    def test_random_objects_are_distinct(self):
+        type_ = TupleType([U, U])
+        objects = random_objects(type_, ["a", "b", "c"], count=9, seed=0)
+        assert len(set(objects)) == 9
+
+    def test_random_objects_deterministic_under_seed(self):
+        type_ = SetType(U)
+        first = random_objects(type_, ["a", "b", "c"], count=4, seed=11)
+        second = random_objects(type_, ["a", "b", "c"], count=4, seed=11)
+        assert first == second
+
+    def test_random_objects_rejects_oversampling(self):
+        with pytest.raises(WorkloadError):
+            random_objects(U, ["a", "b"], count=3)
+
+    def test_random_instance_has_requested_cardinality(self):
+        instance = random_instance(TupleType([U, U]), ["a", "b"], count=3, seed=2)
+        assert len(instance) == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_objects(U, ["a"], count=-1)
+
+
+class TestPropertyWorkloads:
+    @settings(max_examples=30, deadline=None)
+    @given(length=st.integers(min_value=0, max_value=20))
+    def test_chain_vertex_count(self, length):
+        pairs = chain_pairs(length)
+        atoms = {atom for pair in pairs for atom in pair}
+        assert len(atoms) == (length + 1 if length > 0 else 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        vertex_count=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_random_graph_edges_are_within_vertex_set(self, vertex_count, seed):
+        edge_count = vertex_count  # always feasible for n >= 2
+        pairs = random_graph_pairs(vertex_count, edge_count, seed=seed)
+        names = {f"v{i}" for i in range(vertex_count)}
+        assert all(source in names and target in names for source, target in pairs)

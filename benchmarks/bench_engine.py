@@ -1,0 +1,164 @@
+"""X19 — engineering ablation: the physical-plan execution engine.
+
+Measures an equi-join workload (two binary predicates joined on one
+coordinate) under three evaluation paths:
+
+* **legacy** — the naive tree-walking interpreter: materializes the full
+  cartesian product, then filters;
+* **engine, nested loop** — pipelined plan with hash joins disabled: the
+  filter streams over the product, but every pair is still formed;
+* **engine, hash join** — the compiler lowers the equality selection over
+  the product to a :class:`~repro.engine.plan.HashJoin`, so only matching
+  pairs are ever formed.
+
+Expected shape: hash join beats the legacy interpreter by well over an
+order of magnitude at a few hundred tuples per side (the acceptance bar is
+≥5×), and the gap widens with size.  ``test_engine_report`` writes the
+measured numbers to ``benchmarks/BENCH_engine.json``; the module is also
+directly runnable::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import write_bench_report
+from repro.algebra.evaluation import (
+    AlgebraEvaluationSettings,
+    evaluate_expression,
+    evaluate_expression_legacy,
+)
+from repro.algebra.expressions import (
+    PredicateExpression,
+    Product,
+    Selection,
+    SelectionCondition,
+)
+from repro.engine import clear_plan_cache
+from repro.objects.instance import DatabaseInstance
+from repro.types.parser import parse_type
+from repro.types.schema import DatabaseSchema
+from repro.workloads import random_graph_pairs
+
+TWO_RELATION_SCHEMA = DatabaseSchema(
+    [("R", parse_type("[U, U]")), ("S", parse_type("[U, U]"))]
+)
+
+HASH_JOIN = AlgebraEvaluationSettings()
+NESTED_LOOP = AlgebraEvaluationSettings(engine_hash_join=False)
+
+
+def equi_join_expression():
+    """``σ_{2=3}(R × S)``: join R's second coordinate with S's first."""
+    return Selection(
+        Product(PredicateExpression("R"), PredicateExpression("S")),
+        SelectionCondition.eq(2, 3),
+    )
+
+
+def equi_join_database(edges_per_relation: int, vertices: int = 60) -> DatabaseInstance:
+    """Two random edge relations over a shared vertex set (so the join hits)."""
+    return DatabaseInstance.build(
+        TWO_RELATION_SCHEMA,
+        R=random_graph_pairs(vertices, edges_per_relation, seed=1, prefix="n"),
+        S=random_graph_pairs(vertices, edges_per_relation, seed=2, prefix="n"),
+    )
+
+
+def _best_of(function, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_paths(edges_per_relation: int) -> dict:
+    """Best-of-three wall-clock seconds for each evaluation path."""
+    database = equi_join_database(edges_per_relation)
+    expression = equi_join_expression()
+    clear_plan_cache()
+    # Warm each engine path once so plan compilation is not in the timings.
+    answer_hash = evaluate_expression(expression, database, HASH_JOIN)
+    answer_nested = evaluate_expression(expression, database, NESTED_LOOP)
+    answer_legacy = evaluate_expression_legacy(expression, database)
+    assert answer_hash == answer_nested == answer_legacy
+    return {
+        "tuples_per_relation": edges_per_relation,
+        "join_cardinality": len(answer_hash),
+        "seconds": {
+            "legacy": _best_of(
+                lambda: evaluate_expression_legacy(expression, database)
+            ),
+            "engine_nested_loop": _best_of(
+                lambda: evaluate_expression(expression, database, NESTED_LOOP)
+            ),
+            "engine_hash_join": _best_of(
+                lambda: evaluate_expression(expression, database, HASH_JOIN)
+            ),
+        },
+    }
+
+
+# -- pytest-benchmark entries ---------------------------------------------------
+
+@pytest.mark.parametrize("edges", [200, 400])
+def test_bench_equi_join_legacy(benchmark, edges):
+    database = equi_join_database(edges)
+    expression = equi_join_expression()
+    answer = benchmark(lambda: evaluate_expression_legacy(expression, database))
+    assert len(answer) > 0
+
+
+@pytest.mark.parametrize("edges", [200, 400])
+def test_bench_equi_join_engine_nested_loop(benchmark, edges):
+    database = equi_join_database(edges)
+    expression = equi_join_expression()
+    answer = benchmark(lambda: evaluate_expression(expression, database, NESTED_LOOP))
+    assert len(answer) > 0
+
+
+@pytest.mark.parametrize("edges", [200, 400])
+def test_bench_equi_join_engine_hash_join(benchmark, edges):
+    database = equi_join_database(edges)
+    expression = equi_join_expression()
+    answer = benchmark(lambda: evaluate_expression(expression, database, HASH_JOIN))
+    assert len(answer) > 0
+
+
+def test_engine_report():
+    """Measure all three paths, assert the acceptance bar, emit the report."""
+    results = [measure_paths(edges) for edges in (200, 400)]
+    for row in results:
+        seconds = row["seconds"]
+        row["speedup_hash_join_vs_legacy"] = seconds["legacy"] / seconds["engine_hash_join"]
+        row["speedup_hash_join_vs_nested_loop"] = (
+            seconds["engine_nested_loop"] / seconds["engine_hash_join"]
+        )
+    path = write_bench_report(
+        "engine",
+        {
+            "experiment": "X19 equi-join: legacy interpreter vs engine plans",
+            "expression": str(equi_join_expression()),
+            "results": results,
+        },
+    )
+    # Acceptance: on ≥200-tuple relations the hash-join engine path is at
+    # least 5× faster than the legacy interpreter.
+    for row in results:
+        assert row["speedup_hash_join_vs_legacy"] >= 5.0, (path, row)
+
+
+if __name__ == "__main__":
+    test_engine_report()
+    for line in Path(__file__).with_name("BENCH_engine.json").read_text().splitlines():
+        print(line)

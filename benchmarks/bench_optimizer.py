@@ -2,7 +2,10 @@
 
 Measures the cost of evaluating representative algebra expressions before
 and after the rewrite rules of :mod:`repro.algebra.optimizer`, plus the
-predicted benefit from the cost model.  Expected shape: selection pushdown
+predicted benefit from the cost model.  Evaluation uses the legacy
+tree-walking interpreter on purpose: X18 isolates the effect of the
+logical rewrites on naive evaluation (the engine applies them internally;
+its ablation is X19 in bench_engine.py).  Expected shape: selection pushdown
 and the ``collapse(powerset(E)) -> E`` rule cut evaluated work by large
 constant (sometimes exponential) factors without changing any answer.
 """
@@ -11,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algebra.evaluation import evaluate_expression
+from repro.algebra.evaluation import evaluate_expression_legacy
 from repro.algebra.expressions import (
     Collapse,
     ConstantOperand,
@@ -49,7 +52,7 @@ def _powerset_roundtrip_expression():
 def test_bench_pushdown_unoptimized(benchmark, edges):
     database = _database(edges)
     expression = _pushdown_expression()
-    answer = benchmark(lambda: evaluate_expression(expression, database))
+    answer = benchmark(lambda: evaluate_expression_legacy(expression, database))
     assert len(answer) == 1  # only v0 -> v1 -> v2 survives both filters
 
 
@@ -57,7 +60,7 @@ def test_bench_pushdown_unoptimized(benchmark, edges):
 def test_bench_pushdown_optimized(benchmark, edges):
     database = _database(edges)
     expression = optimize(_pushdown_expression(), PARENT_SCHEMA).expression
-    answer = benchmark(lambda: evaluate_expression(expression, database))
+    answer = benchmark(lambda: evaluate_expression_legacy(expression, database))
     assert len(answer) == 1
 
 
@@ -65,7 +68,7 @@ def test_bench_pushdown_optimized(benchmark, edges):
 def test_bench_collapse_powerset_unoptimized(benchmark, edges):
     database = _database(edges)
     expression = _powerset_roundtrip_expression()
-    answer = benchmark(lambda: evaluate_expression(expression, database))
+    answer = benchmark(lambda: evaluate_expression_legacy(expression, database))
     assert len(answer) == edges
 
 
@@ -73,7 +76,7 @@ def test_bench_collapse_powerset_unoptimized(benchmark, edges):
 def test_bench_collapse_powerset_optimized(benchmark, edges):
     database = _database(edges)
     expression = optimize(_powerset_roundtrip_expression(), PARENT_SCHEMA).expression
-    answer = benchmark(lambda: evaluate_expression(expression, database))
+    answer = benchmark(lambda: evaluate_expression_legacy(expression, database))
     assert len(answer) == edges
 
 
@@ -89,7 +92,7 @@ def test_report_cost_model_agreement(capsys):
         optimized = optimize(expression, PARENT_SCHEMA)
         before = estimate_cost(expression, PARENT_SCHEMA, statistics)
         after = estimate_cost(optimized.expression, PARENT_SCHEMA, statistics)
-        assert evaluate_expression(expression, database) == evaluate_expression(
+        assert evaluate_expression_legacy(expression, database) == evaluate_expression_legacy(
             optimized.expression, database
         )
         assert after.total_intermediate <= before.total_intermediate

@@ -8,11 +8,29 @@ EXPERIMENTS.md (who wins, growth rates, crossovers).
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.calculus.builders import PARENT_SCHEMA, PERSON_SCHEMA
 from repro.calculus.evaluation import EvaluationSettings
 from repro.objects.instance import DatabaseInstance
+
+#: Directory benchmark reports (``BENCH_<name>.json``) are written to.
+REPORT_DIRECTORY = Path(__file__).resolve().parent
+
+
+def write_bench_report(name: str, payload: dict) -> Path:
+    """Write *payload* to ``benchmarks/BENCH_<name>.json`` and return the path.
+
+    The JSON reports give the perf trajectory concrete data points that
+    survive between runs (wall-clock numbers are machine-dependent; the
+    *ratios* in a report are the part expected to hold everywhere).
+    """
+    path = REPORT_DIRECTORY / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def chain_database(length: int) -> DatabaseInstance:

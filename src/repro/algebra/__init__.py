@@ -26,7 +26,11 @@ from repro.algebra.expressions import (
     Union,
     Untuple,
 )
-from repro.algebra.evaluation import AlgebraEvaluationSettings, evaluate_expression
+from repro.algebra.evaluation import (
+    AlgebraEvaluationSettings,
+    evaluate_expression,
+    evaluate_expression_legacy,
+)
 from repro.algebra.classification import alg_classification, expression_types, in_alg
 from repro.algebra.translate import algebra_to_calculus
 from repro.algebra.derived import join, nest, unnest
@@ -59,6 +63,7 @@ __all__ = [
     "Untuple",
     "AlgebraEvaluationSettings",
     "evaluate_expression",
+    "evaluate_expression_legacy",
     "alg_classification",
     "expression_types",
     "in_alg",

@@ -1,4 +1,17 @@
-"""Evaluation of algebra expressions over a database instance (Section 2)."""
+"""Evaluation of algebra expressions over a database instance (Section 2).
+
+Two evaluation paths coexist here:
+
+* the **engine path** (default): the expression is compiled by
+  :mod:`repro.engine` into a pipelined, hash-join-aware physical plan DAG
+  and executed there;
+* the **legacy path**: the original naive tree-walking interpreter,
+  retained verbatim (plus a per-evaluation output-type cache) as the
+  equivalence oracle the engine is tested against.
+
+``AlgebraEvaluationSettings.use_engine`` selects between them;
+:func:`evaluate_expression_legacy` always takes the legacy path.
+"""
 
 from __future__ import annotations
 
@@ -26,19 +39,33 @@ from repro.algebra.expressions import (
 from repro.objects.instance import DatabaseInstance, Instance
 from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
 from repro.types.schema import DatabaseSchema
-from repro.types.type_system import TupleType
+from repro.types.type_system import ComplexType, TupleType
 
 
-@dataclass
+@dataclass(frozen=True)
 class AlgebraEvaluationSettings:
     """Knobs controlling algebra evaluation.
 
     ``powerset_budget`` bounds the size of the operand instance a powerset
     may be applied to (the result has ``2**n`` members); exceeding it raises
     rather than exhausting memory.
+
+    ``use_engine`` routes evaluation through the physical-plan engine
+    (:mod:`repro.engine`); when it is off, the legacy tree-walking
+    interpreter runs instead.  The ``engine_*`` flags ablate individual
+    engine capabilities: the logical rule-optimizer pass, lowering of
+    equality selections over products to hash joins, and
+    common-subexpression elimination.  Note that the logical pass can
+    *remove* a powerset (``𝒞(𝒫(E)) → E``), so an expression that exceeds
+    the powerset budget under the legacy interpreter may legitimately
+    succeed under the engine.
     """
 
     powerset_budget: int = 22
+    use_engine: bool = True
+    engine_logical_optimize: bool = True
+    engine_hash_join: bool = True
+    engine_cse: bool = True
 
 
 def evaluate_expression(
@@ -48,10 +75,52 @@ def evaluate_expression(
 ) -> Instance:
     """Evaluate *expression* on *database*, returning an :class:`Instance`."""
     settings = settings or AlgebraEvaluationSettings()
+    if settings.use_engine:
+        # Imported lazily: the engine depends on this module's helpers.
+        from repro.engine import run_expression
+        from repro.engine.compile import CompileOptions
+
+        return run_expression(
+            expression,
+            database,
+            powerset_budget=settings.powerset_budget,
+            options=CompileOptions(
+                logical_optimize=settings.engine_logical_optimize,
+                hash_join=settings.engine_hash_join,
+                common_subexpressions=settings.engine_cse,
+            ),
+        )
+    return evaluate_expression_legacy(expression, database, settings)
+
+
+def evaluate_expression_legacy(
+    expression: AlgebraExpression,
+    database: DatabaseInstance,
+    settings: AlgebraEvaluationSettings | None = None,
+) -> Instance:
+    """Evaluate with the naive tree-walking interpreter (the oracle path)."""
+    settings = settings or AlgebraEvaluationSettings()
     schema = database.schema
-    output_type = expression.output_type(schema)
-    values = _evaluate(expression, database, schema, settings)
+    types: dict[int, ComplexType] = {}
+    output_type = _node_type(expression, schema, types)
+    values = _evaluate(expression, database, schema, settings, types)
     return Instance(output_type, values)
+
+
+def _node_type(
+    expression: AlgebraExpression,
+    schema: DatabaseSchema,
+    types: dict[int, ComplexType],
+) -> ComplexType:
+    """The output type of *expression*, computed once per node per evaluation.
+
+    The *types* dict memoizes the whole inference recursion (it is threaded
+    through ``output_type``): the ``Product``/``Selection`` branches of
+    :func:`_evaluate` used to re-run full subtree type inference on their
+    operands at every visit, which is quadratic on selection chains and
+    repeats work whenever one node object appears several times in a tree.
+    """
+    return expression.output_type(schema, types)
 
 
 def _evaluate(
@@ -59,6 +128,7 @@ def _evaluate(
     database: DatabaseInstance,
     schema: DatabaseSchema,
     settings: AlgebraEvaluationSettings,
+    types: dict[int, ComplexType],
 ) -> set[ComplexValue]:
     if isinstance(expression, PredicateExpression):
         return set(database.instance(expression.predicate_name).values)
@@ -67,22 +137,22 @@ def _evaluate(
         return {Atom(expression.value)}
 
     if isinstance(expression, Union):
-        return _evaluate(expression.left, database, schema, settings) | _evaluate(
-            expression.right, database, schema, settings
+        return _evaluate(expression.left, database, schema, settings, types) | _evaluate(
+            expression.right, database, schema, settings, types
         )
 
     if isinstance(expression, Intersection):
-        return _evaluate(expression.left, database, schema, settings) & _evaluate(
-            expression.right, database, schema, settings
+        return _evaluate(expression.left, database, schema, settings, types) & _evaluate(
+            expression.right, database, schema, settings, types
         )
 
     if isinstance(expression, Difference):
-        return _evaluate(expression.left, database, schema, settings) - _evaluate(
-            expression.right, database, schema, settings
+        return _evaluate(expression.left, database, schema, settings, types) - _evaluate(
+            expression.right, database, schema, settings, types
         )
 
     if isinstance(expression, Projection):
-        operand = _evaluate(expression.operand, database, schema, settings)
+        operand = _evaluate(expression.operand, database, schema, settings, types)
         result: set[ComplexValue] = set()
         for value in operand:
             if not isinstance(value, TupleValue):
@@ -91,32 +161,32 @@ def _evaluate(
         return result
 
     if isinstance(expression, Selection):
-        operand_type = expression.operand.output_type(schema)
+        operand_type = _node_type(expression.operand, schema, types)
         if not isinstance(operand_type, TupleType):
             raise EvaluationError(f"selection requires a tuple-typed operand, got {operand_type}")
         expression.condition.validate(operand_type)
-        operand = _evaluate(expression.operand, database, schema, settings)
+        operand = _evaluate(expression.operand, database, schema, settings, types)
         return {
             value
             for value in operand
-            if _condition_holds(expression.condition, value)
+            if condition_holds(expression.condition, value)
         }
 
     if isinstance(expression, Product):
-        left_type = expression.left.output_type(schema)
-        right_type = expression.right.output_type(schema)
-        left_values = _evaluate(expression.left, database, schema, settings)
-        right_values = _evaluate(expression.right, database, schema, settings)
+        left_type = _node_type(expression.left, schema, types)
+        right_type = _node_type(expression.right, schema, types)
+        left_values = _evaluate(expression.left, database, schema, settings, types)
+        right_values = _evaluate(expression.right, database, schema, settings, types)
         result = set()
         for left_value in left_values:
-            left_components = _flatten_value(left_value, left_type)
+            left_components = flatten_value(left_value, left_type)
             for right_value in right_values:
-                right_components = _flatten_value(right_value, right_type)
+                right_components = flatten_value(right_value, right_type)
                 result.add(TupleValue(left_components + right_components))
         return result
 
     if isinstance(expression, Untuple):
-        operand = _evaluate(expression.operand, database, schema, settings)
+        operand = _evaluate(expression.operand, database, schema, settings, types)
         result = set()
         for value in operand:
             if not isinstance(value, TupleValue) or value.arity != 1:
@@ -125,7 +195,7 @@ def _evaluate(
         return result
 
     if isinstance(expression, Collapse):
-        operand = _evaluate(expression.operand, database, schema, settings)
+        operand = _evaluate(expression.operand, database, schema, settings, types)
         result = set()
         for value in operand:
             if not isinstance(value, SetValue):
@@ -135,7 +205,7 @@ def _evaluate(
 
     if isinstance(expression, Powerset):
         operand = sorted(
-            _evaluate(expression.operand, database, schema, settings), key=lambda v: v.sort_key()
+            _evaluate(expression.operand, database, schema, settings, types), key=lambda v: v.sort_key()
         )
         if len(operand) > settings.powerset_budget:
             raise EvaluationError(
@@ -152,7 +222,7 @@ def _evaluate(
     raise EvaluationError(f"unknown algebra expression {type(expression).__name__}")
 
 
-def _flatten_value(value: ComplexValue, value_type) -> list[ComplexValue]:
+def flatten_value(value: ComplexValue, value_type) -> list[ComplexValue]:
     """Component list of *value* for the product's concatenation semantics."""
     if isinstance(value_type, TupleType):
         if not isinstance(value, TupleValue):
@@ -161,7 +231,12 @@ def _flatten_value(value: ComplexValue, value_type) -> list[ComplexValue]:
     return [value]
 
 
-def _condition_holds(condition: SelectionCondition, value: TupleValue) -> bool:
+def condition_holds(condition: SelectionCondition, value: TupleValue) -> bool:
+    """Whether the selection *condition* holds on the tuple *value*.
+
+    Shared with the engine's ``Filter``/``HashJoin`` operators so both
+    evaluation paths agree on condition semantics by construction.
+    """
     if condition.kind == "eq":
         return _operand_value(condition.operands[0], value) == _operand_value(
             condition.operands[1], value
@@ -174,13 +249,13 @@ def _condition_holds(condition: SelectionCondition, value: TupleValue) -> bool:
             )
         return container.contains(_operand_value(condition.operands[0], value))
     if condition.kind == "not":
-        return not _condition_holds(condition.operands[0], value)
+        return not condition_holds(condition.operands[0], value)
     if condition.kind == "and":
-        return _condition_holds(condition.operands[0], value) and _condition_holds(
+        return condition_holds(condition.operands[0], value) and condition_holds(
             condition.operands[1], value
         )
     if condition.kind == "or":
-        return _condition_holds(condition.operands[0], value) or _condition_holds(
+        return condition_holds(condition.operands[0], value) or condition_holds(
             condition.operands[1], value
         )
     raise EvaluationError(f"unknown selection condition kind {condition.kind!r}")

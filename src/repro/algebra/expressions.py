@@ -33,8 +33,26 @@ class AlgebraExpression:
 
     __slots__ = ()
 
-    def output_type(self, schema: DatabaseSchema) -> ComplexType:
-        """The inferred type of this expression over *schema*."""
+    def output_type(
+        self, schema: DatabaseSchema, cache: dict[int, ComplexType] | None = None
+    ) -> ComplexType:
+        """The inferred type of this expression over *schema*.
+
+        Pass a *cache* dict (keyed by node identity) to memoize the whole
+        recursion: repeated evaluator visits, selection chains and DAG-shared
+        subtrees then cost one inference per node instead of one per path.
+        """
+        if cache is None:
+            return self._infer_type(schema, None)
+        cached = cache.get(id(self))
+        if cached is None:
+            cached = self._infer_type(schema, cache)
+            cache[id(self)] = cached
+        return cached
+
+    def _infer_type(
+        self, schema: DatabaseSchema, cache: dict[int, ComplexType] | None
+    ) -> ComplexType:
         raise NotImplementedError
 
     def children(self) -> tuple["AlgebraExpression", ...]:
@@ -78,7 +96,7 @@ class PredicateExpression(AlgebraExpression):
     def __setattr__(self, name, value):
         raise AttributeError("PredicateExpression is immutable")
 
-    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+    def _infer_type(self, schema: DatabaseSchema, cache) -> ComplexType:
         return schema.type_of(self.predicate_name)
 
     def __str__(self) -> str:
@@ -96,7 +114,7 @@ class ConstantSingleton(AlgebraExpression):
     def __setattr__(self, name, value):
         raise AttributeError("ConstantSingleton is immutable")
 
-    def output_type(self, schema: DatabaseSchema) -> ComplexType:
+    def _infer_type(self, schema: DatabaseSchema, cache) -> ComplexType:
         return U
 
     def __str__(self) -> str:
@@ -119,9 +137,9 @@ class _BinarySetOperation(AlgebraExpression):
     def children(self) -> tuple[AlgebraExpression, ...]:
         return (self.left, self.right)
 
-    def output_type(self, schema: DatabaseSchema) -> ComplexType:
-        left_type = self.left.output_type(schema)
-        right_type = self.right.output_type(schema)
+    def _infer_type(self, schema: DatabaseSchema, cache) -> ComplexType:
+        left_type = self.left.output_type(schema, cache)
+        right_type = self.right.output_type(schema, cache)
         if left_type != right_type:
             raise TypingError(
                 f"{type(self).__name__} requires operands of equal type, got {left_type} and {right_type}"
@@ -177,8 +195,8 @@ class Projection(AlgebraExpression):
     def children(self) -> tuple[AlgebraExpression, ...]:
         return (self.operand,)
 
-    def output_type(self, schema: DatabaseSchema) -> ComplexType:
-        operand_type = self.operand.output_type(schema)
+    def _infer_type(self, schema: DatabaseSchema, cache) -> ComplexType:
+        operand_type = self.operand.output_type(schema, cache)
         if not isinstance(operand_type, TupleType):
             raise TypingError(
                 f"projection requires a tuple-typed operand, got {operand_type}"
@@ -331,8 +349,8 @@ class Selection(AlgebraExpression):
     def children(self) -> tuple[AlgebraExpression, ...]:
         return (self.operand,)
 
-    def output_type(self, schema: DatabaseSchema) -> ComplexType:
-        operand_type = self.operand.output_type(schema)
+    def _infer_type(self, schema: DatabaseSchema, cache) -> ComplexType:
+        operand_type = self.operand.output_type(schema, cache)
         if not isinstance(operand_type, TupleType):
             raise TypingError(f"selection requires a tuple-typed operand, got {operand_type}")
         self.condition.validate(operand_type)
@@ -366,9 +384,9 @@ class Product(AlgebraExpression):
     def children(self) -> tuple[AlgebraExpression, ...]:
         return (self.left, self.right)
 
-    def output_type(self, schema: DatabaseSchema) -> ComplexType:
-        left_components = flatten_for_product(self.left.output_type(schema))
-        right_components = flatten_for_product(self.right.output_type(schema))
+    def _infer_type(self, schema: DatabaseSchema, cache) -> ComplexType:
+        left_components = flatten_for_product(self.left.output_type(schema, cache))
+        right_components = flatten_for_product(self.right.output_type(schema, cache))
         return TupleType(list(left_components) + list(right_components))
 
     def __str__(self) -> str:
@@ -390,8 +408,8 @@ class Untuple(AlgebraExpression):
     def children(self) -> tuple[AlgebraExpression, ...]:
         return (self.operand,)
 
-    def output_type(self, schema: DatabaseSchema) -> ComplexType:
-        operand_type = self.operand.output_type(schema)
+    def _infer_type(self, schema: DatabaseSchema, cache) -> ComplexType:
+        operand_type = self.operand.output_type(schema, cache)
         if not isinstance(operand_type, TupleType) or operand_type.arity != 1:
             raise TypingError(
                 f"untuple requires an operand of a single-component tuple type [T], got {operand_type}"
@@ -417,8 +435,8 @@ class Collapse(AlgebraExpression):
     def children(self) -> tuple[AlgebraExpression, ...]:
         return (self.operand,)
 
-    def output_type(self, schema: DatabaseSchema) -> ComplexType:
-        operand_type = self.operand.output_type(schema)
+    def _infer_type(self, schema: DatabaseSchema, cache) -> ComplexType:
+        operand_type = self.operand.output_type(schema, cache)
         if not isinstance(operand_type, SetType):
             raise TypingError(f"collapse requires a set-typed operand, got {operand_type}")
         return operand_type.element_type
@@ -442,8 +460,8 @@ class Powerset(AlgebraExpression):
     def children(self) -> tuple[AlgebraExpression, ...]:
         return (self.operand,)
 
-    def output_type(self, schema: DatabaseSchema) -> ComplexType:
-        return SetType(self.operand.output_type(schema))
+    def _infer_type(self, schema: DatabaseSchema, cache) -> ComplexType:
+        return SetType(self.operand.output_type(schema, cache))
 
     def __str__(self) -> str:
         return f"𝒫({self.operand})"
@@ -452,3 +470,53 @@ class Powerset(AlgebraExpression):
 def _require_expression(value: object, description: str) -> None:
     if not isinstance(value, AlgebraExpression):
         raise TypingError(f"{description} must be an AlgebraExpression, got {type(value).__name__}")
+
+
+def structural_key(expression: AlgebraExpression) -> tuple:
+    """A hashable key identifying *expression* up to structural equality.
+
+    Unlike the rendered string, the key distinguishes every operand kind:
+    ``σ_{1 = 2}`` with coordinate ``2`` and with the integer constant ``2``
+    both *display* as ``1 = 2`` but get different keys.  Used for
+    common-subexpression elimination in the engine compiler and for the
+    optimizer's idempotence rule, where merging lookalikes would change
+    answers.
+    """
+    if isinstance(expression, PredicateExpression):
+        return ("pred", expression.predicate_name)
+    if isinstance(expression, ConstantSingleton):
+        return ("const", _constant_key(expression.value))
+    if isinstance(expression, (Union, Intersection, Difference, Product)):
+        return (
+            type(expression).__name__,
+            structural_key(expression.left),
+            structural_key(expression.right),
+        )
+    if isinstance(expression, Projection):
+        return ("proj", expression.coordinates, structural_key(expression.operand))
+    if isinstance(expression, Selection):
+        return ("sel", condition_key(expression.condition), structural_key(expression.operand))
+    if isinstance(expression, (Untuple, Collapse, Powerset)):
+        return (type(expression).__name__, structural_key(expression.operand))
+    raise TypingError(f"unknown algebra expression class {type(expression).__name__}")
+
+
+def condition_key(condition: SelectionCondition) -> tuple:
+    """A hashable structural key for a selection condition (see above)."""
+    operands = []
+    for operand in condition.operands:
+        if isinstance(operand, SelectionCondition):
+            operands.append(condition_key(operand))
+        elif isinstance(operand, ConstantOperand):
+            operands.append(("constop", _constant_key(operand.value)))
+        else:
+            operands.append(("coord", operand))
+    return (condition.kind, tuple(operands))
+
+
+def _constant_key(value: object) -> tuple:
+    try:
+        hash(value)
+    except TypeError:
+        return (type(value).__name__, repr(value))
+    return (type(value).__name__, value)

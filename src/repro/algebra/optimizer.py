@@ -46,6 +46,7 @@ from repro.algebra.expressions import (
     Union,
     Untuple,
     flatten_for_product,
+    structural_key,
 )
 from repro.types.schema import DatabaseSchema
 from repro.types.type_system import SetType, TupleType
@@ -231,13 +232,14 @@ def rule_idempotent_set_operations(
 
 
 def _same_expression(left: AlgebraExpression, right: AlgebraExpression) -> bool:
-    """Structural equality of two expressions (by rendered form).
+    """Structural equality of two expressions.
 
     Algebra nodes intentionally do not define ``__eq__`` (they are identity-
     hashed for use in per-node cost maps), so structural comparison goes
-    through the unambiguous string rendering.
+    through :func:`structural_key`.  The rendered string is *not* a valid
+    proxy: an integer selection constant displays exactly like a coordinate.
     """
-    return type(left) is type(right) and str(left) == str(right)
+    return type(left) is type(right) and structural_key(left) == structural_key(right)
 
 
 #: The default rule set, applied bottom-up until no rule fires.

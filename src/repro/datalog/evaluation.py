@@ -1,4 +1,13 @@
-"""Semi-naive, stratum-by-stratum evaluation of Datalog¬ programs."""
+"""Semi-naive, stratum-by-stratum evaluation of Datalog¬ programs.
+
+Rule bodies are evaluated left to right as a chain of joins between the
+current set of variable bindings and each positive literal's relation.
+Each join goes through the engine's shared hash-join core
+(:mod:`repro.engine.join`): rows are indexed by the values at the literal's
+already-bound variable positions and probed with the bindings, so a body
+like ``e(X, Y), e(Y, Z)`` costs a hash lookup per binding instead of a
+scan of the whole relation.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +16,7 @@ from collections.abc import Mapping
 from repro.errors import DatalogError
 from repro.datalog.ast import Atom, Literal, Program, Rule, is_variable
 from repro.datalog.stratify import stratify
+from repro.engine.join import build_index
 from repro.relational.relation import Relation
 
 
@@ -93,12 +103,39 @@ def _extend_bindings(
     bindings: list[dict[str, object]], literal: Literal, facts: Mapping[str, Relation]
 ) -> list[dict[str, object]]:
     relation = facts.get(literal.atom.predicate)
-    if relation is None:
+    if relation is None or not bindings:
         return []
+    atom = literal.atom
+    # Hash-join the bindings with the relation on the literal's already-bound
+    # variables.  All bindings in one rule application share the same key
+    # set (they are extended uniformly, literal by literal), so the bound
+    # variables of the first binding are the bound variables of every one.
+    bound = bindings[0].keys()
+    shared_positions = tuple(
+        position
+        for position, term in enumerate(atom.terms)
+        if is_variable(term) and term in bound
+    )
     extended: list[dict[str, object]] = []
+    if not shared_positions:
+        # No bound variables to key on (e.g. the first literal of a body):
+        # an index would put the whole relation in one bucket, so scan.
+        for binding in bindings:
+            for row in relation.tuples:
+                candidate = _unify(atom, row, binding)
+                if candidate is not None:
+                    extended.append(candidate)
+        return extended
+    shared_variables = tuple(atom.terms[position] for position in shared_positions)
+    index = build_index(
+        relation.tuples, key=lambda row: tuple(row[p] for p in shared_positions)
+    )
     for binding in bindings:
-        for row in relation.tuples:
-            candidate = _unify(literal.atom, row, binding)
+        probe_key = tuple(binding[variable] for variable in shared_variables)
+        for row in index.get(probe_key, ()):
+            # _unify re-checks the shared positions and handles constants and
+            # repeated variables within the atom; the hash key is a prefilter.
+            candidate = _unify(atom, row, binding)
             if candidate is not None:
                 extended.append(candidate)
     return extended

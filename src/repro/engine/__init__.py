@@ -1,0 +1,106 @@
+"""The unified physical-plan execution engine.
+
+This package compiles logical algebra expressions
+(:mod:`repro.algebra.expressions`) into physical plan DAGs and executes
+them with pipelined, hash-join-aware operators.  It is the shared execution
+core of three layers:
+
+* the complex-object algebra — :func:`repro.algebra.evaluation.
+  evaluate_expression` routes here by default (the legacy tree-walking
+  interpreter remains available as an equivalence oracle);
+* the flat relational algebra — :func:`repro.relational.algebra.join` uses
+  the same :mod:`repro.engine.join` hash-join core;
+* Datalog — rule-body literals are joined against the current bindings
+  with the same core in :mod:`repro.datalog.evaluation`.
+
+See ``ARCHITECTURE.md`` at the repository root for the layer diagram.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import AlgebraExpression
+from repro.engine.compile import CompileOptions, compile_expression
+from repro.engine.execute import DEFAULT_POWERSET_BUDGET, execute_plan
+from repro.engine.explain import explain_plan
+from repro.engine.join import build_index, hash_join, probe
+from repro.engine.plan import (
+    CollapseNode,
+    ConstantScan,
+    Filter,
+    HashJoin,
+    Materialize,
+    NestedLoopProduct,
+    PhysicalPlan,
+    PlanNode,
+    PowersetNode,
+    Project,
+    Scan,
+    SetOp,
+    UntupleNode,
+)
+from repro.objects.instance import DatabaseInstance, Instance
+
+#: Upper bound on the number of cached compiled plans.  Fixpoint programs
+#: re-evaluate the same expression objects every iteration; caching their
+#: plans makes compilation a one-time cost.  The cache pins the expression
+#: objects it keys on, so a bound keeps that pinning finite.
+_PLAN_CACHE_LIMIT = 512
+
+_plan_cache: dict[tuple, tuple] = {}
+
+
+def run_expression(
+    expression: AlgebraExpression,
+    database: DatabaseInstance,
+    powerset_budget: int = DEFAULT_POWERSET_BUDGET,
+    options: CompileOptions | None = None,
+) -> Instance:
+    """Compile (with caching) and execute *expression* on *database*."""
+    options = options or CompileOptions()
+    schema = database.schema
+    # Expressions and schemas are immutable; key on identity and pin both
+    # objects in the cache entry so their ids cannot be recycled underneath.
+    key = (id(expression), id(schema), options)
+    entry = _plan_cache.get(key)
+    if entry is None:
+        plan = compile_expression(expression, schema, options)
+        if len(_plan_cache) >= _PLAN_CACHE_LIMIT:
+            # Evict the oldest entry (dict preserves insertion order) so the
+            # hot fixpoint expressions the cache exists for stay compiled.
+            del _plan_cache[next(iter(_plan_cache))]
+        _plan_cache[key] = (expression, schema, plan)
+    else:
+        plan = entry[2]
+    return execute_plan(plan, database, powerset_budget=powerset_budget)
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached compiled plans (mainly for tests and benchmarks)."""
+    _plan_cache.clear()
+
+
+__all__ = [
+    "CompileOptions",
+    "compile_expression",
+    "execute_plan",
+    "explain_plan",
+    "run_expression",
+    "clear_plan_cache",
+    "build_index",
+    "hash_join",
+    "probe",
+    "DEFAULT_POWERSET_BUDGET",
+    "PhysicalPlan",
+    "PlanNode",
+    "Scan",
+    "ConstantScan",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "NestedLoopProduct",
+    "SetOp",
+    "PowersetNode",
+    "CollapseNode",
+    "UntupleNode",
+    "Materialize",
+]

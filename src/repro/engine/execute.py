@@ -1,0 +1,191 @@
+"""Pipelined execution of physical plans.
+
+Every operator is a Python generator, so tuples stream through filter /
+project / join chains without materializing intermediate instances.  Nodes
+are materialized in exactly two cases:
+
+* the node has **multiple consumers** (a shared common subexpression): its
+  output is computed once into a frozen set and every consumer iterates the
+  cached result;
+* the operator is **blocking by nature** (hash-join build side, nested-loop
+  inner, set-op right inputs, powerset).
+
+The powerset operator honours the same budget as the legacy interpreter in
+:mod:`repro.algebra.evaluation` and raises the same error type, so the two
+paths are observably equivalent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import combinations
+
+from repro.errors import EvaluationError
+from repro.algebra.evaluation import condition_holds, flatten_value
+from repro.engine.join import hash_join
+from repro.engine.plan import (
+    CollapseNode,
+    ConstantScan,
+    Filter,
+    HashJoin,
+    Materialize,
+    NestedLoopProduct,
+    PhysicalPlan,
+    PlanNode,
+    PowersetNode,
+    Project,
+    Scan,
+    SetOp,
+    UntupleNode,
+)
+from repro.objects.instance import DatabaseInstance, Instance
+from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
+
+#: Default bound on the size of a powerset operand, matching
+#: :class:`repro.algebra.evaluation.AlgebraEvaluationSettings`.
+DEFAULT_POWERSET_BUDGET = 22
+
+
+def execute_plan(
+    plan: PhysicalPlan,
+    database: DatabaseInstance,
+    powerset_budget: int = DEFAULT_POWERSET_BUDGET,
+) -> Instance:
+    """Run *plan* against *database* and return the result instance."""
+    executor = _Executor(database, powerset_budget)
+    return Instance(plan.root.output_type, executor.rows(plan.root))
+
+
+class _Executor:
+    def __init__(self, database: DatabaseInstance, powerset_budget: int) -> None:
+        self.database = database
+        self.powerset_budget = powerset_budget
+        self._cache: dict[int, frozenset[ComplexValue]] = {}
+
+    def rows(self, node: PlanNode) -> Iterator[ComplexValue]:
+        """Iterate the node's output, materializing shared nodes once."""
+        cached = self._cache.get(node.node_id)
+        if cached is not None:
+            return iter(cached)
+        if node.consumers > 1 or isinstance(node, Materialize):
+            materialized = frozenset(self._generate(node))
+            self._cache[node.node_id] = materialized
+            return iter(materialized)
+        return self._generate(node)
+
+    # -- operator implementations --------------------------------------------
+    def _generate(self, node: PlanNode) -> Iterator[ComplexValue]:
+        if isinstance(node, Scan):
+            return iter(self.database.instance(node.predicate_name).values)
+        if isinstance(node, ConstantScan):
+            return iter((Atom(node.value),))
+        if isinstance(node, Filter):
+            return self._filter(node)
+        if isinstance(node, Project):
+            return self._project(node)
+        if isinstance(node, HashJoin):
+            return self._hash_join(node)
+        if isinstance(node, NestedLoopProduct):
+            return self._nested_loop(node)
+        if isinstance(node, SetOp):
+            return self._set_op(node)
+        if isinstance(node, UntupleNode):
+            return self._untuple(node)
+        if isinstance(node, CollapseNode):
+            return self._collapse(node)
+        if isinstance(node, PowersetNode):
+            return self._powerset(node)
+        if isinstance(node, Materialize):
+            return self.rows(node.child)
+        raise EvaluationError(f"unknown plan operator {type(node).__name__}")
+
+    def _filter(self, node: Filter) -> Iterator[ComplexValue]:
+        condition = node.condition
+        for value in self.rows(node.child):
+            if condition_holds(condition, value):
+                yield value
+
+    def _project(self, node: Project) -> Iterator[ComplexValue]:
+        seen: set[ComplexValue] = set()
+        coordinates = node.coordinates
+        for value in self.rows(node.child):
+            if not isinstance(value, TupleValue):
+                raise EvaluationError(f"projection applied to the non-tuple value {value}")
+            projected = TupleValue([value.coordinate(c) for c in coordinates])
+            if projected not in seen:
+                seen.add(projected)
+                yield projected
+
+    def _hash_join(self, node: HashJoin) -> Iterator[ComplexValue]:
+        left_keys, right_keys = node.left_keys, node.right_keys
+        pairs = hash_join(
+            (flatten_value(value, node.left_type) for value in self.rows(node.left)),
+            (flatten_value(value, node.right_type) for value in self.rows(node.right)),
+            left_key=lambda comps: tuple(comps[k - 1] for k in left_keys),
+            right_key=lambda comps: tuple(comps[k - 1] for k in right_keys),
+        )
+        residual = node.residual
+        for left_components, right_components in pairs:
+            combined = TupleValue(left_components + right_components)
+            if residual is None or condition_holds(residual, combined):
+                yield combined
+
+    def _nested_loop(self, node: NestedLoopProduct) -> Iterator[ComplexValue]:
+        right_components = [
+            flatten_value(value, node.right_type) for value in self.rows(node.right)
+        ]
+        for left_value in self.rows(node.left):
+            left_components = flatten_value(left_value, node.left_type)
+            for components in right_components:
+                yield TupleValue(left_components + components)
+
+    def _set_op(self, node: SetOp) -> Iterator[ComplexValue]:
+        if node.kind == "union":
+            seen: set[ComplexValue] = set()
+            for value in self.rows(node.left):
+                seen.add(value)
+                yield value
+            for value in self.rows(node.right):
+                if value not in seen:
+                    yield value
+            return
+        right = frozenset(self.rows(node.right))
+        if node.kind == "intersection":
+            for value in self.rows(node.left):
+                if value in right:
+                    yield value
+            return
+        if node.kind == "difference":
+            for value in self.rows(node.left):
+                if value not in right:
+                    yield value
+            return
+        raise EvaluationError(f"unknown set operation kind {node.kind!r}")
+
+    def _untuple(self, node: UntupleNode) -> Iterator[ComplexValue]:
+        for value in self.rows(node.child):
+            if not isinstance(value, TupleValue) or value.arity != 1:
+                raise EvaluationError(f"untuple applied to the non-[T] value {value}")
+            yield value.coordinate(1)
+
+    def _collapse(self, node: CollapseNode) -> Iterator[ComplexValue]:
+        seen: set[ComplexValue] = set()
+        for value in self.rows(node.child):
+            if not isinstance(value, SetValue):
+                raise EvaluationError(f"collapse applied to the non-set value {value}")
+            for element in value.elements:
+                if element not in seen:
+                    seen.add(element)
+                    yield element
+
+    def _powerset(self, node: PowersetNode) -> Iterator[ComplexValue]:
+        operand = sorted(self.rows(node.child), key=lambda v: v.sort_key())
+        if len(operand) > self.powerset_budget:
+            raise EvaluationError(
+                f"powerset applied to an instance of {len(operand)} objects exceeds the "
+                f"powerset budget of {self.powerset_budget} (the result would have "
+                f"2**{len(operand)} members)"
+            )
+        for size in range(len(operand) + 1):
+            for combo in combinations(operand, size):
+                yield SetValue(combo)

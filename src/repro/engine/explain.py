@@ -1,0 +1,34 @@
+"""Human-readable rendering of physical plans.
+
+``explain_plan`` prints the DAG as an indented tree.  A node shared by
+several consumers is printed in full the first time it is reached and as a
+back-reference (``↩ #id``) afterwards, so common subexpressions are visible
+at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.engine.plan import PhysicalPlan, PlanNode
+
+
+def explain_plan(plan: PhysicalPlan, types: bool = True) -> str:
+    """Render *plan* as an indented operator tree with DAG back-references."""
+    lines: list[str] = []
+    printed: set[int] = set()
+
+    def render(node: PlanNode, depth: int) -> None:
+        indent = "  " * depth
+        if node.node_id in printed:
+            lines.append(f"{indent}↩ #{node.node_id} {node.label()}")
+            return
+        printed.add(node.node_id)
+        shared = " [shared]" if node.consumers > 1 else ""
+        type_suffix = f" : {node.output_type}" if types else ""
+        lines.append(f"{indent}#{node.node_id} {node.label()}{type_suffix}{shared}")
+        for child in node.children():
+            render(child, depth + 1)
+
+    render(plan.root, 0)
+    if plan.applied_rules:
+        lines.append(f"logical rewrites: {', '.join(plan.applied_rules)}")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""The shared hash-join core.
+
+One join implementation serves three layers: the physical :class:`HashJoin`
+operator of the complex-object engine, the flat relational algebra
+(:func:`repro.relational.algebra.join`), and Datalog rule-body evaluation
+(:func:`repro.datalog.evaluation`).  Rows are arbitrary values; the caller
+supplies key functions, so the core is agnostic to whether a "row" is a
+Python tuple, a flattened component list of complex values, or a variable
+binding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Iterator
+
+
+def build_index(
+    rows: Iterable[object], key: Callable[[object], Hashable]
+) -> dict[Hashable, list[object]]:
+    """Group *rows* by their key: the build side of a hash join."""
+    index: dict[Hashable, list[object]] = {}
+    for row in rows:
+        index.setdefault(key(row), []).append(row)
+    return index
+
+
+def probe(
+    rows: Iterable[object],
+    index: dict[Hashable, list[object]],
+    key: Callable[[object], Hashable],
+) -> Iterator[tuple[object, object]]:
+    """Probe *index* with each row, yielding ``(probe_row, build_row)`` pairs."""
+    for row in rows:
+        for match in index.get(key(row), ()):
+            yield row, match
+
+
+def hash_join(
+    left_rows: Iterable[object],
+    right_rows: Iterable[object],
+    left_key: Callable[[object], Hashable],
+    right_key: Callable[[object], Hashable],
+    residual: Callable[[object, object], bool] | None = None,
+) -> Iterator[tuple[object, object]]:
+    """Equi-join two row streams on their key functions.
+
+    Builds on the right side, probes with the left, and yields the matching
+    ``(left_row, right_row)`` pairs; *residual* filters pairs that agree on
+    the hash key but must satisfy further conditions.  The left stream is
+    consumed lazily, so the join pipelines with upstream operators.
+
+    Both inputs are always fully consumed, even when one is empty: the
+    engine's strict-equivalence contract requires the probe side's effects
+    (e.g. a powerset-budget error) to surface exactly as they would under
+    naive evaluation.
+    """
+    index = build_index(right_rows, right_key)
+    for left_row, right_row in probe(left_rows, index, left_key):
+        if residual is None or residual(left_row, right_row):
+            yield left_row, right_row

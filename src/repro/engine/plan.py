@@ -1,0 +1,299 @@
+"""The physical-operator IR of the execution engine.
+
+A *physical plan* is a DAG of operator nodes.  It differs from the logical
+algebra (:mod:`repro.algebra.expressions`) in three ways that matter for
+execution speed:
+
+* **DAG, not tree** — common-subexpression elimination in the compiler maps
+  syntactically identical logical subtrees to a *single* physical node, so a
+  shared subtree is evaluated once and its result reused by every consumer;
+* **join-aware** — an equality selection over a cartesian product is lowered
+  to a :class:`HashJoin` with explicit build/probe key coordinates, instead
+  of materializing the full product and filtering it;
+* **type-annotated** — every node carries its ``output_type`` computed once
+  at compile time, so the executor never re-runs type inference (the legacy
+  interpreter re-derived operand types at every ``Product``/``Selection``
+  visit).
+
+The node classes here are deliberately dumb records: all intelligence lives
+in :mod:`repro.engine.compile` (how plans are built) and
+:mod:`repro.engine.execute` (how they run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import SelectionCondition
+from repro.types.type_system import ComplexType
+
+
+class PlanNode:
+    """Abstract base class of physical plan operators.
+
+    ``node_id`` is unique within one plan; ``consumers`` counts how many
+    parent edges point at this node (a node with more than one consumer is
+    materialized once by the executor and its result shared).
+    """
+
+    __slots__ = ("node_id", "output_type", "consumers")
+
+    def __init__(self, node_id: int, output_type: ComplexType) -> None:
+        self.node_id = node_id
+        self.output_type = output_type
+        self.consumers = 0
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def label(self) -> str:
+        """A one-line operator description for :mod:`repro.engine.explain`."""
+        return type(self).__name__
+
+
+class Scan(PlanNode):
+    """Read the stored instance of a database predicate."""
+
+    __slots__ = ("predicate_name",)
+
+    def __init__(self, node_id: int, output_type: ComplexType, predicate_name: str) -> None:
+        super().__init__(node_id, output_type)
+        self.predicate_name = predicate_name
+
+    def label(self) -> str:
+        return f"Scan({self.predicate_name})"
+
+
+class ConstantScan(PlanNode):
+    """Produce the singleton instance ``{a}`` for an atomic constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, node_id: int, output_type: ComplexType, value: object) -> None:
+        super().__init__(node_id, output_type)
+        self.value = value
+
+    def label(self) -> str:
+        return f"ConstantScan({self.value!r})"
+
+
+class Filter(PlanNode):
+    """Pipelined selection: pass through values satisfying the condition."""
+
+    __slots__ = ("child", "condition")
+
+    def __init__(
+        self,
+        node_id: int,
+        output_type: ComplexType,
+        child: PlanNode,
+        condition: SelectionCondition,
+    ) -> None:
+        super().__init__(node_id, output_type)
+        self.child = child
+        self.condition = condition
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Filter({self.condition})"
+
+
+class Project(PlanNode):
+    """Pipelined projection with streaming duplicate elimination."""
+
+    __slots__ = ("child", "coordinates")
+
+    def __init__(
+        self,
+        node_id: int,
+        output_type: ComplexType,
+        child: PlanNode,
+        coordinates: tuple[int, ...],
+    ) -> None:
+        super().__init__(node_id, output_type)
+        self.child = child
+        self.coordinates = coordinates
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Project({','.join(map(str, self.coordinates))})"
+
+
+class HashJoin(PlanNode):
+    """Equi-join: build a hash index on the right input, probe with the left.
+
+    ``left_keys`` / ``right_keys`` are 1-based coordinates into the
+    *flattened* component lists of the respective inputs (the product's
+    concatenation semantics).  ``residual`` is an optional extra condition,
+    evaluated over the concatenated output tuple, for conjuncts that are not
+    cross-side coordinate equalities.
+    """
+
+    __slots__ = ("left", "right", "left_keys", "right_keys", "residual", "left_type", "right_type")
+
+    def __init__(
+        self,
+        node_id: int,
+        output_type: ComplexType,
+        left: PlanNode,
+        right: PlanNode,
+        left_keys: tuple[int, ...],
+        right_keys: tuple[int, ...],
+        residual: SelectionCondition | None,
+    ) -> None:
+        super().__init__(node_id, output_type)
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.left_type = left.output_type
+        self.right_type = right.output_type
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"L{left}=R{right}" for left, right in zip(self.left_keys, self.right_keys)
+        )
+        residual = f", residual: {self.residual}" if self.residual is not None else ""
+        return f"HashJoin({keys}{residual})"
+
+
+class NestedLoopProduct(PlanNode):
+    """Cartesian product with flattening concatenation (no join keys)."""
+
+    __slots__ = ("left", "right", "left_type", "right_type")
+
+    def __init__(
+        self, node_id: int, output_type: ComplexType, left: PlanNode, right: PlanNode
+    ) -> None:
+        super().__init__(node_id, output_type)
+        self.left = left
+        self.right = right
+        self.left_type = left.output_type
+        self.right_type = right.output_type
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "NestedLoopProduct"
+
+
+class SetOp(PlanNode):
+    """Union / intersection / difference of two same-typed inputs."""
+
+    __slots__ = ("kind", "left", "right")
+
+    KINDS = ("union", "intersection", "difference")
+
+    def __init__(
+        self, node_id: int, output_type: ComplexType, kind: str, left: PlanNode, right: PlanNode
+    ) -> None:
+        super().__init__(node_id, output_type)
+        self.kind = kind
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return f"SetOp({self.kind})"
+
+
+class PowersetNode(PlanNode):
+    """Enumerate all subsets of the child's instance (budget-guarded)."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, node_id: int, output_type: ComplexType, child: PlanNode) -> None:
+        super().__init__(node_id, output_type)
+        self.child = child
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Powerset"
+
+
+class CollapseNode(PlanNode):
+    """Union the members of a set-typed input (streaming dedup)."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, node_id: int, output_type: ComplexType, child: PlanNode) -> None:
+        super().__init__(node_id, output_type)
+        self.child = child
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Collapse"
+
+
+class UntupleNode(PlanNode):
+    """Strip the tuple constructor of a ``[T]``-typed input."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, node_id: int, output_type: ComplexType, child: PlanNode) -> None:
+        super().__init__(node_id, output_type)
+        self.child = child
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Untuple"
+
+
+class Materialize(PlanNode):
+    """Explicit materialization boundary (force the child into a set once)."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, node_id: int, output_type: ComplexType, child: PlanNode) -> None:
+        super().__init__(node_id, output_type)
+        self.child = child
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Materialize"
+
+
+@dataclass
+class PhysicalPlan:
+    """A compiled physical plan.
+
+    ``root`` is the output node; ``nodes`` lists every node exactly once in
+    a topological order (children before parents); ``applied_rules`` records
+    the logical-optimizer rewrites that ran before lowering;
+    ``shared_nodes`` counts the DAG nodes with more than one consumer (the
+    common subexpressions the compiler deduplicated).
+    """
+
+    root: PlanNode
+    nodes: list[PlanNode] = field(default_factory=list)
+    applied_rules: list[str] = field(default_factory=list)
+
+    @property
+    def shared_nodes(self) -> int:
+        return sum(1 for node in self.nodes if node.consumers > 1)
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def operators(self) -> list[str]:
+        """The operator class names in topological order (for tests/explain)."""
+        return [type(node).__name__ for node in self.nodes]

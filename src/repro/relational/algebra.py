@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import EvaluationError
+from repro.engine.join import hash_join
 from repro.relational.relation import Relation
 
 
@@ -64,21 +65,24 @@ def join(left: Relation, right: Relation, equalities: Iterable[tuple[int, int]])
             raise EvaluationError(f"join column {left_column} out of range for arity {left.arity}")
         if not 1 <= right_column <= right.arity:
             raise EvaluationError(f"join column {right_column} out of range for arity {right.arity}")
-    result = set()
-    # Hash join on the first equality when available; nested loops otherwise.
+    # Hash join on all equalities at once via the engine's shared join core;
+    # nested loops only for a keyless cross product.
     if pairs:
-        key_left, key_right = pairs[0]
-        index: dict[object, list[tuple]] = {}
-        for row in right.tuples:
-            index.setdefault(row[key_right - 1], []).append(row)
-        for left_row in left.tuples:
-            for right_row in index.get(left_row[key_left - 1], ()):
-                if all(left_row[lc - 1] == right_row[rc - 1] for lc, rc in pairs[1:]):
-                    result.add(left_row + right_row)
+        left_columns = tuple(lc - 1 for lc, _ in pairs)
+        right_columns = tuple(rc - 1 for _, rc in pairs)
+        result = {
+            left_row + right_row
+            for left_row, right_row in hash_join(
+                left.tuples,
+                right.tuples,
+                left_key=lambda row: tuple(row[c] for c in left_columns),
+                right_key=lambda row: tuple(row[c] for c in right_columns),
+            )
+        }
     else:
-        for left_row in left.tuples:
-            for right_row in right.tuples:
-                result.add(left_row + right_row)
+        result = {
+            left_row + right_row for left_row in left.tuples for right_row in right.tuples
+        }
     return Relation(left.arity + right.arity, result)
 
 

@@ -15,6 +15,16 @@ from repro.objects.values import Atom, TupleValue
 from repro.types.type_system import TupleType, U
 
 
+def _row_sort_key(row: tuple) -> tuple:
+    """A stable structural sort key for a row of atomic values.
+
+    Mirrors :meth:`repro.objects.values.Atom.sort_key`: components order
+    first by their type name, then by their repr, so iteration order is
+    deterministic across mixed atom types.
+    """
+    return tuple((type(value).__name__, repr(value)) for value in row)
+
+
 class Relation:
     """A finite relation of fixed arity over atomic values."""
 
@@ -77,7 +87,11 @@ class Relation:
         return tuple(row) in self._tuples if isinstance(row, (tuple, list)) else False
 
     def __iter__(self) -> Iterator[tuple]:
-        return iter(sorted(self._tuples, key=lambda r: tuple(map(repr, r))))
+        # Sort by a structural key (type name, then repr) per component:
+        # plain repr interleaves values of different atom types (e.g. the
+        # string "10" with the int 10's repr), so iteration order would
+        # depend on repr collisions rather than on the values themselves.
+        return iter(sorted(self._tuples, key=_row_sort_key))
 
     def __len__(self) -> int:
         return len(self._tuples)

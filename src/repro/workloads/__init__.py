@@ -8,6 +8,8 @@ from repro.workloads.generators import (
     genealogy_database,
     parent_database,
     person_database,
+    random_algebra_expression,
+    random_database,
     random_graph_pairs,
     random_instance,
     random_objects,
@@ -21,6 +23,8 @@ __all__ = [
     "genealogy_database",
     "parent_database",
     "person_database",
+    "random_algebra_expression",
+    "random_database",
     "random_graph_pairs",
     "random_instance",
     "random_objects",

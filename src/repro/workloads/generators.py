@@ -13,11 +13,28 @@ import random
 from collections.abc import Sequence
 
 from repro.errors import ReproError
+from repro.algebra.expressions import (
+    AlgebraExpression,
+    Collapse,
+    ConstantOperand,
+    ConstantSingleton,
+    Difference,
+    Intersection,
+    Powerset,
+    PredicateExpression,
+    Product,
+    Projection,
+    Selection,
+    SelectionCondition,
+    Union,
+    Untuple,
+)
 from repro.calculus.builders import PARENT_SCHEMA, PERSON_SCHEMA
 from repro.objects.constructive import constructive_domain_size, iter_constructive_domain
 from repro.objects.instance import DatabaseInstance, Instance
 from repro.objects.values import ComplexValue
-from repro.types.type_system import ComplexType
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import ComplexType, SetType, TupleType, U
 from repro.utils.iteration import bounded
 
 
@@ -159,3 +176,241 @@ def random_instance(
 ) -> Instance:
     """An instance of *type_* holding *count* deterministically sampled objects."""
     return Instance(type_, random_objects(type_, atoms, count, seed=seed))
+
+
+def random_database(
+    schema: DatabaseSchema,
+    atoms: Sequence[object],
+    count: int = 6,
+    seed: int = 0,
+) -> DatabaseInstance:
+    """A deterministic random database instance of *schema*.
+
+    Each predicate gets up to *count* objects sampled from its type's
+    constructive domain over *atoms* (fewer when the domain is smaller).
+    """
+    assignments: dict[str, Instance] = {}
+    for offset, declaration in enumerate(schema):
+        available = min(count, constructive_domain_size(declaration.type, len(set(atoms))))
+        assignments[declaration.name] = random_instance(
+            declaration.type, atoms, available, seed=seed + offset
+        )
+    return DatabaseInstance(schema, assignments)
+
+
+# -- random algebra expressions -------------------------------------------------
+
+#: Estimated-cardinality ceiling above which the expression generator stops
+#: growing a pool entry (products of products quickly explode otherwise).
+_EXPRESSION_SIZE_CAP = 4000.0
+
+
+def random_algebra_expression(
+    schema: DatabaseSchema,
+    seed: int = 0,
+    size: int = 8,
+    constants: Sequence[object] = ("a", "b", "v0", "v1", 2),
+    predicate_cardinality: int = 8,
+    powerset_probability: float = 0.2,
+) -> AlgebraExpression:
+    """Generate a deterministic, well-typed random algebra expression.
+
+    Starts from the schema's predicates and constant singletons and applies
+    *size* random well-typed operator applications (set operations,
+    projection, selection, product, untuple, collapse, powerset — the
+    latter usually wrapped in a collapse to form a round trip).  A coarse
+    cardinality estimate (seeding each predicate at
+    *predicate_cardinality*) keeps generated expressions evaluable: growth
+    steps whose estimated output exceeds an internal cap are skipped.
+
+    The generator exists for the engine's side-by-side equivalence tests:
+    the same seed always yields the same expression, so failures reproduce.
+    """
+    if size < 1:
+        raise WorkloadError(f"expression size must be at least 1, got {size}")
+    rng = random.Random(seed)
+    pool: list[tuple[AlgebraExpression, ComplexType, float]] = []
+    for name in schema.predicate_names:
+        expression = PredicateExpression(name)
+        pool.append((expression, expression.output_type(schema), float(predicate_cardinality)))
+    for value in constants:
+        pool.append((ConstantSingleton(value), U, 1.0))
+
+    for _ in range(size):
+        grown = _grow_expression(pool, schema, rng, powerset_probability)
+        if grown is not None:
+            pool.append(grown)
+    return pool[-1][0]
+
+
+def _grow_expression(
+    pool: list[tuple[AlgebraExpression, ComplexType, float]],
+    schema: DatabaseSchema,
+    rng: random.Random,
+    powerset_probability: float,
+) -> tuple[AlgebraExpression, ComplexType, float] | None:
+    """One random well-typed growth step over *pool*, or ``None`` if every
+    candidate the dice picked would blow past the size cap."""
+    attempts = [_pick_operator(rng, powerset_probability) for _ in range(8)]
+    for operator in attempts:
+        grown = _apply_operator(operator, pool, schema, rng)
+        if grown is not None and grown[2] <= _EXPRESSION_SIZE_CAP:
+            return grown
+    return None
+
+
+def _pick_operator(rng: random.Random, powerset_probability: float) -> str:
+    if rng.random() < powerset_probability:
+        return "powerset"
+    return rng.choice(
+        ("setop", "setop", "projection", "projection", "selection", "selection",
+         "product", "product", "untuple", "collapse")
+    )
+
+
+def _apply_operator(
+    operator: str,
+    pool: list[tuple[AlgebraExpression, ComplexType, float]],
+    schema: DatabaseSchema,
+    rng: random.Random,
+) -> tuple[AlgebraExpression, ComplexType, float] | None:
+    if operator == "setop":
+        by_type: dict[ComplexType, list[tuple[AlgebraExpression, float]]] = {}
+        for expression, type_, estimate in pool:
+            by_type.setdefault(type_, []).append((expression, estimate))
+        type_ = rng.choice(sorted(by_type, key=str))
+        candidates = by_type[type_]
+        (left, left_estimate), (right, right_estimate) = rng.choice(candidates), rng.choice(
+            candidates
+        )
+        cls = rng.choice((Union, Intersection, Difference))
+        estimate = {
+            Union: left_estimate + right_estimate,
+            Intersection: min(left_estimate, right_estimate),
+            Difference: left_estimate,
+        }[cls]
+        return cls(left, right), type_, estimate
+
+    if operator == "projection":
+        choice = _pick_tuple_typed(pool, rng)
+        if choice is None:
+            return None
+        expression, type_, estimate = choice
+        width = rng.randint(1, type_.arity)
+        coordinates = tuple(rng.randint(1, type_.arity) for _ in range(width))
+        projected = Projection(expression, coordinates)
+        return projected, projected.output_type(schema), estimate
+
+    if operator == "selection":
+        choice = _pick_tuple_typed(pool, rng)
+        if choice is None:
+            return None
+        expression, type_, estimate = choice
+        condition = _random_condition(type_, rng)
+        if condition is None:
+            return None
+        return Selection(expression, condition), type_, max(1.0, estimate * 0.4)
+
+    if operator == "product":
+        left, left_type, left_estimate = rng.choice(pool)
+        right, right_type, right_estimate = rng.choice(pool)
+        product = Product(left, right)
+        return product, product.output_type(schema), left_estimate * right_estimate
+
+    if operator == "untuple":
+        candidates = [
+            entry
+            for entry in pool
+            if isinstance(entry[1], TupleType) and entry[1].arity == 1
+        ]
+        if not candidates:
+            return None
+        expression, type_, estimate = rng.choice(candidates)
+        return Untuple(expression), type_.component(1), estimate
+
+    if operator == "collapse":
+        candidates = [entry for entry in pool if isinstance(entry[1], SetType)]
+        if not candidates:
+            return None
+        expression, type_, estimate = rng.choice(candidates)
+        return Collapse(expression), type_.element_type, estimate * 4.0
+
+    if operator == "powerset":
+        # Keep the operand small (the result has 2**n members) and usually
+        # produce the collapse round trip the paper's rewrites target.
+        candidates = [entry for entry in pool if entry[2] <= 8.0]
+        if not candidates:
+            return None
+        expression, type_, estimate = rng.choice(candidates)
+        powerset = Powerset(expression)
+        if rng.random() < 0.6:
+            return Collapse(powerset), type_, estimate
+        return powerset, SetType(type_), 2.0 ** min(estimate, 10.0)
+
+    raise WorkloadError(f"unknown expression operator {operator!r}")
+
+
+def _pick_tuple_typed(
+    pool: list[tuple[AlgebraExpression, ComplexType, float]], rng: random.Random
+) -> tuple[AlgebraExpression, ComplexType, float] | None:
+    candidates = [entry for entry in pool if isinstance(entry[1], TupleType)]
+    if not candidates:
+        return None
+    return rng.choice(candidates)
+
+
+def _random_condition(type_: TupleType, rng: random.Random) -> SelectionCondition | None:
+    atomic = _random_atomic_condition(type_, rng)
+    if atomic is None:
+        return None
+    roll = rng.random()
+    if roll < 0.55:
+        return atomic
+    if roll < 0.7:
+        return SelectionCondition.negation(atomic)
+    other = _random_atomic_condition(type_, rng)
+    if other is None:
+        return atomic
+    if roll < 0.85:
+        return SelectionCondition.conjunction(atomic, other)
+    return SelectionCondition.disjunction(atomic, other)
+
+
+def _random_atomic_condition(type_: TupleType, rng: random.Random) -> SelectionCondition | None:
+    """A random well-typed atomic condition over the coordinates of *type_*."""
+    coordinates = list(range(1, type_.arity + 1))
+    equality_pairs = [
+        (i, j)
+        for i in coordinates
+        for j in coordinates
+        if i != j and type_.component(i) == type_.component(j)
+    ]
+    membership_pairs = [
+        (i, j)
+        for i in coordinates
+        for j in coordinates
+        if i != j and type_.component(j) == SetType(type_.component(i))
+    ]
+    atomic_coordinates = [i for i in coordinates if type_.component(i) == U]
+    choices: list[str] = []
+    if equality_pairs:
+        choices.append("eq")
+    if membership_pairs:
+        choices.append("member")
+    if atomic_coordinates:
+        choices.append("constant")
+    if not choices:
+        return None
+    kind = rng.choice(choices)
+    if kind == "eq":
+        left, right = rng.choice(equality_pairs)
+        return SelectionCondition.eq(left, right)
+    if kind == "member":
+        element, container = rng.choice(membership_pairs)
+        return SelectionCondition.member(element, container)
+    coordinate = rng.choice(atomic_coordinates)
+    # Integer constants are deliberately in the pool: they *display* exactly
+    # like coordinate indices, which structural keys must not confuse.
+    constant = rng.choice(("a", "b", "v0", "v1", "v2", 1, 2))
+    return SelectionCondition.eq(coordinate, ConstantOperand(constant))
+

@@ -119,6 +119,16 @@ class TestIndividualRules:
     def test_idempotent_requires_identical_operands(self):
         assert rule_idempotent_set_operations(Union(R, S), SCHEMA) is None
 
+    def test_idempotent_distinguishes_constant_from_coordinate(self):
+        # σ_{1 = 2} with coordinate 2 and with the integer constant 2 have
+        # identical renderings but different semantics; the rule must not
+        # merge them (regression: string-based comparison did).
+        by_coordinate = Selection(R, eq(1, 2))
+        by_constant = Selection(R, eq(1, ConstantOperand(2)))
+        assert rule_idempotent_set_operations(
+            Union(by_coordinate, by_constant), SCHEMA
+        ) is None
+
     def test_split_conjunctive_selection(self):
         condition = SelectionCondition.conjunction(eq(1, 2), eq(2, ConstantOperand("b")))
         replacement = rule_split_conjunctive_selection(Selection(R, condition), SCHEMA)

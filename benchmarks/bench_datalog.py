@@ -1,0 +1,139 @@
+"""X20 — engineering ablation: semi-naive vs naive Datalog evaluation.
+
+Measures stratified Datalog fixpoints under the two evaluation loops:
+
+* **naive** — :func:`repro.datalog.evaluate_program_naive`: every iteration
+  re-derives every rule from the full fact set and rebuilds its join
+  indexes from scratch (the historical evaluator);
+* **semi-naive** — :func:`repro.datalog.evaluate_program`: delta-driven
+  rule firing over persistent, incrementally-maintained hash indexes.
+
+Expected shape: on deep recursions (transitive closure of a chain — many
+fixpoint rounds) semi-naive wins by well over an order of magnitude, and
+the gap grows with depth; on shallow recursions (dense random graphs that
+converge in a few rounds) the win is smaller but still present.  The
+acceptance bar is ≥5× on transitive closure at ≥200 edges.
+``test_datalog_report`` writes ``benchmarks/BENCH_datalog.json`` with the
+measured speedups and their floors (checked by ``check_regressions.py``);
+the module is also directly runnable::
+
+    PYTHONPATH=src python benchmarks/bench_datalog.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import write_bench_report
+from repro.datalog import (
+    DatalogStatistics,
+    evaluate_program,
+    evaluate_program_naive,
+    same_generation_program,
+    transitive_closure_program,
+)
+from repro.relational.relation import Relation
+from repro.workloads import binary_tree_pairs, chain_pairs, random_graph_pairs
+
+#: Acceptance floors; ``check_regressions.py`` re-validates the recorded
+#: report against these on every tier-1 run.
+FLOORS = {
+    "speedup_tc_chain_200": 5.0,
+    "speedup_tc_chain_400": 5.0,
+}
+
+
+def _measure(program, edb) -> dict:
+    semi_stats, naive_stats = DatalogStatistics(), DatalogStatistics()
+    start = time.perf_counter()
+    semi = evaluate_program(program, edb, statistics=semi_stats)
+    semi_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    naive = evaluate_program_naive(program, edb, statistics=naive_stats)
+    naive_seconds = time.perf_counter() - start
+    assert set(semi) == set(naive) and all(semi[p] == naive[p] for p in semi)
+    idb_sizes = {
+        name: len(relation) for name, relation in semi.items() if name not in edb
+    }
+    return {
+        "idb_sizes": idb_sizes,
+        "seconds": {"semi_naive": semi_seconds, "naive": naive_seconds},
+        "speedup_semi_naive_vs_naive": naive_seconds / semi_seconds,
+        "bindings": {"semi_naive": semi_stats.bindings, "naive": naive_stats.bindings},
+        "rounds": {"semi_naive": semi_stats.rounds, "naive": naive_stats.rounds},
+    }
+
+
+def measure_workloads() -> dict:
+    results = {}
+    for length in (200, 400):
+        results[f"tc_chain_{length}"] = {
+            "workload": f"transitive closure of a {length}-edge chain",
+            **_measure(
+                transitive_closure_program(), {"par": Relation(2, chain_pairs(length))}
+            ),
+        }
+    results["tc_random_60v_240e"] = {
+        "workload": "transitive closure of a random graph (60 vertices, 240 edges)",
+        **_measure(
+            transitive_closure_program(),
+            {"par": Relation(2, random_graph_pairs(60, 240, seed=5))},
+        ),
+    }
+    results["same_generation_tree"] = {
+        "workload": "same-generation on a depth-7 binary tree",
+        **_measure(
+            same_generation_program(), {"par": Relation(2, binary_tree_pairs(7))}
+        ),
+    }
+    return results
+
+
+# -- pytest-benchmark entries ---------------------------------------------------
+
+@pytest.mark.parametrize("length", [200, 400])
+def test_bench_tc_chain_semi_naive(benchmark, length):
+    edb = {"par": Relation(2, chain_pairs(length))}
+    program = transitive_closure_program()
+    facts = benchmark(lambda: evaluate_program(program, edb))
+    assert len(facts["tc"]) == length * (length + 1) // 2
+
+
+@pytest.mark.parametrize("length", [200])
+def test_bench_tc_chain_naive(benchmark, length):
+    edb = {"par": Relation(2, chain_pairs(length))}
+    program = transitive_closure_program()
+    facts = benchmark(lambda: evaluate_program_naive(program, edb))
+    assert len(facts["tc"]) == length * (length + 1) // 2
+
+
+def test_datalog_report():
+    """Measure both loops, assert the acceptance bar, emit the report."""
+    results = measure_workloads()
+    metrics = {
+        f"speedup_{name}": row["speedup_semi_naive_vs_naive"]
+        for name, row in results.items()
+    }
+    path = write_bench_report(
+        "datalog",
+        {
+            "experiment": "X20 semi-naive vs naive stratified Datalog evaluation",
+            "results": results,
+            "metrics": metrics,
+            "floors": FLOORS,
+        },
+    )
+    for metric, floor in FLOORS.items():
+        assert metrics[metric] >= floor, (path, metric, metrics[metric])
+
+
+if __name__ == "__main__":
+    test_datalog_report()
+    for line in Path(__file__).with_name("BENCH_datalog.json").read_text().splitlines():
+        print(line)

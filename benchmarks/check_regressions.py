@@ -1,0 +1,84 @@
+"""Perf-contract gate: fail if any recorded benchmark speedup regresses.
+
+Reads every ``benchmarks/BENCH_*.json`` report and checks each recorded
+speedup against its acceptance floor.  New-style reports carry their own
+contract inline::
+
+    {"metrics": {"speedup_x": 7.2, ...}, "floors": {"speedup_x": 5.0, ...}}
+
+(one floor per metric; extra metrics without a floor are informational).
+``BENCH_engine.json`` predates the convention and is checked against the
+X19 acceptance bar (hash join ≥5× legacy on every recorded size).
+
+Runnable directly (exit code 1 on regression)::
+
+    python benchmarks/check_regressions.py
+
+and exercised on every tier-1 run through ``tests/test_perf_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPORT_DIRECTORY = Path(__file__).resolve().parent
+
+#: Acceptance floor for the pre-convention engine report.
+ENGINE_HASH_JOIN_FLOOR = 5.0
+
+
+def check_report(path: Path) -> list[str]:
+    """Return the list of regression messages for one report (empty = ok)."""
+    payload = json.loads(path.read_text())
+    failures: list[str] = []
+
+    if path.name == "BENCH_engine.json" and "floors" not in payload:
+        for row in payload.get("results", []):
+            speedup = row.get("speedup_hash_join_vs_legacy")
+            if speedup is None:
+                failures.append(f"{path.name}: row without speedup_hash_join_vs_legacy")
+            elif speedup < ENGINE_HASH_JOIN_FLOOR:
+                failures.append(
+                    f"{path.name}: hash join speedup {speedup:.2f}x at "
+                    f"{row.get('tuples_per_relation')} tuples is below the "
+                    f"{ENGINE_HASH_JOIN_FLOOR}x floor"
+                )
+        return failures
+
+    floors = payload.get("floors", {})
+    metrics = payload.get("metrics", {})
+    for metric, floor in floors.items():
+        value = metrics.get(metric)
+        if value is None:
+            failures.append(f"{path.name}: floor {metric!r} has no recorded metric")
+        elif value < floor:
+            failures.append(
+                f"{path.name}: {metric} = {value:.2f} is below the {floor}x floor"
+            )
+    return failures
+
+
+def check_all(directory: Path = REPORT_DIRECTORY) -> list[str]:
+    failures: list[str] = []
+    reports = sorted(directory.glob("BENCH_*.json"))
+    if not reports:
+        failures.append(f"no BENCH_*.json reports found in {directory}")
+    for path in reports:
+        failures.extend(check_report(path))
+    return failures
+
+
+def main() -> int:
+    failures = check_all()
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"perf contracts hold across {len(list(REPORT_DIRECTORY.glob('BENCH_*.json')))} reports")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,7 +37,7 @@ from repro.algebra.expressions import (
     flatten_for_product,
 )
 from repro.objects.instance import DatabaseInstance, Instance
-from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
+from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue, structural_sort_key
 from repro.types.schema import DatabaseSchema
 from repro.types.type_system import ComplexType, TupleType
 
@@ -205,7 +205,8 @@ def _evaluate(
 
     if isinstance(expression, Powerset):
         operand = sorted(
-            _evaluate(expression.operand, database, schema, settings, types), key=lambda v: v.sort_key()
+            _evaluate(expression.operand, database, schema, settings, types),
+            key=structural_sort_key,
         )
         if len(operand) > settings.powerset_budget:
             raise EvaluationError(
@@ -222,13 +223,17 @@ def _evaluate(
     raise EvaluationError(f"unknown algebra expression {type(expression).__name__}")
 
 
-def flatten_value(value: ComplexValue, value_type) -> list[ComplexValue]:
-    """Component list of *value* for the product's concatenation semantics."""
+def flatten_value(value: ComplexValue, value_type) -> tuple[ComplexValue, ...]:
+    """Component tuple of *value* for the product's concatenation semantics.
+
+    For tuple-typed values this is the value's own (immutable) components
+    tuple — no per-row copy, which matters in the hash-join inner loops.
+    """
     if isinstance(value_type, TupleType):
         if not isinstance(value, TupleValue):
             raise EvaluationError(f"expected a tuple value of type {value_type}, got {value}")
-        return list(value.components)
-    return [value]
+        return value.components
+    return (value,)
 
 
 def condition_holds(condition: SelectionCondition, value: TupleValue) -> bool:

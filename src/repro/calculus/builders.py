@@ -151,6 +151,29 @@ def transitive_closure_query(
     return CalculusQuery(schema, "z", PAIR_OF_ATOMS, formula, name="transitive_closure")
 
 
+def superset_intersection_query(
+    schema: DatabaseSchema = PARENT_SCHEMA, predicate: str = "PAR"
+) -> CalculusQuery:
+    """The intersection of all supersets of the input relation.
+
+    ``Q = {z/[U,U] | forall x/{[U,U]} (PAR ⊆ x -> z in x)}`` — semantically
+    the identity on PAR, but computed through the same set-height-1
+    intermediate type as Example 3.1's transitive closure, with the
+    transitivity conjunct dropped.  The quantifier body is a single subset
+    test, so evaluation cost is dominated by re-enumerating ``cons({[U,U]})``
+    once per output candidate — the repeated-quantifier shape the value
+    runtime's benchmarks measure in isolation.
+    """
+    z, x, y = VariableTerm("z"), VariableTerm("x"), VariableTerm("y")
+    contains_input = Forall(
+        "y", PAIR_OF_ATOMS, _pred(predicate, y).implies(Membership(y, x))
+    )
+    formula = Forall(
+        "x", SET_OF_PAIRS, contains_input.implies(Membership(z, x))
+    )
+    return CalculusQuery(schema, "z", PAIR_OF_ATOMS, formula, name="superset_intersection")
+
+
 def even_cardinality_query(
     schema: DatabaseSchema = PERSON_SCHEMA, predicate: str = "PERSON"
 ) -> CalculusQuery:

@@ -125,6 +125,12 @@ class EvaluationResult:
     universe_atoms: frozenset[object]
 
 
+#: Placeholder for a free variable not bound in the probing assignment —
+#: keeps quantifier-memo keys positional (one slot per sorted free
+#: variable) without building (name, value) pairs per probe.
+_UNBOUND = object()
+
+
 class _EvaluationContext:
     """State shared across one evaluation: database, universe, caches."""
 
@@ -141,6 +147,7 @@ class _EvaluationContext:
         self.statistics = statistics
         self._quantifier_cache: dict[tuple, bool] = {}
         self._free_variable_cache: dict[int, frozenset[str]] = {}
+        self._sorted_free_variable_cache: dict[int, tuple[str, ...]] = {}
 
     def free_variables(self, formula: Formula) -> frozenset[str]:
         key = id(formula)
@@ -150,18 +157,30 @@ class _EvaluationContext:
             self._free_variable_cache[key] = cached
         return cached
 
+    def sorted_free_variables(self, formula: Formula) -> tuple[str, ...]:
+        """The formula's free-variable names in sorted order — constant per
+        node, so computed once instead of re-sorting per memo probe."""
+        key = id(formula)
+        cached = self._sorted_free_variable_cache.get(key)
+        if cached is None:
+            cached = tuple(sorted(self.free_variables(formula)))
+            self._sorted_free_variable_cache[key] = cached
+        return cached
+
     def cached_quantifier(self, formula: Formula, assignment: dict[str, ComplexValue]):
         """Return (hit, value, key) for a quantifier formula under *assignment*."""
         if not self.settings.memoize_quantifiers:
             return False, False, None
         relevant = tuple(
-            sorted(
-                (name, assignment[name])
-                for name in self.free_variables(formula)
-                if name in assignment
-            )
+            assignment.get(name, _UNBOUND)
+            for name in self.sorted_free_variables(formula)
         )
-        key = (formula, relevant)
+        # Keyed by id(formula), like the free-variable cache: formula nodes
+        # are immutable and owned by the query for the context's lifetime,
+        # and structural hashing would re-walk the subformula tree on every
+        # lookup.  Value hashes inside *relevant* are cached by the
+        # interner.
+        key = (id(formula), relevant)
         if key in self._quantifier_cache:
             self.statistics.memo_hits += 1
             return True, self._quantifier_cache[key], key
@@ -271,53 +290,78 @@ def satisfies(
 def _satisfies(
     context: _EvaluationContext, formula: Formula, assignment: dict[str, ComplexValue]
 ) -> bool:
-    stats = context.statistics
-    stats.satisfaction_calls += 1
+    context.statistics.satisfaction_calls += 1
+    # Dispatch on the concrete formula class (one dict lookup) instead of an
+    # isinstance chain: this interpreter loop runs once per connective per
+    # candidate binding, millions of times on quantifier-heavy queries.
+    handler = _FORMULA_HANDLERS.get(formula.__class__)
+    if handler is None:
+        raise EvaluationError(f"unknown formula class {type(formula).__name__}")
+    return handler(context, formula, assignment)
 
-    if isinstance(formula, Equals):
-        return _term_value(formula.left, assignment) == _term_value(formula.right, assignment)
 
-    if isinstance(formula, Membership):
-        container = _term_value(formula.container, assignment)
-        if not isinstance(container, SetValue):
-            raise EvaluationError(
-                f"membership {formula} evaluated a non-set container value {container}"
-            )
-        element = _term_value(formula.element, assignment)
-        return container.contains(element)
+def _satisfies_equals(context, formula, assignment) -> bool:
+    return _term_value(formula.left, assignment) == _term_value(formula.right, assignment)
 
-    if isinstance(formula, PredicateAtom):
-        value = _term_value(formula.argument, assignment)
-        instance = context.database.instance(formula.predicate_name)
-        return value in instance
 
-    if isinstance(formula, Not):
-        return not _satisfies(context, formula.operand, assignment)
-
-    if isinstance(formula, And):
-        return _satisfies(context, formula.left, assignment) and _satisfies(
-            context, formula.right, assignment
+def _satisfies_membership(context, formula, assignment) -> bool:
+    container = _term_value(formula.container, assignment)
+    if not isinstance(container, SetValue):
+        raise EvaluationError(
+            f"membership {formula} evaluated a non-set container value {container}"
         )
+    element = _term_value(formula.element, assignment)
+    return container.contains(element)
 
-    if isinstance(formula, Or):
-        return _satisfies(context, formula.left, assignment) or _satisfies(
-            context, formula.right, assignment
-        )
 
-    if isinstance(formula, Implies):
-        if not _satisfies(context, formula.left, assignment):
-            return True
-        return _satisfies(context, formula.right, assignment)
+def _satisfies_predicate(context, formula, assignment) -> bool:
+    value = _term_value(formula.argument, assignment)
+    instance = context.database.instance(formula.predicate_name)
+    return value in instance
 
-    if isinstance(formula, (Exists, Forall)):
-        hit, value, key = context.cached_quantifier(formula, assignment)
-        if hit:
-            return value
-        result = _evaluate_quantifier(context, formula, assignment)
-        context.store_quantifier(key, result)
-        return result
 
-    raise EvaluationError(f"unknown formula class {type(formula).__name__}")
+def _satisfies_not(context, formula, assignment) -> bool:
+    return not _satisfies(context, formula.operand, assignment)
+
+
+def _satisfies_and(context, formula, assignment) -> bool:
+    return _satisfies(context, formula.left, assignment) and _satisfies(
+        context, formula.right, assignment
+    )
+
+
+def _satisfies_or(context, formula, assignment) -> bool:
+    return _satisfies(context, formula.left, assignment) or _satisfies(
+        context, formula.right, assignment
+    )
+
+
+def _satisfies_implies(context, formula, assignment) -> bool:
+    if not _satisfies(context, formula.left, assignment):
+        return True
+    return _satisfies(context, formula.right, assignment)
+
+
+def _satisfies_quantifier(context, formula, assignment) -> bool:
+    hit, value, key = context.cached_quantifier(formula, assignment)
+    if hit:
+        return value
+    result = _evaluate_quantifier(context, formula, assignment)
+    context.store_quantifier(key, result)
+    return result
+
+
+_FORMULA_HANDLERS = {
+    Equals: _satisfies_equals,
+    Membership: _satisfies_membership,
+    PredicateAtom: _satisfies_predicate,
+    Not: _satisfies_not,
+    And: _satisfies_and,
+    Or: _satisfies_or,
+    Implies: _satisfies_implies,
+    Exists: _satisfies_quantifier,
+    Forall: _satisfies_quantifier,
+}
 
 
 def _evaluate_quantifier(
@@ -327,20 +371,35 @@ def _evaluate_quantifier(
     stats = context.statistics
     domain = _quantifier_range(formula.variable_type, context)
     key = str(formula.variable_type)
-    stats.quantifier_enumerations.setdefault(key, 0)
+    enumerations = stats.quantifier_enumerations
+    enumerations.setdefault(key, 0)
 
     existential = isinstance(formula, Exists)
-    for candidate in domain:
-        stats.quantifier_enumerations[key] += 1
-        stats.note_binding(settings.binding_budget)
-        inner = dict(assignment)
-        inner[formula.variable] = candidate
-        holds = _satisfies(context, formula.body, inner)
-        if existential and holds:
-            return True
-        if not existential and not holds:
-            return False
-    return not existential
+    variable = formula.variable
+    body = formula.body
+    budget = settings.binding_budget
+    note_binding = stats.note_binding
+    # Bind by mutate-and-restore instead of copying the assignment dict per
+    # candidate; evaluation is strictly sequential, so nothing observes the
+    # environment after the candidate's subtree returns.
+    shadowed = variable in assignment
+    saved = assignment.get(variable)
+    try:
+        for candidate in domain:
+            enumerations[key] += 1
+            note_binding(budget)
+            assignment[variable] = candidate
+            holds = _satisfies(context, body, assignment)
+            if existential and holds:
+                return True
+            if not existential and not holds:
+                return False
+        return not existential
+    finally:
+        if shadowed:
+            assignment[variable] = saved
+        else:
+            assignment.pop(variable, None)
 
 
 def _quantifier_range(variable_type: ComplexType, context: _EvaluationContext):
@@ -352,13 +411,14 @@ def _quantifier_range(variable_type: ComplexType, context: _EvaluationContext):
 
 
 def _term_value(term: Term, assignment: dict[str, ComplexValue]) -> ComplexValue:
-    if isinstance(term, Constant):
-        return term.as_atom()
+    # Variables first: they dominate hot evaluation loops.
     if isinstance(term, VariableTerm):
         try:
             return assignment[term.name]
         except KeyError:
             raise EvaluationError(f"variable {term.name!r} is unbound during evaluation") from None
+    if isinstance(term, Constant):
+        return term.as_atom()
     if isinstance(term, CoordinateTerm):
         try:
             base = assignment[term.variable_name]

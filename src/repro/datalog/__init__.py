@@ -9,17 +9,23 @@ used by the transitive-closure and hierarchy benchmarks.
 from repro.datalog.ast import Atom as DatalogAtom
 from repro.datalog.ast import Literal, Program, Rule
 from repro.datalog.stratify import dependency_graph, stratify
-from repro.datalog.evaluation import evaluate_program
+from repro.datalog.evaluation import (
+    DatalogStatistics,
+    evaluate_program,
+    evaluate_program_naive,
+)
 from repro.datalog.builders import same_generation_program, transitive_closure_program
 
 __all__ = [
     "DatalogAtom",
+    "DatalogStatistics",
     "Literal",
     "Program",
     "Rule",
     "dependency_graph",
     "stratify",
     "evaluate_program",
+    "evaluate_program_naive",
     "same_generation_program",
     "transitive_closure_program",
 ]

@@ -1,109 +1,260 @@
 """Semi-naive, stratum-by-stratum evaluation of Datalog¬ programs.
 
-Rule bodies are evaluated left to right as a chain of joins between the
-current set of variable bindings and each positive literal's relation.
-Each join goes through the engine's shared hash-join core
-(:mod:`repro.engine.join`): rows are indexed by the values at the literal's
-already-bound variable positions and probed with the bindings, so a body
-like ``e(X, Y), e(Y, Z)`` costs a hash lookup per binding instead of a
-scan of the whole relation.
+Within a stratum the fixpoint loop is *delta-driven*: after a seeding round
+that applies every rule once against the full fact set, a rule only fires
+again through occurrences of tuples derived in the previous round (the
+*delta*).  For each positive body literal over a predicate with a non-empty
+delta, the rule is re-evaluated with that literal restricted to the delta
+and every other literal joined against the full relations — so work per
+round is proportional to the new facts, not to everything derived so far.
+
+Join infrastructure is shared with the engine
+(:mod:`repro.engine.join`): every predicate keeps *persistent*
+:class:`~repro.engine.join.IncrementalIndex` hash indexes, keyed by the
+variable positions rules actually bind, which are maintained incrementally
+as new tuples are committed instead of being rebuilt from scratch each
+iteration.  Negation is evaluated against the already-complete lower
+strata, exactly as in the naive evaluator.
+
+:func:`evaluate_program_naive` retains the historical
+recompute-everything-per-iteration loop as the equivalence oracle for
+property tests (``tests/test_datalog_seminaive.py``) and as the baseline of
+``benchmarks/bench_datalog.py``.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
 
 from repro.errors import DatalogError
 from repro.datalog.ast import Atom, Literal, Program, Rule, is_variable
 from repro.datalog.stratify import stratify
-from repro.engine.join import build_index
+from repro.engine.join import IncrementalIndex, build_index
 from repro.relational.relation import Relation
+
+
+@dataclass
+class DatalogStatistics:
+    """Work counters accumulated during one program evaluation.
+
+    ``bindings`` counts candidate (binding, row) unification attempts — the
+    evaluator's unit of work; the perf-smoke tests assert the semi-naive
+    loop needs strictly fewer of them than the naive loop on recursive
+    workloads.
+    """
+
+    rounds: int = 0
+    bindings: int = 0
+    derivations: int = 0
 
 
 def evaluate_program(
     program: Program,
     edb: Mapping[str, Relation],
     max_iterations: int = 100_000,
+    statistics: DatalogStatistics | None = None,
 ) -> dict[str, Relation]:
-    """Evaluate *program* on the extensional database *edb*.
+    """Evaluate *program* on the extensional database *edb* semi-naively.
 
     Returns a mapping from every predicate (EDB and IDB) to its relation.
     The evaluation is stratified: within each stratum rules are applied
-    semi-naively until a fixpoint, with negation evaluated against the
+    delta-driven until a fixpoint, with negation evaluated against the
     already-complete lower strata.
     """
-    missing = program.edb_predicates - set(edb)
-    if missing:
-        raise DatalogError(f"extensional relations missing for predicates {sorted(missing)}")
+    _validate(program, edb)
+    statistics = statistics if statistics is not None else DatalogStatistics()
+
+    stores: dict[str, _PredicateStore] = {
+        name: _PredicateStore(relation.arity, relation.tuples)
+        for name, relation in edb.items()
+    }
+    for stratum in stratify(program):
+        _evaluate_stratum(program, stratum, stores, max_iterations, statistics)
 
     facts: dict[str, Relation] = dict(edb)
-    for rule in program.rules:
-        for literal in rule.body:
-            predicate = literal.atom.predicate
-            if predicate not in program.idb_predicates and predicate not in facts:
-                raise DatalogError(
-                    f"predicate {predicate!r} is neither intensional nor supplied in the EDB"
-                )
+    for predicate in {rule.head.predicate for rule in program.rules}:
+        store = stores[predicate]
+        facts[predicate] = Relation(store.arity, store.rows)
+    return facts
 
+
+def evaluate_program_naive(
+    program: Program,
+    edb: Mapping[str, Relation],
+    max_iterations: int = 100_000,
+    statistics: DatalogStatistics | None = None,
+) -> dict[str, Relation]:
+    """The historical naive fixpoint: every iteration re-derives every rule
+    from the full fact set and rebuilds its join indexes from scratch.
+
+    Kept as the semi-naive evaluator's equivalence oracle and as the
+    ablation baseline in ``benchmarks/bench_datalog.py``.
+    """
+    _validate(program, edb)
+    statistics = statistics if statistics is not None else DatalogStatistics()
+
+    facts: dict[str, Relation] = dict(edb)
     for stratum in stratify(program):
-        _evaluate_stratum(program, stratum, facts, max_iterations)
+        _evaluate_stratum_naive(program, stratum, facts, max_iterations, statistics)
 
-    # Ensure every IDB predicate is present even if it derived nothing.
     for rule in program.rules:
         facts.setdefault(rule.head.predicate, Relation(rule.head.arity, ()))
     return facts
 
 
+def _validate(program: Program, edb: Mapping[str, Relation]) -> None:
+    missing = program.edb_predicates - set(edb)
+    if missing:
+        raise DatalogError(f"extensional relations missing for predicates {sorted(missing)}")
+    for rule in program.rules:
+        for literal in rule.body:
+            predicate = literal.atom.predicate
+            if predicate not in program.idb_predicates and predicate not in edb:
+                raise DatalogError(
+                    f"predicate {predicate!r} is neither intensional nor supplied in the EDB"
+                )
+
+
+# -- the semi-naive evaluator ---------------------------------------------------
+
+class _PredicateStore:
+    """One predicate's tuples plus its persistent hash indexes.
+
+    Indexes are created lazily per key-position tuple the first time a rule
+    probes on those positions, and from then on maintained incrementally as
+    tuples are committed — never rebuilt.
+    """
+
+    __slots__ = ("arity", "rows", "indexes")
+
+    def __init__(self, arity: int, rows: Iterable[tuple] = ()) -> None:
+        self.arity = arity
+        self.rows: set[tuple] = set(rows)
+        self.indexes: dict[tuple[int, ...], IncrementalIndex] = {}
+
+    def index_for(self, positions: tuple[int, ...]) -> IncrementalIndex:
+        index = self.indexes.get(positions)
+        if index is None:
+            index = IncrementalIndex(
+                self.rows, key=lambda row, p=positions: tuple(row[i] for i in p)
+            )
+            self.indexes[positions] = index
+        return index
+
+    def commit(self, rows: Iterable[tuple]) -> list[tuple]:
+        """Add *rows*, returning the genuinely new ones (the delta)."""
+        fresh: list[tuple] = []
+        known = self.rows
+        for row in rows:
+            if row not in known:
+                known.add(row)
+                fresh.append(row)
+                for index in self.indexes.values():
+                    index.add(row)
+        return fresh
+
+
 def _evaluate_stratum(
     program: Program,
     stratum: list[str],
-    facts: dict[str, Relation],
+    stores: dict[str, _PredicateStore],
     max_iterations: int,
+    statistics: DatalogStatistics,
 ) -> None:
     rules = [rule for rule in program.rules if rule.head.predicate in stratum]
     for rule in rules:
-        facts.setdefault(rule.head.predicate, Relation(rule.head.arity, ()))
+        stores.setdefault(rule.head.predicate, _PredicateStore(rule.head.arity))
 
-    for _ in range(max_iterations):
-        new_tuples: dict[str, set[tuple]] = {}
-        for rule in rules:
-            derived = _apply_rule(rule, facts)
-            existing = facts[rule.head.predicate].tuples
-            fresh = derived - existing
+    deltas: dict[str, list[tuple]] = {}
+    for iteration in range(max_iterations):
+        statistics.rounds += 1
+        derived: dict[str, set[tuple]] = {}
+        if iteration == 0:
+            # Seeding round: one full naive application of every rule.
+            for rule in rules:
+                rows = _apply_rule(rule, stores, None, None, statistics)
+                if rows:
+                    derived.setdefault(rule.head.predicate, set()).update(rows)
+        else:
+            for rule in rules:
+                for predicate, delta_rows in deltas.items():
+                    rows = _apply_rule(rule, stores, predicate, delta_rows, statistics)
+                    if rows:
+                        derived.setdefault(rule.head.predicate, set()).update(rows)
+        deltas = {}
+        for predicate, rows in derived.items():
+            fresh = stores[predicate].commit(rows)
             if fresh:
-                new_tuples.setdefault(rule.head.predicate, set()).update(fresh)
-        if not new_tuples:
+                deltas[predicate] = fresh
+        if not deltas:
             return
-        for predicate, rows in new_tuples.items():
-            facts[predicate] = Relation(
-                facts[predicate].arity, facts[predicate].tuples | rows
-            )
     raise DatalogError(f"stratum {stratum} did not reach a fixpoint within {max_iterations} rounds")
 
 
-def _apply_rule(rule: Rule, facts: Mapping[str, Relation]) -> set[tuple]:
-    """All head tuples derivable by one application of *rule* against *facts*."""
-    bindings: list[dict[str, object]] = [{}]
+def _apply_rule(
+    rule: Rule,
+    stores: Mapping[str, _PredicateStore],
+    delta_predicate: str | None,
+    delta_rows: list[tuple] | None,
+    statistics: DatalogStatistics,
+) -> set[tuple]:
+    """Head tuples derivable by one application of *rule*.
+
+    With ``delta_predicate=None`` this is a full (naive) application.
+    Otherwise the rule fires once per occurrence of the delta predicate
+    among its positive literals, with that occurrence restricted to
+    *delta_rows* and evaluated first so every other literal joins against
+    it through the persistent indexes.
+    """
     positives = [literal for literal in rule.body if literal.positive]
     negatives = [literal for literal in rule.body if not literal.positive]
 
-    for literal in positives:
-        bindings = _extend_bindings(bindings, literal, facts)
-        if not bindings:
+    if delta_predicate is None:
+        orders: list[list[tuple[Literal, bool]]] = [
+            [(literal, False) for literal in positives]
+        ]
+    else:
+        orders = []
+        for index, literal in enumerate(positives):
+            if literal.atom.predicate != delta_predicate:
+                continue
+            rest = [(other, False) for i, other in enumerate(positives) if i != index]
+            orders.append([(literal, True)] + rest)
+        if not orders:
             return set()
 
     results: set[tuple] = set()
-    for binding in bindings:
-        if all(not _matches_negative(literal, binding, facts) for literal in negatives):
-            results.add(_instantiate(rule.head, binding))
+    for order in orders:
+        bindings: list[dict[str, object]] = [{}]
+        for literal, use_delta in order:
+            bindings = _extend_bindings(
+                bindings, literal, stores, delta_rows if use_delta else None, statistics
+            )
+            if not bindings:
+                break
+        else:
+            for binding in bindings:
+                if all(
+                    not _matches_negative(literal, binding, stores)
+                    for literal in negatives
+                ):
+                    statistics.derivations += 1
+                    results.add(_instantiate(rule.head, binding))
     return results
 
 
 def _extend_bindings(
-    bindings: list[dict[str, object]], literal: Literal, facts: Mapping[str, Relation]
+    bindings: list[dict[str, object]],
+    literal: Literal,
+    stores: Mapping[str, _PredicateStore],
+    override_rows: list[tuple] | None,
+    statistics: DatalogStatistics,
 ) -> list[dict[str, object]]:
-    relation = facts.get(literal.atom.predicate)
-    if relation is None or not bindings:
+    if not bindings:
+        return []
+    store = stores.get(literal.atom.predicate)
+    if override_rows is None and store is None:
         return []
     atom = literal.atom
     # Hash-join the bindings with the relation on the literal's already-bound
@@ -117,11 +268,118 @@ def _extend_bindings(
         if is_variable(term) and term in bound
     )
     extended: list[dict[str, object]] = []
+    if override_rows is not None or not shared_positions:
+        # Delta occurrences are scanned (they are the small side and come
+        # first, so nothing is bound yet); a first literal with no bound
+        # variables is scanned too — an index would put the whole relation
+        # in one bucket.
+        rows = override_rows if override_rows is not None else store.rows
+        for binding in bindings:
+            for row in rows:
+                statistics.bindings += 1
+                candidate = _unify(atom, row, binding)
+                if candidate is not None:
+                    extended.append(candidate)
+        return extended
+    shared_variables = tuple(atom.terms[position] for position in shared_positions)
+    index = store.index_for(shared_positions)
+    for binding in bindings:
+        probe_key = tuple(binding[variable] for variable in shared_variables)
+        for row in index.get(probe_key):
+            # _unify re-checks the shared positions and handles constants and
+            # repeated variables within the atom; the hash key is a prefilter.
+            statistics.bindings += 1
+            candidate = _unify(atom, row, binding)
+            if candidate is not None:
+                extended.append(candidate)
+    return extended
+
+
+def _matches_negative(
+    literal: Literal, binding: dict[str, object], stores: Mapping[str, _PredicateStore]
+) -> bool:
+    store = stores.get(literal.atom.predicate)
+    if store is None:
+        return False
+    row = _instantiate(literal.atom, binding)
+    return row in store.rows
+
+
+# -- the naive oracle -----------------------------------------------------------
+
+def _evaluate_stratum_naive(
+    program: Program,
+    stratum: list[str],
+    facts: dict[str, Relation],
+    max_iterations: int,
+    statistics: DatalogStatistics,
+) -> None:
+    rules = [rule for rule in program.rules if rule.head.predicate in stratum]
+    for rule in rules:
+        facts.setdefault(rule.head.predicate, Relation(rule.head.arity, ()))
+
+    for _ in range(max_iterations):
+        statistics.rounds += 1
+        new_tuples: dict[str, set[tuple]] = {}
+        for rule in rules:
+            derived = _apply_rule_naive(rule, facts, statistics)
+            existing = facts[rule.head.predicate].tuples
+            fresh = derived - existing
+            if fresh:
+                new_tuples.setdefault(rule.head.predicate, set()).update(fresh)
+        if not new_tuples:
+            return
+        for predicate, rows in new_tuples.items():
+            facts[predicate] = Relation(
+                facts[predicate].arity, facts[predicate].tuples | rows
+            )
+    raise DatalogError(f"stratum {stratum} did not reach a fixpoint within {max_iterations} rounds")
+
+
+def _apply_rule_naive(
+    rule: Rule, facts: Mapping[str, Relation], statistics: DatalogStatistics
+) -> set[tuple]:
+    """One full application of *rule* with per-call index builds."""
+    bindings: list[dict[str, object]] = [{}]
+    positives = [literal for literal in rule.body if literal.positive]
+    negatives = [literal for literal in rule.body if not literal.positive]
+
+    for literal in positives:
+        bindings = _extend_bindings_naive(bindings, literal, facts, statistics)
+        if not bindings:
+            return set()
+
+    results: set[tuple] = set()
+    for binding in bindings:
+        if all(
+            not _matches_negative_naive(literal, binding, facts) for literal in negatives
+        ):
+            statistics.derivations += 1
+            results.add(_instantiate(rule.head, binding))
+    return results
+
+
+def _extend_bindings_naive(
+    bindings: list[dict[str, object]],
+    literal: Literal,
+    facts: Mapping[str, Relation],
+    statistics: DatalogStatistics,
+) -> list[dict[str, object]]:
+    relation = facts.get(literal.atom.predicate)
+    if relation is None or not bindings:
+        return []
+    atom = literal.atom
+    bound = bindings[0].keys()
+    shared_positions = tuple(
+        position
+        for position, term in enumerate(atom.terms)
+        if is_variable(term) and term in bound
+    )
+    extended: list[dict[str, object]] = []
     if not shared_positions:
-        # No bound variables to key on (e.g. the first literal of a body):
-        # an index would put the whole relation in one bucket, so scan.
         for binding in bindings:
             for row in relation.tuples:
+                statistics.bindings += 1
                 candidate = _unify(atom, row, binding)
                 if candidate is not None:
                     extended.append(candidate)
@@ -133,13 +391,24 @@ def _extend_bindings(
     for binding in bindings:
         probe_key = tuple(binding[variable] for variable in shared_variables)
         for row in index.get(probe_key, ()):
-            # _unify re-checks the shared positions and handles constants and
-            # repeated variables within the atom; the hash key is a prefilter.
+            statistics.bindings += 1
             candidate = _unify(atom, row, binding)
             if candidate is not None:
                 extended.append(candidate)
     return extended
 
+
+def _matches_negative_naive(
+    literal: Literal, binding: dict[str, object], facts: Mapping[str, Relation]
+) -> bool:
+    relation = facts.get(literal.atom.predicate)
+    if relation is None:
+        return False
+    row = _instantiate(literal.atom, binding)
+    return row in relation.tuples
+
+
+# -- shared helpers -------------------------------------------------------------
 
 def _unify(atom: Atom, row: tuple, binding: dict[str, object]) -> dict[str, object] | None:
     if len(row) != atom.arity:
@@ -156,16 +425,6 @@ def _unify(atom: Atom, row: tuple, binding: dict[str, object]) -> dict[str, obje
             if term != value:
                 return None
     return result
-
-
-def _matches_negative(
-    literal: Literal, binding: dict[str, object], facts: Mapping[str, Relation]
-) -> bool:
-    relation = facts.get(literal.atom.predicate)
-    if relation is None:
-        return False
-    row = _instantiate(literal.atom, binding)
-    return row in relation.tuples
 
 
 def _instantiate(atom: Atom, binding: dict[str, object]) -> tuple:

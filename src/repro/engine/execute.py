@@ -39,11 +39,25 @@ from repro.engine.plan import (
     UntupleNode,
 )
 from repro.objects.instance import DatabaseInstance, Instance
-from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
+from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue, structural_sort_key
 
 #: Default bound on the size of a powerset operand, matching
 #: :class:`repro.algebra.evaluation.AlgebraEvaluationSettings`.
 DEFAULT_POWERSET_BUDGET = 22
+
+
+def _components_key(keys: tuple[int, ...]):
+    """Build/probe key extractor over a flattened component tuple.
+
+    A single join coordinate keys on the component value itself (its hash
+    is cached by the value runtime) instead of allocating a 1-tuple per
+    row; composite keys fall back to a key tuple.
+    """
+    if len(keys) == 1:
+        index = keys[0] - 1
+        return lambda comps: comps[index]
+    indices = tuple(k - 1 for k in keys)
+    return lambda comps: tuple(comps[i] for i in indices)
 
 
 def execute_plan(
@@ -117,12 +131,11 @@ class _Executor:
                 yield projected
 
     def _hash_join(self, node: HashJoin) -> Iterator[ComplexValue]:
-        left_keys, right_keys = node.left_keys, node.right_keys
         pairs = hash_join(
             (flatten_value(value, node.left_type) for value in self.rows(node.left)),
             (flatten_value(value, node.right_type) for value in self.rows(node.right)),
-            left_key=lambda comps: tuple(comps[k - 1] for k in left_keys),
-            right_key=lambda comps: tuple(comps[k - 1] for k in right_keys),
+            left_key=_components_key(node.left_keys),
+            right_key=_components_key(node.right_keys),
         )
         residual = node.residual
         for left_components, right_components in pairs:
@@ -179,7 +192,8 @@ class _Executor:
                     yield element
 
     def _powerset(self, node: PowersetNode) -> Iterator[ComplexValue]:
-        operand = sorted(self.rows(node.child), key=lambda v: v.sort_key())
+        # The blocking sort reuses the values' cached structural sort keys.
+        operand = sorted(self.rows(node.child), key=structural_sort_key)
         if len(operand) > self.powerset_budget:
             raise EvaluationError(
                 f"powerset applied to an instance of {len(operand)} objects exceeds the "

@@ -35,6 +35,35 @@ def probe(
             yield row, match
 
 
+class IncrementalIndex:
+    """A persistent hash index over a growing row set.
+
+    Built once, then maintained incrementally as rows arrive — the
+    semi-naive Datalog loop (:mod:`repro.datalog.evaluation`) keeps one per
+    ``(relation, key positions)`` pair across fixpoint rounds instead of
+    rebuilding indexes from scratch every iteration.  Row hashing benefits
+    from the value runtime's cached structural hashes when rows contain
+    :class:`~repro.objects.values.ComplexValue` keys.
+    """
+
+    __slots__ = ("key", "buckets")
+
+    def __init__(self, rows: Iterable[object], key: Callable[[object], Hashable]) -> None:
+        self.key = key
+        self.buckets: dict[Hashable, list[object]] = build_index(rows, key)
+
+    def add(self, row: object) -> None:
+        """Insert one row (the caller guarantees it is new to the index)."""
+        self.buckets.setdefault(self.key(row), []).append(row)
+
+    def get(self, key: Hashable) -> list[object]:
+        """The rows whose key equals *key* (empty list when none)."""
+        return self.buckets.get(key, _NO_ROWS)
+
+
+_NO_ROWS: list[object] = []
+
+
 def hash_join(
     left_rows: Iterable[object],
     right_rows: Iterable[object],

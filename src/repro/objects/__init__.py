@@ -13,14 +13,20 @@ from repro.objects.values import (
     SetValue,
     TupleValue,
     atom,
+    clear_intern_tables,
+    intern_table_sizes,
+    interning,
+    interning_enabled,
     make_set,
     make_tuple,
+    set_interning,
     value_from_python,
     value_to_python,
 )
 from repro.objects.domain import belongs_to, check_belongs
 from repro.objects.active_domain import active_domain, active_domain_of_instance
 from repro.objects.constructive import (
+    clear_constructive_domain_cache,
     constructive_domain,
     constructive_domain_size,
     iter_constructive_domain,
@@ -33,14 +39,20 @@ __all__ = [
     "SetValue",
     "TupleValue",
     "atom",
+    "clear_intern_tables",
+    "intern_table_sizes",
+    "interning",
+    "interning_enabled",
     "make_set",
     "make_tuple",
+    "set_interning",
     "value_from_python",
     "value_to_python",
     "belongs_to",
     "check_belongs",
     "active_domain",
     "active_domain_of_instance",
+    "clear_constructive_domain_cache",
     "constructive_domain",
     "constructive_domain_size",
     "iter_constructive_domain",

@@ -6,6 +6,20 @@ complexity results: for a tuple type of set-height ``i`` and maximum tuple
 width ``w`` over an active domain of size ``a``,
 ``|cons_A(T)| <= hyp(w, a, i)`` (Example 3.5 / Theorem 4.4), a hyper-
 exponential bound.  The enumerator is therefore lazy and budgeted.
+
+Enumerations are *memoized*: ``cons_Y(T)`` for one ``(T, Y)`` pair is
+generated at most once per process, into a shared lazily-grown buffer that
+every consumer replays (:class:`_SharedEnumeration`).  Quantifier evaluation
+in :mod:`repro.calculus.evaluation` re-enumerates the same domain once per
+binding of the enclosing variables; with the shared buffer the
+hyper-exponential generation cost — and the value allocations, which the
+interner collapses to canonical instances — is paid once, and every later
+pass is a list replay.  Laziness is preserved: a consumer that
+short-circuits only forces the prefix it actually consumed.  The cache is
+keyed by content (type and atom set), so entries are never stale; it is
+disabled together with value interning
+(:func:`repro.objects.values.set_interning`) so the ablation benchmarks can
+measure the historical regenerate-per-binding behaviour.
 """
 
 from __future__ import annotations
@@ -13,9 +27,104 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 
 from repro.errors import ObjectModelError
-from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
+from repro.objects.values import (
+    Atom,
+    ComplexValue,
+    SetValue,
+    TupleValue,
+    interning_enabled,
+)
 from repro.types.type_system import AtomicType, ComplexType, SetType, TupleType
 from repro.utils.iteration import bounded
+
+
+class _SharedEnumeration:
+    """A lazily-materialised view of one enumeration, shared by replaying
+    consumers: the underlying generator is advanced only when a consumer
+    runs past the common buffer."""
+
+    __slots__ = ("_iterator", "_buffer", "_exhausted", "_error", "broken", "oversized")
+
+    def __init__(self, iterator: Iterator[ComplexValue]) -> None:
+        self._iterator = iterator
+        self._buffer: list[ComplexValue] = []
+        self._exhausted = False
+        self._error: Exception | None = None
+        #: True after a non-Exception BaseException (KeyboardInterrupt,
+        #: GeneratorExit, ...) killed the underlying generator: the entry
+        #: must be regenerated, not replayed.
+        self.broken = False
+        #: True once the buffer outgrew the cache bound: the cache drops
+        #: the entry on its next probe for this key, so the buffer lives
+        #: only as long as its in-flight consumers (whose consumption the
+        #: callers' enumeration/binding budgets bound) instead of pinning
+        #: a huge domain for the process lifetime.
+        self.oversized = False
+
+    def __iter__(self) -> Iterator[ComplexValue]:
+        index = 0
+        while True:
+            if index < len(self._buffer):
+                yield self._buffer[index]
+                index += 1
+                continue
+            if self._error is not None:
+                # Deterministic generation failure: regenerating would
+                # raise at exactly this point too, so replay the failure
+                # instead of silently truncating the domain.  The
+                # traceback is reset so replays do not accumulate (and
+                # pin) frames from every earlier consumer.
+                raise self._error.with_traceback(None)
+            if self.broken:
+                # A transient interrupt killed the generator mid-stream; a
+                # replacement enumeration exists in the cache — fail loudly
+                # rather than pass off the prefix as the whole domain.
+                raise RuntimeError(
+                    "shared constructive-domain enumeration was interrupted; re-enumerate"
+                )
+            if self._exhausted:
+                return
+            try:
+                value = next(self._iterator)
+            except StopIteration:
+                self._exhausted = True
+                return
+            except Exception as exc:
+                self._error = exc
+                raise
+            except BaseException:
+                self.broken = True
+                raise
+            self._buffer.append(value)
+            if len(self._buffer) > _DOMAIN_CACHE_MAX_BUFFERED_ELEMENTS:
+                self.oversized = True
+            yield value
+            index += 1
+
+
+#: ``(type, sorted-atom-tuple) -> shared enumeration`` of ``cons_Y(T)``.
+_DOMAIN_CACHE: dict[tuple[ComplexType, tuple], _SharedEnumeration] = {}
+
+#: ``frozenset(atoms) -> sorted atom tuple`` (sorting was recomputed on
+#: every ``iter_constructive_domain`` call before).
+_SORTED_ATOMS_CACHE: dict[frozenset, tuple] = {}
+
+#: Size caps: domain buffers can be large, so the caches are cleared
+#: wholesale when they would exceed these bounds — by entry count and by
+#: total buffered elements (the actual byte driver) — keeping memory
+#: bounded in long-running processes.  Consumers holding an evicted
+#: enumeration keep working; they just stop sharing with future consumers.
+#: Both caps are only checked on insertion (a cache miss), so the hit path
+#: stays a single dict lookup.
+_DOMAIN_CACHE_MAX_ENTRIES = 128
+_DOMAIN_CACHE_MAX_BUFFERED_ELEMENTS = 500_000
+_SORTED_ATOMS_CACHE_MAX_ENTRIES = 1024
+
+
+def clear_constructive_domain_cache() -> None:
+    """Drop all memoized enumerations (used by benchmarks between runs)."""
+    _DOMAIN_CACHE.clear()
+    _SORTED_ATOMS_CACHE.clear()
 
 
 def iter_constructive_domain(
@@ -29,8 +138,7 @@ def iter_constructive_domain(
     type — typically via :func:`constructive_domain` with a budget, or by
     wrapping in :func:`repro.utils.iteration.bounded`.
     """
-    sorted_atoms = _sorted_atoms(atoms)
-    yield from _enumerate(type_, sorted_atoms)
+    return iter(_domain_view(type_, _sorted_atoms(atoms)))
 
 
 def constructive_domain(
@@ -75,12 +183,41 @@ def constructive_domain_size(type_: ComplexType, atom_count: int) -> int:
     raise ObjectModelError(f"unknown type node {type(type_).__name__}")
 
 
-def _sorted_atoms(atoms: Sequence[object] | frozenset[object]) -> list[object]:
-    return sorted(set(atoms), key=lambda a: (type(a).__name__, repr(a)))
+def _sorted_atoms(atoms: Sequence[object] | frozenset[object]) -> tuple[object, ...]:
+    key = atoms if isinstance(atoms, frozenset) else frozenset(atoms)
+    if not interning_enabled():
+        return tuple(sorted(key, key=lambda a: (type(a).__name__, repr(a))))
+    cached = _SORTED_ATOMS_CACHE.get(key)
+    if cached is None:
+        cached = tuple(sorted(key, key=lambda a: (type(a).__name__, repr(a))))
+        if len(_SORTED_ATOMS_CACHE) >= _SORTED_ATOMS_CACHE_MAX_ENTRIES:
+            _SORTED_ATOMS_CACHE.clear()
+        _SORTED_ATOMS_CACHE[key] = cached
+    return cached
 
 
-def _enumerate(type_: ComplexType, atoms: list[object]) -> Iterator[ComplexValue]:
+def _domain_view(type_: ComplexType, atoms: tuple[object, ...]):
+    """The enumeration of ``cons_atoms(type_)`` — memoized when interning is
+    on, a fresh generator otherwise.  Returns an iterable."""
+    if not interning_enabled():
+        return _enumerate(type_, atoms)
+    key = (type_, atoms)
+    shared = _DOMAIN_CACHE.get(key)
+    if shared is None or shared.broken or shared.oversized:
+        shared = _SharedEnumeration(_enumerate(type_, atoms))
+        if len(_DOMAIN_CACHE) >= _DOMAIN_CACHE_MAX_ENTRIES or (
+            sum(len(entry._buffer) for entry in _DOMAIN_CACHE.values())
+            >= _DOMAIN_CACHE_MAX_BUFFERED_ELEMENTS
+        ):
+            _DOMAIN_CACHE.clear()
+        _DOMAIN_CACHE[key] = shared
+    return shared
+
+
+def _enumerate(type_: ComplexType, atoms: tuple[object, ...]) -> Iterator[ComplexValue]:
     if isinstance(type_, AtomicType):
+        # Atom() returns the canonical interned instance, so repeated
+        # enumerations stop re-allocating.
         for value in atoms:
             yield Atom(value)
         return
@@ -88,23 +225,27 @@ def _enumerate(type_: ComplexType, atoms: list[object]) -> Iterator[ComplexValue
         yield from _enumerate_tuples(type_.component_types, atoms)
         return
     if isinstance(type_, SetType):
-        # Materialise the element domain once, then enumerate all subsets by
-        # increasing cardinality.  This is exponential in the element-domain
-        # size by necessity; callers bound it.
-        element_domain = list(_enumerate(type_.element_type, atoms))
+        # Enumerate all subsets of the element domain by increasing
+        # cardinality.  This is exponential in the element-domain size by
+        # necessity; callers bound it.  The element domain goes through the
+        # shared cache, so nested set types reuse their element
+        # enumerations.
+        element_domain = list(_domain_view(type_.element_type, atoms))
         yield from _enumerate_subsets(element_domain)
         return
     raise ObjectModelError(f"unknown type node {type(type_).__name__}")
 
 
 def _enumerate_tuples(
-    component_types: tuple[ComplexType, ...], atoms: list[object]
+    component_types: tuple[ComplexType, ...], atoms: tuple[object, ...]
 ) -> Iterator[TupleValue]:
+    # Each component domain is a (memoized) shared view: the inner
+    # components are replayed once per prefix, but generated only once.
     def recurse(index: int, prefix: list[ComplexValue]) -> Iterator[TupleValue]:
         if index == len(component_types):
             yield TupleValue(prefix)
             return
-        for component in _enumerate(component_types[index], atoms):
+        for component in _domain_view(component_types[index], atoms):
             yield from recurse(index + 1, prefix + [component])
 
     yield from recurse(0, [])

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.errors import ObjectModelError
-from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
+from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue, interning_enabled
 from repro.types.type_system import AtomicType, ComplexType, SetType, TupleType
 
 
@@ -15,7 +15,33 @@ def belongs_to(value: ComplexValue, type_: ComplexType) -> bool:
       ``dom(T)`` (the empty set belongs to every set type);
     * a tuple value belongs to ``dom([T1,...,Tn])`` iff it has arity ``n``
       and each coordinate belongs to the corresponding component domain.
+
+    Verdicts for composite values are memoized in the value's ``_belongs``
+    slot (membership is a pure function of structure, so the memo is never
+    stale, and it dies with the value).  The memo only pays off when values
+    are canonical — one instance per structure — so it is tied to the
+    interning switch.
     """
+    if isinstance(type_, AtomicType):
+        return isinstance(value, Atom)
+    if not interning_enabled() or isinstance(value, Atom):
+        return _belongs_to_uncached(value, type_)
+    try:
+        per_value = value._belongs
+    except AttributeError:
+        per_value = {}
+        try:
+            object.__setattr__(value, "_belongs", per_value)
+        except AttributeError:  # a ComplexValue subclass without the slot
+            return _belongs_to_uncached(value, type_)
+    cached = per_value.get(type_)
+    if cached is None:
+        cached = _belongs_to_uncached(value, type_)
+        per_value[type_] = cached
+    return cached
+
+
+def _belongs_to_uncached(value: ComplexValue, type_: ComplexType) -> bool:
     if isinstance(type_, AtomicType):
         return isinstance(value, Atom)
     if isinstance(type_, SetType):

@@ -13,7 +13,7 @@ from collections.abc import Iterable, Iterator, Mapping
 from repro.errors import SchemaError
 from repro.objects.active_domain import active_domain_of_instance
 from repro.objects.domain import belongs_to
-from repro.objects.values import ComplexValue, SetValue, value_from_python
+from repro.objects.values import ComplexValue, SetValue, structural_sort_key, value_from_python
 from repro.types.schema import DatabaseSchema
 from repro.types.type_system import ComplexType
 
@@ -33,6 +33,7 @@ class Instance:
                 )
             normalised.add(converted)
         self._values = frozenset(normalised)
+        self._sorted: tuple[ComplexValue, ...] | None = None
 
     @property
     def type(self) -> ComplexType:
@@ -49,14 +50,23 @@ class Instance:
         """This instance viewed as an object of type ``{T}``."""
         return SetValue(self._values)
 
+    def _sorted_values(self) -> tuple[ComplexValue, ...]:
+        # Computed once: iteration used to re-sort the frozenset on every
+        # call, recomputing structural sort keys each time.
+        cached = self._sorted
+        if cached is None:
+            cached = tuple(sorted(self._values, key=structural_sort_key))
+            self._sorted = cached
+        return cached
+
     def sorted_values(self) -> list[ComplexValue]:
-        return sorted(self._values, key=lambda v: v.sort_key())
+        return list(self._sorted_values())
 
     def __contains__(self, value: object) -> bool:
         return value in self._values
 
     def __iter__(self) -> Iterator[ComplexValue]:
-        return iter(self.sorted_values())
+        return iter(self._sorted_values())
 
     def __len__(self) -> int:
         return len(self._values)

@@ -8,20 +8,128 @@ Conversion helpers map between plain Python data (strings/ints, tuples,
 frozensets) and the explicit value classes; the explicit classes exist so
 that a tuple of values and a set of values can never be confused, and so
 that every value knows how to render itself in the paper's notation.
+
+Hash-consing
+------------
+
+Values are *interned*: constructing a value that is structurally equal to a
+live one returns the existing canonical instance (a weak-value table keyed
+by structural identity, so unused values are still garbage collected).
+Canonical instances lazily cache their ``__hash__``, :meth:`sort_key`,
+:meth:`atoms` and (for sets) sorted-elements results, and equality gets an
+identity fast path — so the hot loops of the engine, the calculus evaluator
+and the Datalog layer stop recomputing structural keys over and over.
+
+The ablation switch :func:`set_interning` / the :func:`interning` context
+manager restore the historical allocate-and-recompute behaviour exactly
+(fresh instances, no caches), for side-by-side benchmarking; see
+``benchmarks/bench_values.py``.  Interning is purely an optimisation:
+equality, hashing, ordering and rendering are identical in both modes, and
+values created in different modes mix freely (equality falls back to the
+structural comparison whenever identity fails).
 """
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
 from functools import total_ordering
+from operator import methodcaller
 
 from repro.errors import ObjectModelError
+
+#: Sort-key extractor for ``sorted(values, key=structural_sort_key)``.
+structural_sort_key = methodcaller("sort_key")
+
+
+class _InterningState:
+    """The process-wide intern tables and the ablation switch."""
+
+    __slots__ = ("enabled", "atoms", "tuples", "sets")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.atoms: weakref.WeakValueDictionary = weakref.WeakValueDictionary()
+        self.tuples: weakref.WeakValueDictionary = weakref.WeakValueDictionary()
+        self.sets: weakref.WeakValueDictionary = weakref.WeakValueDictionary()
+
+
+_INTERN = _InterningState()
+
+
+def interning_enabled() -> bool:
+    """Whether value interning (and the derived-key caches) are active."""
+    return _INTERN.enabled
+
+
+def set_interning(enabled: bool) -> bool:
+    """Enable/disable interning; returns the previous setting.
+
+    Disabling restores the historical behaviour — and its exact cost
+    profile: every constructor call allocates a fresh instance, and every
+    ``__hash__``/``sort_key``/``atoms`` call recomputes its result without
+    so much as probing a cache slot (values constructed while interning
+    was on keep their cache slots, but ignore them until interning is
+    re-enabled; cached and recomputed results are always equal).
+    """
+    previous = _INTERN.enabled
+    _INTERN.enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def interning(enabled: bool = True):
+    """Context manager form of :func:`set_interning`."""
+    previous = set_interning(enabled)
+    try:
+        yield
+    finally:
+        set_interning(previous)
+
+
+def clear_intern_tables() -> None:
+    """Drop all intern-table entries (live values stay valid, new
+    constructions re-populate the tables).  Used by benchmarks to isolate
+    measurements."""
+    _INTERN.atoms.clear()
+    _INTERN.tuples.clear()
+    _INTERN.sets.clear()
+
+
+def intern_table_sizes() -> dict[str, int]:
+    """Current number of canonical instances per table (for tests/stats)."""
+    return {
+        "atoms": len(_INTERN.atoms),
+        "tuples": len(_INTERN.tuples),
+        "sets": len(_INTERN.sets),
+    }
+
+
+def _validate_tuple_components(normalised: tuple) -> None:
+    if not normalised:
+        raise ObjectModelError("a tuple value requires at least one component")
+    for component in normalised:
+        if not isinstance(component, ComplexValue):
+            raise ObjectModelError(
+                f"tuple components must be ComplexValue, got {type(component).__name__}; "
+                "use value_from_python() to convert plain Python data"
+            )
+
+
+def _validate_set_elements(normalised: frozenset) -> None:
+    for element in normalised:
+        if not isinstance(element, ComplexValue):
+            raise ObjectModelError(
+                f"set elements must be ComplexValue, got {type(element).__name__}; "
+                "use value_from_python() to convert plain Python data"
+            )
 
 
 class ComplexValue:
     """Abstract base class of all complex-object values."""
 
-    __slots__ = ()
+    __slots__ = ("__weakref__",)
 
     def atoms(self) -> frozenset[object]:
         """The active domain of this value (set of atomic constants in it)."""
@@ -32,21 +140,29 @@ class ComplexValue:
         raise NotImplementedError
 
     def __lt__(self, other: object) -> bool:
+        if self is other:
+            return False
         if not isinstance(other, ComplexValue):
             return NotImplemented
         return self.sort_key() < other.sort_key()
 
     def __le__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, ComplexValue):
             return NotImplemented
         return self.sort_key() <= other.sort_key()
 
     def __gt__(self, other: object) -> bool:
+        if self is other:
+            return False
         if not isinstance(other, ComplexValue):
             return NotImplemented
         return self.sort_key() > other.sort_key()
 
     def __ge__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, ComplexValue):
             return NotImplemented
         return self.sort_key() >= other.sort_key()
@@ -60,9 +176,9 @@ class Atom(ComplexValue):
     typical.  Two atoms are equal iff their payloads are equal.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash", "_sort_key")
 
-    def __init__(self, value: object) -> None:
+    def __new__(cls, value: object) -> "Atom":
         if isinstance(value, ComplexValue):
             raise ObjectModelError(
                 "an Atom payload must be a plain Python value, not a ComplexValue"
@@ -73,7 +189,35 @@ class Atom(ComplexValue):
             raise ObjectModelError(
                 f"an Atom payload must be hashable, got {type(value).__name__}"
             ) from None
+        if _INTERN.enabled:
+            # The payload class is part of the key: Atom(1) == Atom(True)
+            # (payload equality), but they must stay distinct instances so
+            # that type-sensitive observables (sort_key, repr) are
+            # unchanged by interning.  For payload classes where equal
+            # values can still render differently (-0.0 vs 0.0,
+            # Decimal('1.0') vs Decimal('1.00')), the repr joins the key —
+            # sort_key/repr observe it; str and int never need this
+            # (equality implies identical repr within the class).
+            payload_class = value.__class__
+            if payload_class is str or payload_class is int:
+                key = (cls, payload_class, value)
+            else:
+                key = (cls, payload_class, value, repr(value))
+            cached = _INTERN.atoms.get(key)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            object.__setattr__(self, "value", value)
+            _INTERN.atoms[key] = self
+            return self
+        self = object.__new__(cls)
         object.__setattr__(self, "value", value)
+        return self
+
+    def __init__(self, value: object) -> None:
+        # Construction and validation happen in __new__ so that interned
+        # hits skip both; nothing to (re)initialise here.
+        pass
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Atom is immutable")
@@ -82,13 +226,31 @@ class Atom(ComplexValue):
         return frozenset({self.value})
 
     def sort_key(self) -> tuple:
-        return (0, type(self.value).__name__, repr(self.value))
+        # The ablation mode computes directly (no slot probe), so it costs
+        # exactly what the historical code did.
+        if not _INTERN.enabled:
+            return (0, type(self.value).__name__, repr(self.value))
+        try:
+            return self._sort_key
+        except AttributeError:
+            key = (0, type(self.value).__name__, repr(self.value))
+            object.__setattr__(self, "_sort_key", key)
+            return key
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Atom) and self.value == other.value
 
     def __hash__(self) -> int:
-        return hash(("atom", self.value))
+        if not _INTERN.enabled:
+            return hash(("atom", self.value))
+        try:
+            return self._hash
+        except AttributeError:
+            result = hash(("atom", self.value))
+            object.__setattr__(self, "_hash", result)
+            return result
 
     def __str__(self) -> str:
         return str(self.value)
@@ -100,19 +262,37 @@ class Atom(ComplexValue):
 class TupleValue(ComplexValue):
     """A tuple value ``[x1, ..., xn]`` over n >= 1 component values."""
 
-    __slots__ = ("components",)
+    __slots__ = ("components", "_hash", "_sort_key", "_atoms", "_belongs")
+
+    def __new__(cls, components: Iterable[ComplexValue]) -> "TupleValue":
+        normalised = tuple(components)
+        if _INTERN.enabled:
+            # Keyed by component *identity*, not equality: components are
+            # themselves canonical, so identical structure means identical
+            # components — while payload-equal but type-distinct values
+            # (Atom(1) vs Atom(True)) must not be collapsed, because
+            # sort_key/repr observe the payload type.  Component ids stay
+            # valid for exactly the entry's lifetime (the interned value
+            # keeps its components alive; the weak table drops the entry
+            # when the value dies).  A hit needs no validation: only
+            # validated tuples are ever stored, and a live non-ComplexValue
+            # can never share an id with an entry's live components.
+            key = (cls, tuple(map(id, normalised)))
+            cached = _INTERN.tuples.get(key)
+            if cached is not None:
+                return cached
+            _validate_tuple_components(normalised)
+            self = object.__new__(cls)
+            object.__setattr__(self, "components", normalised)
+            _INTERN.tuples[key] = self
+            return self
+        _validate_tuple_components(normalised)
+        self = object.__new__(cls)
+        object.__setattr__(self, "components", normalised)
+        return self
 
     def __init__(self, components: Iterable[ComplexValue]) -> None:
-        normalised = tuple(components)
-        if not normalised:
-            raise ObjectModelError("a tuple value requires at least one component")
-        for component in normalised:
-            if not isinstance(component, ComplexValue):
-                raise ObjectModelError(
-                    f"tuple components must be ComplexValue, got {type(component).__name__}; "
-                    "use value_from_python() to convert plain Python data"
-                )
-        object.__setattr__(self, "components", normalised)
+        pass
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("TupleValue is immutable")
@@ -130,19 +310,45 @@ class TupleValue(ComplexValue):
         return self.components[index - 1]
 
     def atoms(self) -> frozenset[object]:
+        if not _INTERN.enabled:
+            return self._atoms_uncached()
+        try:
+            return self._atoms
+        except AttributeError:
+            frozen = self._atoms_uncached()
+            object.__setattr__(self, "_atoms", frozen)
+            return frozen
+
+    def _atoms_uncached(self) -> frozenset[object]:
         result: set[object] = set()
         for component in self.components:
             result |= component.atoms()
         return frozenset(result)
 
     def sort_key(self) -> tuple:
-        return (1, len(self.components), tuple(c.sort_key() for c in self.components))
+        if not _INTERN.enabled:
+            return (1, len(self.components), tuple(c.sort_key() for c in self.components))
+        try:
+            return self._sort_key
+        except AttributeError:
+            key = (1, len(self.components), tuple(c.sort_key() for c in self.components))
+            object.__setattr__(self, "_sort_key", key)
+            return key
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, TupleValue) and self.components == other.components
 
     def __hash__(self) -> int:
-        return hash(("tuple", self.components))
+        if not _INTERN.enabled:
+            return hash(("tuple", self.components))
+        try:
+            return self._hash
+        except AttributeError:
+            result = hash(("tuple", self.components))
+            object.__setattr__(self, "_hash", result)
+            return result
 
     def __iter__(self) -> Iterator[ComplexValue]:
         return iter(self.components)
@@ -160,17 +366,31 @@ class TupleValue(ComplexValue):
 class SetValue(ComplexValue):
     """A finite set value ``{x1, ..., xm}`` (possibly empty)."""
 
-    __slots__ = ("elements",)
+    __slots__ = ("elements", "_hash", "_sort_key", "_atoms", "_sorted", "_belongs")
+
+    def __new__(cls, elements: Iterable[ComplexValue] = ()) -> "SetValue":
+        normalised = frozenset(elements)
+        if _INTERN.enabled:
+            # Element-*identity* key, for the same reason as TupleValue:
+            # equality-keying would collapse sets whose elements are
+            # payload-equal but type-distinct (Atom(1) vs Atom(True)).
+            # Hits skip validation — only validated sets are ever stored.
+            key = (cls, frozenset(map(id, normalised)))
+            cached = _INTERN.sets.get(key)
+            if cached is not None:
+                return cached
+            _validate_set_elements(normalised)
+            self = object.__new__(cls)
+            object.__setattr__(self, "elements", normalised)
+            _INTERN.sets[key] = self
+            return self
+        _validate_set_elements(normalised)
+        self = object.__new__(cls)
+        object.__setattr__(self, "elements", normalised)
+        return self
 
     def __init__(self, elements: Iterable[ComplexValue] = ()) -> None:
-        normalised = frozenset(elements)
-        for element in normalised:
-            if not isinstance(element, ComplexValue):
-                raise ObjectModelError(
-                    f"set elements must be ComplexValue, got {type(element).__name__}; "
-                    "use value_from_python() to convert plain Python data"
-                )
-        object.__setattr__(self, "elements", normalised)
+        pass
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("SetValue is immutable")
@@ -180,17 +400,52 @@ class SetValue(ComplexValue):
         return len(self.elements)
 
     def atoms(self) -> frozenset[object]:
+        if not _INTERN.enabled:
+            return self._atoms_uncached()
+        try:
+            return self._atoms
+        except AttributeError:
+            frozen = self._atoms_uncached()
+            object.__setattr__(self, "_atoms", frozen)
+            return frozen
+
+    def _atoms_uncached(self) -> frozenset[object]:
         result: set[object] = set()
         for element in self.elements:
             result |= element.atoms()
         return frozenset(result)
 
+    def _sorted_elements(self) -> tuple[ComplexValue, ...]:
+        if not _INTERN.enabled:
+            return tuple(sorted(self.elements, key=structural_sort_key))
+        try:
+            return self._sorted
+        except AttributeError:
+            result = tuple(sorted(self.elements, key=structural_sort_key))
+            object.__setattr__(self, "_sorted", result)
+            return result
+
     def sorted_elements(self) -> list[ComplexValue]:
         """Elements in the deterministic enumeration order."""
-        return sorted(self.elements, key=lambda v: v.sort_key())
+        return list(self._sorted_elements())
 
     def sort_key(self) -> tuple:
-        return (2, len(self.elements), tuple(e.sort_key() for e in self.sorted_elements()))
+        if not _INTERN.enabled:
+            return (
+                2,
+                len(self.elements),
+                tuple(e.sort_key() for e in self._sorted_elements()),
+            )
+        try:
+            return self._sort_key
+        except AttributeError:
+            key = (
+                2,
+                len(self.elements),
+                tuple(e.sort_key() for e in self._sorted_elements()),
+            )
+            object.__setattr__(self, "_sort_key", key)
+            return key
 
     def contains(self, value: ComplexValue) -> bool:
         return value in self.elements
@@ -199,19 +454,28 @@ class SetValue(ComplexValue):
         return value in self.elements
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, SetValue) and self.elements == other.elements
 
     def __hash__(self) -> int:
-        return hash(("set", self.elements))
+        if not _INTERN.enabled:
+            return hash(("set", self.elements))
+        try:
+            return self._hash
+        except AttributeError:
+            result = hash(("set", self.elements))
+            object.__setattr__(self, "_hash", result)
+            return result
 
     def __iter__(self) -> Iterator[ComplexValue]:
-        return iter(self.sorted_elements())
+        return iter(self._sorted_elements())
 
     def __len__(self) -> int:
         return len(self.elements)
 
     def __str__(self) -> str:
-        return "{" + ", ".join(str(e) for e in self.sorted_elements()) + "}"
+        return "{" + ", ".join(str(e) for e in self._sorted_elements()) + "}"
 
     def __repr__(self) -> str:
         return f"SetValue({self.sorted_elements()!r})"

@@ -41,6 +41,7 @@ class Relation:
                 )
             normalised.add(row)
         self._tuples = frozenset(normalised)
+        self._sorted: tuple[tuple, ...] | None = None
 
     @property
     def arity(self) -> int:
@@ -91,7 +92,13 @@ class Relation:
         # plain repr interleaves values of different atom types (e.g. the
         # string "10" with the int 10's repr), so iteration order would
         # depend on repr collisions rather than on the values themselves.
-        return iter(sorted(self._tuples, key=_row_sort_key))
+        # The sorted view is cached: iteration used to re-sort (and
+        # recompute every row's structural key) on each call.
+        cached = self._sorted
+        if cached is None:
+            cached = tuple(sorted(self._tuples, key=_row_sort_key))
+            self._sorted = cached
+        return iter(cached)
 
     def __len__(self) -> int:
         return len(self._tuples)

@@ -10,6 +10,8 @@ from repro.workloads.generators import (
     person_database,
     random_algebra_expression,
     random_database,
+    random_datalog_program,
+    random_edge_relation,
     random_graph_pairs,
     random_instance,
     random_objects,
@@ -25,6 +27,8 @@ __all__ = [
     "person_database",
     "random_algebra_expression",
     "random_database",
+    "random_datalog_program",
+    "random_edge_relation",
     "random_graph_pairs",
     "random_instance",
     "random_objects",

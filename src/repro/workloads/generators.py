@@ -30,9 +30,14 @@ from repro.algebra.expressions import (
     Untuple,
 )
 from repro.calculus.builders import PARENT_SCHEMA, PERSON_SCHEMA
+from repro.datalog.ast import Atom as DatalogAtom
+from repro.datalog.ast import Literal as DatalogLiteral
+from repro.datalog.ast import Program as DatalogProgram
+from repro.datalog.ast import Rule as DatalogRule
 from repro.objects.constructive import constructive_domain_size, iter_constructive_domain
 from repro.objects.instance import DatabaseInstance, Instance
 from repro.objects.values import ComplexValue
+from repro.relational.relation import Relation
 from repro.types.schema import DatabaseSchema
 from repro.types.type_system import ComplexType, SetType, TupleType, U
 from repro.utils.iteration import bounded
@@ -196,6 +201,106 @@ def random_database(
             declaration.type, atoms, available, seed=seed + offset
         )
     return DatabaseInstance(schema, assignments)
+
+
+# -- random Datalog programs ----------------------------------------------------
+
+#: Variable pool for generated Datalog rules.
+_DATALOG_VARIABLES = ("X", "Y", "Z", "W")
+
+
+def random_datalog_program(
+    seed: int = 0,
+    idb_count: int = 3,
+    rules_per_predicate: int = 2,
+    max_body_literals: int = 3,
+    negation_probability: float = 0.25,
+    constants: Sequence[object] = ("v0", "v1"),
+) -> DatalogProgram:
+    """Generate a deterministic, safe, stratifiable random Datalog¬ program.
+
+    One binary EDB predicate ``e`` plus *idb_count* IDB predicates
+    ``p0..p<n-1>`` of arity 1 or 2.  The body of a rule for ``p_i`` draws
+    positive literals from ``e`` and ``p_j`` with ``j <= i`` (so recursion
+    is allowed) and negated literals only from ``e`` and ``p_j`` with
+    ``j < i`` — a layered construction that is stratifiable by design.
+    Safety is enforced by drawing head and negated-literal variables from
+    the variables of the positive body.
+
+    The generator exists for the semi-naive-vs-naive equivalence sweeps
+    (``tests/test_datalog_seminaive.py``): the same seed always yields the
+    same program, so failures reproduce.
+    """
+    if idb_count < 1:
+        raise WorkloadError(f"need at least one IDB predicate, got {idb_count}")
+    rng = random.Random(seed)
+    arities = {"e": 2}
+    for index in range(idb_count):
+        arities[f"p{index}"] = rng.choice((1, 2, 2))
+
+    rules: list[DatalogRule] = []
+    for index in range(idb_count):
+        head_predicate = f"p{index}"
+        positive_pool = ["e"] + [f"p{j}" for j in range(index + 1)]
+        negative_pool = ["e"] + [f"p{j}" for j in range(index)]
+        for _ in range(rng.randint(1, rules_per_predicate)):
+            rules.append(
+                _random_rule(
+                    head_predicate,
+                    arities,
+                    positive_pool,
+                    negative_pool,
+                    max_body_literals,
+                    negation_probability,
+                    constants,
+                    rng,
+                )
+            )
+    return DatalogProgram(rules, edb_predicates=["e"])
+
+
+def _random_rule(
+    head_predicate: str,
+    arities: dict[str, int],
+    positive_pool: Sequence[str],
+    negative_pool: Sequence[str],
+    max_body_literals: int,
+    negation_probability: float,
+    constants: Sequence[object],
+    rng: random.Random,
+) -> DatalogRule:
+    body: list[DatalogLiteral] = []
+    body_variables: list[str] = []
+    for _ in range(rng.randint(1, max_body_literals)):
+        predicate = rng.choice(list(positive_pool))
+        terms = []
+        for _ in range(arities[predicate]):
+            if constants and rng.random() < 0.15:
+                terms.append(rng.choice(list(constants)))
+            else:
+                variable = rng.choice(_DATALOG_VARIABLES)
+                terms.append(variable)
+                if variable not in body_variables:
+                    body_variables.append(variable)
+        body.append(DatalogLiteral(DatalogAtom(predicate, terms)))
+    if not body_variables:
+        # All-constant body: force one variable literal so the head is safe.
+        body.append(DatalogLiteral(DatalogAtom("e", ["X", "Y"])))
+        body_variables = ["X", "Y"]
+    if negative_pool and rng.random() < negation_probability:
+        predicate = rng.choice(list(negative_pool))
+        terms = [rng.choice(body_variables) for _ in range(arities[predicate])]
+        body.append(DatalogLiteral(DatalogAtom(predicate, terms), positive=False))
+    head_terms = [rng.choice(body_variables) for _ in range(arities[head_predicate])]
+    return DatalogRule(DatalogAtom(head_predicate, head_terms), body)
+
+
+def random_edge_relation(
+    vertex_count: int = 6, edge_count: int = 10, seed: int = 0
+) -> Relation:
+    """A random binary EDB relation whose vertex names overlap the constant
+    pool of :func:`random_datalog_program` (``v0, v1, ...``)."""
+    return Relation(2, random_graph_pairs(vertex_count, edge_count, seed=seed))
 
 
 # -- random algebra expressions -------------------------------------------------

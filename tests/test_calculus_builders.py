@@ -11,6 +11,7 @@ from repro.calculus.builders import (
     even_cardinality_query,
     grandparent_query,
     ordering_witness_query,
+    superset_intersection_query,
     transitive_closure_query,
     transitive_supersets_query,
 )
@@ -90,6 +91,21 @@ class TestTransitiveClosureQuery:
 
     def test_uses_set_height_one_intermediate(self):
         q = transitive_closure_query()
+        classification = calc_classification(q)
+        assert (classification.k, classification.i) == (0, 1)
+        assert SET_OF_PAIRS in intermediate_types(q)
+
+
+class TestSupersetIntersectionQuery:
+    """The intersection of all supersets of PAR is PAR itself."""
+
+    def test_is_the_identity_on_the_input(self, chain_db):
+        answer = evaluate_query(superset_intersection_query(), chain_db, SETTINGS)
+        got = {(str(v.coordinate(1)), str(v.coordinate(2))) for v in answer.values}
+        assert got == {("a", "b"), ("b", "c")}
+
+    def test_uses_set_height_one_intermediate(self):
+        q = superset_intersection_query()
         classification = calc_classification(q)
         assert (classification.k, classification.i) == (0, 1)
         assert SET_OF_PAIRS in intermediate_types(q)

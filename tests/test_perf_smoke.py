@@ -1,0 +1,109 @@
+"""Fast perf-contract checks (``pytest -m perf_smoke``), run in tier-1.
+
+Timing assertions are flaky on shared machines, so these contracts are
+expressed structurally — work counters, canonical-instance identity, cache
+reuse — over tiny workloads, plus a floor check over the recorded
+``benchmarks/BENCH_*.json`` reports.  The real measurements live in
+``benchmarks/bench_values.py`` and ``benchmarks/bench_datalog.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.check_regressions import check_all
+from repro.datalog import (
+    DatalogStatistics,
+    evaluate_program,
+    evaluate_program_naive,
+    transitive_closure_program,
+)
+from repro.objects.constructive import (
+    clear_constructive_domain_cache,
+    iter_constructive_domain,
+)
+from repro.objects.values import Atom, TupleValue, interning
+from repro.relational.relation import Relation
+from repro.types.parser import parse_type
+from repro.workloads import chain_pairs
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def test_semi_naive_does_strictly_less_work():
+    """Delta-driven firing must try far fewer candidate bindings than the
+    naive re-derive-everything loop on a recursive workload."""
+    program = transitive_closure_program()
+    edb = {"par": Relation(2, chain_pairs(40))}
+    semi_stats, naive_stats = DatalogStatistics(), DatalogStatistics()
+    semi = evaluate_program(program, edb, statistics=semi_stats)
+    naive = evaluate_program_naive(program, edb, statistics=naive_stats)
+    assert semi["tc"] == naive["tc"]
+    assert semi_stats.bindings < naive_stats.bindings / 4, (
+        semi_stats,
+        naive_stats,
+    )
+
+
+def test_interning_yields_canonical_instances():
+    """Structurally equal constructions must be the same object, so hash
+    and sort-key caches are shared across all consumers."""
+    with interning(True):
+        rows = [TupleValue([Atom("a"), Atom(i % 3)]) for i in range(60)]
+        assert len({id(row) for row in rows}) == 3
+    with interning(False):
+        rows = [TupleValue([Atom("a"), Atom(i % 3)]) for i in range(60)]
+        assert len({id(row) for row in rows}) == 60
+
+
+def test_constructive_domain_enumeration_is_shared():
+    """Re-enumerating the same ``cons_Y(T)`` must replay one shared buffer
+    (identical objects), not regenerate the domain."""
+    type_ = parse_type("{[U, U]}")
+    atoms = frozenset({"a", "b"})
+    with interning(True):
+        clear_constructive_domain_cache()
+        first = list(iter_constructive_domain(type_, atoms))
+        second = list(iter_constructive_domain(type_, atoms))
+        assert all(x is y for x, y in zip(first, second))
+        assert len(first) == len(second) == 2 ** 4
+    with interning(False):
+        first = list(iter_constructive_domain(type_, atoms))
+        second = list(iter_constructive_domain(type_, atoms))
+        assert first == second
+        assert not all(x is y for x, y in zip(first, second))
+
+
+def test_failed_enumeration_does_not_poison_the_domain_cache():
+    """If generation raises mid-enumeration, every later consumer of the
+    shared buffer must see the same error — never a silently truncated
+    domain."""
+    from repro.errors import ObjectModelError
+    from repro.types.type_system import U
+
+    # A ComplexValue is hashable (so it reaches enumeration) but is an
+    # invalid Atom payload, so Atom() raises mid-generation.
+    bad_atoms = frozenset({"a", Atom("poison")})
+    with interning(True):
+        clear_constructive_domain_cache()
+        for _ in range(2):
+            with pytest.raises(ObjectModelError):
+                list(iter_constructive_domain(U, bad_atoms))
+
+
+def test_relation_iteration_sorts_once():
+    relation = Relation(2, [("b", "a"), ("a", "b"), ("c", "a")])
+    assert list(relation) == list(relation)
+    assert relation._sorted is not None  # the cached sorted view exists
+
+
+def test_recorded_benchmark_reports_meet_their_floors():
+    """The committed BENCH_*.json reports must satisfy their acceptance
+    floors (the same gate ``python benchmarks/check_regressions.py`` runs)."""
+    failures = check_all()
+    assert not failures, "\n".join(failures)

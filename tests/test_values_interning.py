@@ -1,0 +1,186 @@
+"""Property-based tests for the hash-consed value runtime.
+
+The interner is purely an optimisation: for every value, ``==``, ``hash``,
+``sort_key``, ``atoms``, ``str``/``repr`` and the total order must be
+*identical* whether interning is on or off, and values constructed in
+different modes must mix freely.  The sweeps below build the same random
+nested data under both modes and compare every observable pairwise.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.objects.values import (
+    Atom,
+    SetValue,
+    TupleValue,
+    clear_intern_tables,
+    interning,
+    interning_enabled,
+    set_interning,
+    value_from_python,
+    value_to_python,
+)
+
+
+def random_python_data(rng: random.Random, depth: int = 3) -> object:
+    """Random nested Python data: atoms, tuples, frozensets."""
+    if depth == 0 or rng.random() < 0.4:
+        return rng.choice(("a", "b", "v0", "v1", 0, 1, 2, True, None, 2.5))
+    if rng.random() < 0.5:
+        width = rng.randint(1, 3)
+        return tuple(random_python_data(rng, depth - 1) for _ in range(width))
+    width = rng.randint(0, 3)
+    return frozenset(random_python_data(rng, depth - 1) for _ in range(width))
+
+
+def build_corpus(seed: int, count: int = 25) -> list:
+    rng = random.Random(seed)
+    return [value_from_python(random_python_data(rng)) for _ in range(count)]
+
+
+@pytest.fixture
+def fresh_tables():
+    clear_intern_tables()
+    yield
+    clear_intern_tables()
+
+
+class TestInterningSemantics:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_observables_identical_across_modes(self, seed, fresh_tables):
+        with interning(True):
+            interned = build_corpus(seed)
+        with interning(False):
+            plain = build_corpus(seed)
+        for a, b in zip(interned, plain):
+            assert a == b and b == a
+            assert hash(a) == hash(b)
+            assert a.sort_key() == b.sort_key()
+            assert a.atoms() == b.atoms()
+            assert str(a) == str(b)
+            assert repr(a) == repr(b)
+            assert value_to_python(a) == value_to_python(b)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_total_order_identical_across_modes(self, seed, fresh_tables):
+        with interning(True):
+            interned = build_corpus(seed)
+        with interning(False):
+            plain = build_corpus(seed)
+        for a1, b1 in zip(interned, plain):
+            for a2, b2 in zip(interned, plain):
+                assert (a1 < a2) == (b1 < b2)
+                assert (a1 <= a2) == (b1 <= b2)
+                assert (a1 > a2) == (b1 > b2)
+                assert (a1 >= a2) == (b1 >= b2)
+                assert (a1 == a2) == (b1 == b2)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_modes_mix_freely(self, seed, fresh_tables):
+        """A frozenset populated under one mode behaves identically when
+        probed with values from the other mode."""
+        with interning(True):
+            interned = build_corpus(seed)
+        with interning(False):
+            plain = build_corpus(seed)
+        pool = set(interned)
+        for value in plain:
+            assert value in pool
+        pool = set(plain)
+        for value in interned:
+            assert value in pool
+
+    def test_sorted_order_matches_across_modes(self, fresh_tables):
+        with interning(True):
+            interned = build_corpus(3, count=40)
+        with interning(False):
+            plain = build_corpus(3, count=40)
+        assert [str(v) for v in sorted(interned)] == [str(v) for v in sorted(plain)]
+
+
+class TestInterningIdentity:
+    def test_equal_constructions_are_identical(self, fresh_tables):
+        with interning(True):
+            assert Atom("x") is Atom("x")
+            assert TupleValue([Atom("x"), Atom("y")]) is TupleValue([Atom("x"), Atom("y")])
+            assert SetValue([Atom("x")]) is SetValue([Atom("x")])
+            assert value_from_python(("a", frozenset({"b"}))) is value_from_python(
+                ("a", frozenset({"b"}))
+            )
+
+    def test_ablation_allocates_fresh_instances(self, fresh_tables):
+        with interning(False):
+            assert Atom("x") is not Atom("x")
+            assert TupleValue([Atom("x")]) is not TupleValue([Atom("x")])
+            assert SetValue([Atom("x")]) is not SetValue([Atom("x")])
+
+    def test_payload_type_distinguishes_interned_atoms(self, fresh_tables):
+        """Atom(1) == Atom(True) (payload equality), but interning must not
+        collapse them: sort_key and repr observe the payload type."""
+        with interning(True):
+            one, true = Atom(1), Atom(True)
+            assert one == true and hash(one) == hash(true)
+            assert one is not true
+            assert one.sort_key() != true.sort_key()
+            assert repr(one) != repr(true)
+
+    def test_payload_repr_distinguishes_interned_atoms(self, fresh_tables):
+        """Equal same-class payloads with different reprs (-0.0 vs 0.0) must
+        not be collapsed either: sort_key/repr observe the payload repr."""
+        with interning(True):
+            positive, negative = Atom(0.0), Atom(-0.0)
+            assert positive == negative and hash(positive) == hash(negative)
+            assert positive is not negative
+            assert positive.sort_key() != negative.sort_key()
+            assert repr(positive) != repr(negative)
+        with interning(False):
+            plain_positive, plain_negative = Atom(0.0), Atom(-0.0)
+        assert positive.sort_key() == plain_positive.sort_key()
+        assert negative.sort_key() == plain_negative.sort_key()
+        # Composites over them stay distinct too (identity-keyed tables).
+        with interning(True):
+            assert TupleValue([positive]) is not TupleValue([negative])
+            assert str(SetValue([negative])) == str(SetValue([plain_negative]))
+
+    def test_switch_restores_previous_state(self):
+        original = interning_enabled()
+        previous = set_interning(False)
+        assert previous == original
+        assert not interning_enabled()
+        set_interning(original)
+        assert interning_enabled() == original
+
+    def test_tables_are_weak(self, fresh_tables):
+        import gc
+
+        from repro.objects.values import intern_table_sizes
+
+        with interning(True):
+            before = intern_table_sizes()["tuples"]
+            value = TupleValue([Atom("ephemeral-payload")])
+            assert intern_table_sizes()["tuples"] == before + 1
+            del value
+            gc.collect()
+            assert intern_table_sizes()["tuples"] == before
+
+
+class TestInterningValidation:
+    def test_atom_rejects_complex_payload_in_both_modes(self, fresh_tables):
+        from repro.errors import ObjectModelError
+
+        for mode in (True, False):
+            with interning(mode):
+                with pytest.raises(ObjectModelError):
+                    Atom(Atom("x"))
+                with pytest.raises(ObjectModelError):
+                    Atom(["unhashable"])
+                with pytest.raises(ObjectModelError):
+                    TupleValue([])
+                with pytest.raises(ObjectModelError):
+                    TupleValue(["raw"])
+                with pytest.raises(ObjectModelError):
+                    SetValue(["raw"])

@@ -46,3 +46,17 @@ def person_database(size: int) -> DatabaseInstance:
 @pytest.fixture
 def unbounded_settings() -> EvaluationSettings:
     return EvaluationSettings(binding_budget=None)
+
+
+@pytest.fixture(params=["object", "columnar"])
+def representation_mode(request) -> str:
+    """Parametrize a benchmark over the set-storage representations.
+
+    Yields the mode name with the columnar switch set accordingly, so one
+    benchmark body measures both the id-array kernels and the historical
+    object path (see ``bench_columnar.py``).
+    """
+    from repro.objects.columnar import columnar_storage
+
+    with columnar_storage(request.param == "columnar"):
+        yield request.param

@@ -22,7 +22,17 @@ from itertools import combinations
 
 from repro.errors import EvaluationError
 from repro.algebra.evaluation import condition_holds, flatten_value
-from repro.engine.join import hash_join
+from repro.engine.join import build_index_with_keys, hash_join, probe
+from repro.objects.columnar import (
+    VALUE_DICTIONARY,
+    ValueDictionary,
+    _count,
+    columnar_dispatch,
+    columnar_enabled,
+    difference_ids,
+    intersect_ids,
+    union_ids,
+)
 from repro.engine.plan import (
     CollapseNode,
     ConstantScan,
@@ -45,19 +55,33 @@ from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue, struc
 #: :class:`repro.algebra.evaluation.AlgebraEvaluationSettings`.
 DEFAULT_POWERSET_BUDGET = 22
 
+#: Sorted-id-array kernels behind the ``SetOp`` columnar fast path.
+_SET_OP_KERNELS = {
+    "union": union_ids,
+    "intersection": intersect_ids,
+    "difference": difference_ids,
+}
 
-def _components_key(keys: tuple[int, ...]):
+
+def _components_key(keys: tuple[int, ...], encode=None):
     """Build/probe key extractor over a flattened component tuple.
 
     A single join coordinate keys on the component value itself (its hash
     is cached by the value runtime) instead of allocating a 1-tuple per
-    row; composite keys fall back to a key tuple.
+    row; composite keys fall back to a key tuple.  With *encode* (the
+    columnar value dictionary's encoder), both sides key on the
+    coordinate's dense id instead — equal values map to equal ids, so the
+    join result is unchanged while the index buckets on small integers.
     """
     if len(keys) == 1:
         index = keys[0] - 1
-        return lambda comps: comps[index]
+        if encode is None:
+            return lambda comps: comps[index]
+        return lambda comps: encode(comps[index])
     indices = tuple(k - 1 for k in keys)
-    return lambda comps: tuple(comps[i] for i in indices)
+    if encode is None:
+        return lambda comps: tuple(comps[i] for i in indices)
+    return lambda comps: tuple(encode(comps[i]) for i in indices)
 
 
 def execute_plan(
@@ -131,12 +155,32 @@ class _Executor:
                 yield projected
 
     def _hash_join(self, node: HashJoin) -> Iterator[ComplexValue]:
-        pairs = hash_join(
-            (flatten_value(value, node.left_type) for value in self.rows(node.left)),
-            (flatten_value(value, node.right_type) for value in self.rows(node.right)),
-            left_key=_components_key(node.left_keys),
-            right_key=_components_key(node.right_keys),
+        left_rows = (flatten_value(value, node.left_type) for value in self.rows(node.left))
+        right_rows = (
+            flatten_value(value, node.right_type) for value in self.rows(node.right)
         )
+        if columnar_enabled():
+            # Columnar keying: a *transient* per-join dictionary encodes the
+            # join coordinates into dense ids — equal values share an id for
+            # exactly this join's lifetime, so nothing is pinned in the
+            # process-wide tables.  The blocking build side materializes its
+            # key column and feeds build_index_with_keys; the probe side
+            # stays pipelined, encoding per row (probe-only values get fresh
+            # ids that match no bucket, which is exactly right).
+            dictionary = ValueDictionary()
+            right_key = _components_key(node.right_keys, dictionary.encode)
+            build_rows = list(right_rows)
+            index = build_index_with_keys(build_rows, map(right_key, build_rows))
+            pairs = probe(
+                left_rows, index, key=_components_key(node.left_keys, dictionary.encode)
+            )
+        else:
+            pairs = hash_join(
+                left_rows,
+                right_rows,
+                left_key=_components_key(node.left_keys),
+                right_key=_components_key(node.right_keys),
+            )
         residual = node.residual
         for left_components, right_components in pairs:
             combined = TupleValue(left_components + right_components)
@@ -153,6 +197,35 @@ class _Executor:
                 yield TupleValue(left_components + components)
 
     def _set_op(self, node: SetOp) -> Iterator[ComplexValue]:
+        columnar = self._columnar_set_op(node)
+        if columnar is not None:
+            return columnar
+        return self._set_op_streaming(node)
+
+    def _columnar_set_op(self, node: SetOp) -> Iterator[ComplexValue] | None:
+        """Run the set operation on stored id columns when both inputs are
+        predicate scans, columnar storage is on, and the instances clear
+        the size threshold; ``None`` falls back to the streaming path.
+        Scans are side-effect free, so skipping the generator machinery
+        cannot reorder any observable effect (budget errors and the like).
+        """
+        if not columnar_enabled():
+            return None
+        instances = []
+        for child in (node.left, node.right):
+            if not isinstance(child, Scan):
+                return None
+            instances.append(self.database.instance(child.predicate_name))
+        left, right = instances
+        if not columnar_dispatch(len(left) + len(right)):
+            return None
+        kernel = _SET_OP_KERNELS.get(node.kind)
+        if kernel is None:
+            raise EvaluationError(f"unknown set operation kind {node.kind!r}")
+        _count("engine_set_ops")
+        return iter(VALUE_DICTIONARY.decode_all(kernel(left.ids(), right.ids())))
+
+    def _set_op_streaming(self, node: SetOp) -> Iterator[ComplexValue]:
         if node.kind == "union":
             seen: set[ComplexValue] = set()
             for value in self.rows(node.left):

@@ -11,6 +11,16 @@ structure.
 The functions come in pairs: ``X_to_data`` produces plain JSON-compatible
 Python data (dicts/lists/strings/numbers) and ``X_from_data`` inverts it.
 ``dumps``/``loads`` wrap the pairs with :mod:`json` for convenience.
+
+Flat instances (type ``U`` or ``[U, ..., U]``) additionally support a
+**columnar** format: instead of one tagged tree per element, the instance
+is written as per-coordinate dictionary-encoded columns — a sorted
+dictionary of distinct atom payloads plus an index column per coordinate,
+mirroring the in-memory columnar set storage of
+:mod:`repro.objects.columnar`.  Writers pick it automatically for large
+flat instances while columnar storage is enabled (or on request via
+``instance_to_data(..., columnar=True)``); readers accept both formats
+interchangeably, and the two round-trip to equal instances.
 """
 
 from __future__ import annotations
@@ -18,11 +28,12 @@ from __future__ import annotations
 import json
 
 from repro.errors import ReproError
+from repro.objects.columnar import columnar_dispatch
 from repro.objects.instance import DatabaseInstance, Instance
 from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
 from repro.types.parser import parse_type
 from repro.types.schema import DatabaseSchema, PredicateDeclaration
-from repro.types.type_system import ComplexType
+from repro.types.type_system import ComplexType, TupleType, U
 
 
 class SerializationError(ReproError):
@@ -106,8 +117,127 @@ def schema_from_data(data: object) -> DatabaseSchema:
 
 # -- instances -------------------------------------------------------------------
 
-def instance_to_data(instance: Instance) -> dict:
-    """Serialise an instance (type plus its objects, in deterministic order)."""
+def _flat_shape(type_: ComplexType) -> int | None:
+    """The flat-tuple arity of *type_* (0 for the atomic type ``U``), or
+    ``None`` when the type is nested and only the tree format applies."""
+    if type_ == U:
+        return 0
+    if isinstance(type_, TupleType) and all(c == U for c in type_.component_types):
+        return type_.arity
+    return None
+
+
+def _payload_key(payload: object) -> tuple[str, str]:
+    """Deterministic sort/dedup key for mixed-type atom payloads (mirrors
+    ``Atom.sort_key``: ``1`` and ``True`` are payload-equal but must stay
+    distinct dictionary entries, and mixed types cannot be sorted raw)."""
+    return (type(payload).__name__, repr(payload))
+
+
+def _atom_payload(value: ComplexValue) -> object:
+    if not isinstance(value, Atom):
+        raise SerializationError(f"expected an atomic coordinate, got {value!r}")
+    payload = value.value
+    if not isinstance(payload, (str, int, float, bool)) and payload is not None:
+        raise SerializationError(
+            f"atom payload {payload!r} of type {type(payload).__name__} is not JSON-compatible"
+        )
+    return payload
+
+
+def _encode_column(payloads: list) -> tuple[list, list[int]]:
+    """Dictionary-encode one coordinate: (sorted distinct payloads, index column)."""
+    by_key = {}
+    for payload in payloads:
+        by_key.setdefault(_payload_key(payload), payload)
+    ordered = sorted(by_key)
+    dictionary = [by_key[key] for key in ordered]
+    position = {key: index for index, key in enumerate(ordered)}
+    return dictionary, [position[_payload_key(payload)] for payload in payloads]
+
+
+def _columns_to_data(instance: Instance, arity: int) -> dict:
+    rows = instance.sorted_values()
+    if arity == 0:
+        coordinate_payloads = [[_atom_payload(value) for value in rows]]
+    else:
+        coordinate_payloads = [
+            [_atom_payload(row.coordinate(coordinate)) for row in rows]
+            for coordinate in range(1, arity + 1)
+        ]
+    dictionaries = []
+    columns = []
+    for payloads in coordinate_payloads:
+        dictionary, column = _encode_column(payloads)
+        dictionaries.append(dictionary)
+        columns.append(column)
+    return {"arity": arity, "dictionaries": dictionaries, "columns": columns}
+
+
+def _columns_from_data(payload: object) -> list[ComplexValue]:
+    if (
+        not isinstance(payload, dict)
+        or not isinstance(payload.get("arity"), int)
+        or not isinstance(payload.get("dictionaries"), list)
+        or not isinstance(payload.get("columns"), list)
+    ):
+        raise SerializationError(
+            f"columnar instance data needs 'arity', 'dictionaries' and 'columns', got {payload!r}"
+        )
+    arity = payload["arity"]
+    dictionaries = payload["dictionaries"]
+    columns = payload["columns"]
+    width = max(arity, 1)
+    if len(dictionaries) != width or len(columns) != width:
+        raise SerializationError(
+            f"columnar instance data of arity {arity} needs {width} dictionaries/columns"
+        )
+    if len({len(column) for column in columns}) > 1:
+        raise SerializationError("columnar instance columns have inconsistent lengths")
+    for coordinate, (dictionary, column) in enumerate(zip(dictionaries, columns)):
+        if not isinstance(dictionary, list):
+            raise SerializationError(
+                f"columnar dictionary for coordinate {coordinate} must be a list"
+            )
+        for index in column:
+            # type() rather than isinstance: True/False are ints but are
+            # payloads, not indices — and negative indices would silently
+            # wrap to the wrong dictionary entry.
+            if type(index) is not int or not 0 <= index < len(dictionary):
+                raise SerializationError(
+                    f"columnar index {index!r} out of range for the "
+                    f"{len(dictionary)}-entry dictionary of coordinate {coordinate}"
+                )
+    try:
+        if arity == 0:
+            return [Atom(dictionaries[0][index]) for index in columns[0]]
+        return [
+            TupleValue(
+                [Atom(dictionaries[coordinate][columns[coordinate][row]])
+                 for coordinate in range(arity)]
+            )
+            for row in range(len(columns[0]))
+        ]
+    except (IndexError, TypeError) as exc:
+        raise SerializationError(f"malformed columnar instance data: {exc}") from exc
+
+
+def instance_to_data(instance: Instance, columnar: bool | None = None) -> dict:
+    """Serialise an instance (type plus its objects, in deterministic order).
+
+    *columnar* selects the dictionary-encoded column format for flat
+    instances; the default (``None``) picks it automatically when columnar
+    storage is enabled and the instance clears the size threshold.  Nested
+    types always use the tree format.
+    """
+    shape = _flat_shape(instance.type)
+    if columnar is None:
+        columnar = columnar_dispatch(len(instance))
+    if columnar and shape is not None:
+        return {
+            "type": type_to_data(instance.type),
+            "columnar": _columns_to_data(instance, shape),
+        }
     return {
         "type": type_to_data(instance.type),
         "values": [value_to_data(value) for value in instance.sorted_values()],
@@ -115,10 +245,12 @@ def instance_to_data(instance: Instance) -> dict:
 
 
 def instance_from_data(data: object) -> Instance:
-    """Invert :func:`instance_to_data`."""
+    """Invert :func:`instance_to_data` (either format)."""
     if not isinstance(data, dict) or "type" not in data:
         raise SerializationError(f"a serialised instance needs a 'type' field, got {data!r}")
     type_ = type_from_data(data["type"])
+    if "columnar" in data:
+        return Instance(type_, _columns_from_data(data["columnar"]))
     values = [value_from_data(item) for item in data.get("values", [])]
     return Instance(type_, values)
 

@@ -14,6 +14,7 @@ from repro.objects.values import (
     TupleValue,
     atom,
     clear_intern_tables,
+    intern_stats,
     intern_table_sizes,
     interning,
     interning_enabled,
@@ -22,6 +23,18 @@ from repro.objects.values import (
     set_interning,
     value_from_python,
     value_to_python,
+)
+from repro.objects.columnar import (
+    ROW_DICTIONARY,
+    VALUE_DICTIONARY,
+    columnar_dispatch,
+    columnar_enabled,
+    columnar_settings,
+    columnar_stats,
+    columnar_storage,
+    columnar_threshold,
+    set_columnar,
+    set_columnar_threshold,
 )
 from repro.objects.domain import belongs_to, check_belongs
 from repro.objects.active_domain import active_domain, active_domain_of_instance
@@ -40,9 +53,20 @@ __all__ = [
     "TupleValue",
     "atom",
     "clear_intern_tables",
+    "intern_stats",
     "intern_table_sizes",
     "interning",
     "interning_enabled",
+    "ROW_DICTIONARY",
+    "VALUE_DICTIONARY",
+    "columnar_dispatch",
+    "columnar_enabled",
+    "columnar_settings",
+    "columnar_stats",
+    "columnar_storage",
+    "columnar_threshold",
+    "set_columnar",
+    "set_columnar_threshold",
     "make_set",
     "make_tuple",
     "set_interning",

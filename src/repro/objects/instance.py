@@ -12,6 +12,7 @@ from collections.abc import Iterable, Iterator, Mapping
 
 from repro.errors import SchemaError
 from repro.objects.active_domain import active_domain_of_instance
+from repro.objects.columnar import VALUE_DICTIONARY
 from repro.objects.domain import belongs_to
 from repro.objects.values import ComplexValue, SetValue, structural_sort_key, value_from_python
 from repro.types.schema import DatabaseSchema
@@ -34,6 +35,7 @@ class Instance:
             normalised.add(converted)
         self._values = frozenset(normalised)
         self._sorted: tuple[ComplexValue, ...] | None = None
+        self._ids = None
 
     @property
     def type(self) -> ComplexType:
@@ -42,6 +44,17 @@ class Instance:
     @property
     def values(self) -> frozenset[ComplexValue]:
         return self._values
+
+    def ids(self):
+        """The instance's sorted duplicate-free id column (see
+        :mod:`repro.objects.columnar`), built once on first use — the
+        engine's columnar set operators and the benchmarks consume it in
+        place of per-element hashing."""
+        ids = self._ids
+        if ids is None:
+            ids = VALUE_DICTIONARY.encode_sorted(self._sorted_values())
+            self._ids = ids
+        return ids
 
     def active_domain(self) -> frozenset[object]:
         return active_domain_of_instance(self._values)

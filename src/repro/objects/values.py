@@ -27,6 +27,23 @@ manager restore the historical allocate-and-recompute behaviour exactly
 equality, hashing, ordering and rendering are identical in both modes, and
 values created in different modes mix freely (equality falls back to the
 structural comparison whenever identity fails).
+
+Columnar set storage
+--------------------
+
+On top of interning, a :class:`SetValue` can be backed by a **sorted
+id-array column** instead of a frozenset of element objects
+(:mod:`repro.objects.columnar` holds the dictionary encoder and the bulk
+kernels).  The two representations are lazily inter-convertible: a
+frozenset-backed set builds its id column on first :meth:`SetValue.ids`
+call, and a column-backed set (produced by the bulk kernels via
+:meth:`SetValue._from_ids`) decodes its elements only when a consumer
+actually asks for them.  The bulk operations :meth:`SetValue.union`,
+:meth:`SetValue.intersection` and :meth:`SetValue.difference` dispatch to
+the O(n) merge kernels when columnar storage is enabled and the operands
+clear the size threshold; ``set_columnar(False)`` ablates the whole path
+(mirroring ``set_interning``), and equality/hashing/ordering are identical
+either way.
 """
 
 from __future__ import annotations
@@ -38,21 +55,43 @@ from functools import total_ordering
 from operator import methodcaller
 
 from repro.errors import ObjectModelError
+from repro.objects.columnar import (
+    VALUE_DICTIONARY,
+    columnar_dispatch,
+    contains_id,
+    difference_ids,
+    intersect_ids,
+    union_ids,
+)
 
 #: Sort-key extractor for ``sorted(values, key=structural_sort_key)``.
 structural_sort_key = methodcaller("sort_key")
 
 
 class _InterningState:
-    """The process-wide intern tables and the ablation switch."""
+    """The process-wide intern tables and the ablation switch.
 
-    __slots__ = ("enabled", "atoms", "tuples", "sets")
+    ``columnar_sets`` interns column-backed sets by their id-array bytes
+    (ids are equality-canonical, so the byte string is a perfect structural
+    key).  ``stats`` counts set-table traffic — in particular
+    ``set_frozenset_allocations``, which regression tests pin so the
+    ``SetValue.__new__`` hit path never silently re-normalises an input
+    that is already a frozenset.
+    """
+
+    __slots__ = ("enabled", "atoms", "tuples", "sets", "columnar_sets", "stats")
 
     def __init__(self) -> None:
         self.enabled = True
         self.atoms: weakref.WeakValueDictionary = weakref.WeakValueDictionary()
         self.tuples: weakref.WeakValueDictionary = weakref.WeakValueDictionary()
         self.sets: weakref.WeakValueDictionary = weakref.WeakValueDictionary()
+        self.columnar_sets: weakref.WeakValueDictionary = weakref.WeakValueDictionary()
+        self.stats = {
+            "set_hits": 0,
+            "set_misses": 0,
+            "set_frozenset_allocations": 0,
+        }
 
 
 _INTERN = _InterningState()
@@ -95,6 +134,7 @@ def clear_intern_tables() -> None:
     _INTERN.atoms.clear()
     _INTERN.tuples.clear()
     _INTERN.sets.clear()
+    _INTERN.columnar_sets.clear()
 
 
 def intern_table_sizes() -> dict[str, int]:
@@ -103,7 +143,13 @@ def intern_table_sizes() -> dict[str, int]:
         "atoms": len(_INTERN.atoms),
         "tuples": len(_INTERN.tuples),
         "sets": len(_INTERN.sets),
+        "columnar_sets": len(_INTERN.columnar_sets),
     }
+
+
+def intern_stats() -> dict[str, int]:
+    """A snapshot of the set-interning traffic counters (tests diff them)."""
+    return dict(_INTERN.stats)
 
 
 def _validate_tuple_components(normalised: tuple) -> None:
@@ -364,40 +410,138 @@ class TupleValue(ComplexValue):
 
 
 class SetValue(ComplexValue):
-    """A finite set value ``{x1, ..., xm}`` (possibly empty)."""
+    """A finite set value ``{x1, ..., xm}`` (possibly empty).
 
-    __slots__ = ("elements", "_hash", "_sort_key", "_atoms", "_sorted", "_belongs")
+    A set is backed by a frozenset of element objects, by a sorted id-array
+    column (see the module docstring and :mod:`repro.objects.columnar`), or
+    by both — each representation is built lazily from the other on first
+    demand, so the bulk kernels never pay for element objects they do not
+    touch and the object path never pays for columns it does not use.
+    """
+
+    __slots__ = ("_elements", "_ids", "_hash", "_sort_key", "_atoms", "_sorted", "_belongs")
 
     def __new__(cls, elements: Iterable[ComplexValue] = ()) -> "SetValue":
-        normalised = frozenset(elements)
         if _INTERN.enabled:
+            stats = _INTERN.stats
             # Element-*identity* key, for the same reason as TupleValue:
             # equality-keying would collapse sets whose elements are
             # payload-equal but type-distinct (Atom(1) vs Atom(True)).
             # Hits skip validation — only validated sets are ever stored.
+            # The key needs a deduplicated view, but an input that already
+            # is a frozenset (Instance.as_set_value, set operations over
+            # ``.elements``) is reused as-is: the hit path then allocates
+            # nothing beyond the key itself, and a miss never normalises
+            # the elements twice.
+            if type(elements) is frozenset:
+                normalised = elements
+            else:
+                normalised = frozenset(elements)
+                stats["set_frozenset_allocations"] += 1
             key = (cls, frozenset(map(id, normalised)))
             cached = _INTERN.sets.get(key)
             if cached is not None:
+                stats["set_hits"] += 1
                 return cached
+            stats["set_misses"] += 1
             _validate_set_elements(normalised)
             self = object.__new__(cls)
-            object.__setattr__(self, "elements", normalised)
+            object.__setattr__(self, "_elements", normalised)
             _INTERN.sets[key] = self
             return self
+        normalised = frozenset(elements)
         _validate_set_elements(normalised)
         self = object.__new__(cls)
-        object.__setattr__(self, "elements", normalised)
+        object.__setattr__(self, "_elements", normalised)
         return self
 
     def __init__(self, elements: Iterable[ComplexValue] = ()) -> None:
         pass
 
+    @classmethod
+    def _from_ids(cls, ids) -> "SetValue":
+        """A set backed by a sorted duplicate-free id column.
+
+        Internal to the columnar kernels: *ids* must come from
+        ``VALUE_DICTIONARY`` encodes of validated values, so no
+        re-validation happens here.  Column-backed sets intern by the
+        column's bytes (ids label equality classes, making the byte string
+        a perfect structural key even across interning modes).
+        """
+        if _INTERN.enabled:
+            key = ids.tobytes()
+            cached = _INTERN.columnar_sets.get(key)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            object.__setattr__(self, "_ids", ids)
+            _INTERN.columnar_sets[key] = self
+            return self
+        self = object.__new__(cls)
+        object.__setattr__(self, "_ids", ids)
+        return self
+
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("SetValue is immutable")
 
     @property
+    def elements(self) -> frozenset:
+        """The element frozenset (decoded from the id column on first
+        access when this set is column-backed)."""
+        try:
+            return self._elements
+        except AttributeError:
+            decoded = frozenset(VALUE_DICTIONARY.decode_all(self._ids))
+            object.__setattr__(self, "_elements", decoded)
+            return decoded
+
+    def ids(self):
+        """This set's sorted duplicate-free id column, built and cached on
+        first use (the consumers gate on :func:`columnar_enabled` and the
+        size threshold; the column itself is mode-independent).  Elements
+        encode in their structural order, so sorted blocks shared between
+        sets become contiguous id runs the kernels move with block copies.
+        """
+        try:
+            return self._ids
+        except AttributeError:
+            ids = VALUE_DICTIONARY.encode_sorted(self._sorted_elements())
+            object.__setattr__(self, "_ids", ids)
+            return ids
+
+    @property
     def cardinality(self) -> int:
-        return len(self.elements)
+        try:
+            return len(self._elements)
+        except AttributeError:
+            return len(self._ids)
+
+    # -- bulk set operations --------------------------------------------------
+    def union(self, other: "SetValue") -> "SetValue":
+        """Set union, via the sorted-id-array merge kernel when columnar
+        storage is enabled and the operands clear the size threshold."""
+        other = _require_set_operand(other, "union")
+        if self is other:
+            return self
+        if _columnar_dispatch(self, other):
+            return SetValue._from_ids(union_ids(self.ids(), other.ids()))
+        return SetValue(self.elements | other.elements)
+
+    def intersection(self, other: "SetValue") -> "SetValue":
+        """Set intersection (columnar kernel when profitable)."""
+        other = _require_set_operand(other, "intersection")
+        if self is other:
+            return self
+        if _columnar_dispatch(self, other):
+            return SetValue._from_ids(intersect_ids(self.ids(), other.ids()))
+        return SetValue(self.elements & other.elements)
+
+    def difference(self, other: "SetValue") -> "SetValue":
+        """Set difference (columnar kernel when profitable)."""
+        other = _require_set_operand(other, "difference")
+        if _columnar_dispatch(self, other):
+            return SetValue._from_ids(difference_ids(self.ids(), other.ids()))
+        return SetValue(self.elements - other.elements)
 
     def atoms(self) -> frozenset[object]:
         if not _INTERN.enabled:
@@ -448,15 +592,29 @@ class SetValue(ComplexValue):
             return key
 
     def contains(self, value: ComplexValue) -> bool:
-        return value in self.elements
+        return self.__contains__(value)
 
     def __contains__(self, value: object) -> bool:
-        return value in self.elements
+        try:
+            elements = self._elements
+        except AttributeError:
+            # Column-backed: membership is a dictionary probe plus a binary
+            # search, with no element materialisation.
+            encoded = VALUE_DICTIONARY.id_of(value)
+            return encoded is not None and contains_id(self._ids, encoded)
+        return value in elements
 
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
-        return isinstance(other, SetValue) and self.elements == other.elements
+        if not isinstance(other, SetValue):
+            return False
+        try:
+            # Ids label equality classes, so equal columns <=> equal sets
+            # (both are sorted and duplicate-free) — no elements needed.
+            return self._ids == other._ids
+        except AttributeError:
+            return self.elements == other.elements
 
     def __hash__(self) -> int:
         if not _INTERN.enabled:
@@ -472,13 +630,26 @@ class SetValue(ComplexValue):
         return iter(self._sorted_elements())
 
     def __len__(self) -> int:
-        return len(self.elements)
+        return self.cardinality
 
     def __str__(self) -> str:
         return "{" + ", ".join(str(e) for e in self._sorted_elements()) + "}"
 
     def __repr__(self) -> str:
         return f"SetValue({self.sorted_elements()!r})"
+
+
+def _require_set_operand(value: object, operation: str) -> "SetValue":
+    if not isinstance(value, SetValue):
+        raise ObjectModelError(
+            f"SetValue.{operation} requires a SetValue operand, got {type(value).__name__}"
+        )
+    return value
+
+
+def _columnar_dispatch(left: SetValue, right: SetValue) -> bool:
+    """Whether a bulk operation on these operands should take the kernels."""
+    return columnar_dispatch(len(left) + len(right))
 
 
 def atom(value: object) -> Atom:

@@ -12,24 +12,47 @@ from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import EvaluationError
 from repro.engine.join import hash_join
+from repro.objects.columnar import (
+    columnar_dispatch,
+    difference_ids,
+    intersect_ids,
+    union_ids,
+)
 from repro.relational.relation import Relation
+
+
+def _columnar_operands(left: Relation, right: Relation):
+    """The two row-id columns when the columnar kernels should run, else
+    ``None`` (columnar disabled, or the inputs are below the threshold)."""
+    if not columnar_dispatch(len(left) + len(right)):
+        return None
+    return left.ids(), right.ids()
 
 
 def union(left: Relation, right: Relation) -> Relation:
     """Set union of two relations of the same arity."""
     _require_same_arity(left, right, "union")
+    ids = _columnar_operands(left, right)
+    if ids is not None:
+        return Relation._from_ids(left.arity, union_ids(*ids))
     return Relation(left.arity, left.tuples | right.tuples)
 
 
 def intersection(left: Relation, right: Relation) -> Relation:
     """Set intersection of two relations of the same arity."""
     _require_same_arity(left, right, "intersection")
+    ids = _columnar_operands(left, right)
+    if ids is not None:
+        return Relation._from_ids(left.arity, intersect_ids(*ids))
     return Relation(left.arity, left.tuples & right.tuples)
 
 
 def difference(left: Relation, right: Relation) -> Relation:
     """Set difference of two relations of the same arity."""
     _require_same_arity(left, right, "difference")
+    ids = _columnar_operands(left, right)
+    if ids is not None:
+        return Relation._from_ids(left.arity, difference_ids(*ids))
     return Relation(left.arity, left.tuples - right.tuples)
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 
 from repro.errors import ObjectModelError
+from repro.objects.columnar import ROW_DICTIONARY, contains_id
 from repro.objects.instance import Instance
 from repro.objects.values import Atom, TupleValue
 from repro.types.type_system import TupleType, U
@@ -26,7 +27,14 @@ def _row_sort_key(row: tuple) -> tuple:
 
 
 class Relation:
-    """A finite relation of fixed arity over atomic values."""
+    """A finite relation of fixed arity over atomic values.
+
+    A relation is backed by a frozenset of rows, by a sorted id-array
+    column over :data:`~repro.objects.columnar.ROW_DICTIONARY` (the result
+    shape of the columnar set-operation kernels in
+    :mod:`repro.relational.algebra`), or by both; each representation is
+    built lazily from the other on first demand.
+    """
 
     def __init__(self, arity: int, tuples: Iterable[tuple] = ()) -> None:
         if not isinstance(arity, int) or arity < 1:
@@ -40,8 +48,24 @@ class Relation:
                     f"tuple {row!r} has arity {len(row)}, expected {arity}"
                 )
             normalised.add(row)
-        self._tuples = frozenset(normalised)
+        self._tuples: frozenset[tuple] | None = frozenset(normalised)
+        self._ids = None
         self._sorted: tuple[tuple, ...] | None = None
+
+    @classmethod
+    def _from_ids(cls, arity: int, ids) -> "Relation":
+        """A relation backed by a sorted duplicate-free row-id column.
+
+        Internal to the columnar kernels: *ids* must come from
+        ``ROW_DICTIONARY`` encodes of rows of the given arity, so no
+        re-validation happens here and rows decode lazily.
+        """
+        self = cls.__new__(cls)
+        self._arity = arity
+        self._tuples = None
+        self._ids = ids
+        self._sorted = None
+        return self
 
     @property
     def arity(self) -> int:
@@ -49,11 +73,26 @@ class Relation:
 
     @property
     def tuples(self) -> frozenset[tuple]:
-        return self._tuples
+        cached = self._tuples
+        if cached is None:
+            cached = frozenset(ROW_DICTIONARY.decode_all(self._ids))
+            self._tuples = cached
+        return cached
+
+    def ids(self):
+        """The relation's sorted duplicate-free row-id column, built once on
+        first use (see :mod:`repro.objects.columnar`)."""
+        ids = self._ids
+        if ids is None:
+            # Encode in the deterministic row order (shared sorted blocks
+            # become contiguous id runs for the kernels' galloping).
+            ids = ROW_DICTIONARY.encode_sorted(iter(self))
+            self._ids = ids
+        return ids
 
     def active_domain(self) -> frozenset[object]:
         result: set[object] = set()
-        for row in self._tuples:
+        for row in self.tuples:
             result.update(row)
         return frozenset(result)
 
@@ -61,7 +100,7 @@ class Relation:
     def to_instance(self) -> Instance:
         """This relation as an :class:`Instance` of the flat type ``[U,...,U]``."""
         type_ = TupleType([U] * self._arity)
-        return Instance(type_, [TupleValue([Atom(v) for v in row]) for row in self._tuples])
+        return Instance(type_, [TupleValue([Atom(v) for v in row]) for row in self.tuples])
 
     @classmethod
     def from_instance(cls, instance: Instance) -> "Relation":
@@ -85,7 +124,14 @@ class Relation:
 
     # -- container protocol ---------------------------------------------------
     def __contains__(self, row: object) -> bool:
-        return tuple(row) in self._tuples if isinstance(row, (tuple, list)) else False
+        if not isinstance(row, (tuple, list)):
+            return False
+        row = tuple(row)
+        if self._tuples is None:
+            # Column-backed: a dictionary probe plus a binary search.
+            encoded = ROW_DICTIONARY.id_of(row)
+            return encoded is not None and contains_id(self._ids, encoded)
+        return row in self._tuples
 
     def __iter__(self) -> Iterator[tuple]:
         # Sort by a structural key (type name, then repr) per component:
@@ -96,22 +142,26 @@ class Relation:
         # recompute every row's structural key) on each call.
         cached = self._sorted
         if cached is None:
-            cached = tuple(sorted(self._tuples, key=_row_sort_key))
+            cached = tuple(sorted(self.tuples, key=_row_sort_key))
             self._sorted = cached
         return iter(cached)
 
     def __len__(self) -> int:
+        if self._tuples is None:
+            return len(self._ids)
         return len(self._tuples)
 
     def __eq__(self, other: object) -> bool:
-        return (
-            isinstance(other, Relation)
-            and self._arity == other._arity
-            and self._tuples == other._tuples
-        )
+        if not isinstance(other, Relation) or self._arity != other._arity:
+            return False
+        if self._ids is not None and other._ids is not None:
+            # Row ids label equality classes, so equal columns <=> equal
+            # row sets (both sorted and duplicate-free).
+            return self._ids == other._ids
+        return self.tuples == other.tuples
 
     def __hash__(self) -> int:
-        return hash((self._arity, self._tuples))
+        return hash((self._arity, self.tuples))
 
     def __str__(self) -> str:
         rows = ", ".join(str(row) for row in self)

@@ -188,3 +188,150 @@ class TestPropertySerializationRoundTrip:
     def test_type_round_trip(self, data):
         type_ = data.draw(_types)
         assert type_from_data(type_to_data(type_)) == type_
+
+
+class TestColumnarSerialization:
+    """Round trips of the dictionary-encoded columnar instance format,
+    cross-read against the element-by-element tree format."""
+
+    def _flat_instance(self):
+        rows = [("a", i) for i in range(6)] + [("b", i) for i in range(4)]
+        # A payload-type collision on purpose: 1 (int), "1" (str) and True
+        # (bool, payload-equal to 1) must stay distinct dictionary entries.
+        rows += [(1, "1"), (True, "x")]
+        return Instance(parse_type("[U, U]"), [value_from_python(row) for row in rows])
+
+    def test_columnar_round_trip_flat_tuples(self):
+        instance = self._flat_instance()
+        data = instance_to_data(instance, columnar=True)
+        assert "columnar" in data and "values" not in data
+        assert instance_from_data(data) == instance
+
+    def test_columnar_round_trip_atomic_instance(self):
+        instance = Instance(parse_type("U"), [f"p{i}" for i in range(8)])
+        data = instance_to_data(instance, columnar=True)
+        assert data["columnar"]["arity"] == 0
+        assert instance_from_data(data) == instance
+
+    def test_columnar_written_equals_tree_written(self):
+        """Columnar-written -> read and tree-written -> read meet in the
+        middle: equal instances, equal canonical values."""
+        instance = self._flat_instance()
+        from_columnar = instance_from_data(instance_to_data(instance, columnar=True))
+        from_tree = instance_from_data(instance_to_data(instance, columnar=False))
+        assert from_columnar == from_tree == instance
+        assert from_columnar.values == from_tree.values
+
+    def test_tree_reader_still_reads_object_written_data(self):
+        instance = self._flat_instance()
+        data = instance_to_data(instance, columnar=False)
+        assert "values" in data and "columnar" not in data
+        assert instance_from_data(data) == instance
+
+    def test_columnar_dictionaries_deduplicate(self):
+        instance = self._flat_instance()
+        data = instance_to_data(instance, columnar=True)
+        first_dictionary = data["columnar"]["dictionaries"][0]
+        assert len(first_dictionary) == len(set(map(repr, first_dictionary)))
+        assert len(first_dictionary) < len(instance)
+
+    def test_nested_types_fall_back_to_the_tree_format(self):
+        instance = Instance(
+            parse_type("{U}"), [value_from_python(frozenset({"a"}))]
+        )
+        data = instance_to_data(instance, columnar=True)
+        assert "values" in data and "columnar" not in data
+        assert instance_from_data(data) == instance
+
+    def test_automatic_selection_follows_the_columnar_switch(self):
+        from repro.objects.columnar import columnar_settings
+
+        instance = self._flat_instance()
+        with columnar_settings(enabled=True, threshold=1):
+            assert "columnar" in instance_to_data(instance)
+        with columnar_settings(enabled=True, threshold=10_000):
+            assert "values" in instance_to_data(instance)
+        with columnar_settings(enabled=False):
+            assert "values" in instance_to_data(instance)
+
+    def test_database_round_trip_through_json_with_columnar_instances(self):
+        from repro.objects.columnar import columnar_settings
+
+        database = DatabaseInstance.build(
+            PARENT_SCHEMA, PAR=[(f"v{i}", f"v{i+1}") for i in range(12)]
+        )
+        with columnar_settings(enabled=True, threshold=1):
+            text = dumps(database)
+            assert '"columnar"' in text
+            assert loads(text) == database
+        # A columnar-written database reads back identically with the
+        # switch off (the reader is format-driven, not mode-driven).
+        with columnar_settings(enabled=False):
+            assert loads(text) == database
+
+    def test_malformed_columnar_data_is_rejected(self):
+        with pytest.raises(SerializationError):
+            instance_from_data({"type": "[U, U]", "columnar": {"arity": 2}})
+        with pytest.raises(SerializationError):
+            instance_from_data(
+                {
+                    "type": "[U, U]",
+                    "columnar": {
+                        "arity": 2,
+                        "dictionaries": [["a"]],
+                        "columns": [[0], [0]],
+                    },
+                }
+            )
+        with pytest.raises(SerializationError):
+            instance_from_data(
+                {
+                    "type": "[U, U]",
+                    "columnar": {
+                        "arity": 2,
+                        "dictionaries": [["a"], ["b"]],
+                        "columns": [[0, 0], [0]],
+                    },
+                }
+            )
+        with pytest.raises(SerializationError):
+            instance_from_data(
+                {
+                    "type": "[U, U]",
+                    "columnar": {
+                        "arity": 2,
+                        "dictionaries": [["a"], ["b"]],
+                        "columns": [[0], [7]],
+                    },
+                }
+            )
+        # Negative indices must not wrap, and booleans are payloads, not
+        # indices.
+        for bad_index in (-1, True, "0"):
+            with pytest.raises(SerializationError):
+                instance_from_data(
+                    {
+                        "type": "[U, U]",
+                        "columnar": {
+                            "arity": 2,
+                            "dictionaries": [["a", "b"], ["x"]],
+                            "columns": [[bad_index], [0]],
+                        },
+                    }
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", 1, 2, True]),
+                st.sampled_from(["x", "y", 3]),
+            ),
+            max_size=12,
+        )
+    )
+    def test_property_columnar_round_trip(self, rows):
+        instance = Instance(
+            parse_type("[U, U]"), [value_from_python(row) for row in rows]
+        )
+        assert instance_from_data(instance_to_data(instance, columnar=True)) == instance

@@ -107,3 +107,47 @@ def test_recorded_benchmark_reports_meet_their_floors():
     floors (the same gate ``python benchmarks/check_regressions.py`` runs)."""
     failures = check_all()
     assert not failures, "\n".join(failures)
+
+
+def test_columnar_bulk_union_stays_columnar():
+    """The bulk-union kernel must produce a column-backed result without
+    materialising element objects (the representation the X22 speedup
+    relies on), and actually run the merge kernel."""
+    from repro.objects.columnar import columnar_settings, columnar_stats
+    from repro.objects.values import make_set
+
+    with columnar_settings(enabled=True, threshold=1):
+        left = make_set([f"s{i:04d}" for i in range(300)])
+        right = make_set([f"s{i:04d}" for i in range(150, 450)])
+        before = columnar_stats()["kernel_union"]
+        union = left.union(right)
+        assert columnar_stats()["kernel_union"] == before + 1
+        with pytest.raises(AttributeError):
+            object.__getattribute__(union, "_elements")
+        assert len(union) == 450
+
+
+def test_engine_set_operations_take_the_columnar_path():
+    """Scan-over-scan set operations in the engine must dispatch to the id
+    columns when columnar storage is on, and the answer must equal the
+    object path's."""
+    from repro.algebra.expressions import PredicateExpression, Union
+    from repro.algebra.evaluation import evaluate_expression
+    from repro.objects.columnar import columnar_settings, columnar_stats
+    from repro.objects.instance import DatabaseInstance
+    from repro.types.parser import parse_type
+    from repro.types.schema import DatabaseSchema
+
+    schema = DatabaseSchema([("R", parse_type("[U, U]")), ("S", parse_type("[U, U]"))])
+    database = DatabaseInstance.build(
+        schema,
+        R=[(f"a{i}", f"b{i}") for i in range(20)],
+        S=[(f"a{i}", f"b{i}") for i in range(10, 30)],
+    )
+    expression = Union(PredicateExpression("R"), PredicateExpression("S"))
+    with columnar_settings(enabled=True, threshold=1):
+        before = columnar_stats()["engine_set_ops"]
+        columnar_answer = evaluate_expression(expression, database)
+        assert columnar_stats()["engine_set_ops"] == before + 1
+    with columnar_settings(enabled=False):
+        assert evaluate_expression(expression, database) == columnar_answer

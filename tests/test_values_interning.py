@@ -184,3 +184,55 @@ class TestInterningValidation:
                     TupleValue(["raw"])
                 with pytest.raises(ObjectModelError):
                     SetValue(["raw"])
+
+
+class TestSetInterningAllocationStats:
+    """Regression tests for the ``SetValue.__new__`` hit path: an input
+    that is already a frozenset must be reused as-is (no fresh frozenset
+    per construction), pinned via the ``_INTERN`` traffic counters."""
+
+    def test_frozenset_input_allocates_nothing_on_hits(self, fresh_tables):
+        from repro.objects.values import intern_stats, make_set
+
+        with interning(True):
+            canonical = make_set(["a", "b", "c"])
+            elements = canonical.elements
+            before = intern_stats()
+            for _ in range(10):
+                assert SetValue(elements) is canonical
+            after = intern_stats()
+        assert after["set_hits"] == before["set_hits"] + 10
+        assert after["set_misses"] == before["set_misses"]
+        # The hit path normalised nothing: every call reused the caller's
+        # frozenset for the identity key.
+        assert (
+            after["set_frozenset_allocations"] == before["set_frozenset_allocations"]
+        )
+
+    def test_iterable_input_normalises_exactly_once_per_call(self, fresh_tables):
+        from repro.objects.values import intern_stats
+
+        with interning(True):
+            elements = [Atom("x"), Atom("y")]
+            keep = SetValue(elements)  # miss: one normalisation + insert
+            before = intern_stats()
+            assert SetValue(elements) is keep  # hit (input is a list)
+            after = intern_stats()
+        assert after["set_hits"] == before["set_hits"] + 1
+        assert (
+            after["set_frozenset_allocations"]
+            == before["set_frozenset_allocations"] + 1
+        )
+
+    def test_instance_as_set_value_hits_without_allocating(self, fresh_tables):
+        from repro.objects.instance import Instance
+        from repro.objects.values import intern_stats
+        from repro.types.type_system import U
+
+        with interning(True):
+            instance = Instance(U, ["p0", "p1", "p2"])
+            first = instance.as_set_value()
+            before = intern_stats()
+            assert instance.as_set_value() is first
+            after = intern_stats()
+        assert after["set_frozenset_allocations"] == before["set_frozenset_allocations"]

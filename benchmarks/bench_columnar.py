@@ -61,12 +61,12 @@ def _best_of(function, repeats: int = 5) -> float:
     """Best-of-N wall clock, retaining each run's result while the next
     executes (double-buffered; see ``bench_values._best_of``)."""
     best = float("inf")
-    previous = None
+    retained = [None]
     for _ in range(repeats):
         start = time.perf_counter()
         current = function()
         best = min(best, time.perf_counter() - start)
-        previous = current  # noqa: F841 — keeps the last answer alive
+        retained[0] = current  # keeps the last answer alive
     return best
 
 

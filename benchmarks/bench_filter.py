@@ -1,0 +1,184 @@
+"""X23 — engineering ablation: vectorized selection predicates.
+
+Measures the selection scan path with vectorized filters **on**
+(column-at-a-time masks over cached per-coordinate id columns,
+:mod:`repro.algebra.vectorized`) versus **off** (the historical per-tuple
+``condition_holds`` loop, restored by ``set_vectorized_filters(False)``),
+interning and columnar storage at their defaults in both modes so the
+*only* variable is how the predicate is evaluated:
+
+* **equality selection over 10k rows** — ``σ_{2='v0007'}(R)`` through the
+  engine (``Filter`` over ``Scan``) on a 10 000-row flat instance with 1%
+  selectivity.  The per-tuple path walks the condition tree, re-resolves
+  both operands and re-interns the constant atom once per row; the
+  vectorized path looks the constant's dictionary id up once and scans the
+  cached coordinate id column with C-speed ``array.index``;
+* **membership selection over 10k rows** — ``σ_{'e7'∈3}(S)`` where rows
+  carry one of 8 distinct 64-element sets.  The per-tuple path runs the
+  containment test once per row; the vectorized path evaluates it once per
+  *distinct* container id — 8 probes instead of 10 000 — and marks each
+  containing id's rows with one bulk equality-mask scan;
+* **pairwise membership over 10k rows** — ``σ_{2∈3}(S)`` (element and
+  container both columns, 50 keys × 8 sets): one containment test per
+  distinct (element id, container id) pair — 400 instead of 10 000 —
+  replayed through a packed-integer memo (informational floor: the
+  per-row memo replay keeps a Python loop, so the margin is narrower).
+
+Each run evaluates the full engine pipeline (compile + scan + filter), as
+a serving system would; per-coordinate id columns are warmed by the first
+evaluation and reused after, matching steady-state scan traffic.
+Acceptance: ≥5× on both workloads.  ``test_filter_report`` writes
+``benchmarks/BENCH_filter.json`` (floors re-checked by
+``check_regressions.py`` on every tier-1 run); directly runnable::
+
+    PYTHONPATH=src python benchmarks/bench_filter.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import write_bench_report
+from repro.algebra import (
+    PredicateExpression,
+    Selection,
+    SelectionCondition,
+    evaluate_expression,
+    vectorized_filters,
+)
+from repro.algebra.expressions import ConstantOperand
+from repro.objects.instance import DatabaseInstance
+from repro.types.parser import parse_type
+from repro.types.schema import DatabaseSchema
+
+#: Rows per instance (the ISSUE's 10k-row selection workload).
+ROW_COUNT = 10_000
+
+#: Acceptance floors; ``check_regressions.py`` re-validates the recorded
+#: report against these on every tier-1 run.
+FLOORS = {
+    "speedup_vectorized_eq_10k": 5.0,
+    "speedup_vectorized_membership_10k": 5.0,
+    "speedup_vectorized_pair_membership_10k": 2.5,
+}
+
+FLAT_SCHEMA = DatabaseSchema([("R", parse_type("[U, U]"))])
+MEMBER_SCHEMA = DatabaseSchema([("S", parse_type("[U, U, {U}]"))])
+
+
+def _best_of(function, repeats: int = 5) -> float:
+    """Best-of-N wall clock, retaining each run's result while the next
+    executes (double-buffered; see ``bench_values._best_of``)."""
+    best = float("inf")
+    retained = [None]
+    for _ in range(repeats):
+        start = time.perf_counter()
+        current = function()
+        best = min(best, time.perf_counter() - start)
+        retained[0] = current  # keeps the last answer alive
+    return best
+
+
+def equality_workload(rows: int = ROW_COUNT):
+    """A 10k-row flat instance and a 1%-selectivity constant equality."""
+    database = DatabaseInstance.build(
+        FLAT_SCHEMA,
+        R=[(f"k{i:05d}", f"v{i % 100:04d}") for i in range(rows)],
+    )
+    condition = SelectionCondition.eq(2, ConstantOperand("v0007"))
+    return Selection(PredicateExpression("R"), condition), database
+
+
+def _member_database(rows: int) -> DatabaseInstance:
+    """10k rows pairing 50 distinct keys with 8 distinct 64-element sets."""
+    pools = [
+        frozenset(
+            {f"m{pool:02d}_{j:02d}" for j in range(62)}
+            | {f"e{pool * 6 + d}" for d in range(2)}
+        )
+        for pool in range(8)
+    ]
+    return DatabaseInstance.build(
+        MEMBER_SCHEMA,
+        S=[(f"row{i:05d}", f"e{i % 50}", pools[i % 8]) for i in range(rows)],
+    )
+
+
+def membership_workload(rows: int = ROW_COUNT):
+    """Constant-element membership: 8 distinct containers stand in for
+    10k per-row probes, and the mask is built by bulk column scans."""
+    condition = SelectionCondition.member(ConstantOperand("e7"), 3)
+    return Selection(PredicateExpression("S"), condition), _member_database(rows)
+
+
+def pair_membership_workload(rows: int = ROW_COUNT):
+    """Column-element membership: 400 distinct (element, container) pairs
+    stand in for 10k per-row probes."""
+    condition = SelectionCondition.member(2, 3)
+    return Selection(PredicateExpression("S"), condition), _member_database(rows)
+
+
+def measure_selection(name: str, expression, database) -> dict:
+    """Steady-state engine evaluation of *expression*, per filter mode."""
+    seconds = {}
+    cardinality = {}
+    for mode, label in ((True, "vectorized"), (False, "per_tuple")):
+        with vectorized_filters(mode):
+            run = lambda: evaluate_expression(expression, database)
+            cardinality[label] = len(run())  # warm columns / intern tables
+            seconds[label] = _best_of(run)
+    assert cardinality["vectorized"] == cardinality["per_tuple"]
+    return {
+        "workload": name,
+        "result_cardinality": cardinality["vectorized"],
+        "seconds": seconds,
+        "speedup_vectorized_vs_per_tuple": seconds["per_tuple"] / seconds["vectorized"],
+    }
+
+
+def test_filter_report():
+    """Measure both modes on every workload, assert the bars, emit the report."""
+    equality = measure_selection(
+        f"engine σ_(2='v0007') over {ROW_COUNT} rows (1% selectivity)",
+        *equality_workload(),
+    )
+    membership = measure_selection(
+        f"engine σ_('e7'∈3) over {ROW_COUNT} rows (8 distinct containers)",
+        *membership_workload(),
+    )
+    pair_membership = measure_selection(
+        f"engine σ_(2∈3) over {ROW_COUNT} rows (50 keys × 8 sets)",
+        *pair_membership_workload(),
+    )
+    metrics = {
+        "speedup_vectorized_eq_10k": equality["speedup_vectorized_vs_per_tuple"],
+        "speedup_vectorized_membership_10k": membership["speedup_vectorized_vs_per_tuple"],
+        "speedup_vectorized_pair_membership_10k": pair_membership[
+            "speedup_vectorized_vs_per_tuple"
+        ],
+    }
+    path = write_bench_report(
+        "filter",
+        {
+            "experiment": "X23 vectorized selection predicates: mask kernels on vs off",
+            "results": {
+                "equality_selection": equality,
+                "membership_selection": membership,
+                "pair_membership_selection": pair_membership,
+            },
+            "metrics": metrics,
+            "floors": FLOORS,
+        },
+    )
+    for metric, floor in FLOORS.items():
+        assert metrics[metric] >= floor, (path, metric, metrics[metric])
+
+
+if __name__ == "__main__":
+    test_filter_report()
+    for line in Path(__file__).with_name("BENCH_filter.json").read_text().splitlines():
+        print(line)

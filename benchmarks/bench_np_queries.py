@@ -25,7 +25,6 @@ from repro.calculus.query import CalculusQuery
 from repro.calculus.terms import var
 from repro.objects.instance import DatabaseInstance
 from repro.objects.values import value_from_python
-from repro.types.parser import parse_type
 from repro.types.type_system import SetType, U
 
 UNBOUNDED = EvaluationSettings(binding_budget=None)

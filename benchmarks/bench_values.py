@@ -82,12 +82,12 @@ def _best_of(function, repeats: int = 3) -> float:
     result values — with their cached hashes and membership verdicts —
     instead of rebuilding their structure from scratch."""
     best = float("inf")
-    previous = None
+    retained = [None]
     for _ in range(repeats):
         start = time.perf_counter()
         current = function()
         best = min(best, time.perf_counter() - start)
-        previous = current  # noqa: F841 — keeps the last answer alive
+        retained[0] = current  # keeps the last answer alive
     return best
 
 

@@ -31,6 +31,14 @@ from repro.algebra.evaluation import (
     evaluate_expression,
     evaluate_expression_legacy,
 )
+from repro.algebra.vectorized import (
+    CompiledCondition,
+    compile_condition,
+    set_vectorized_filters,
+    vectorized_enabled,
+    vectorized_filters,
+    vectorized_stats,
+)
 from repro.algebra.classification import alg_classification, expression_types, in_alg
 from repro.algebra.translate import algebra_to_calculus
 from repro.algebra.derived import join, nest, unnest
@@ -64,6 +72,12 @@ __all__ = [
     "AlgebraEvaluationSettings",
     "evaluate_expression",
     "evaluate_expression_legacy",
+    "CompiledCondition",
+    "compile_condition",
+    "set_vectorized_filters",
+    "vectorized_enabled",
+    "vectorized_filters",
+    "vectorized_stats",
     "alg_classification",
     "expression_types",
     "in_alg",

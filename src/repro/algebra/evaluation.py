@@ -34,8 +34,8 @@ from repro.algebra.expressions import (
     SelectionCondition,
     Union,
     Untuple,
-    flatten_for_product,
 )
+from repro.algebra.vectorized import vectorized_filter
 from repro.objects.instance import DatabaseInstance, Instance
 from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue, structural_sort_key
 from repro.types.schema import DatabaseSchema
@@ -166,10 +166,14 @@ def _evaluate(
             raise EvaluationError(f"selection requires a tuple-typed operand, got {operand_type}")
         expression.condition.validate(operand_type)
         operand = _evaluate(expression.operand, database, schema, settings, types)
+        condition = expression.condition
+        filtered = vectorized_filter(condition, operand, operand_type)
+        if filtered is not None:
+            return set(filtered)
         return {
             value
             for value in operand
-            if condition_holds(expression.condition, value)
+            if condition_holds(condition, value)
         }
 
     if isinstance(expression, Product):

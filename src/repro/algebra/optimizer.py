@@ -33,7 +33,6 @@ from repro.errors import TypingError
 from repro.algebra.expressions import (
     AlgebraExpression,
     Collapse,
-    ConstantOperand,
     ConstantSingleton,
     Difference,
     Intersection,
@@ -49,7 +48,7 @@ from repro.algebra.expressions import (
     structural_key,
 )
 from repro.types.schema import DatabaseSchema
-from repro.types.type_system import SetType, TupleType
+from repro.types.type_system import TupleType
 
 
 # ---------------------------------------------------------------------------

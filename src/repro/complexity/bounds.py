@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.errors import ReproError
 from repro.objects.constructive import constructive_domain_size
 from repro.types.set_height import set_height
-from repro.types.type_system import AtomicType, ComplexType, SetType, TupleType, max_tuple_width
+from repro.types.type_system import ComplexType, max_tuple_width
 
 
 def cons_size_bound(type_: ComplexType, atom_count: int) -> int:

@@ -24,7 +24,7 @@ CALC_{0,1} query of Example 3.1 is measured (experiment X17).
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import EvaluationError, SchemaError
 from repro.algebra.evaluation import AlgebraEvaluationSettings, evaluate_expression

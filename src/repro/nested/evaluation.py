@@ -11,7 +11,8 @@ result exercised by experiment X16.
 from __future__ import annotations
 
 from repro.errors import EvaluationError
-from repro.algebra.expressions import ConstantOperand, SelectionCondition
+from repro.algebra.evaluation import condition_holds
+from repro.algebra.vectorized import vectorized_filter
 from repro.nested.expressions import (
     Nest,
     NestedDifference,
@@ -25,7 +26,7 @@ from repro.nested.expressions import (
     Unnest,
 )
 from repro.objects.instance import DatabaseInstance, Instance
-from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue
+from repro.objects.values import ComplexValue, SetValue, TupleValue
 from repro.types.schema import DatabaseSchema
 from repro.types.type_system import TupleType
 
@@ -69,12 +70,14 @@ def _evaluate(
         }
 
     if isinstance(expression, NestedSelection):
-        operand = _evaluate(expression.operand, database, schema)
-        return {
-            value
-            for value in _as_tuples(operand)
-            if _condition_holds(expression.condition, value)
-        }
+        operand = _as_tuples(_evaluate(expression.operand, database, schema))
+        condition = expression.condition
+        filtered = vectorized_filter(
+            condition, operand, expression.operand.output_type(schema)
+        )
+        if filtered is not None:
+            return set(filtered)
+        return {value for value in operand if condition_holds(condition, value)}
 
     if isinstance(expression, NestedProduct):
         left = _evaluate(expression.left, database, schema)
@@ -142,32 +145,6 @@ def _components_of(value: ComplexValue) -> list[ComplexValue]:
     return [value]
 
 
-def _condition_holds(condition: SelectionCondition, value: TupleValue) -> bool:
-    if condition.kind == "eq":
-        return _operand_value(condition.operands[0], value) == _operand_value(
-            condition.operands[1], value
-        )
-    if condition.kind == "in":
-        container = _operand_value(condition.operands[1], value)
-        if not isinstance(container, SetValue):
-            raise EvaluationError(f"selection membership against the non-set value {container}")
-        return container.contains(_operand_value(condition.operands[0], value))
-    if condition.kind == "not":
-        return not _condition_holds(condition.operands[0], value)
-    if condition.kind == "and":
-        return _condition_holds(condition.operands[0], value) and _condition_holds(
-            condition.operands[1], value
-        )
-    if condition.kind == "or":
-        return _condition_holds(condition.operands[0], value) or _condition_holds(
-            condition.operands[1], value
-        )
-    raise EvaluationError(f"unknown selection condition kind {condition.kind!r}")
-
-
-def _operand_value(operand, value: TupleValue) -> ComplexValue:
-    if isinstance(operand, ConstantOperand):
-        return Atom(operand.value)
-    if isinstance(operand, int):
-        return value.coordinate(operand)
-    raise EvaluationError(f"unknown selection operand {operand!r}")
+# Condition evaluation is shared with the full algebra: NestedSelection
+# uses the canonical ``repro.algebra.evaluation.condition_holds`` (and the
+# vectorized mask path above it), so the two dialects cannot drift.

@@ -24,7 +24,16 @@ the same trade a database dictionary page makes.
 
 The kernels (:func:`union_ids`, :func:`intersect_ids`,
 :func:`difference_ids`, :func:`contains_id`, :func:`sorted_unique_ids`)
-work on sorted duplicate-free ``array("I")`` columns.  The merge kernels
+work on sorted duplicate-free ``array("I")`` columns.  A second family of
+kernels (:func:`mask_eq_columns`, :func:`mask_eq_target`, :func:`mask_and`,
+:func:`mask_or`, :func:`mask_not`) backs the vectorized selection
+predicates (:mod:`repro.algebra.vectorized`): they build and combine
+**row-aligned boolean masks** (``bytearray`` of 0/1 flags, one byte per
+row) over *unsorted* per-coordinate id columns.  Equality against a
+constant scans the column with C-speed ``array.index``; boolean
+combination round-trips the byte masks through arbitrary-precision
+integers, so and/or/not run as single bulk bitwise operations instead of
+per-row Python.  The merge kernels
 *gallop*: instead of advancing one element at a time they locate the end
 of each copyable run with :func:`bisect.bisect_left` and move whole runs
 with array slicing (C ``memcpy``).  Dictionary ids are assigned in
@@ -47,6 +56,7 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_left
 from contextlib import contextmanager
+from operator import eq
 
 #: Array typecode for id columns (unsigned, 4 bytes on every supported
 #: platform; constructing more than 2**32 distinct values would raise
@@ -67,6 +77,8 @@ class _ColumnarState:
             "kernel_intersection": 0,
             "kernel_difference": 0,
             "kernel_membership": 0,
+            "kernel_mask_eq": 0,
+            "kernel_mask_combine": 0,
             "engine_set_ops": 0,
             "columns_built": 0,
         }
@@ -342,3 +354,73 @@ def contains_id(ids: array, id_: int) -> bool:
     _count("kernel_membership")
     position = bisect_left(ids, id_)
     return position < len(ids) and ids[position] == id_
+
+
+# -- row-aligned boolean-mask kernels ---------------------------------------------
+#
+# Unlike the sorted-set kernels above, these operate on *row-order*
+# per-coordinate id columns (one id per row, duplicates allowed) and
+# produce masks: ``bytearray`` bitsets with one 0/1 byte per row.  The
+# vectorized selection compiler (:mod:`repro.algebra.vectorized`) builds
+# one mask per atomic condition and combines them here.
+
+def mask_eq_columns(a, b) -> bytearray:
+    """Row-aligned equality mask of two id columns: ``out[i] = a[i] == b[i]``.
+
+    Ids label equality classes, so id equality is value equality; the per-row
+    work is one C-level integer comparison via ``map``.
+    """
+    _count("kernel_mask_eq")
+    return bytearray(map(eq, a, b))
+
+
+def mask_eq_target(column: array, target: int) -> bytearray:
+    """Equality-against-one-id mask: ``out[i] = column[i] == target``.
+
+    Scans with ``array.index`` (a C loop) from hit to hit, so the Python-level
+    work is one iteration per *matching* row, not per row — the selective
+    predicates that dominate scan workloads touch almost nothing.
+    """
+    _count("kernel_mask_eq")
+    mask = bytearray(len(column))
+    find = column.index
+    position = 0
+    try:
+        while True:
+            position = find(target, position)
+            mask[position] = 1
+            position += 1
+    except ValueError:
+        return mask
+
+
+def mask_fill(count: int, flag: bool) -> bytearray:
+    """A constant all-``flag`` mask over *count* rows."""
+    return bytearray(b"\x01" * count) if flag else bytearray(count)
+
+
+def _mask_to_int(mask: bytearray) -> int:
+    return int.from_bytes(mask, "little")
+
+
+def mask_and(a: bytearray, b: bytearray) -> bytearray:
+    """Bulk conjunction of two row-aligned 0/1 masks.
+
+    The byte masks round-trip through arbitrary-precision integers, so the
+    combine is three O(n) C operations with no per-row Python.
+    """
+    _count("kernel_mask_combine")
+    return bytearray((_mask_to_int(a) & _mask_to_int(b)).to_bytes(len(a), "little"))
+
+
+def mask_or(a: bytearray, b: bytearray) -> bytearray:
+    """Bulk disjunction of two row-aligned 0/1 masks."""
+    _count("kernel_mask_combine")
+    return bytearray((_mask_to_int(a) | _mask_to_int(b)).to_bytes(len(a), "little"))
+
+
+def mask_not(a: bytearray) -> bytearray:
+    """Bulk negation of a row-aligned 0/1 mask (XOR against all-ones)."""
+    _count("kernel_mask_combine")
+    ones = _mask_to_int(b"\x01" * len(a))
+    return bytearray((_mask_to_int(a) ^ ones).to_bytes(len(a), "little"))

@@ -8,11 +8,12 @@ instance of ``T`` is itself an object of type ``{T}``.
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Iterable, Iterator, Mapping
 
 from repro.errors import SchemaError
 from repro.objects.active_domain import active_domain_of_instance
-from repro.objects.columnar import VALUE_DICTIONARY
+from repro.objects.columnar import ID_TYPECODE, VALUE_DICTIONARY
 from repro.objects.domain import belongs_to
 from repro.objects.values import ComplexValue, SetValue, structural_sort_key, value_from_python
 from repro.types.schema import DatabaseSchema
@@ -36,6 +37,7 @@ class Instance:
         self._values = frozenset(normalised)
         self._sorted: tuple[ComplexValue, ...] | None = None
         self._ids = None
+        self._coordinate_ids: dict[int, object] = {}
 
     @property
     def type(self) -> ComplexType:
@@ -55,6 +57,23 @@ class Instance:
             ids = VALUE_DICTIONARY.encode_sorted(self._sorted_values())
             self._ids = ids
         return ids
+
+    def coordinate_ids(self, coordinate: int):
+        """A row-aligned id column for one tuple coordinate, cached per
+        coordinate: entry ``i`` is the dictionary id of ``coordinate`` of
+        the ``i``-th value in this instance's (sorted) iteration order.
+        The vectorized selection path (:mod:`repro.algebra.vectorized`)
+        masks these columns directly, so steady-state scans never re-encode
+        — and never decode rows the predicate rejects."""
+        column = self._coordinate_ids.get(coordinate)
+        if column is None:
+            encode = VALUE_DICTIONARY.encode
+            column = array(
+                ID_TYPECODE,
+                [encode(value.coordinate(coordinate)) for value in self._sorted_values()],
+            )
+            self._coordinate_ids[coordinate] = column
+        return column
 
     def active_domain(self) -> frozenset[object]:
         return active_domain_of_instance(self._values)

@@ -9,6 +9,8 @@ also serve as the fast reference implementation in the benchmarks.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
+from itertools import compress
+from typing import TYPE_CHECKING
 
 from repro.errors import EvaluationError
 from repro.engine.join import hash_join
@@ -19,6 +21,9 @@ from repro.objects.columnar import (
     union_ids,
 )
 from repro.relational.relation import Relation
+
+if TYPE_CHECKING:
+    from repro.algebra.expressions import SelectionCondition
 
 
 def _columnar_operands(left: Relation, right: Relation):
@@ -74,6 +79,42 @@ def project(relation: Relation, columns: Sequence[int]) -> Relation:
 def select(relation: Relation, predicate: Callable[[tuple], bool]) -> Relation:
     """Selection by an arbitrary per-tuple Python predicate."""
     return Relation(relation.arity, {row for row in relation.tuples if predicate(row)})
+
+
+def select_where(relation: Relation, condition: "SelectionCondition") -> Relation:
+    """Selection by an algebra :class:`SelectionCondition` over a flat relation.
+
+    Takes the vectorized column-at-a-time path of
+    :mod:`repro.algebra.vectorized` when it applies (masking the relation's
+    cached per-coordinate id columns directly), and otherwise evaluates the
+    canonical per-tuple ``condition_holds`` over atom-wrapped rows — one
+    condition semantics for every layer.
+    """
+    from repro.algebra.evaluation import condition_holds
+    from repro.algebra.vectorized import compile_condition, vectorized_dispatch
+    from repro.objects.values import Atom, TupleValue
+    from repro.types.type_system import TupleType, U
+
+    row_type = TupleType([U] * relation.arity)
+    condition.validate(row_type)
+    if vectorized_dispatch(len(relation)):
+        compiled = compile_condition(condition, row_type)
+        if compiled is not None:
+            rows = tuple(relation)
+            columns = {
+                coordinate: relation.coordinate_ids(coordinate)
+                for coordinate in compiled.coordinates
+            }
+            mask = compiled.mask(columns, len(rows))
+            return Relation(relation.arity, compress(rows, mask))
+    return Relation(
+        relation.arity,
+        (
+            row
+            for row in relation.tuples
+            if condition_holds(condition, TupleValue([Atom(value) for value in row]))
+        ),
+    )
 
 
 def join(left: Relation, right: Relation, equalities: Iterable[tuple[int, int]]) -> Relation:

@@ -21,7 +21,6 @@ the experiments verify.)
 from __future__ import annotations
 
 from repro.errors import ClassificationError
-from repro.calculus.classification import intermediate_types
 from repro.calculus.formulas import (
     And,
     Equals,

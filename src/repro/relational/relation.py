@@ -7,10 +7,11 @@ layer through :meth:`Relation.to_instance` / :meth:`Relation.from_instance`.
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Iterable, Iterator
 
 from repro.errors import ObjectModelError
-from repro.objects.columnar import ROW_DICTIONARY, contains_id
+from repro.objects.columnar import ID_TYPECODE, ROW_DICTIONARY, VALUE_DICTIONARY, contains_id
 from repro.objects.instance import Instance
 from repro.objects.values import Atom, TupleValue
 from repro.types.type_system import TupleType, U
@@ -51,6 +52,7 @@ class Relation:
         self._tuples: frozenset[tuple] | None = frozenset(normalised)
         self._ids = None
         self._sorted: tuple[tuple, ...] | None = None
+        self._coordinate_ids: dict[int, object] = {}
 
     @classmethod
     def _from_ids(cls, arity: int, ids) -> "Relation":
@@ -65,6 +67,7 @@ class Relation:
         self._tuples = None
         self._ids = ids
         self._sorted = None
+        self._coordinate_ids = {}
         return self
 
     @property
@@ -88,6 +91,22 @@ class Relation:
             # become contiguous id runs for the kernels' galloping).
             ids = ROW_DICTIONARY.encode_sorted(iter(self))
             self._ids = ids
+        return ids
+
+    def coordinate_ids(self, column: int):
+        """A row-aligned id column for one 1-based *column*, cached per
+        column: entry ``i`` is the :data:`~repro.objects.columnar.VALUE_DICTIONARY`
+        id of the ``i``-th row's value in that column (as an :class:`Atom`,
+        so ids agree with the complex-object layer's), in this relation's
+        sorted iteration order.  The vectorized selection path
+        (:func:`repro.relational.algebra.select_where`) masks these columns
+        directly."""
+        ids = self._coordinate_ids.get(column)
+        if ids is None:
+            encode = VALUE_DICTIONARY.encode
+            index = column - 1
+            ids = array(ID_TYPECODE, [encode(Atom(row[index])) for row in self])
+            self._coordinate_ids[column] = ids
         return ids
 
     def active_domain(self) -> frozenset[object]:

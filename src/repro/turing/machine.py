@@ -7,7 +7,7 @@ Machines are deterministic unless several transitions share the same
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import TuringMachineError

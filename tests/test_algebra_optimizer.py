@@ -24,7 +24,6 @@ from repro.algebra.expressions import (
 from repro.algebra.optimizer import (
     CostEstimate,
     DatabaseStatistics,
-    DEFAULT_RULES,
     OptimizationResult,
     condition_coordinates,
     conjoin,

@@ -25,7 +25,6 @@ from repro.calculus.builders import PARENT_SCHEMA
 from repro.calculus.classification import calc_classification
 from repro.calculus.evaluation import EvaluationSettings, evaluate_query
 from repro.objects.instance import DatabaseInstance
-from repro.objects.values import make_set, make_tuple
 from repro.types.parser import parse_type
 from repro.types.type_system import SetType, TupleType, U
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.calculus.builders import (
-    PAIR_OF_ATOMS,
     PARENT_SCHEMA,
     PERSON_SCHEMA,
     SET_OF_PAIRS,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ClassificationError
 from repro.calculus.builders import (
-    PARENT_SCHEMA,
     PERSON_SCHEMA,
     even_cardinality_query,
     grandparent_query,
@@ -20,8 +19,7 @@ from repro.calculus.classification import (
     is_relational_query,
     uses_only_existential_top_level,
 )
-from repro.calculus.evaluation import EvaluationSettings, evaluate_query
-from repro.calculus.formulas import Equals, Exists, Membership, PredicateAtom
+from repro.calculus.formulas import Equals, Exists, PredicateAtom
 from repro.calculus.query import CalculusQuery
 from repro.calculus.shorthand import (
     is_empty,
@@ -30,7 +28,6 @@ from repro.calculus.shorthand import (
     pair_in,
     pair_type,
     sets_equal,
-    total_order_formula,
     tuple_is,
 )
 from repro.calculus.terms import var

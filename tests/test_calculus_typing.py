@@ -4,11 +4,11 @@ import pytest
 
 from repro.errors import TypingError
 from repro.calculus.formulas import Equals, Exists, Forall, Membership, Not, PredicateAtom
-from repro.calculus.terms import Constant, CoordinateTerm, VariableTerm, var
+from repro.calculus.terms import Constant, CoordinateTerm, var
 from repro.calculus.typing import check_query_formula, infer_typing, term_type
 from repro.types.parser import parse_type
 from repro.types.schema import DatabaseSchema
-from repro.types.type_system import SetType, TupleType, U
+from repro.types.type_system import U
 
 PAIR = parse_type("[U, U]")
 SET_OF_PAIRS = parse_type("{[U, U]}")

@@ -31,7 +31,7 @@ from repro.objects.columnar import (
     columnar_stats,
     columnar_storage,
 )
-from repro.objects.values import Atom, SetValue, interning, make_set
+from repro.objects.values import Atom, interning, make_set
 from repro.relational import algebra
 from repro.relational.relation import Relation
 from repro.types.parser import parse_type

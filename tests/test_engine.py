@@ -260,7 +260,7 @@ class TestJoinCore:
                 right,
                 left_key=lambda row: row[1],
                 right_key=lambda row: row[0],
-                residual=lambda l, r: r[1] < 25,
+                residual=lambda left, right: right[1] < 25,
             )
         )
         assert ((1, "x"), ("x", 10)) in pairs

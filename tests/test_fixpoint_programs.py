@@ -29,7 +29,6 @@ from repro.fixpoint import (
     transitive_closure_program,
 )
 from repro.objects.instance import DatabaseInstance
-from repro.objects.values import value_from_python
 from repro.relational.fixpoint import transitive_closure
 from repro.relational.relation import Relation
 from repro.types.schema import DatabaseSchema

@@ -5,8 +5,6 @@ of the library's layers (types + objects + calculus/algebra + baselines),
 checking the behaviour the paper asserts.
 """
 
-import pytest
-
 from repro.algebra.evaluation import evaluate_expression
 from repro.algebra.expressions import (
     Powerset,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import InventionError
 from repro.calculus.builders import (
-    PARENT_SCHEMA,
     PERSON_SCHEMA,
     active_domain_query,
     even_cardinality_query,
@@ -24,9 +23,9 @@ from repro.invention.universal import (
 )
 from repro.objects.domain import belongs_to
 from repro.objects.instance import DatabaseInstance
-from repro.objects.values import make_set, make_tuple, value_from_python
+from repro.objects.values import make_tuple, value_from_python
 from repro.types.parser import parse_type
-from repro.types.type_system import SetType, TupleType, U
+from repro.types.type_system import U
 from repro.types.universal import T_UNIV
 from repro.utils.fresh import FreshValueSupply
 

@@ -31,7 +31,7 @@ from repro.nested import (
     max_intermediate_blowup,
 )
 from repro.objects.instance import DatabaseInstance
-from repro.objects.values import SetValue, TupleValue, value_from_python
+from repro.objects.values import SetValue, value_from_python
 from repro.relational.fixpoint import transitive_closure
 from repro.relational.relation import Relation
 from repro.types.schema import DatabaseSchema

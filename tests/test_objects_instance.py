@@ -7,7 +7,7 @@ from repro.objects.instance import DatabaseInstance, Instance
 from repro.objects.values import make_set, make_tuple
 from repro.types.parser import parse_type
 from repro.types.schema import DatabaseSchema
-from repro.types.type_system import TupleType, U
+from repro.types.type_system import U
 
 
 PAIR = parse_type("[U, U]")

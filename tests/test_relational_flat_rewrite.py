@@ -6,14 +6,13 @@ from repro.errors import ClassificationError
 from repro.calculus.builders import PARENT_SCHEMA
 from repro.calculus.classification import calc_classification, intermediate_types
 from repro.calculus.evaluation import evaluate_query
-from repro.calculus.formulas import Equals, Exists, Forall, Not, PredicateAtom
+from repro.calculus.formulas import Equals, Exists, Forall, PredicateAtom
 from repro.calculus.query import CalculusQuery
-from repro.calculus.terms import Constant, var
+from repro.calculus.terms import var
 from repro.calculus.builders import transitive_closure_query
 from repro.objects.instance import DatabaseInstance
 from repro.relational.flat_rewrite import eliminate_flat_intermediates
 from repro.types.parser import parse_type
-from repro.types.type_system import TupleType, U
 
 PAIR = parse_type("[U, U]")
 TRIPLE = parse_type("[U, U, U]")

@@ -20,7 +20,6 @@ from repro.second_order import (
     SOExistsRelation,
     SOForall,
     SOForallRelation,
-    SOImplies,
     SONot,
     SORelationAtom,
     connectivity_sentence,

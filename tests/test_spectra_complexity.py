@@ -4,13 +4,11 @@ import pytest
 
 from repro.errors import ReproError, SpectrumError
 from repro.calculus.builders import (
-    PERSON_SCHEMA,
     even_cardinality_query,
     grandparent_query,
     transitive_closure_query,
 )
-from repro.calculus.formulas import Equals, Exists, Forall, Membership, PredicateAtom
-from repro.calculus.query import CalculusQuery
+from repro.calculus.formulas import Equals, Exists, Forall, Membership
 from repro.calculus.terms import var
 from repro.complexity.analysis import analyze_query, variable_height_profile
 from repro.complexity.bounds import (
@@ -35,7 +33,7 @@ from repro.spectra.spectrum import (
 )
 from repro.calculus.evaluation import EvaluationSettings
 from repro.types.parser import parse_type
-from repro.types.type_system import SetType, TupleType, U
+from repro.types.type_system import U
 
 
 class TestFormulaOrder:

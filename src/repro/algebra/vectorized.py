@@ -28,9 +28,13 @@ can instead run **column-at-a-time**:
    C-speed ``array.index``, and membership evaluates **once per distinct
    id (pair)** — the memoized answer is replayed for every row sharing
    the ids, so a deep set-membership test runs once, not once per row;
-4. **combine** — ``and``/``or``/``not`` merge masks with single bulk
-   integer bitwise operations (:func:`~repro.objects.columnar.mask_and`
-   and friends), not per-row boolean logic;
+4. **combine** — ``or``/``not`` merge masks with single bulk integer
+   bitwise operations (:func:`~repro.objects.columnar.mask_or` and
+   friends), not per-row boolean logic; a conjunction goes further and
+   **short-circuits set-at-a-time**: its conjuncts are ordered by the
+   optimizer's selectivity estimate and every conjunct after the first is
+   evaluated only over the rows surviving so far (see
+   :func:`_compile_ordered_conjunction`);
 5. **decode** — only the surviving rows are selected
    (``itertools.compress``); nothing else is materialized or decoded.
 
@@ -80,6 +84,8 @@ class _VectorizedState:
             "rows_in": 0,
             "rows_out": 0,
             "membership_evaluations": 0,
+            "conjunctions_ordered": 0,
+            "conjunct_rows_skipped": 0,
         }
 
 
@@ -253,16 +259,107 @@ def _compile(condition: SelectionCondition, coordinates: set[int]):
         if inner is None:
             return None
         return lambda columns, count: mask_not(inner(columns, count))
-    if kind in ("and", "or"):
+    if kind == "and":
+        return _compile_ordered_conjunction(condition, coordinates)
+    if kind == "or":
         left = _compile(condition.operands[0], coordinates)
         right = _compile(condition.operands[1], coordinates)
         if left is None or right is None:
             return None
-        combine = mask_and if kind == "and" else mask_or
-        return lambda columns, count: combine(
+        return lambda columns, count: mask_or(
             left(columns, count), right(columns, count)
         )
     return None
+
+
+def _and_chain(condition: SelectionCondition) -> list[SelectionCondition]:
+    """The flattened conjunct list of a (possibly nested) ``and`` tree."""
+    if condition.kind != "and":
+        return [condition]
+    return _and_chain(condition.operands[0]) + _and_chain(condition.operands[1])
+
+
+def _conjunct_cost_rank(condition: SelectionCondition) -> int:
+    """Tie-break ordering for conjuncts with equal selectivity estimates:
+    plain equality masks are pure C scans (cheapest), boolean subtrees sit
+    in the middle, and membership atoms run Python-level containment
+    probes per distinct id (most expensive, go last)."""
+    if condition.kind == "eq":
+        return 0
+    if condition.kind == "in":
+        return 2
+    return 1
+
+
+def _mask_positions(mask: bytearray) -> list[int]:
+    """The row positions a 0/1 mask keeps (C-speed ``compress`` scan)."""
+    return list(compress(range(len(mask)), mask))
+
+
+def _compile_ordered_conjunction(condition: SelectionCondition, coordinates: set[int]):
+    """Compile an ``and`` tree to a selectivity-ordered short-circuit program.
+
+    The eager path evaluated every conjunct's mask over the *full* batch
+    and combined them afterwards — column-at-a-time, but with no analogue
+    of the scalar path's short-circuiting ``and``.  This program restores
+    it set-at-a-time: conjuncts are ordered by the optimizer's
+    :func:`~repro.algebra.optimizer._condition_selectivity` estimate (most
+    selective first, cheapest kind on ties), the first conjunct masks the
+    full batch, and every later conjunct is evaluated **only over the
+    surviving rows' columns** — the columns are compressed to the
+    survivors with C-speed ``itertools.compress`` and the sub-mask is
+    scattered back through the surviving positions.  Evaluating a
+    validated conjunct over a subset of rows is sound for the same reason
+    the eager path was: over type-conforming rows no atom can raise, so
+    dropping rows other conjuncts rejected cannot change the outcome.
+    """
+    from repro.algebra.optimizer import DEFAULT_SELECTIVITY, _condition_selectivity
+
+    conjuncts = _and_chain(condition)
+    compiled: list[tuple] = []
+    for conjunct in conjuncts:
+        referenced: set[int] = set()
+        program = _compile(conjunct, referenced)
+        if program is None:
+            return None
+        compiled.append((conjunct, program, frozenset(referenced)))
+        coordinates.update(referenced)
+    order = sorted(
+        range(len(compiled)),
+        key=lambda i: (
+            _condition_selectivity(compiled[i][0], DEFAULT_SELECTIVITY),
+            _conjunct_cost_rank(compiled[i][0]),
+            i,
+        ),
+    )
+
+    def conjunction_mask(columns, count):
+        stats = _VECTORIZED.stats
+        stats["conjunctions_ordered"] += 1
+        mask: bytearray | None = None
+        for index in order:
+            _, program, referenced = compiled[index]
+            if mask is None:
+                mask = program(columns, count)
+                continue
+            survivors = _mask_positions(mask)
+            if not survivors:
+                break
+            if len(survivors) == count:
+                mask = mask_and(mask, program(columns, count))
+                continue
+            stats["conjunct_rows_skipped"] += count - len(survivors)
+            narrowed = {
+                coordinate: array(ID_TYPECODE, compress(columns[coordinate], mask))
+                for coordinate in referenced
+            }
+            sub_mask = program(narrowed, len(survivors))
+            for position, keep in zip(survivors, sub_mask):
+                if not keep:
+                    mask[position] = 0
+        return mask
+
+    return conjunction_mask
 
 
 def _compile_equality(condition: SelectionCondition, coordinates: set[int]):

@@ -11,6 +11,7 @@ from repro.datalog.ast import Literal, Program, Rule
 from repro.datalog.stratify import dependency_graph, stratify
 from repro.datalog.evaluation import (
     DatalogStatistics,
+    SemiNaiveProgram,
     evaluate_program,
     evaluate_program_naive,
 )
@@ -19,6 +20,7 @@ from repro.datalog.builders import same_generation_program, transitive_closure_p
 __all__ = [
     "DatalogAtom",
     "DatalogStatistics",
+    "SemiNaiveProgram",
     "Literal",
     "Program",
     "Rule",

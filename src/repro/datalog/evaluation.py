@@ -166,27 +166,58 @@ def _evaluate_stratum(
     for rule in rules:
         stores.setdefault(rule.head.predicate, _PredicateStore(rule.head.arity))
 
+    # Seeding round: one full naive application of every rule.
+    statistics.rounds += 1
+    derived: dict[str, set[tuple]] = {}
+    for rule in rules:
+        rows = _apply_rule(rule, stores, None, None, statistics)
+        if rows:
+            derived.setdefault(rule.head.predicate, set()).update(rows)
     deltas: dict[str, list[tuple]] = {}
-    for iteration in range(max_iterations):
+    for predicate, rows in derived.items():
+        fresh = stores[predicate].commit(rows)
+        if fresh:
+            deltas[predicate] = fresh
+    _delta_loop(rules, stratum, stores, deltas, max_iterations, statistics)
+
+
+def _delta_loop(
+    rules: list[Rule],
+    stratum: list[str],
+    stores: dict[str, _PredicateStore],
+    deltas: dict[str, list[tuple]],
+    max_iterations: int,
+    statistics: DatalogStatistics,
+    collected: dict[str, list[tuple]] | None = None,
+) -> None:
+    """Run the delta-driven half of a stratum fixpoint to completion.
+
+    Shared between full evaluation (seeded by the naive round above) and
+    :meth:`SemiNaiveProgram.resume` (seeded directly by an EDB update
+    batch).  *collected* optionally accumulates every fresh head tuple
+    committed by the loop, so a resume can forward them as deltas into
+    higher strata.
+    """
+    if not deltas:
+        return
+    for _ in range(max_iterations):
         statistics.rounds += 1
         derived: dict[str, set[tuple]] = {}
-        if iteration == 0:
-            # Seeding round: one full naive application of every rule.
-            for rule in rules:
-                rows = _apply_rule(rule, stores, None, None, statistics)
+        for rule in rules:
+            for predicate, delta_rows in deltas.items():
+                rows = _apply_rule(rule, stores, predicate, delta_rows, statistics)
                 if rows:
                     derived.setdefault(rule.head.predicate, set()).update(rows)
-        else:
-            for rule in rules:
-                for predicate, delta_rows in deltas.items():
-                    rows = _apply_rule(rule, stores, predicate, delta_rows, statistics)
-                    if rows:
-                        derived.setdefault(rule.head.predicate, set()).update(rows)
         deltas = {}
         for predicate, rows in derived.items():
             fresh = stores[predicate].commit(rows)
             if fresh:
                 deltas[predicate] = fresh
+                if collected is not None:
+                    collected.setdefault(predicate, []).extend(fresh)
+        # Quiescence is checked *inside* the iteration that produced it: a
+        # fixpoint reached on exactly the last permitted round must return,
+        # not fall out of the loop into the failure path.
         if not deltas:
             return
     raise DatalogError(f"stratum {stratum} did not reach a fixpoint within {max_iterations} rounds")
@@ -303,6 +334,109 @@ def _matches_negative(
         return False
     row = _instantiate(literal.atom, binding)
     return row in store.rows
+
+
+class SemiNaiveProgram:
+    """A semi-naive evaluation that stays resumable after it finishes.
+
+    :func:`evaluate_program` computes a fixpoint and throws its
+    per-predicate stores away; this class keeps them — tuples *and* the
+    persistent :class:`~repro.engine.join.IncrementalIndex`es — so that
+    when the extensional database grows by a batch of new facts the
+    fixpoint **resumes from the delta** instead of restarting: the new EDB
+    rows are committed and fed straight into the delta-driven stratum loop,
+    exactly as if they had been derived in the previous round.
+
+    Resumption is sound only for *monotone* programs: with stratified
+    negation an EDB insertion can retract facts of higher strata, so
+    :meth:`resume` refuses programs with negative literals (callers fall
+    back to recomputation — see :class:`repro.views.catalog.DatalogView`).
+    Deletions are never monotone and always require recomputation.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        edb: Mapping[str, Relation],
+        max_iterations: int = 100_000,
+        statistics: DatalogStatistics | None = None,
+    ) -> None:
+        _validate(program, edb)
+        self.program = program
+        self.max_iterations = max_iterations
+        self.statistics = statistics if statistics is not None else DatalogStatistics()
+        self.strata: list[list[str]] = stratify(program)
+        self.stores: dict[str, _PredicateStore] = {
+            name: _PredicateStore(relation.arity, relation.tuples)
+            for name, relation in edb.items()
+        }
+        self._arities = {name: relation.arity for name, relation in edb.items()}
+        for stratum in self.strata:
+            _evaluate_stratum(program, stratum, self.stores, max_iterations, self.statistics)
+
+    @property
+    def has_negation(self) -> bool:
+        """Whether any rule body carries a negative literal."""
+        return any(
+            not literal.positive for rule in self.program.rules for literal in rule.body
+        )
+
+    def resume(self, edb_inserts: Mapping[str, Iterable[tuple]]) -> dict[str, list[tuple]]:
+        """Commit new EDB facts and resume the fixpoint from their delta.
+
+        Returns the fresh tuples per predicate (EDB and IDB) the batch
+        produced.  Raises :class:`~repro.errors.DatalogError` for programs
+        with negation — resuming those could leave retracted facts behind.
+        """
+        if self.has_negation:
+            raise DatalogError(
+                "cannot resume a program with negation from an EDB delta; "
+                "stratified negation is not monotone — recompute instead"
+            )
+        pending: dict[str, list[tuple]] = {}
+        for name, rows in edb_inserts.items():
+            if name not in self.program.edb_predicates:
+                raise DatalogError(f"predicate {name!r} is not extensional in this program")
+            store = self.stores[name]
+            fresh = store.commit(tuple(row) for row in rows)
+            if fresh:
+                pending[name] = list(fresh)
+        if not pending:
+            return {}
+        produced: dict[str, list[tuple]] = {name: list(rows) for name, rows in pending.items()}
+        for stratum in self.strata:
+            rules = [rule for rule in self.program.rules if rule.head.predicate in stratum]
+            # Every delta accumulated so far — the EDB batch plus fresh
+            # facts of lower strata — seeds this stratum's loop; rules
+            # without an occurrence of a delta predicate fire zero times.
+            _delta_loop(
+                rules,
+                stratum,
+                self.stores,
+                {name: list(rows) for name, rows in produced.items()},
+                self.max_iterations,
+                self.statistics,
+                collected=produced,
+            )
+        return produced
+
+    def relation(self, predicate: str) -> Relation:
+        """The current relation of *predicate* (EDB or IDB)."""
+        store = self.stores.get(predicate)
+        if store is None:
+            raise DatalogError(f"predicate {predicate!r} has no derived facts or EDB relation")
+        return Relation(store.arity, store.rows)
+
+    def relations(self) -> dict[str, Relation]:
+        """Every predicate's current relation, as :func:`evaluate_program` returns."""
+        facts = {
+            name: Relation(self._arities[name], self.stores[name].rows)
+            for name in self._arities
+        }
+        for predicate in {rule.head.predicate for rule in self.program.rules}:
+            store = self.stores[predicate]
+            facts[predicate] = Relation(store.arity, store.rows)
+        return facts
 
 
 # -- the naive oracle -----------------------------------------------------------

@@ -85,6 +85,22 @@ class IncrementalIndex:
         """Insert one row (the caller guarantees it is new to the index)."""
         self.buckets.setdefault(self.key(row), []).append(row)
 
+    def remove(self, row: object) -> None:
+        """Delete one row (the caller guarantees it is present).
+
+        The deletion half of the index lifetime contract: materialized-view
+        maintenance (:mod:`repro.views.maintain`) keeps a join's build and
+        probe indexes alive across update batches, so deletions must shrink
+        the buckets in place instead of forcing a rebuild.
+        """
+        key = self.key(row)
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            raise KeyError(f"row {row!r} is not in the index")
+        bucket.remove(row)
+        if not bucket:
+            del self.buckets[key]
+
     def get(self, key: Hashable) -> list[object]:
         """The rows whose key equals *key* (empty list when none)."""
         return self.buckets.get(key, _NO_ROWS)

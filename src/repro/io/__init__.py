@@ -1,4 +1,14 @@
-"""Serialisation of complex-object data to and from JSON-compatible form."""
+"""Serialisation of complex-object data to and from JSON-compatible form.
+
+The mutable-database snapshot/replay codec
+(:func:`~repro.views.snapshot.snapshot_database`,
+:func:`~repro.views.snapshot.restore_database`,
+:func:`~repro.views.snapshot.replay_updates`) is part of this package's
+public surface but lives in :mod:`repro.views.snapshot` — it is layered
+*above* the serialization primitives here and imports them, so it is
+re-exported lazily through ``__getattr__`` to keep the import graph
+acyclic.
+"""
 
 from repro.io.serialization import (
     SerializationError,
@@ -16,6 +26,17 @@ from repro.io.serialization import (
     value_to_data,
 )
 
+_SNAPSHOT_EXPORTS = ("snapshot_database", "restore_database", "replay_updates")
+
+
+def __getattr__(name: str):
+    if name in _SNAPSHOT_EXPORTS:
+        from repro.views import snapshot
+
+        return getattr(snapshot, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "SerializationError",
     "database_from_data",
@@ -24,8 +45,11 @@ __all__ = [
     "instance_from_data",
     "instance_to_data",
     "loads",
+    "replay_updates",
+    "restore_database",
     "schema_from_data",
     "schema_to_data",
+    "snapshot_database",
     "type_from_data",
     "type_to_data",
     "value_from_data",

@@ -45,6 +45,7 @@ from repro.objects.constructive import (
     iter_constructive_domain,
 )
 from repro.objects.instance import DatabaseInstance, Instance
+from repro.objects.stats import reset_runtime_stats, runtime_stats
 
 __all__ = [
     "Atom",
@@ -82,4 +83,6 @@ __all__ = [
     "iter_constructive_domain",
     "DatabaseInstance",
     "Instance",
+    "reset_runtime_stats",
+    "runtime_stats",
 ]

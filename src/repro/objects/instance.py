@@ -39,6 +39,34 @@ class Instance:
         self._ids = None
         self._coordinate_ids: dict[int, object] = {}
 
+    @classmethod
+    def _from_trusted(
+        cls,
+        type_: ComplexType,
+        values: frozenset,
+        ids=None,
+    ) -> "Instance":
+        """An instance over already-validated canonical values.
+
+        The serving path of the mutable database / materialized-view layer
+        (:mod:`repro.views`): every value was validated with ``belongs_to``
+        when it first entered the system, so re-validating the whole set on
+        each update batch would make mutation O(instance) instead of
+        O(delta).  A *new* object is built per mutation on purpose — the
+        sorted view, the ``ids`` column and the per-coordinate id columns
+        are per-object caches, so reconstruction is what invalidates them.
+        *ids* optionally seeds the columnar id column when the caller
+        maintained it incrementally (see
+        :func:`repro.objects.columnar.apply_delta`).
+        """
+        self = cls.__new__(cls)
+        self._type = type_
+        self._values = values
+        self._sorted = None
+        self._ids = ids
+        self._coordinate_ids = {}
+        return self
+
     @property
     def type(self) -> ComplexType:
         return self._type

@@ -1,0 +1,51 @@
+"""One call for every engagement counter the ablation switches expose.
+
+Three process-wide representation switches accumulate work counters in
+three different modules — interning (:func:`repro.objects.values.intern_stats`),
+columnar storage (:func:`repro.objects.columnar.columnar_stats`) and
+vectorized selection (:func:`repro.algebra.vectorized.vectorized_stats`) —
+plus the materialized-view maintenance counters
+(:func:`repro.views.maintain.views_stats`) layered on top of all three.
+Tests and benchmarks that assert "the fast path actually engaged" used to
+snapshot each family separately; :func:`runtime_stats` aggregates them
+behind one call and :func:`reset_runtime_stats` zeroes them all, so a
+sweep can diff one nested dict instead of four.
+
+See the "Ablation switches" table in ``ARCHITECTURE.md`` for the
+switch-by-switch comparison of what each family measures.
+"""
+
+from __future__ import annotations
+
+
+def runtime_stats() -> dict[str, dict[str, int]]:
+    """A snapshot of every counter family, keyed by subsystem.
+
+    Keys: ``"interning"``, ``"columnar"``, ``"vectorized"`` and
+    ``"views"``.  Families import lazily — the vectorized and views
+    counters live above :mod:`repro.objects` in the layer stack, so eager
+    imports here would be circular.
+    """
+    from repro.algebra.vectorized import vectorized_stats
+    from repro.objects.columnar import columnar_stats
+    from repro.objects.values import intern_stats
+    from repro.views.maintain import views_stats
+
+    return {
+        "interning": intern_stats(),
+        "columnar": columnar_stats(),
+        "vectorized": vectorized_stats(),
+        "views": views_stats(),
+    }
+
+
+def reset_runtime_stats() -> None:
+    """Zero every counter of every family (the keys themselves stay)."""
+    from repro.algebra.vectorized import _VECTORIZED
+    from repro.objects.columnar import _COLUMNAR
+    from repro.objects.values import _INTERN
+    from repro.views.maintain import _VIEWS
+
+    for family in (_INTERN.stats, _COLUMNAR.stats, _VECTORIZED.stats, _VIEWS.stats):
+        for counter in family:
+            family[counter] = 0

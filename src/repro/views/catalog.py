@@ -1,0 +1,412 @@
+"""The view catalog: named materialized views over a mutable database.
+
+Three definition languages, one maintenance discipline:
+
+* **algebra views** (:meth:`ViewCatalog.define_algebra`) — any typed
+  algebra expression; compiled once to the engine's physical plan DAG and
+  maintained delta-by-delta through :mod:`repro.views.maintain`;
+* **relational views** (:meth:`ViewCatalog.define_relational`) — an
+  algebra expression with a flat ``[U,...,U]`` output type, served as a
+  :class:`~repro.relational.relation.Relation`; same maintenance;
+* **Datalog views** (:meth:`ViewCatalog.define_datalog`) — a stratified
+  program whose IDB relations are materialized by the semi-naive
+  evaluator and kept **resumable**
+  (:class:`~repro.datalog.evaluation.SemiNaiveProgram`): an insert-only
+  batch on the EDB resumes the fixpoint from the delta; deletions (or
+  negation, which is not monotone) fall back to one recomputation.
+
+Every view caches its served value per version, so steady-state reads of
+an unchanged view cost a dict lookup.  A maintenance error (say, a
+powerset outgrowing its budget mid-batch) marks the view broken — its
+internal state can no longer be trusted — and reads raise until the view
+is redefined; the base database itself is never poisoned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ReproError, SchemaError
+from repro.algebra.expressions import AlgebraExpression
+from repro.datalog.ast import Program
+from repro.datalog.evaluation import DatalogStatistics, SemiNaiveProgram
+from repro.engine.execute import DEFAULT_POWERSET_BUDGET
+from repro.objects.columnar import columnar_dispatch
+from repro.objects.instance import Instance
+from repro.objects.values import Atom, TupleValue
+from repro.relational.relation import Relation
+
+from repro.views.database import Database, UpdateBatch, flat_arity
+from repro.views.maintain import (
+    Delta,
+    _count,
+    _encode_sorted_delta,
+    _MaintainedColumn,
+    _Maintainer,
+    apply_delta,
+)
+
+
+class ViewError(ReproError):
+    """A view could not be defined, maintained or served."""
+
+
+class View:
+    """Common shape of a materialized view (see the subclasses below)."""
+
+    def __init__(self, name: str, database: Database) -> None:
+        self.name = name
+        self._database = database
+        self._version = 0
+        self._broken: str | None = None
+        self.stats = {"delta_batches": 0, "recomputes": 0}
+
+    @property
+    def version(self) -> int:
+        """Bumped every time a batch actually changed the view's value."""
+        return self._version
+
+    def _check_serveable(self) -> None:
+        if self._broken is not None:
+            raise ViewError(
+                f"view {self.name!r} is broken ({self._broken}); redefine it"
+            )
+
+    def maintain(self, batch: UpdateBatch) -> None:
+        self._check_serveable()
+        try:
+            self._maintain(batch)
+        except Exception as error:
+            self._broken = f"maintenance failed: {error}"
+            raise
+
+    def _maintain(self, batch: UpdateBatch) -> None:
+        raise NotImplementedError
+
+
+class AlgebraView(View):
+    """A view defined by an algebra expression, served as an ``Instance``.
+
+    The materialized value lives as a mutable member set (the maintainer's
+    root output, updated in place per batch) plus — in columnar mode — a
+    sorted id column rolled forward by
+    :func:`~repro.objects.columnar.apply_delta`, so serving builds an
+    :class:`~repro.objects.instance.Instance` whose columnar cache is
+    already warm.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        expression: AlgebraExpression,
+        database: Database,
+        powerset_budget: int = DEFAULT_POWERSET_BUDGET,
+    ) -> None:
+        super().__init__(name, database)
+        self.expression = expression
+        self._maintainer = _Maintainer(
+            expression, database.schema, powerset_budget=powerset_budget
+        )
+        self._members = self._maintainer.initialize(database.snapshot())
+        self.output_type = self._maintainer.root.output_type
+        self._column = _MaintainedColumn()
+        self._served: Instance | None = None
+
+    def _maintain(self, batch: UpdateBatch) -> None:
+        self._apply_batch(batch)
+
+    def _apply_batch(self, batch: UpdateBatch) -> Delta:
+        """The one algebra maintenance step (also driven by
+        :class:`RelationalView`); returns the root delta."""
+        delta = self._maintainer.apply(batch.deltas)
+        self.stats["delta_batches"] += 1
+        if delta:
+            self._version += 1
+            self._served = None
+            self._roll_column(delta)
+        return delta
+
+    def _roll_column(self, delta: Delta) -> None:
+        if not columnar_dispatch(len(self._members)):
+            self._column.ids = None
+            return
+        if self._column.ids is None:
+            # Seed from the post-batch members (the delta is already in).
+            self._column.ids = _encode_sorted_delta(self._members)
+            return
+        self._column.ids = apply_delta(
+            self._column.ids,
+            _encode_sorted_delta(delta.added),
+            _encode_sorted_delta(delta.removed),
+        )
+
+    def value(self) -> Instance:
+        """The current materialized instance (cached until it changes)."""
+        self._check_serveable()
+        served = self._served
+        if served is None:
+            if columnar_dispatch(len(self._members)) and self._column.ids is None:
+                self._column.ids = _encode_sorted_delta(self._members)
+            served = Instance._from_trusted(
+                self.output_type, frozenset(self._members), ids=self._column.ids
+            )
+            self._served = served
+        return served
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+class RelationalView(View):
+    """A flat algebra view served as a :class:`Relation`.
+
+    Shares :class:`AlgebraView`'s maintenance wholesale; only the served
+    shape differs (plain tuples instead of complex values).
+    """
+
+    def __init__(
+        self, name: str, expression: AlgebraExpression, database: Database
+    ) -> None:
+        super().__init__(name, database)
+        self._inner = AlgebraView(name, expression, database)
+        self.expression = expression
+        arity = flat_arity(self._inner.output_type)
+        if arity is None:
+            raise ViewError(
+                f"relational view {name!r} requires a flat [U,...,U] definition, "
+                f"got output type {self._inner.output_type}"
+            )
+        self.arity = arity
+        self._rows: set[tuple] = {_flat_row(value) for value in self._inner._members}
+        self._served: Relation | None = None
+        self.stats = self._inner.stats
+
+    def _maintain(self, batch: UpdateBatch) -> None:
+        delta = self._inner._apply_batch(batch)
+        if not delta:
+            return
+        self._rows.difference_update(_flat_row(value) for value in delta.removed)
+        self._rows.update(_flat_row(value) for value in delta.added)
+        self._version += 1
+        self._served = None
+
+    def value(self) -> Relation:
+        """The current materialized relation (cached until it changes)."""
+        self._check_serveable()
+        served = self._served
+        if served is None:
+            served = Relation(self.arity, self._rows)
+            self._served = served
+        return served
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class DatalogView(View):
+    """Materialized IDB relations of a stratified Datalog program.
+
+    ``edb`` maps the program's extensional predicate names to (flat)
+    database predicates — by default each EDB predicate reads the
+    database predicate of the same name.  Insert-only batches resume the
+    semi-naive fixpoint through the kept
+    :class:`~repro.datalog.evaluation.SemiNaiveProgram`; deletions and
+    negation recompute (counted separately, so benchmarks can tell the
+    paths apart).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        program: Program,
+        database: Database,
+        edb: Mapping[str, str] | None = None,
+    ) -> None:
+        super().__init__(name, database)
+        self.program = program
+        self._edb_map = dict(edb) if edb is not None else {
+            predicate: predicate for predicate in program.edb_predicates
+        }
+        missing = set(program.edb_predicates) - set(self._edb_map)
+        if missing:
+            raise ViewError(
+                f"datalog view {name!r} does not map EDB predicates {sorted(missing)}"
+            )
+        for edb_name, predicate in self._edb_map.items():
+            if flat_arity(database.schema.type_of(predicate)) is None:
+                raise ViewError(
+                    f"datalog view {name!r} maps EDB predicate {edb_name!r} to "
+                    f"{predicate!r}, which is not a flat relation"
+                )
+        self.statistics = DatalogStatistics()
+        self._evaluation = SemiNaiveProgram(
+            program, self._current_edb(), statistics=self.statistics
+        )
+        self._served: dict[str, Relation] | None = None
+
+    def _current_edb(self) -> dict[str, Relation]:
+        return {
+            edb_name: self._database.relation(predicate)
+            for edb_name, predicate in self._edb_map.items()
+        }
+
+    def _maintain(self, batch: UpdateBatch) -> None:
+        inserts: dict[str, list[tuple]] = {}
+        has_deletions = False
+        relevant = False
+        for edb_name, predicate in self._edb_map.items():
+            delta = batch.deltas.get(predicate)
+            if delta is None or not delta:
+                continue
+            relevant = True
+            if delta.removed:
+                has_deletions = True
+            if delta.added:
+                inserts[edb_name] = [_flat_row(value) for value in delta.added]
+        if not relevant:
+            return
+        self._version += 1
+        self._served = None
+        if has_deletions or self._evaluation.has_negation:
+            _count("datalog_recomputes")
+            self.stats["recomputes"] += 1
+            self._evaluation = SemiNaiveProgram(
+                self.program, self._current_edb(), statistics=self.statistics
+            )
+            return
+        _count("datalog_resumes")
+        self.stats["delta_batches"] += 1
+        self._evaluation.resume(inserts)
+
+    def value(self) -> dict[str, Relation]:
+        """Every predicate's current relation (EDB and IDB), cached."""
+        self._check_serveable()
+        served = self._served
+        if served is None:
+            served = self._evaluation.relations()
+            self._served = served
+        return served
+
+    def relation(self, predicate: str) -> Relation:
+        """One predicate's current relation."""
+        return self.value()[predicate]
+
+
+class ViewCatalog:
+    """The named views maintained against one :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._views: dict[str, View] = {}
+
+    # -- definition ------------------------------------------------------------
+    def define_algebra(
+        self,
+        name: str,
+        expression: AlgebraExpression,
+        powerset_budget: int = DEFAULT_POWERSET_BUDGET,
+    ) -> AlgebraView:
+        """Materialize an algebra expression under *name*."""
+        self._claim(name)
+        view = AlgebraView(name, expression, self._database, powerset_budget)
+        self._views[name] = view
+        return view
+
+    def define_relational(self, name: str, expression: AlgebraExpression) -> RelationalView:
+        """Materialize a flat algebra expression as a relation under *name*."""
+        self._claim(name)
+        view = RelationalView(name, expression, self._database)
+        self._views[name] = view
+        return view
+
+    def define_datalog(
+        self, name: str, program: Program, edb: Mapping[str, str] | None = None
+    ) -> DatalogView:
+        """Materialize a Datalog program's IDB under *name*."""
+        self._claim(name)
+        view = DatalogView(name, program, self._database, edb)
+        self._views[name] = view
+        return view
+
+    def _claim(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise ViewError(f"view name must be a non-empty string, got {name!r}")
+        if name in self._views:
+            raise ViewError(f"a view named {name!r} is already defined")
+        if name in self._database.schema.predicate_names:
+            raise SchemaError(
+                f"view name {name!r} collides with a base predicate"
+            )
+
+    # -- lifecycle -------------------------------------------------------------
+    def drop(self, name: str) -> None:
+        """Forget a view (and its maintenance state)."""
+        if name not in self._views:
+            raise ViewError(f"no view named {name!r}")
+        del self._views[name]
+
+    def maintain(self, batch: UpdateBatch) -> None:
+        """Push one committed batch through every view (called by
+        :meth:`Database.transact`).
+
+        A view whose maintenance fails is marked broken and the batch
+        still reaches **every other view** — one poisoned definition must
+        not silently desynchronize its neighbours (the base database was
+        already mutated by the time this runs).  Already-broken views are
+        skipped, so later writes keep flowing; the first error of this
+        batch is re-raised once the loop completes.
+        """
+        if not batch:
+            return
+        first_error: Exception | None = None
+        for view in self._views.values():
+            if view._broken is not None:
+                continue
+            try:
+                view.maintain(batch)
+            except Exception as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+
+    # -- access ----------------------------------------------------------------
+    def view(self, name: str) -> View:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ViewError(f"no view named {name!r}") from None
+
+    def __getitem__(self, name: str) -> View:
+        return self.view(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def names(self) -> list[str]:
+        return sorted(self._views)
+
+
+def _flat_row(value) -> tuple:
+    """A flat ``TupleValue`` of atoms as a plain Python row."""
+    if not isinstance(value, TupleValue):
+        raise ViewError(f"expected a flat tuple value, got {value}")
+    row = []
+    for component in value.components:
+        if not isinstance(component, Atom):
+            raise ViewError(f"non-atomic component {component} in a flat tuple")
+        row.append(component.value)
+    return tuple(row)
+
+
+__all__ = [
+    "AlgebraView",
+    "DatalogView",
+    "RelationalView",
+    "View",
+    "ViewCatalog",
+    "ViewError",
+]

@@ -1,0 +1,244 @@
+"""A mutable database façade over the immutable object layer.
+
+The paper's queries are pure functions over immutable
+:class:`~repro.objects.instance.DatabaseInstance`\\ s; a serving system
+mutates.  :class:`Database` bridges the two: it owns one **current**
+instance per predicate and applies insert/delete batches to them, telling
+its :class:`~repro.views.catalog.ViewCatalog` the exact per-predicate
+delta of every batch so materialized views are maintained incrementally
+instead of recomputed.
+
+Mutation rebuilds the affected :class:`~repro.objects.instance.Instance`
+objects (through the trusted constructor — values are validated once, on
+the way in) rather than mutating them: instances cache their sorted view,
+their columnar id column and their per-coordinate id columns, and
+**reconstruction is the cache invalidation** — a stale column can never
+be served because the object that held it is gone.  The instances a
+snapshot hands out are therefore stable: once obtained, a
+:meth:`Database.snapshot` never changes underneath its holder.
+
+Every applied batch is appended to a transaction log, which the snapshot
+codec (:mod:`repro.views.snapshot`) serializes so a database can be
+rebuilt elsewhere and the traffic replayed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.objects.domain import belongs_to
+from repro.objects.instance import DatabaseInstance, Instance
+from repro.objects.values import ComplexValue, value_from_python
+from repro.relational.relation import Relation
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import TupleType, U
+
+from repro.views.maintain import Delta
+
+
+class UpdateBatch:
+    """One committed batch: the *effective* per-predicate deltas.
+
+    ``deltas`` maps predicate names to :class:`~repro.views.maintain.Delta`
+    objects whose ``added`` values were genuinely new and whose
+    ``removed`` values were genuinely present — requested inserts of
+    existing values and deletes of absent ones are dropped at the door,
+    so every downstream consumer can rely on the delta invariant.
+    """
+
+    __slots__ = ("deltas",)
+
+    def __init__(self, deltas: dict[str, Delta]) -> None:
+        self.deltas = deltas
+
+    def size(self) -> int:
+        return sum(len(d.added) + len(d.removed) for d in self.deltas.values())
+
+    def __bool__(self) -> bool:
+        return any(self.deltas.values())
+
+
+class Database:
+    """Named mutable relations/instances with batch updates and views.
+
+    Construct from a schema plus initial per-predicate contents (anything
+    :class:`~repro.objects.instance.Instance` accepts, or an existing
+    ``DatabaseInstance`` via :meth:`from_instance`).  Mutate with
+    :meth:`insert` / :meth:`delete` / :meth:`transact`; read through
+    :meth:`instance` / :meth:`relation` / :meth:`snapshot`; define
+    materialized views through :attr:`views`.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        assignments: Mapping[str, Instance | Iterable] | None = None,
+        *,
+        log_updates: bool = True,
+    ) -> None:
+        # Imported here: the catalog imports this module for type checks.
+        from repro.views.catalog import ViewCatalog
+
+        assignments = assignments or {}
+        self._schema = schema
+        self._contents: dict[str, set[ComplexValue]] = {}
+        self._instances: dict[str, Instance] = {}
+        for declaration in schema:
+            assigned = assignments.get(declaration.name, ())
+            instance = (
+                assigned
+                if isinstance(assigned, Instance)
+                else Instance(declaration.type, assigned)
+            )
+            if instance.type != declaration.type:
+                raise SchemaError(
+                    f"predicate {declaration.name!r} is declared with type {declaration.type} "
+                    f"but the assigned instance has type {instance.type}"
+                )
+            self._contents[declaration.name] = set(instance.values)
+            self._instances[declaration.name] = instance
+        extra = set(assignments) - set(schema.predicate_names)
+        if extra:
+            raise SchemaError(
+                f"assignments mention predicates not in the schema: {sorted(extra)}"
+            )
+        self._snapshot: DatabaseInstance | None = None
+        self._log: list[dict[str, tuple[tuple, tuple]]] = []
+        self._log_updates = log_updates
+        self.views = ViewCatalog(self)
+
+    @classmethod
+    def from_instance(cls, database: DatabaseInstance, **kwargs) -> "Database":
+        """A mutable database seeded with an immutable instance's contents."""
+        return cls(
+            database.schema,
+            {name: database.instance(name) for name in database.schema.predicate_names},
+            **kwargs,
+        )
+
+    # -- reads ----------------------------------------------------------------
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self._schema
+
+    def instance(self, predicate_name: str) -> Instance:
+        """The predicate's current instance (a new object after every
+        batch that touched the predicate — its caches are never stale)."""
+        try:
+            return self._instances[predicate_name]
+        except KeyError:
+            raise SchemaError(
+                f"predicate {predicate_name!r} is not part of this database"
+            ) from None
+
+    def __getitem__(self, predicate_name: str) -> Instance:
+        return self.instance(predicate_name)
+
+    def relation(self, predicate_name: str) -> Relation:
+        """The predicate's current contents as a flat relation (requires a
+        flat ``[U,...,U]`` predicate type)."""
+        return Relation.from_instance(self.instance(predicate_name))
+
+    def snapshot(self) -> DatabaseInstance:
+        """The current state as an immutable ``DatabaseInstance`` (cached
+        until the next mutation; safe to hold across batches)."""
+        snapshot = self._snapshot
+        if snapshot is None:
+            snapshot = DatabaseInstance(self._schema, dict(self._instances))
+            self._snapshot = snapshot
+        return snapshot
+
+    def update_log(self) -> list[dict[str, tuple[tuple, tuple]]]:
+        """The committed batches, oldest first (see :mod:`repro.views.snapshot`)."""
+        return list(self._log)
+
+    def __len__(self) -> int:
+        return sum(len(values) for values in self._contents.values())
+
+    # -- writes ---------------------------------------------------------------
+    def insert(self, predicate_name: str, values: Iterable) -> UpdateBatch:
+        """Insert a batch into one predicate; returns the effective batch."""
+        return self.transact({predicate_name: (values, ())})
+
+    def delete(self, predicate_name: str, values: Iterable) -> UpdateBatch:
+        """Delete a batch from one predicate; returns the effective batch."""
+        return self.transact({predicate_name: ((), values)})
+
+    def transact(
+        self, changes: Mapping[str, tuple[Iterable, Iterable]]
+    ) -> UpdateBatch:
+        """Apply one multi-predicate batch atomically.
+
+        *changes* maps predicate names to ``(inserts, deletes)`` pairs.
+        Within a batch, deletes are applied before inserts (so a value in
+        both ends up present).  Values are validated against the
+        predicate's declared type **before** any state changes — a typing
+        error leaves the database untouched.  Views are maintained once,
+        from the combined delta, after all predicates are updated.
+        """
+        deltas: dict[str, Delta] = {}
+        planned: dict[str, tuple[list, list]] = {}
+        for name, (inserts, deletes) in changes.items():
+            if name not in self._contents:
+                raise SchemaError(f"predicate {name!r} is not part of this database")
+            declared = self._schema.type_of(name)
+            current = self._contents[name]
+            removed_set: set[ComplexValue] = set()
+            for value in deletes:
+                converted = self._convert(value, declared, name)
+                if converted in current:
+                    removed_set.add(converted)
+            added_set: set[ComplexValue] = set()
+            for value in inserts:
+                converted = self._convert(value, declared, name)
+                if converted in current:
+                    removed_set.discard(converted)
+                else:
+                    added_set.add(converted)
+            if added_set or removed_set:
+                added, removed = list(added_set), list(removed_set)
+                planned[name] = (added, removed)
+                deltas[name] = Delta(added, removed)
+        batch = UpdateBatch(deltas)
+        if not deltas:
+            return batch
+        for name, (added, removed) in planned.items():
+            current = self._contents[name]
+            current.difference_update(removed)
+            current.update(added)
+            self._instances[name] = Instance._from_trusted(
+                self._schema.type_of(name), frozenset(current)
+            )
+        self._snapshot = None
+        if self._log_updates:
+            self._log.append(
+                {name: (delta.added, delta.removed) for name, delta in deltas.items()}
+            )
+        self.views.maintain(batch)
+        return batch
+
+    def _convert(self, value, declared, name: str) -> ComplexValue:
+        converted = value if isinstance(value, ComplexValue) else value_from_python(value)
+        if not belongs_to(converted, declared):
+            raise SchemaError(
+                f"value {converted} does not belong to dom({declared}) and cannot be "
+                f"part of predicate {name!r}"
+            )
+        return converted
+
+    # -- flat-row conveniences -------------------------------------------------
+    def insert_rows(self, predicate_name: str, rows: Iterable[tuple]) -> UpdateBatch:
+        """Insert plain tuples into a flat predicate (relational traffic)."""
+        return self.insert(predicate_name, rows)
+
+    def delete_rows(self, predicate_name: str, rows: Iterable[tuple]) -> UpdateBatch:
+        """Delete plain tuples from a flat predicate (relational traffic)."""
+        return self.delete(predicate_name, rows)
+
+
+def flat_arity(type_) -> int | None:
+    """The arity of a flat ``[U,...,U]`` type, or ``None`` when not flat."""
+    if isinstance(type_, TupleType) and all(c == U for c in type_.component_types):
+        return type_.arity
+    return None

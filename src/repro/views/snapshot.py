@@ -1,0 +1,107 @@
+"""Snapshot and replay of a mutable database's state and traffic.
+
+Built on the :mod:`repro.io.serialization` codecs, re-exported through
+:mod:`repro.io`.  A snapshot captures three things: the schema, the
+current per-predicate instances, and the **update log** — the exact
+per-predicate added/removed values of every committed batch, oldest
+first.  Because the log records *effective* deltas (see
+:meth:`repro.views.database.Database.transact`), it is invertible:
+:func:`restore_database` can rewind a snapshot back to its initial state
+by applying the inverse batches in reverse, and :func:`replay_updates`
+can then push the original traffic through a fresh catalog of views —
+the round trip the differential tests use to prove that maintenance is a
+pure function of the update stream.
+
+View *definitions* are code (algebra expressions, Datalog programs) and
+are not serialized; re-define them on the restored database before
+replaying.
+"""
+
+from __future__ import annotations
+
+from repro.io.serialization import (
+    SerializationError,
+    instance_from_data,
+    instance_to_data,
+    schema_from_data,
+    schema_to_data,
+    value_from_data,
+    value_to_data,
+)
+
+from repro.views.database import Database
+
+
+def snapshot_database(database: Database) -> dict:
+    """The database's schema, current instances and update log as plain
+    JSON-compatible data."""
+    return {
+        "kind": "database_snapshot",
+        "schema": schema_to_data(database.schema),
+        "instances": {
+            name: instance_to_data(database.instance(name))
+            for name in database.schema.predicate_names
+        },
+        "log": [
+            {
+                name: {
+                    "added": [value_to_data(value) for value in added],
+                    "removed": [value_to_data(value) for value in removed],
+                }
+                for name, (added, removed) in batch.items()
+            }
+            for batch in database.update_log()
+        ],
+    }
+
+
+def restore_database(data: dict, rewind: bool = False) -> Database:
+    """Rebuild a :class:`Database` from :func:`snapshot_database` data.
+
+    With ``rewind=False`` the database holds the snapshot's *current*
+    state (the log is not re-applied — it already happened).  With
+    ``rewind=True`` the logged batches are inverted newest-first, leaving
+    the database in the state it had **before the first logged batch**;
+    pair with :func:`replay_updates` to re-run the traffic.
+    """
+    if not isinstance(data, dict) or data.get("kind") != "database_snapshot":
+        raise SerializationError(f"not a database snapshot: {data!r}")
+    schema = schema_from_data(data["schema"])
+    assignments = {
+        name: instance_from_data(payload)
+        for name, payload in data["instances"].items()
+    }
+    database = Database(schema, assignments)
+    if rewind:
+        for batch in reversed(_decoded_log(data)):
+            database.transact(
+                {name: (removed, added) for name, (added, removed) in batch.items()}
+            )
+        # The rewind transactions are bookkeeping, not traffic: start the
+        # restored database with a clean log.
+        database._log.clear()
+    return database
+
+
+def replay_updates(database: Database, log: list) -> int:
+    """Apply a serialized update log to *database* batch by batch (views
+    and all); returns the number of batches applied."""
+    decoded = _decoded_log({"log": log})
+    for batch in decoded:
+        database.transact(
+            {name: (added, removed) for name, (added, removed) in batch.items()}
+        )
+    return len(decoded)
+
+
+def _decoded_log(data: dict) -> list[dict[str, tuple[list, list]]]:
+    batches = []
+    for batch in data.get("log", ()):
+        decoded: dict[str, tuple[list, list]] = {}
+        for name, sides in batch.items():
+            decoded[name] = (
+                [value_from_data(value) for value in sides["added"]],
+                [value_from_data(value) for value in sides["removed"]],
+            )
+        batches.append(decoded)
+    return batches

@@ -15,6 +15,7 @@ from repro.workloads.generators import (
     random_graph_pairs,
     random_instance,
     random_objects,
+    random_update_stream,
 )
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "random_graph_pairs",
     "random_instance",
     "random_objects",
+    "random_update_stream",
 ]

@@ -36,7 +36,7 @@ from repro.datalog.ast import Program as DatalogProgram
 from repro.datalog.ast import Rule as DatalogRule
 from repro.objects.constructive import constructive_domain_size, iter_constructive_domain
 from repro.objects.instance import DatabaseInstance, Instance
-from repro.objects.values import ComplexValue
+from repro.objects.values import ComplexValue, structural_sort_key
 from repro.relational.relation import Relation
 from repro.types.schema import DatabaseSchema
 from repro.types.type_system import ComplexType, SetType, TupleType, U
@@ -201,6 +201,142 @@ def random_database(
             declaration.type, atoms, available, seed=seed + offset
         )
     return DatabaseInstance(schema, assignments)
+
+
+def random_update_stream(
+    schema: DatabaseSchema,
+    atoms: Sequence[object],
+    batches: int = 10,
+    batch_size: int = 4,
+    seed: int = 0,
+    initial: DatabaseInstance | None = None,
+    insert_bias: float = 0.6,
+    enumeration_budget: int = 20_000,
+) -> list[dict[str, tuple[list[ComplexValue], list[ComplexValue]]]]:
+    """A deterministic stream of insert/delete batches against *schema*.
+
+    Returns *batches* update batches in the shape
+    :meth:`repro.views.database.Database.transact` takes: each batch maps
+    predicate names to ``(inserts, deletes)`` lists of complex values.
+    The generator tracks the simulated contents of every predicate
+    (seeded from *initial*, typically the matching
+    :func:`random_database`), so deletes always name rows that are
+    currently present and inserts rows that are currently absent — every
+    generated batch is an *effective* delta, the contract the views
+    differential sweep and the X24 benchmark rely on.  Inserts draw from
+    the predicate's constructive domain over *atoms* (enumerated once, up
+    to *enumeration_budget* objects); *insert_bias* is the probability
+    that any one change is an insert rather than a delete.  The same seed
+    always yields the same stream.
+    """
+    if batches < 0 or batch_size < 1:
+        raise WorkloadError(
+            f"need non-negative batches and a positive batch size, got {batches}/{batch_size}"
+        )
+    rng = random.Random(seed)
+    pools: dict[str, list[ComplexValue]] = {}
+    states: dict[str, _StreamState] = {}
+    for declaration in schema:
+        pools[declaration.name] = list(
+            bounded(
+                iter_constructive_domain(declaration.type, frozenset(atoms)),
+                enumeration_budget,
+                what=f"cons({declaration.type})",
+            )
+        )
+        current = (
+            # Sorted once so the simulated state (and with it the whole
+            # stream) is independent of set iteration order / hash seeds.
+            sorted(initial.instance(declaration.name).values, key=structural_sort_key)
+            if initial is not None
+            else []
+        )
+        states[declaration.name] = _StreamState(current)
+
+    names = list(schema.predicate_names)
+    stream: list[dict[str, tuple[list[ComplexValue], list[ComplexValue]]]] = []
+    for _ in range(batches):
+        batch: dict[str, tuple[list[ComplexValue], list[ComplexValue]]] = {}
+        # A batch is applied *simultaneously*, so one value must not be
+        # both inserted and deleted within it: everything touched this
+        # batch is off-limits for further changes.
+        touched: dict[str, set[ComplexValue]] = {name: set() for name in names}
+        for _ in range(batch_size):
+            name = rng.choice(names)
+            inserts, deletes = batch.setdefault(name, ([], []))
+            state = states[name]
+            off_limits = touched[name]
+            insertable = _pick_absent(pools[name], state.members, off_limits, rng)
+            deletable = state.pick_present(off_limits, rng)
+            if insertable is not None and (rng.random() < insert_bias or deletable is None):
+                state.insert(insertable)
+                off_limits.add(insertable)
+                inserts.append(insertable)
+            elif deletable is not None:
+                state.delete(deletable)
+                off_limits.add(deletable)
+                deletes.append(deletable)
+        stream.append({name: sides for name, sides in batch.items() if any(sides)})
+    return stream
+
+
+class _StreamState:
+    """The simulated contents of one predicate while a stream is built.
+
+    Keeps a membership set plus a deterministic *ordered* list of members
+    (initial sorted order, then insertion order) so random picks are
+    reproducible across processes regardless of hash seeds, and O(1)
+    expected — deletions leave tombstones in the list, compacted once
+    they dominate.
+    """
+
+    __slots__ = ("members", "order")
+
+    def __init__(self, initial: list) -> None:
+        self.members: set = set(initial)
+        self.order: list = list(initial)
+
+    def insert(self, value) -> None:
+        self.members.add(value)
+        self.order.append(value)
+
+    def delete(self, value) -> None:
+        self.members.discard(value)
+        if len(self.order) > 16 and len(self.order) > 2 * len(self.members):
+            self.order = [member for member in self.order if member in self.members]
+
+    def pick_present(self, off_limits: set, rng: random.Random):
+        """A current member outside *off_limits*, or ``None``."""
+        order, members = self.order, self.members
+        if not members:
+            return None
+        for _ in range(32):
+            value = order[rng.randrange(len(order))]
+            if value in members and value not in off_limits:
+                return value
+        for value in order:
+            if value in members and value not in off_limits:
+                return value
+        return None
+
+
+def _pick_absent(pool, current, off_limits, rng: random.Random):
+    """A pool value outside *current* and *off_limits*, or ``None``.
+
+    Rejection-samples so that benchmark-sized pools (tens of thousands of
+    candidates) cost O(1) expected per pick; the exact full scan only
+    runs when the pool is nearly exhausted.
+    """
+    if not pool:
+        return None
+    for _ in range(32):
+        value = pool[rng.randrange(len(pool))]
+        if value not in current and value not in off_limits:
+            return value
+    for value in pool:
+        if value not in current and value not in off_limits:
+            return value
+    return None
 
 
 # -- random Datalog programs ----------------------------------------------------

@@ -101,3 +101,23 @@ def test_statistics_are_populated():
     assert stats.rounds > 1
     assert stats.bindings > 0
     assert stats.derivations > 0
+
+
+def test_fixpoint_on_the_last_permitted_round_is_not_an_error():
+    """A fixpoint reached on exactly the max_iterations-th delta round
+    must return quietly, not raise 'did not reach a fixpoint'."""
+    from repro.datalog import evaluate_program, transitive_closure_program
+    from repro.relational.relation import Relation
+    from repro.workloads import chain_pairs
+
+    program = transitive_closure_program()
+    edb = {"par": Relation(2, chain_pairs(5))}
+    baseline = evaluate_program(program, edb)
+    # A 5-edge chain converges in a handful of rounds; find the exact
+    # number, then re-run with precisely that budget.
+    from repro.datalog import DatalogStatistics
+
+    stats = DatalogStatistics()
+    evaluate_program(program, edb, statistics=stats)
+    exact = evaluate_program(program, edb, max_iterations=stats.rounds)
+    assert exact == baseline

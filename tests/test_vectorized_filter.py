@@ -427,3 +427,87 @@ def test_mask_kernels_match_per_element_reference():
     assert list(mask_fill(4, True)) == [1, 1, 1, 1]
     assert list(mask_fill(4, False)) == [0, 0, 0, 0]
     assert list(mask_not(bytearray())) == []
+
+
+# -- selectivity-ordered conjunct evaluation --------------------------------------
+
+def _conjunction_cases(seed: int):
+    """Seeded random pure-conjunction selections over the nested schema
+    (member atoms included, so ordering has real cost differences)."""
+    rng = random.Random(seed)
+    database = random_database(NESTED_SCHEMA, ["a", "b", "v0"], count=10, seed=seed)
+    row_type = parse_type("[U, U, {U}]")
+    cases = []
+    for _ in range(6):
+        first = _random_condition(row_type, rng)
+        second = _random_condition(row_type, rng)
+        if first is None or second is None:
+            continue
+        condition = SelectionCondition.conjunction(first, second)
+        cases.append((Selection(PredicateExpression("S"), condition), database))
+    return cases
+
+
+@pytest.mark.parametrize("vectorized_on,columnar_on,interning_on", MODES)
+@pytest.mark.parametrize("seed", range(0, 12, 3))
+def test_ordered_conjunctions_agree_in_every_mode(seed, vectorized_on, columnar_on, interning_on):
+    """Selectivity-ordered conjunct evaluation must not change any answer
+    anywhere in the mode cube."""
+    for expression, database in _conjunction_cases(seed):
+        oracle = evaluate_expression_legacy(expression, database)
+        with representation(vectorized_on, columnar_on, interning_on):
+            assert evaluate_expression(expression, database, STRICT) == oracle, (
+                f"seed {seed}: {expression}"
+            )
+
+
+def test_conjunctions_order_by_selectivity_and_skip_rows():
+    """A selective equality conjunct must run first and shrink the batch
+    the expensive membership conjunct sees — visible in the engagement
+    counters: conjunctions_ordered fires, rows are skipped, and the
+    membership kernel probes fewer distinct pairs than the full batch
+    holds."""
+    from repro.objects.instance import DatabaseInstance
+
+    pools = [frozenset({f"m{k}_{j}" for j in range(3)} | {f"e{k}"}) for k in range(4)]
+    rows = [(f"r{i}", f"e{i % 40}", pools[i % 4]) for i in range(200)]
+    db = DatabaseInstance.build(NESTED_SCHEMA, R=[("x", frozenset({"a"}))], S=rows)
+    # membership (expensive, base selectivity) ∧ not(eq) ∧ eq-constant:
+    # the estimate orders the plain eq first and the negation last.
+    condition = SelectionCondition.conjunction(
+        SelectionCondition.member(2, 3),
+        SelectionCondition.eq(1, ConstantOperand("r1")),
+    )
+    expression = Selection(PredicateExpression("S"), condition)
+    with representation(True, True, True):
+        before = vectorized_stats()
+        answer = evaluate_expression(expression, db, STRICT)
+        after = vectorized_stats()
+    assert len(answer) == 1
+    assert after["conjunctions_ordered"] > before["conjunctions_ordered"]
+    assert after["conjunct_rows_skipped"] - before["conjunct_rows_skipped"] >= 199
+    # The membership conjunct saw only the single surviving row: one
+    # distinct (element, container) pair instead of up to 160.
+    assert after["membership_evaluations"] - before["membership_evaluations"] <= 2
+    with representation(False, True, True):
+        assert evaluate_expression(expression, db, STRICT) == answer
+
+
+def test_nested_and_chains_flatten_for_ordering():
+    """((a ∧ b) ∧ c) and (a ∧ (b ∧ c)) order the same flat conjunct list
+    and agree with the scalar path."""
+    from repro.objects.instance import DatabaseInstance
+
+    rows = [(f"k{i}", f"v{i % 7}") for i in range(80)]
+    db = DatabaseInstance.build(PARENT_SCHEMA, PAR=rows)
+    a = SelectionCondition.eq(2, ConstantOperand("v3"))
+    b = SelectionCondition.negation(SelectionCondition.eq(1, ConstantOperand("k3")))
+    c = SelectionCondition.negation(SelectionCondition.eq(1, ConstantOperand("k10")))
+    left = SelectionCondition.conjunction(SelectionCondition.conjunction(a, b), c)
+    right = SelectionCondition.conjunction(a, SelectionCondition.conjunction(b, c))
+    with representation(True, True, True):
+        left_answer = evaluate_expression(Selection(PAR, left), db, STRICT)
+        right_answer = evaluate_expression(Selection(PAR, right), db, STRICT)
+    with representation(False, False, True):
+        oracle = evaluate_expression(Selection(PAR, left), db, STRICT)
+    assert left_answer == right_answer == oracle

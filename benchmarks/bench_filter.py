@@ -43,6 +43,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from benchmarks.conftest import write_bench_report
+from repro.engine import codegen
 from repro.algebra import (
     PredicateExpression,
     Selection,
@@ -123,11 +124,18 @@ def pair_membership_workload(rows: int = ROW_COUNT):
 
 
 def measure_selection(name: str, expression, database) -> dict:
-    """Steady-state engine evaluation of *expression*, per filter mode."""
+    """Steady-state engine evaluation of *expression*, per filter mode.
+
+    Fused codegen is pinned off in both modes so the measured variable
+    stays the predicate-evaluation mechanism alone — the fused fragments
+    inline the same predicates and would otherwise speed up the per-tuple
+    baseline; ``bench_codegen.py`` symmetrically pins vectorized filters
+    off while measuring fusion.
+    """
     seconds = {}
     cardinality = {}
     for mode, label in ((True, "vectorized"), (False, "per_tuple")):
-        with vectorized_filters(mode):
+        with codegen(False), vectorized_filters(mode):
             run = lambda: evaluate_expression(expression, database)
             cardinality[label] = len(run())  # warm columns / intern tables
             seconds[label] = _best_of(run)

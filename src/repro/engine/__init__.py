@@ -19,6 +19,13 @@ See ``ARCHITECTURE.md`` at the repository root for the layer diagram.
 from __future__ import annotations
 
 from repro.algebra.expressions import AlgebraExpression
+from repro.engine.codegen import (
+    analyze_plan,
+    codegen,
+    codegen_enabled,
+    codegen_stats,
+    set_codegen,
+)
 from repro.engine.compile import CompileOptions, compile_expression
 from repro.engine.execute import DEFAULT_POWERSET_BUDGET, execute_plan
 from repro.engine.explain import explain_plan
@@ -86,6 +93,11 @@ __all__ = [
     "explain_plan",
     "run_expression",
     "clear_plan_cache",
+    "analyze_plan",
+    "codegen",
+    "codegen_enabled",
+    "codegen_stats",
+    "set_codegen",
     "build_index",
     "hash_join",
     "probe",

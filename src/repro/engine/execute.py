@@ -27,6 +27,7 @@ from repro.algebra.vectorized import (
     vectorized_dispatch,
     vectorized_enabled,
 )
+from repro.engine.codegen import codegen_enabled, fused_rows
 from repro.engine.join import build_index_with_keys, hash_join, probe
 from repro.objects.columnar import (
     VALUE_DICTIONARY,
@@ -117,9 +118,20 @@ class _Executor:
         if cached is not None:
             return iter(cached)
         if node.consumers > 1 or isinstance(node, Materialize):
-            materialized = frozenset(self._generate(node))
+            materialized = frozenset(self._iterate(node))
             self._cache[node.node_id] = materialized
             return iter(materialized)
+        return self._iterate(node)
+
+    def _iterate(self, node: PlanNode) -> Iterator[ComplexValue]:
+        """Dispatch one node: the fused-fragment path when codegen is on
+        and covers the subtree rooted here, the interpreting generators
+        otherwise (:func:`repro.engine.codegen.fused_rows` explains the
+        wholesale per-fragment fallback contract)."""
+        if codegen_enabled():
+            fused = fused_rows(node, self)
+            if fused is not None:
+                return iter(fused)
         return self._generate(node)
 
     # -- operator implementations --------------------------------------------

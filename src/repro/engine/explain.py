@@ -3,7 +3,9 @@
 ``explain_plan`` prints the DAG as an indented tree.  A node shared by
 several consumers is printed in full the first time it is reached and as a
 back-reference (``↩ #id``) afterwards, so common subexpressions are visible
-at a glance.
+at a glance.  ``verbose=True`` additionally annotates every node with its
+codegen fusion status (see :func:`repro.engine.codegen.analyze_plan`) and,
+for fragment roots, the structural cache key of the compiled function.
 """
 
 from __future__ import annotations
@@ -11,8 +13,30 @@ from __future__ import annotations
 from repro.engine.plan import PhysicalPlan, PlanNode
 
 
-def explain_plan(plan: PhysicalPlan, types: bool = True) -> str:
-    """Render *plan* as an indented operator tree with DAG back-references."""
+def _fusion_suffix(annotation: dict | None) -> str:
+    if annotation is None:
+        return ""
+    status = annotation["status"]
+    key = annotation.get("key")
+    if key is not None:
+        return f" ⟦{status} key={key}⟧"
+    return f" ⟦{status}⟧"
+
+
+def explain_plan(plan: PhysicalPlan, types: bool = True, verbose: bool = False) -> str:
+    """Render *plan* as an indented operator tree with DAG back-references.
+
+    With *verbose*, each node carries its fusion status under the current
+    mode flags — ``fused-root`` (with the fragment's structural cache
+    key), ``fused``, ``fallback``, ``trivial`` or ``codegen-off`` — the
+    exact dispatch the executor will take, so the annotations line up with
+    the ``codegen_stats()`` counters of a subsequent execution.
+    """
+    annotations: dict[int, dict] = {}
+    if verbose:
+        from repro.engine.codegen import analyze_plan
+
+        annotations = analyze_plan(plan)
     lines: list[str] = []
     printed: set[int] = set()
 
@@ -24,7 +48,8 @@ def explain_plan(plan: PhysicalPlan, types: bool = True) -> str:
         printed.add(node.node_id)
         shared = " [shared]" if node.consumers > 1 else ""
         type_suffix = f" : {node.output_type}" if types else ""
-        lines.append(f"{indent}#{node.node_id} {node.label()}{type_suffix}{shared}")
+        fusion = _fusion_suffix(annotations.get(node.node_id)) if verbose else ""
+        lines.append(f"{indent}#{node.node_id} {node.label()}{type_suffix}{shared}{fusion}")
         for child in node.children():
             render(child, depth + 1)
 

@@ -1,15 +1,16 @@
 """One call for every engagement counter the ablation switches expose.
 
-Three process-wide representation switches accumulate work counters in
-three different modules — interning (:func:`repro.objects.values.intern_stats`),
-columnar storage (:func:`repro.objects.columnar.columnar_stats`) and
-vectorized selection (:func:`repro.algebra.vectorized.vectorized_stats`) —
+Four process-wide representation switches accumulate work counters in
+four different modules — interning (:func:`repro.objects.values.intern_stats`),
+columnar storage (:func:`repro.objects.columnar.columnar_stats`),
+vectorized selection (:func:`repro.algebra.vectorized.vectorized_stats`)
+and fused pipeline codegen (:func:`repro.engine.codegen.codegen_stats`) —
 plus the materialized-view maintenance counters
-(:func:`repro.views.maintain.views_stats`) layered on top of all three.
+(:func:`repro.views.maintain.views_stats`) layered on top of all of them.
 Tests and benchmarks that assert "the fast path actually engaged" used to
 snapshot each family separately; :func:`runtime_stats` aggregates them
 behind one call and :func:`reset_runtime_stats` zeroes them all, so a
-sweep can diff one nested dict instead of four.
+sweep can diff one nested dict instead of five.
 
 See the "Ablation switches" table in ``ARCHITECTURE.md`` for the
 switch-by-switch comparison of what each family measures.
@@ -21,12 +22,13 @@ from __future__ import annotations
 def runtime_stats() -> dict[str, dict[str, int]]:
     """A snapshot of every counter family, keyed by subsystem.
 
-    Keys: ``"interning"``, ``"columnar"``, ``"vectorized"`` and
-    ``"views"``.  Families import lazily — the vectorized and views
-    counters live above :mod:`repro.objects` in the layer stack, so eager
-    imports here would be circular.
+    Keys: ``"interning"``, ``"columnar"``, ``"vectorized"``, ``"codegen"``
+    and ``"views"``.  Families import lazily — the vectorized, codegen and
+    views counters live above :mod:`repro.objects` in the layer stack, so
+    eager imports here would be circular.
     """
     from repro.algebra.vectorized import vectorized_stats
+    from repro.engine.codegen import codegen_stats
     from repro.objects.columnar import columnar_stats
     from repro.objects.values import intern_stats
     from repro.views.maintain import views_stats
@@ -35,6 +37,7 @@ def runtime_stats() -> dict[str, dict[str, int]]:
         "interning": intern_stats(),
         "columnar": columnar_stats(),
         "vectorized": vectorized_stats(),
+        "codegen": codegen_stats(),
         "views": views_stats(),
     }
 
@@ -42,10 +45,12 @@ def runtime_stats() -> dict[str, dict[str, int]]:
 def reset_runtime_stats() -> None:
     """Zero every counter of every family (the keys themselves stay)."""
     from repro.algebra.vectorized import _VECTORIZED
+    from repro.engine.codegen import _CODEGEN
     from repro.objects.columnar import _COLUMNAR
     from repro.objects.values import _INTERN
     from repro.views.maintain import _VIEWS
 
-    for family in (_INTERN.stats, _COLUMNAR.stats, _VECTORIZED.stats, _VIEWS.stats):
+    families = (_INTERN.stats, _COLUMNAR.stats, _VECTORIZED.stats, _CODEGEN.stats, _VIEWS.stats)
+    for family in families:
         for counter in family:
             family[counter] = 0

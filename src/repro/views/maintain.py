@@ -46,6 +46,7 @@ from repro.errors import EvaluationError
 from repro.algebra.evaluation import condition_holds, flatten_value
 from repro.algebra.expressions import AlgebraExpression
 from repro.algebra.vectorized import compile_condition, vectorized_dispatch
+from repro.engine.codegen import compiled_predicate
 from repro.engine.compile import CompileOptions, compile_expression
 from repro.engine.execute import DEFAULT_POWERSET_BUDGET, _components_key
 from repro.engine.join import IncrementalIndex
@@ -418,6 +419,12 @@ class _Maintainer:
         if compiled is not None and vectorized_dispatch(len(rows)):
             return compiled.filter_values(rows)
         condition = node.condition
+        # Sub-threshold batches reuse the engine's process-wide compiled
+        # predicate cache (the same inline expressions fused fragments
+        # run) instead of the per-tuple condition_holds tree walk.
+        predicate = compiled_predicate(condition, node.output_type)
+        if predicate is not None:
+            return [row for row in rows if predicate(row.components)]
         return [row for row in rows if condition_holds(condition, row)]
 
     def _compiled_condition(self, node: Filter):
@@ -472,11 +479,23 @@ class _Maintainer:
         # persistent indexes still hold the pre-batch state here, so each
         # term probes exactly the relation version the formula names.
         contributions: dict[object, int] = {}
+        residual = node.residual
+        residual_predicate = (
+            compiled_predicate(residual, node.output_type) if residual is not None else None
+        )
 
         def contribute(left_row, right_row, sign: int) -> None:
-            combined = TupleValue(left_row + right_row)
-            if node.residual is not None and not condition_holds(node.residual, combined):
-                return
+            row = left_row + right_row
+            if residual_predicate is not None:
+                # Compiled residual over the raw component row: the output
+                # TupleValue is built only for surviving pairs.
+                if not residual_predicate(row):
+                    return
+                combined = TupleValue(row)
+            else:
+                combined = TupleValue(row)
+                if residual is not None and not condition_holds(residual, combined):
+                    return
             contributions[combined] = contributions.get(combined, 0) + sign
 
         for rows, sign in ((added_left, 1), (removed_left, -1)):

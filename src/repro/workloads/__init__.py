@@ -15,6 +15,7 @@ from repro.workloads.generators import (
     random_graph_pairs,
     random_instance,
     random_objects,
+    random_pipeline_query,
     random_update_stream,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "random_graph_pairs",
     "random_instance",
     "random_objects",
+    "random_pipeline_query",
     "random_update_stream",
 ]

@@ -591,6 +591,89 @@ def _apply_operator(
     raise WorkloadError(f"unknown expression operator {operator!r}")
 
 
+def random_pipeline_query(
+    schema: DatabaseSchema,
+    seed: int = 0,
+    depth: int = 4,
+    join_probability: float = 0.3,
+    max_arity: int = 6,
+) -> AlgebraExpression:
+    """A deterministic scan→filter/project/join pipeline over *schema*.
+
+    Unlike :func:`random_algebra_expression` (which exercises the whole
+    operator vocabulary, powerset and collapse included), every query this
+    generator produces lowers to the pipelined fragment shapes fused
+    codegen covers — selection/projection chains over scans, and equi-join
+    products whose cross-side equality becomes a ``HashJoin`` (half the
+    time with an extra residual conjunct) — so the codegen differential
+    sweep and ``benchmarks/bench_codegen.py`` exercise exactly the
+    fragments under test.  *depth* counts the operator applications
+    stacked on the initial scan (steps the dice cannot apply well-typed
+    are skipped); the same seed always yields the same query.
+    """
+    if depth < 1:
+        raise WorkloadError(f"pipeline depth must be at least 1, got {depth}")
+    rng = random.Random(seed)
+    tuple_predicates = [
+        declaration for declaration in schema if isinstance(declaration.type, TupleType)
+    ]
+    if not tuple_predicates:
+        raise WorkloadError("random_pipeline_query needs a tuple-typed predicate")
+    declaration = rng.choice(tuple_predicates)
+    expression: AlgebraExpression = PredicateExpression(declaration.name)
+    type_ = declaration.type
+    for _ in range(depth):
+        if rng.random() < join_probability:
+            grown = _pipeline_join(expression, type_, tuple_predicates, schema, max_arity, rng)
+        elif rng.random() < 0.7:
+            condition = _random_condition(type_, rng)
+            grown = None if condition is None else (Selection(expression, condition), type_)
+        else:
+            width = rng.randint(1, min(3, type_.arity))
+            coordinates = tuple(rng.randint(1, type_.arity) for _ in range(width))
+            projected = Projection(expression, coordinates)
+            grown = (projected, projected.output_type(schema))
+        if grown is not None:
+            expression, type_ = grown
+    return expression
+
+
+def _pipeline_join(
+    expression: AlgebraExpression,
+    type_: TupleType,
+    tuple_predicates: list,
+    schema: DatabaseSchema,
+    max_arity: int,
+    rng: random.Random,
+):
+    """Extend the pipeline with an equi-join against a scanned predicate:
+    ``Selection(Product(pipeline, scan), cross-side eq [∧ residual])``,
+    the shape the compiler lowers to a HashJoin with the pipeline as the
+    probe side.  ``None`` when no well-typed join fits under *max_arity*."""
+    candidates = [d for d in tuple_predicates if type_.arity + d.type.arity <= max_arity]
+    if not candidates:
+        return None
+    other = rng.choice(candidates)
+    product = Product(expression, PredicateExpression(other.name))
+    combined = product.output_type(schema)
+    left_arity = type_.arity
+    pairs = [
+        (i, left_arity + j)
+        for i in range(1, left_arity + 1)
+        for j in range(1, other.type.arity + 1)
+        if type_.component(i) == other.type.component(j)
+    ]
+    if not pairs:
+        return None
+    left_key, right_key = rng.choice(pairs)
+    condition = SelectionCondition.eq(left_key, right_key)
+    if rng.random() < 0.5:
+        residual = _random_atomic_condition(combined, rng)
+        if residual is not None:
+            condition = SelectionCondition.conjunction(condition, residual)
+    return Selection(product, condition), combined
+
+
 def _pick_tuple_typed(
     pool: list[tuple[AlgebraExpression, ComplexType, float]], rng: random.Random
 ) -> tuple[AlgebraExpression, ComplexType, float] | None:

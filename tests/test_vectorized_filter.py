@@ -35,6 +35,7 @@ from repro.algebra.expressions import (
     SelectionCondition,
     Union,
 )
+from repro.engine.codegen import codegen
 from repro.algebra.vectorized import (
     compile_condition,
     set_vectorized_filters,
@@ -235,7 +236,10 @@ def test_hash_join_residual_takes_the_vectorized_path():
         SelectionCondition.negation(SelectionCondition.eq(1, ConstantOperand("v3"))),
     )
     expression = Selection(Product(PAR, PAR), condition)
-    with representation(True, True, True):
+    # Pin the *interpreting* executor: fused codegen fragments check the
+    # residual with an inline in-loop predicate instead of batched masks
+    # (tests/test_codegen.py covers that axis).
+    with codegen(False), representation(True, True, True):
         before = vectorized_stats()
         vectorized = evaluate_expression(expression, db, STRICT)
         after = vectorized_stats()
@@ -257,7 +261,9 @@ def test_pipelined_filter_batches_non_scan_children():
     )
     condition = SelectionCondition.eq(1, 2)
     expression = Selection(Union(PredicateExpression("A"), PredicateExpression("B")), condition)
-    with representation(True, True, True):
+    # Codegen off: a fused filter-over-union fragment inlines the
+    # predicate per row and never reaches the chunked batching path.
+    with codegen(False), representation(True, True, True):
         before = vectorized_stats()
         vectorized = evaluate_expression(expression, db, STRICT)
         after = vectorized_stats()

@@ -467,7 +467,7 @@ def test_runtime_stats_aggregates_all_families():
     from repro.objects import reset_runtime_stats, runtime_stats
 
     stats = runtime_stats()
-    assert set(stats) == {"interning", "columnar", "vectorized", "views"}
+    assert set(stats) == {"interning", "columnar", "vectorized", "codegen", "views"}
     db = Database(PARENT_SCHEMA, {"PAR": [("a", "b")]})
     db.views.define_algebra("v", PAR)
     db.insert("PAR", [("b", "v0")])

@@ -1,0 +1,190 @@
+"""X26 — durability overhead and recovery speed of the serving core.
+
+Measures what the write-ahead log costs on the update hot path and how
+fast a crashed database comes back.  Three systems absorb the *same*
+seeded update stream against a 5 000-row base relation:
+
+* **baseline** — a bare :class:`repro.views.Database`, no durability at
+  all (the pre-reliability serving core);
+* **wal (fsync=never)** — every batch encoded through the value codec
+  and appended as a CRC'd WAL record, flushing left to the OS — the
+  durability floor the perf contract gates: the WAL must cost at most
+  ~1.5× (relative throughput ≥ 0.67);
+* **wal (fsync=always)** — every append fsynced before the commit
+  returns.  Recorded for the trajectory but *not* floor-gated: fsync
+  latency is hardware truth, not an implementation property.
+
+Afterwards the fsync=never directory is recovered cold
+(:func:`repro.reliability.recover_database` — torn-tail scan, checkpoint
+load, WAL replay) and recovery throughput is recorded, with a
+conservative floor so a recovery-path regression cannot land silently.
+
+Acceptance: ``relative_throughput_wal_fsync_never`` ≥ 0.67 and
+``recovered_batches_per_second`` ≥ 30; both re-checked by
+``check_regressions.py`` on every tier-1 run.  Directly runnable::
+
+    PYTHONPATH=src python benchmarks/bench_wal.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import write_bench_report
+from repro.objects.instance import DatabaseInstance
+from repro.reliability import create_durable_database, recover_database
+from repro.types.parser import parse_type
+from repro.types.schema import DatabaseSchema
+from repro.views import Database
+from repro.workloads import random_update_stream
+
+#: Rows in the base relation and the update traffic driven over it.
+ROW_COUNT = 5_000
+BATCH_SIZE = 50
+BATCHES = 40
+
+#: Each configuration runs this many times from a fresh database; the
+#: fastest run is scored (single runs are ~20ms, too noisy to gate on).
+REPEATS = 3
+
+#: Acceptance floors; ``check_regressions.py`` re-validates the recorded
+#: report against these on every tier-1 run.
+FLOORS = {
+    # WAL at fsync=never may cost at most ~1.5x (1/1.5 ≈ 0.67).
+    "relative_throughput_wal_fsync_never": 0.67,
+    # Cold recovery (scan + checkpoint + replay) of the whole stream.
+    "recovered_batches_per_second": 30.0,
+}
+
+SCHEMA = DatabaseSchema([("R", parse_type("[U, U]"))])
+
+ATOMS = [f"k{i}" for i in range(200)] + [f"g{j}" for j in range(100)]
+
+
+def base_database() -> DatabaseInstance:
+    return DatabaseInstance.build(
+        SCHEMA, R=[(f"k{i}", f"g{i % 100}") for i in range(ROW_COUNT)]
+    )
+
+
+def base_assignments(base: DatabaseInstance) -> dict:
+    return {name: base.instance(name) for name in SCHEMA.predicate_names}
+
+
+def update_stream(base: DatabaseInstance):
+    return random_update_stream(
+        SCHEMA,
+        ATOMS,
+        batches=BATCHES,
+        batch_size=BATCH_SIZE,
+        seed=25,
+        initial=base,
+        insert_bias=0.5,
+        enumeration_budget=120_000,
+    )
+
+
+def drive(database: Database, stream) -> float:
+    """Apply the whole stream; returns wall-clock seconds."""
+    start = time.perf_counter()
+    for batch in stream:
+        database.transact(batch)
+    return time.perf_counter() - start
+
+
+def run_baseline(base: DatabaseInstance, stream) -> dict:
+    seconds = []
+    for _ in range(REPEATS):
+        database = Database.from_instance(base, log_updates=False)
+        seconds.append(drive(database, stream))
+    return {"seconds": min(seconds), "snapshot": database.snapshot()}
+
+
+def run_wal(base: DatabaseInstance, stream, fsync: str, directory) -> dict:
+    seconds = []
+    for repeat in range(REPEATS):
+        database = create_durable_database(
+            SCHEMA,
+            base_assignments(base),
+            directory=directory / str(repeat),
+            fsync=fsync,
+            log_updates=False,
+        )
+        seconds.append(drive(database, stream))
+        snapshot = database.snapshot()
+        database.close()
+    return {"seconds": min(seconds), "snapshot": snapshot}
+
+
+def run_recovery(directory, expected_snapshot) -> dict:
+    start = time.perf_counter()
+    recovered = recover_database(directory, fsync="never", log_updates=False)
+    seconds = time.perf_counter() - start
+    assert recovered.snapshot() == expected_snapshot
+    assert recovered.durability.last_sequence == BATCHES
+    recovered.close()
+    return {"seconds": seconds, "batches_replayed": BATCHES}
+
+
+def test_wal_report():
+    """Measure the three configurations plus recovery, assert the floors,
+    emit the report."""
+    base = base_database()
+    stream = update_stream(base)
+    with tempfile.TemporaryDirectory() as scratch:
+        scratch = Path(scratch)
+        baseline = run_baseline(base, stream)
+        never = run_wal(base, stream, "never", scratch / "never")
+        always = run_wal(base, stream, "always", scratch / "always")
+        # All three configurations commit the identical final state.
+        assert never["snapshot"] == baseline["snapshot"]
+        assert always["snapshot"] == baseline["snapshot"]
+        recovery = run_recovery(
+            scratch / "never" / str(REPEATS - 1), baseline["snapshot"]
+        )
+
+    workload = (
+        f"{BATCHES} batches of {BATCH_SIZE} changes against {ROW_COUNT} rows"
+    )
+    metrics = {
+        "relative_throughput_wal_fsync_never": baseline["seconds"]
+        / never["seconds"],
+        "relative_throughput_wal_fsync_always": baseline["seconds"]
+        / always["seconds"],
+        "recovered_batches_per_second": recovery["batches_replayed"]
+        / recovery["seconds"],
+    }
+    path = write_bench_report(
+        "wal",
+        {
+            "experiment": (
+                "X26 durability: WAL overhead on the update hot path and "
+                "cold crash-recovery throughput"
+            ),
+            "results": {
+                "workload": workload,
+                "seconds": {
+                    "baseline": baseline["seconds"],
+                    "wal_fsync_never": never["seconds"],
+                    "wal_fsync_always": always["seconds"],
+                    "recovery": recovery["seconds"],
+                },
+                "batches_replayed": recovery["batches_replayed"],
+            },
+            "metrics": metrics,
+            "floors": FLOORS,
+        },
+    )
+    for metric, floor in FLOORS.items():
+        assert metrics[metric] >= floor, (path, metric, metrics[metric])
+
+
+if __name__ == "__main__":
+    test_wal_report()
+    for line in Path(__file__).with_name("BENCH_wal.json").read_text().splitlines():
+        print(line)

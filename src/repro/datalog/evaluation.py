@@ -154,6 +154,17 @@ class _PredicateStore:
                     index.add(row)
         return fresh
 
+    def retract(self, rows: Iterable[tuple]) -> None:
+        """Remove previously committed *rows* from the store and every
+        live index — the exact inverse of the ``commit`` that returned
+        them, used when view maintenance rolls a failed batch back."""
+        known = self.rows
+        for row in rows:
+            if row in known:
+                known.discard(row)
+                for index in self.indexes.values():
+                    index.remove(row)
+
 
 def _evaluate_stratum(
     program: Program,

@@ -105,6 +105,31 @@ class IncrementalIndex:
         """The rows whose key equals *key* (empty list when none)."""
         return self.buckets.get(key, _NO_ROWS)
 
+    def apply_batch(self, added: Iterable[object], removed: Iterable[object]):
+        """Roll the index forward by one delta batch; returns an undo
+        closure that restores it exactly.
+
+        The caller guarantees the delta invariant (*added* rows absent,
+        *removed* rows present), which makes the inverse batch exact.
+        View maintenance records the returned closure in its
+        :class:`~repro.reliability.staging.UndoJournal`, so a failure
+        later in the same batch can rewind this index without a rebuild.
+        """
+        added = list(added)
+        removed = list(removed)
+        for row in removed:
+            self.remove(row)
+        for row in added:
+            self.add(row)
+
+        def undo() -> None:
+            for row in added:
+                self.remove(row)
+            for row in removed:
+                self.add(row)
+
+        return undo
+
 
 _NO_ROWS: list[object] = []
 

@@ -57,6 +57,20 @@ class SpectrumError(ReproError):
     """A b-formula or spectrum computation is malformed."""
 
 
+class ReliabilityError(ReproError):
+    """A durability component (WAL, checkpoint, recovery) was misused."""
+
+
+class CorruptSnapshotError(ReproError):
+    """A serialized snapshot or checkpoint failed its integrity checks.
+
+    Raised when a snapshot file is truncated, bit-flipped or otherwise
+    damaged: the codec verifies a format-version field and a content
+    checksum before decoding, so corruption surfaces as this one clear
+    error instead of a ``KeyError`` (or, worse, silently wrong data).
+    """
+
+
 class BudgetExceededError(EvaluationError):
     """An evaluation exceeded its configured enumeration budget.
 

@@ -26,6 +26,7 @@ interchangeably, and the two round-trip to equal instances.
 from __future__ import annotations
 
 import json
+from hashlib import sha256
 
 from repro.errors import ReproError
 from repro.objects.columnar import columnar_dispatch
@@ -279,6 +280,49 @@ def database_from_data(data: object) -> DatabaseInstance:
             raise SerializationError(f"serialised database is missing predicate {name!r}")
         assignments[name] = instance_from_data(data["instances"][name])
     return DatabaseInstance(schema, assignments)
+
+
+# -- sealed payloads ---------------------------------------------------------------
+
+def payload_checksum(payload: dict) -> str:
+    """The SHA-256 of a payload's canonical JSON form, ``checksum`` field
+    excluded — deterministic across Python versions because the canonical
+    form is key-sorted and separator-fixed."""
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def seal_payload(payload: dict) -> dict:
+    """Return *payload* with a ``checksum`` field covering every other
+    field.  Durable artifacts (database snapshots, WAL checkpoints) are
+    sealed on the way out so truncation or bit rot is *detected* on the
+    way back in rather than decoded into garbage."""
+    sealed = dict(payload)
+    sealed["checksum"] = payload_checksum(sealed)
+    return sealed
+
+
+def verify_sealed(payload: object, error_class: type[Exception] = SerializationError) -> dict:
+    """Check a sealed payload's checksum; returns the payload.
+
+    Raises *error_class* (default :class:`SerializationError`; snapshot
+    codecs pass :class:`repro.errors.CorruptSnapshotError`) when the
+    payload is not a dict, carries no checksum, or the checksum does not
+    match the content.
+    """
+    if not isinstance(payload, dict):
+        raise error_class(f"sealed payload must be a dict, got {type(payload).__name__}")
+    recorded = payload.get("checksum")
+    if not isinstance(recorded, str):
+        raise error_class("sealed payload is missing its 'checksum' field")
+    actual = payload_checksum(payload)
+    if recorded != actual:
+        raise error_class(
+            f"checksum mismatch: recorded {recorded[:12]}..., content hashes to "
+            f"{actual[:12]}... — the payload is truncated or corrupt"
+        )
+    return payload
 
 
 # -- JSON wrappers ----------------------------------------------------------------

@@ -6,11 +6,15 @@ columnar storage (:func:`repro.objects.columnar.columnar_stats`),
 vectorized selection (:func:`repro.algebra.vectorized.vectorized_stats`)
 and fused pipeline codegen (:func:`repro.engine.codegen.codegen_stats`) —
 plus the materialized-view maintenance counters
-(:func:`repro.views.maintain.views_stats`) layered on top of all of them.
-Tests and benchmarks that assert "the fast path actually engaged" used to
-snapshot each family separately; :func:`runtime_stats` aggregates them
-behind one call and :func:`reset_runtime_stats` zeroes them all, so a
-sweep can diff one nested dict instead of five.
+(:func:`repro.views.maintain.views_stats`) layered on top of all of them,
+and the durability counters
+(:func:`repro.reliability.faults.reliability_stats`: WAL records and
+fsyncs, torn tails truncated, recoveries, injected faults, quarantine
+rollbacks) alongside.  Tests and benchmarks that assert "the fast path
+actually engaged" used to snapshot each family separately;
+:func:`runtime_stats` aggregates them behind one call and
+:func:`reset_runtime_stats` zeroes them all, so a sweep can diff one
+nested dict instead of six.
 
 See the "Ablation switches" table in ``ARCHITECTURE.md`` for the
 switch-by-switch comparison of what each family measures.
@@ -22,15 +26,17 @@ from __future__ import annotations
 def runtime_stats() -> dict[str, dict[str, int]]:
     """A snapshot of every counter family, keyed by subsystem.
 
-    Keys: ``"interning"``, ``"columnar"``, ``"vectorized"``, ``"codegen"``
-    and ``"views"``.  Families import lazily — the vectorized, codegen and
-    views counters live above :mod:`repro.objects` in the layer stack, so
-    eager imports here would be circular.
+    Keys: ``"interning"``, ``"columnar"``, ``"vectorized"``, ``"codegen"``,
+    ``"views"`` and ``"reliability"``.  Families import lazily — the
+    vectorized, codegen, views and reliability counters live above
+    :mod:`repro.objects` in the layer stack, so eager imports here would
+    be circular.
     """
     from repro.algebra.vectorized import vectorized_stats
     from repro.engine.codegen import codegen_stats
     from repro.objects.columnar import columnar_stats
     from repro.objects.values import intern_stats
+    from repro.reliability.faults import reliability_stats
     from repro.views.maintain import views_stats
 
     return {
@@ -39,6 +45,7 @@ def runtime_stats() -> dict[str, dict[str, int]]:
         "vectorized": vectorized_stats(),
         "codegen": codegen_stats(),
         "views": views_stats(),
+        "reliability": reliability_stats(),
     }
 
 
@@ -48,9 +55,17 @@ def reset_runtime_stats() -> None:
     from repro.engine.codegen import _CODEGEN
     from repro.objects.columnar import _COLUMNAR
     from repro.objects.values import _INTERN
+    from repro.reliability.faults import _RELIABILITY
     from repro.views.maintain import _VIEWS
 
-    families = (_INTERN.stats, _COLUMNAR.stats, _VECTORIZED.stats, _CODEGEN.stats, _VIEWS.stats)
+    families = (
+        _INTERN.stats,
+        _COLUMNAR.stats,
+        _VECTORIZED.stats,
+        _CODEGEN.stats,
+        _VIEWS.stats,
+        _RELIABILITY.stats,
+    )
     for family in families:
         for counter in family:
             family[counter] = 0

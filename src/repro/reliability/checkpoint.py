@@ -1,0 +1,148 @@
+"""Checkpoints: sealed, versioned snapshots of a durable database's state.
+
+A checkpoint file carries the schema, every predicate's current instance
+and the WAL sequence it is consistent *as of* — recovery loads the newest
+valid checkpoint and replays only the WAL records past its sequence.
+Files are written atomically (temp file + ``os.replace``) so a crash
+mid-checkpoint leaves the previous checkpoint untouched, and sealed with
+a format version and content checksum
+(:func:`repro.io.serialization.seal_payload`) so a truncated or
+bit-flipped file is *detected* (:class:`repro.errors.CorruptSnapshotError`)
+and skipped in favour of an older sibling rather than decoded into
+garbage.  The WAL itself is never truncated by a checkpoint — that is
+what makes falling back to an older checkpoint sound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import CorruptSnapshotError, ReliabilityError
+from repro.io.serialization import (
+    instance_from_data,
+    instance_to_data,
+    schema_from_data,
+    schema_to_data,
+    seal_payload,
+    verify_sealed,
+)
+
+from repro.reliability.faults import _count, fault_point, register_fault_site
+
+CHECKPOINT_KIND = "wal_checkpoint"
+CHECKPOINT_FORMAT_VERSION = 1
+CHECKPOINT_PREFIX = "checkpoint-"
+
+SITE_CHECKPOINT_WRITE = register_fault_site(
+    "checkpoint.write", "serializing and atomically publishing a checkpoint file"
+)
+
+
+def checkpoint_path(directory, sequence: int) -> Path:
+    return Path(directory) / f"{CHECKPOINT_PREFIX}{sequence:012d}.json"
+
+
+def write_checkpoint(directory, database, sequence: int, keep: int = 2) -> Path:
+    """Write the database's current state as the checkpoint for WAL
+    position *sequence*; keeps the newest *keep* checkpoint files."""
+    directory = Path(directory)
+    payload = seal_payload(
+        {
+            "kind": CHECKPOINT_KIND,
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "sequence": sequence,
+            "schema": schema_to_data(database.schema),
+            "instances": {
+                name: instance_to_data(database.instance(name))
+                for name in database.schema.predicate_names
+            },
+        }
+    )
+    fault_point(SITE_CHECKPOINT_WRITE)
+    temporary = directory / f".{CHECKPOINT_PREFIX}tmp"
+    temporary.write_text(json.dumps(payload, sort_keys=True))
+    path = checkpoint_path(directory, sequence)
+    os.replace(temporary, path)
+    _count("checkpoints_written")
+    for old in list_checkpoints(directory)[:-keep] if keep else []:
+        old.unlink(missing_ok=True)
+    return path
+
+
+def list_checkpoints(directory) -> list[Path]:
+    """All checkpoint files in *directory*, oldest first."""
+    return sorted(Path(directory).glob(f"{CHECKPOINT_PREFIX}*.json"))
+
+
+def load_checkpoint(path) -> tuple[int, object, dict]:
+    """Load and verify one checkpoint file.
+
+    Returns ``(sequence, schema, assignments)``.  Any integrity failure —
+    unreadable file, invalid JSON, wrong kind, unknown format version,
+    checksum mismatch, missing instances — raises
+    :class:`~repro.errors.CorruptSnapshotError`.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise CorruptSnapshotError(f"checkpoint {path.name} is unreadable: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("kind") != CHECKPOINT_KIND:
+        raise CorruptSnapshotError(f"checkpoint {path.name} is not a {CHECKPOINT_KIND} payload")
+    if payload.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+        raise CorruptSnapshotError(
+            f"checkpoint {path.name} has unknown format version "
+            f"{payload.get('format_version')!r} (expected {CHECKPOINT_FORMAT_VERSION})"
+        )
+    verify_sealed(payload, CorruptSnapshotError)
+    try:
+        sequence = payload["sequence"]
+        schema = schema_from_data(payload["schema"])
+        assignments = {
+            name: instance_from_data(data) for name, data in payload["instances"].items()
+        }
+    except Exception as exc:
+        raise CorruptSnapshotError(f"checkpoint {path.name} fails to decode: {exc}") from exc
+    if not isinstance(sequence, int) or sequence < 0:
+        raise CorruptSnapshotError(f"checkpoint {path.name} has bad sequence {sequence!r}")
+    missing = set(schema.predicate_names) - set(assignments)
+    if missing:
+        raise CorruptSnapshotError(
+            f"checkpoint {path.name} is missing predicates {sorted(missing)}"
+        )
+    return sequence, schema, assignments
+
+
+def load_newest_checkpoint(directory) -> tuple[int, object, dict]:
+    """The newest checkpoint in *directory* that passes verification.
+
+    Corrupt files are skipped (newest first, counted in
+    ``reliability_stats()['corrupt_checkpoints_skipped']``); if none
+    survive, :class:`~repro.errors.ReliabilityError` is raised — a
+    durable directory always holds the initial checkpoint-0.
+    """
+    candidates = list_checkpoints(directory)
+    last_error: Exception | None = None
+    for path in reversed(candidates):
+        try:
+            return load_checkpoint(path)
+        except CorruptSnapshotError as error:
+            _count("corrupt_checkpoints_skipped")
+            last_error = error
+    raise ReliabilityError(
+        f"no valid checkpoint in {directory}"
+        + (f" (last error: {last_error})" if last_error else "")
+    )
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CHECKPOINT_KIND",
+    "checkpoint_path",
+    "list_checkpoints",
+    "load_checkpoint",
+    "load_newest_checkpoint",
+    "write_checkpoint",
+]

@@ -1,0 +1,65 @@
+"""Undo journals: cheap, exact rollback for in-place state mutation.
+
+The view maintainers mutate large incremental structures (support
+counters, join indexes, materialized member sets, columnar id arrays) in
+place — snapshotting all of it up front before every batch would cost
+O(state) per update and destroy the incremental-maintenance speedups the
+views exist for.  Instead, every mutation performed while applying a
+batch records its *inverse* in an :class:`UndoJournal` — an O(|delta|)
+closure — and a failure mid-apply runs the journal backwards, restoring
+the pre-batch state byte for byte.  A batch that completes simply drops
+its journal.
+
+The journal is deliberately dumb: it guarantees nothing about *what* the
+closures do, only that they run in exactly reverse order and that a
+journal is used once.  Correctness lives with the code recording the
+entries; the reliability tests verify it end-to-end by comparing rolled
+back state against a pristine copy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReliabilityError
+
+from repro.reliability.faults import _count
+
+
+class UndoJournal:
+    """A LIFO log of inverse operations for one batch application."""
+
+    __slots__ = ("_entries", "_closed")
+
+    def __init__(self) -> None:
+        self._entries: list = []
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, undo) -> None:
+        """Log one inverse closure; it runs only if the batch fails."""
+        if self._closed:
+            raise ReliabilityError("cannot record into a finished undo journal")
+        self._entries.append(undo)
+
+    def rollback(self) -> int:
+        """Run every recorded inverse in reverse order; returns how many
+        ran.  Counted in ``reliability_stats()['maintainer_rollbacks']``."""
+        if self._closed:
+            raise ReliabilityError("undo journal already finished")
+        self._closed = True
+        entries = self._entries
+        self._entries = []
+        for undo in reversed(entries):
+            undo()
+        if entries:
+            _count("maintainer_rollbacks")
+        return len(entries)
+
+    def commit(self) -> None:
+        """Discard the journal — the batch applied cleanly."""
+        self._closed = True
+        self._entries = []
+
+
+__all__ = ["UndoJournal"]

@@ -34,9 +34,17 @@ from repro.views.catalog import (
 )
 from repro.views.database import Database, UpdateBatch
 from repro.views.maintain import Delta, views_stats
-from repro.views.snapshot import replay_updates, restore_database, snapshot_database
+from repro.views.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    load_snapshot,
+    replay_updates,
+    restore_database,
+    save_snapshot,
+    snapshot_database,
+)
 
 __all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
     "AlgebraView",
     "Database",
     "DatalogView",
@@ -46,8 +54,10 @@ __all__ = [
     "View",
     "ViewCatalog",
     "ViewError",
+    "load_snapshot",
     "replay_updates",
     "restore_database",
+    "save_snapshot",
     "snapshot_database",
     "views_stats",
 ]

@@ -16,10 +16,21 @@ Three definition languages, one maintenance discipline:
   negation, which is not monotone) fall back to one recomputation.
 
 Every view caches its served value per version, so steady-state reads of
-an unchanged view cost a dict lookup.  A maintenance error (say, a
-powerset outgrowing its budget mid-batch) marks the view broken — its
-internal state can no longer be trusted — and reads raise until the view
-is redefined; the base database itself is never poisoned.
+an unchanged view cost a dict lookup.
+
+**Failure discipline** (see :mod:`repro.reliability`): a maintenance
+error (say, a powerset outgrowing its budget mid-batch, or an injected
+fault) rolls the view's maintainer state back to its pre-batch shape via
+the batch's undo journal and **quarantines** only that view — the batch
+still commits, every other view is maintained, and the base database is
+never poisoned.  Reads of a quarantined view degrade gracefully: they
+fall back to an engine recompute over the current database (cached per
+database version, counted in ``views_stats()['degraded_reads']``)
+instead of serving stale materialized state.  :meth:`View.repair`
+re-materializes from the current state and re-arms incremental
+maintenance.  A :class:`~repro.reliability.faults.SimulatedCrash` is
+*not* handled anywhere on this path — it derives from ``BaseException``
+precisely so it rips through like a process kill.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from repro.errors import ReproError, SchemaError
+from repro.algebra.evaluation import AlgebraEvaluationSettings, evaluate_expression
 from repro.algebra.expressions import AlgebraExpression
 from repro.datalog.ast import Program
 from repro.datalog.evaluation import DatalogStatistics, SemiNaiveProgram
@@ -35,6 +47,8 @@ from repro.objects.columnar import columnar_dispatch
 from repro.objects.instance import Instance
 from repro.objects.values import Atom, TupleValue
 from repro.relational.relation import Relation
+from repro.reliability.faults import fault_point, register_fault_site
+from repro.reliability.staging import UndoJournal
 
 from repro.views.database import Database, UpdateBatch, flat_arity
 from repro.views.maintain import (
@@ -44,6 +58,10 @@ from repro.views.maintain import (
     _MaintainedColumn,
     _Maintainer,
     apply_delta,
+)
+
+SITE_MAINTAIN_DATALOG = register_fault_site(
+    "maintain.datalog", "a Datalog view's resume/recompute step"
 )
 
 
@@ -58,29 +76,89 @@ class View:
         self.name = name
         self._database = database
         self._version = 0
-        self._broken: str | None = None
-        self.stats = {"delta_batches": 0, "recomputes": 0}
+        self._quarantined: str | None = None
+        self._fallback: tuple[int, object] | None = None
+        self.stats = {
+            "delta_batches": 0,
+            "recomputes": 0,
+            "quarantines": 0,
+            "degraded_reads": 0,
+            "repairs": 0,
+        }
 
     @property
     def version(self) -> int:
         """Bumped every time a batch actually changed the view's value."""
         return self._version
 
-    def _check_serveable(self) -> None:
-        if self._broken is not None:
-            raise ViewError(
-                f"view {self.name!r} is broken ({self._broken}); redefine it"
-            )
+    @property
+    def quarantined(self) -> str | None:
+        """The quarantine reason, or ``None`` while the view serves its
+        materialized state normally."""
+        return self._quarantined
 
     def maintain(self, batch: UpdateBatch) -> None:
-        self._check_serveable()
-        try:
-            self._maintain(batch)
-        except Exception as error:
-            self._broken = f"maintenance failed: {error}"
-            raise
+        """Apply one committed batch, commit-or-rollback.
 
-    def _maintain(self, batch: UpdateBatch) -> None:
+        A failure rolls the maintainer state back to its pre-batch shape
+        (every in-place mutation logged its inverse in the journal) and
+        quarantines the view; nothing is re-raised — the batch has
+        already committed to the base database, and reads of this view
+        degrade to recompute until :meth:`repair`.  Only a
+        ``SimulatedCrash`` (a ``BaseException``) escapes, untouched.
+        """
+        if self._quarantined is not None:
+            return
+        journal = UndoJournal()
+        try:
+            self._maintain(batch, journal)
+        except Exception as error:
+            journal.rollback()
+            self._quarantine(error)
+        else:
+            journal.commit()
+
+    def _quarantine(self, error: Exception) -> None:
+        self._quarantined = f"maintenance failed: {type(error).__name__}: {error}"
+        self._fallback = None
+        self.stats["quarantines"] += 1
+        _count("views_quarantined")
+
+    def repair(self) -> "View":
+        """Re-materialize from the database's current state and re-arm
+        incremental maintenance (works on healthy views too — then it is
+        just a rebuild)."""
+        self._rebuild()
+        self._quarantined = None
+        self._fallback = None
+        self._version += 1
+        self.stats["repairs"] += 1
+        _count("view_repairs")
+        return self
+
+    def _degraded(self, compute):
+        """Serve a quarantined read: *compute* the value from the current
+        database (cached per database version) and count the degradation."""
+        self.stats["degraded_reads"] += 1
+        _count("degraded_reads")
+        version = self._database.version
+        cached = self._fallback
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        try:
+            value = compute()
+        except Exception as error:
+            raise ViewError(
+                f"view {self.name!r} is quarantined ({self._quarantined}) and its "
+                f"fallback recompute failed: {error}"
+            ) from error
+        self._fallback = (version, value)
+        return value
+
+    def _maintain(self, batch: UpdateBatch, journal: UndoJournal) -> None:
+        raise NotImplementedError
+
+    def _rebuild(self) -> None:
         raise NotImplementedError
 
 
@@ -104,6 +182,7 @@ class AlgebraView(View):
     ) -> None:
         super().__init__(name, database)
         self.expression = expression
+        self._powerset_budget = powerset_budget
         self._maintainer = _Maintainer(
             expression, database.schema, powerset_budget=powerset_budget
         )
@@ -112,19 +191,38 @@ class AlgebraView(View):
         self._column = _MaintainedColumn()
         self._served: Instance | None = None
 
-    def _maintain(self, batch: UpdateBatch) -> None:
-        self._apply_batch(batch)
+    def _maintain(self, batch: UpdateBatch, journal: UndoJournal) -> None:
+        self._apply_batch(batch, journal)
 
-    def _apply_batch(self, batch: UpdateBatch) -> Delta:
+    def _apply_batch(self, batch: UpdateBatch, journal: UndoJournal | None = None) -> Delta:
         """The one algebra maintenance step (also driven by
         :class:`RelationalView`); returns the root delta."""
-        delta = self._maintainer.apply(batch.deltas)
+        delta = self._maintainer.apply(batch.deltas, journal)
         self.stats["delta_batches"] += 1
         if delta:
+            if journal is not None:
+                def undo(
+                    self=self,
+                    version=self._version,
+                    served=self._served,
+                    ids=self._column.ids,
+                ) -> None:
+                    self._version = version
+                    self._served = served
+                    self._column.ids = ids
+                journal.record(undo)
             self._version += 1
             self._served = None
             self._roll_column(delta)
         return delta
+
+    def _rebuild(self) -> None:
+        self._maintainer = _Maintainer(
+            self.expression, self._database.schema, powerset_budget=self._powerset_budget
+        )
+        self._members = self._maintainer.initialize(self._database.snapshot())
+        self._column = _MaintainedColumn()
+        self._served = None
 
     def _roll_column(self, delta: Delta) -> None:
         if not columnar_dispatch(len(self._members)):
@@ -141,8 +239,17 @@ class AlgebraView(View):
         )
 
     def value(self) -> Instance:
-        """The current materialized instance (cached until it changes)."""
-        self._check_serveable()
+        """The current materialized instance (cached until it changes);
+        quarantined views degrade to an engine recompute over the current
+        database, honoring the view's powerset budget."""
+        if self._quarantined is not None:
+            return self._degraded(
+                lambda: evaluate_expression(
+                    self.expression,
+                    self._database.snapshot(),
+                    AlgebraEvaluationSettings(powerset_budget=self._powerset_budget),
+                )
+            )
         served = self._served
         if served is None:
             if columnar_dispatch(len(self._members)) and self._column.ids is None:
@@ -181,18 +288,50 @@ class RelationalView(View):
         self._served: Relation | None = None
         self.stats = self._inner.stats
 
-    def _maintain(self, batch: UpdateBatch) -> None:
-        delta = self._inner._apply_batch(batch)
+    def _maintain(self, batch: UpdateBatch, journal: UndoJournal) -> None:
+        delta = self._inner._apply_batch(batch, journal)
         if not delta:
             return
-        self._rows.difference_update(_flat_row(value) for value in delta.removed)
-        self._rows.update(_flat_row(value) for value in delta.added)
+        removed_rows = [_flat_row(value) for value in delta.removed]
+        added_rows = [_flat_row(value) for value in delta.added]
+        def undo(
+            self=self,
+            version=self._version,
+            served=self._served,
+            added_rows=added_rows,
+            removed_rows=removed_rows,
+        ) -> None:
+            self._rows.difference_update(added_rows)
+            self._rows.update(removed_rows)
+            self._version = version
+            self._served = served
+        journal.record(undo)
+        self._rows.difference_update(removed_rows)
+        self._rows.update(added_rows)
         self._version += 1
         self._served = None
 
+    def _rebuild(self) -> None:
+        self._inner._rebuild()
+        self._rows = {_flat_row(value) for value in self._inner._members}
+        self._served = None
+
     def value(self) -> Relation:
-        """The current materialized relation (cached until it changes)."""
-        self._check_serveable()
+        """The current materialized relation (cached until it changes);
+        quarantined views degrade to an engine recompute."""
+        if self._quarantined is not None:
+            def recompute() -> Relation:
+                instance = evaluate_expression(
+                    self.expression,
+                    self._database.snapshot(),
+                    AlgebraEvaluationSettings(
+                        powerset_budget=self._inner._powerset_budget
+                    ),
+                )
+                return Relation(
+                    self.arity, {_flat_row(value) for value in instance.values}
+                )
+            return self._degraded(recompute)
         served = self._served
         if served is None:
             served = Relation(self.arity, self._rows)
@@ -250,7 +389,7 @@ class DatalogView(View):
             for edb_name, predicate in self._edb_map.items()
         }
 
-    def _maintain(self, batch: UpdateBatch) -> None:
+    def _maintain(self, batch: UpdateBatch, journal: UndoJournal) -> None:
         inserts: dict[str, list[tuple]] = {}
         has_deletions = False
         relevant = False
@@ -265,22 +404,48 @@ class DatalogView(View):
                 inserts[edb_name] = [_flat_row(value) for value in delta.added]
         if not relevant:
             return
+        fault_point(SITE_MAINTAIN_DATALOG)
+        def undo(self=self, version=self._version, served=self._served) -> None:
+            self._version = version
+            self._served = served
+        journal.record(undo)
         self._version += 1
         self._served = None
         if has_deletions or self._evaluation.has_negation:
             _count("datalog_recomputes")
             self.stats["recomputes"] += 1
+            old_evaluation = self._evaluation
+            journal.record(
+                lambda self=self, old=old_evaluation: setattr(self, "_evaluation", old)
+            )
             self._evaluation = SemiNaiveProgram(
                 self.program, self._current_edb(), statistics=self.statistics
             )
             return
         _count("datalog_resumes")
         self.stats["delta_batches"] += 1
-        self._evaluation.resume(inserts)
+        produced = self._evaluation.resume(inserts)
+        def undo_resume(evaluation=self._evaluation, produced=produced) -> None:
+            for name, rows in produced.items():
+                evaluation.stores[name].retract(rows)
+        journal.record(undo_resume)
+
+    def _rebuild(self) -> None:
+        self._evaluation = SemiNaiveProgram(
+            self.program, self._current_edb(), statistics=self.statistics
+        )
+        self._served = None
 
     def value(self) -> dict[str, Relation]:
-        """Every predicate's current relation (EDB and IDB), cached."""
-        self._check_serveable()
+        """Every predicate's current relation (EDB and IDB), cached;
+        quarantined views degrade to a fresh fixpoint over the current
+        database (which does not touch the quarantined evaluation)."""
+        if self._quarantined is not None:
+            return self._degraded(
+                lambda: SemiNaiveProgram(
+                    self.program, self._current_edb(), statistics=self.statistics
+                ).relations()
+            )
         served = self._served
         if served is None:
             served = self._evaluation.relations()
@@ -349,26 +514,38 @@ class ViewCatalog:
         """Push one committed batch through every view (called by
         :meth:`Database.transact`).
 
-        A view whose maintenance fails is marked broken and the batch
-        still reaches **every other view** — one poisoned definition must
-        not silently desynchronize its neighbours (the base database was
-        already mutated by the time this runs).  Already-broken views are
-        skipped, so later writes keep flowing; the first error of this
-        batch is re-raised once the loop completes.
+        A view whose maintenance fails rolls back to its pre-batch state
+        and is quarantined (see :meth:`View.maintain`); the batch still
+        reaches **every other view** and nothing is re-raised — by the
+        time this runs the base database has durably committed, so a
+        maintainer error must degrade *reads of that one view*, never the
+        write path.  Already-quarantined views are skipped until
+        :meth:`repair`.
         """
         if not batch:
             return
-        first_error: Exception | None = None
         for view in self._views.values():
-            if view._broken is not None:
-                continue
-            try:
-                view.maintain(batch)
-            except Exception as error:
-                if first_error is None:
-                    first_error = error
-        if first_error is not None:
-            raise first_error
+            view.maintain(batch)
+
+    # -- quarantine ------------------------------------------------------------
+    def quarantined(self) -> dict[str, str]:
+        """The quarantined views: name -> reason (empty when all healthy)."""
+        return {
+            name: view._quarantined
+            for name, view in sorted(self._views.items())
+            if view._quarantined is not None
+        }
+
+    def repair(self, name: str) -> View:
+        """Re-materialize one view from current state and re-arm it."""
+        return self.view(name).repair()
+
+    def repair_all(self) -> list[str]:
+        """Repair every quarantined view; returns their names."""
+        names = sorted(self.quarantined())
+        for name in names:
+            self.repair(name)
+        return names
 
     # -- access ----------------------------------------------------------------
     def view(self, name: str) -> View:

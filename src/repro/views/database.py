@@ -31,10 +31,19 @@ from repro.objects.domain import belongs_to
 from repro.objects.instance import DatabaseInstance, Instance
 from repro.objects.values import ComplexValue, value_from_python
 from repro.relational.relation import Relation
+from repro.reliability.faults import (
+    _count as _reliability_count,
+    fault_point,
+    register_fault_site,
+)
 from repro.types.schema import DatabaseSchema
 from repro.types.type_system import TupleType, U
 
 from repro.views.maintain import Delta
+
+SITE_STORE_PUBLISH = register_fault_site(
+    "store.publish", "between the WAL append and the in-memory publish"
+)
 
 
 class UpdateBatch:
@@ -106,6 +115,8 @@ class Database:
         self._snapshot: DatabaseInstance | None = None
         self._log: list[dict[str, tuple[tuple, tuple]]] = []
         self._log_updates = log_updates
+        self._version = 0
+        self._durability = None
         self.views = ViewCatalog(self)
 
     @classmethod
@@ -117,10 +128,43 @@ class Database:
             **kwargs,
         )
 
+    # -- durability ------------------------------------------------------------
+    @property
+    def durability(self):
+        """The attached :class:`~repro.reliability.durable.DurabilityController`
+        (``None`` for an in-memory database)."""
+        return self._durability
+
+    def attach_durability(self, controller) -> None:
+        """Wire a durability controller under this database: every
+        subsequent batch is WAL-logged before it publishes (see
+        :func:`repro.reliability.durable.create_durable_database` /
+        :func:`~repro.reliability.durable.recover_database`)."""
+        if self._durability is not None:
+            raise SchemaError("this database already has a durability controller")
+        self._durability = controller
+
+    def checkpoint(self):
+        """Write a checkpoint at the current WAL position (durable only)."""
+        if self._durability is None:
+            raise SchemaError("this database has no durability controller to checkpoint")
+        return self._durability.checkpoint(self)
+
+    def close(self) -> None:
+        """Release the WAL file handle, if any (the data is already safe)."""
+        if self._durability is not None:
+            self._durability.close()
+
     # -- reads ----------------------------------------------------------------
     @property
     def schema(self) -> DatabaseSchema:
         return self._schema
+
+    @property
+    def version(self) -> int:
+        """Bumped once per committed effective batch (cache key for
+        degraded view reads)."""
+        return self._version
 
     def instance(self, predicate_name: str) -> Instance:
         """The predicate's current instance (a new object after every
@@ -168,15 +212,32 @@ class Database:
     def transact(
         self, changes: Mapping[str, tuple[Iterable, Iterable]]
     ) -> UpdateBatch:
-        """Apply one multi-predicate batch atomically.
+        """Apply one multi-predicate batch atomically: commit or rollback.
 
         *changes* maps predicate names to ``(inserts, deletes)`` pairs.
         Within a batch, deletes are applied before inserts (so a value in
-        both ends up present).  Values are validated against the
-        predicate's declared type **before** any state changes — a typing
-        error leaves the database untouched.  Views are maintained once,
-        from the combined delta, after all predicates are updated.
+        both ends up present).  The commit protocol:
+
+        1. **validate + plan** — every value is checked against its
+           predicate's declared type and the effective delta computed;
+           pure, so any error (a typing error, an unknown predicate)
+           leaves the database untouched;
+        2. **stage** — the new content sets and ``Instance`` objects for
+           every touched predicate are built off to the side; nothing
+           observable changes, and an exception here aborts cleanly;
+        3. **WAL append** — on a durable database the batch is made
+           durable *before* it publishes; a failed append (a full disk,
+           an injected fault) aborts the batch with the in-memory state
+           untouched, and recovery discards the torn record;
+        4. **publish** — pure dict swaps that cannot raise: either every
+           predicate flips to its post-batch instance or (if the process
+           dies first) none does — there is no observable intermediate;
+        5. **view maintenance** — a maintainer failure rolls back and
+           quarantines *that view only* (see
+           :meth:`~repro.views.catalog.ViewCatalog.maintain`); the batch
+           itself stays committed, matching what the WAL now records.
         """
+        # Phase 1: validate + plan (pure).
         deltas: dict[str, Delta] = {}
         planned: dict[str, tuple[list, list]] = {}
         for name, (inserts, deletes) in changes.items():
@@ -203,18 +264,35 @@ class Database:
         batch = UpdateBatch(deltas)
         if not deltas:
             return batch
+        # Phase 2: stage every touched predicate's post-batch state.
+        staged_contents: dict[str, set[ComplexValue]] = {}
+        staged_instances: dict[str, Instance] = {}
         for name, (added, removed) in planned.items():
-            current = self._contents[name]
-            current.difference_update(removed)
-            current.update(added)
-            self._instances[name] = Instance._from_trusted(
-                self._schema.type_of(name), frozenset(current)
+            staged = set(self._contents[name])
+            staged.difference_update(removed)
+            staged.update(added)
+            staged_contents[name] = staged
+            staged_instances[name] = Instance._from_trusted(
+                self._schema.type_of(name), frozenset(staged)
             )
+        # Phase 3: write-ahead log — durable before visible.
+        if self._durability is not None:
+            try:
+                self._durability.log_batch(deltas)
+            except Exception:
+                _reliability_count("batches_aborted")
+                raise
+        # Phase 4: publish (dict swaps only — nothing here can raise).
+        fault_point(SITE_STORE_PUBLISH)
+        self._contents.update(staged_contents)
+        self._instances.update(staged_instances)
         self._snapshot = None
+        self._version += 1
         if self._log_updates:
             self._log.append(
                 {name: (delta.added, delta.removed) for name, delta in deltas.items()}
             )
+        # Phase 5: view maintenance (quarantines, never aborts the batch).
         self.views.maintain(batch)
         return batch
 

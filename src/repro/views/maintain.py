@@ -75,8 +75,32 @@ from repro.engine.plan import (
     SetOp,
     UntupleNode,
 )
+from repro.reliability.faults import fault_point, register_fault_site
 from repro.types.schema import DatabaseSchema
 from repro.types.type_system import TupleType
+
+# The named fault sites of the maintenance path (see
+# :mod:`repro.reliability.faults`): each stateful delta rule announces
+# itself, so the reliability sweep can fail any rule mid-batch and check
+# that the undo journal restores every structure it had already touched.
+SITE_MAINTAIN_FILTER = register_fault_site(
+    "maintain.filter", "a filter node's delta rule"
+)
+SITE_MAINTAIN_PROJECT = register_fault_site(
+    "maintain.project", "a projection node's support-count fold"
+)
+SITE_MAINTAIN_COLLAPSE = register_fault_site(
+    "maintain.collapse", "a collapse node's support-count fold"
+)
+SITE_MAINTAIN_JOIN = register_fault_site(
+    "maintain.join", "between a hash join's left and right index rolls"
+)
+SITE_MAINTAIN_SETOP = register_fault_site(
+    "maintain.setop", "a set-operation node's membership transition"
+)
+SITE_MAINTAIN_RECOMPUTE = register_fault_site(
+    "maintain.recompute", "a scoped recompute (powerset) node"
+)
 
 
 class _ViewsState:
@@ -94,6 +118,9 @@ class _ViewsState:
             "rows_delta_out": 0,
             "datalog_resumes": 0,
             "datalog_recomputes": 0,
+            "views_quarantined": 0,
+            "degraded_reads": 0,
+            "view_repairs": 0,
         }
 
 
@@ -181,7 +208,10 @@ class _Supports:
     """Per-output-value derivation counts (deletions on flat views).
 
     ``apply`` folds a signed contribution map into the counts and returns
-    the *set-level* delta: values whose support crossed zero.
+    the *set-level* delta: values whose support crossed zero.  It runs in
+    two phases — validate everything, then mutate — so an inconsistent
+    contribution map raises with the counts untouched, and the mutation
+    phase can log one exact inverse into the batch's undo journal.
     """
 
     __slots__ = ("counts",)
@@ -189,10 +219,11 @@ class _Supports:
     def __init__(self) -> None:
         self.counts: dict[object, int] = {}
 
-    def apply(self, contributions: dict[object, int]) -> Delta:
+    def apply(self, contributions: dict[object, int], journal=None) -> Delta:
         added: list = []
         removed: list = []
         counts = self.counts
+        updates: list[tuple[object, int, int]] = []
         for value, change in contributions.items():
             if not change:
                 continue
@@ -203,14 +234,24 @@ class _Supports:
                     f"view maintenance drove the support of {value} negative "
                     f"({before} {change:+d}); the base delta is inconsistent"
                 )
-            if after:
-                counts[value] = after
-            else:
-                del counts[value]
+            updates.append((value, before, after))
             if before == 0 and after > 0:
                 added.append(value)
             elif before > 0 and after == 0:
                 removed.append(value)
+        for value, _, after in updates:
+            if after:
+                counts[value] = after
+            else:
+                del counts[value]
+        if journal is not None and updates:
+            def undo(counts=counts, updates=updates) -> None:
+                for value, before, _ in updates:
+                    if before:
+                        counts[value] = before
+                    else:
+                        counts.pop(value, None)
+            journal.record(undo)
         if not added and not removed:
             return _EMPTY_DELTA
         return Delta(added, removed)
@@ -353,9 +394,15 @@ class _Maintainer:
         )
 
     # -- delta propagation ----------------------------------------------------
-    def apply(self, base_deltas: dict[str, Delta]) -> Delta:
+    def apply(self, base_deltas: dict[str, Delta], journal=None) -> Delta:
         """Propagate one base-table batch through the DAG; returns the
-        root's output delta (states updated in place)."""
+        root's output delta (states updated in place).
+
+        When *journal* (an :class:`~repro.reliability.staging.UndoJournal`)
+        is given, every in-place mutation logs its exact inverse first, so
+        a failure anywhere mid-DAG can rewind this maintainer to its
+        pre-batch state instead of leaving it desynchronized.
+        """
         _count("delta_batches")
         _count(
             "rows_delta_in",
@@ -363,18 +410,27 @@ class _Maintainer:
         )
         deltas: dict[int, Delta] = {}
         for node in self.plan.nodes:
-            delta = self._node_delta(node, deltas, base_deltas)
+            delta = self._node_delta(node, deltas, base_deltas, journal)
             deltas[node.node_id] = delta
             output = self._outputs.get(node.node_id)
             if output is not None and delta:
                 output.difference_update(delta.removed)
                 output.update(delta.added)
+                if journal is not None:
+                    def undo(output=output, delta=delta) -> None:
+                        output.difference_update(delta.added)
+                        output.update(delta.removed)
+                    journal.record(undo)
         root_delta = deltas[self.root.node_id]
         _count("rows_delta_out", len(root_delta.added) + len(root_delta.removed))
         return root_delta
 
     def _node_delta(
-        self, node: PlanNode, deltas: dict[int, Delta], base_deltas: dict[str, Delta]
+        self,
+        node: PlanNode,
+        deltas: dict[int, Delta],
+        base_deltas: dict[str, Delta],
+        journal=None,
     ) -> Delta:
         if isinstance(node, Scan):
             return base_deltas.get(node.predicate_name, _EMPTY_DELTA)
@@ -389,22 +445,26 @@ class _Maintainer:
             return _EMPTY_DELTA
         _count("delta_node_applications")
         if isinstance(node, Filter):
+            fault_point(SITE_MAINTAIN_FILTER)
             return self._filter_delta(node, child_deltas[0])
         if isinstance(node, Project):
-            return self._project_delta(node, child_deltas[0])
+            fault_point(SITE_MAINTAIN_PROJECT)
+            return self._project_delta(node, child_deltas[0], journal)
         if isinstance(node, UntupleNode):
             return Delta(
                 [_untuple_row(row) for row in child_deltas[0].added],
                 [_untuple_row(row) for row in child_deltas[0].removed],
             )
         if isinstance(node, CollapseNode):
-            return self._collapse_delta(node, child_deltas[0])
+            fault_point(SITE_MAINTAIN_COLLAPSE)
+            return self._collapse_delta(node, child_deltas[0], journal)
         if isinstance(node, HashJoin):
-            return self._join_delta(node, child_deltas[0], child_deltas[1])
+            return self._join_delta(node, child_deltas[0], child_deltas[1], journal)
         if isinstance(node, NestedLoopProduct):
-            return self._product_delta(node, child_deltas[0], child_deltas[1])
+            return self._product_delta(node, child_deltas[0], child_deltas[1], journal)
         if isinstance(node, SetOp):
-            return self._setop_delta(node, child_deltas[0], child_deltas[1])
+            fault_point(SITE_MAINTAIN_SETOP)
+            return self._setop_delta(node, child_deltas[0], child_deltas[1], journal)
         raise EvaluationError(
             f"unknown plan operator {type(node).__name__} in view maintenance"
         )
@@ -445,7 +505,7 @@ class _Maintainer:
             self._filter_rows(node, list(child.removed)),
         )
 
-    def _project_delta(self, node: Project, child: Delta) -> Delta:
+    def _project_delta(self, node: Project, child: Delta, journal=None) -> Delta:
         contributions: dict[object, int] = {}
         coordinates = node.coordinates
         for row in child.added:
@@ -454,9 +514,9 @@ class _Maintainer:
         for row in child.removed:
             projected = _project_row(row, coordinates)
             contributions[projected] = contributions.get(projected, 0) - 1
-        return self._supports[node.node_id].apply(contributions)
+        return self._supports[node.node_id].apply(contributions, journal)
 
-    def _collapse_delta(self, node: CollapseNode, child: Delta) -> Delta:
+    def _collapse_delta(self, node: CollapseNode, child: Delta, journal=None) -> Delta:
         contributions: dict[object, int] = {}
         for value in child.added:
             for element in _collapse_elements(value):
@@ -464,9 +524,9 @@ class _Maintainer:
         for value in child.removed:
             for element in _collapse_elements(value):
                 contributions[element] = contributions.get(element, 0) - 1
-        return self._supports[node.node_id].apply(contributions)
+        return self._supports[node.node_id].apply(contributions, journal)
 
-    def _join_delta(self, node: HashJoin, left: Delta, right: Delta) -> Delta:
+    def _join_delta(self, node: HashJoin, left: Delta, right: Delta, journal=None) -> Delta:
         left_index, right_index = self._joins[node.node_id]
         left_type, right_type = node.left_type, node.right_type
         added_left = [flatten_value(v, left_type) for v in left.added]
@@ -522,14 +582,16 @@ class _Maintainer:
                 contribute(left_row, right_row, 1)
 
         # Roll the persistent indexes forward to the post-batch state.
-        for row in removed_left:
-            left_index.remove(row)
-        for row in added_left:
-            left_index.add(row)
-        for row in removed_right:
-            right_index.remove(row)
-        for row in added_right:
-            right_index.add(row)
+        # The fault site sits between the two rolls: a failure there
+        # leaves the hardest possible half-applied state (one index new,
+        # one old), which is exactly what the undo journal must rewind.
+        undo_left = left_index.apply_batch(added_left, removed_left)
+        if journal is not None:
+            journal.record(undo_left)
+        fault_point(SITE_MAINTAIN_JOIN)
+        undo_right = right_index.apply_batch(added_right, removed_right)
+        if journal is not None:
+            journal.record(undo_right)
 
         added = [value for value, count in contributions.items() if count > 0]
         removed = [value for value, count in contributions.items() if count < 0]
@@ -537,7 +599,9 @@ class _Maintainer:
             return _EMPTY_DELTA
         return Delta(added, removed)
 
-    def _product_delta(self, node: NestedLoopProduct, left: Delta, right: Delta) -> Delta:
+    def _product_delta(
+        self, node: NestedLoopProduct, left: Delta, right: Delta, journal=None
+    ) -> Delta:
         left_rows, right_rows = self._sides[node.node_id]
         left_type, right_type = node.left_type, node.right_type
         added_left = [flatten_value(v, left_type) for v in left.added]
@@ -563,10 +627,8 @@ class _Maintainer:
             ):
                 contribute(left_row, right_row, left_sign * right_sign)
 
-        left_rows.difference_update(removed_left)
-        left_rows.update(added_left)
-        right_rows.difference_update(removed_right)
-        right_rows.update(added_right)
+        self._update_side_set(left_rows, added_left, removed_left, journal)
+        self._update_side_set(right_rows, added_right, removed_right, journal)
 
         added = [value for value, count in contributions.items() if count > 0]
         removed = [value for value, count in contributions.items() if count < 0]
@@ -574,9 +636,19 @@ class _Maintainer:
             return _EMPTY_DELTA
         return Delta(added, removed)
 
-    def _setop_delta(self, node: SetOp, left: Delta, right: Delta) -> Delta:
+    def _setop_delta(self, node: SetOp, left: Delta, right: Delta, journal=None) -> Delta:
         left_members, right_members = self._sides[node.node_id]
         left_column, right_column, out_column = self._columns[node.node_id]
+        if journal is not None:
+            # The columns are rolled forward by whole-array replacement,
+            # so restoring the old references is an exact rewind.
+            def undo_columns(
+                columns=(left_column, right_column, out_column),
+                ids=(left_column.ids, right_column.ids, out_column.ids),
+            ) -> None:
+                for column, old in zip(columns, ids):
+                    column.ids = old
+            journal.record(undo_columns)
         columnar = columnar_dispatch(len(left_members) + len(right_members))
         result: Delta
         if columnar:
@@ -601,10 +673,10 @@ class _Maintainer:
                 if len(added_ids) or len(removed_ids)
                 else _EMPTY_DELTA
             )
-            self._apply_side_sets(left_members, right_members, left, right)
+            self._apply_side_sets(left_members, right_members, left, right, journal)
             return result
         result = self._setop_delta_members(node.kind, left_members, right_members, left, right)
-        self._apply_side_sets(left_members, right_members, left, right)
+        self._apply_side_sets(left_members, right_members, left, right, journal)
         left_column.apply(left, left_members, False)
         right_column.apply(right, right_members, False)
         out_column.ids = None
@@ -621,11 +693,24 @@ class _Maintainer:
         return left_members - right_members
 
     @staticmethod
-    def _apply_side_sets(left_members, right_members, left: Delta, right: Delta) -> None:
-        left_members.difference_update(left.removed)
-        left_members.update(left.added)
-        right_members.difference_update(right.removed)
-        right_members.update(right.added)
+    def _update_side_set(members: set, added, removed, journal=None) -> None:
+        """Apply one side's delta to its membership set, journaling the
+        exact inverse (sound because of the delta invariant: *added* rows
+        were absent, *removed* rows present)."""
+        members.difference_update(removed)
+        members.update(added)
+        if journal is not None and (added or removed):
+            def undo(members=members, added=tuple(added), removed=tuple(removed)) -> None:
+                members.difference_update(added)
+                members.update(removed)
+            journal.record(undo)
+
+    @classmethod
+    def _apply_side_sets(
+        cls, left_members, right_members, left: Delta, right: Delta, journal=None
+    ) -> None:
+        cls._update_side_set(left_members, left.added, left.removed, journal)
+        cls._update_side_set(right_members, right.added, right.removed, journal)
 
     @staticmethod
     def _setop_delta_members(
@@ -669,6 +754,7 @@ class _Maintainer:
         if not any(deltas[child.node_id] for child in node.children()):
             return _EMPTY_DELTA
         _count("recompute_node_applications")
+        fault_point(SITE_MAINTAIN_RECOMPUTE)
         if isinstance(node, PowersetNode):
             new_output = self._powerset_output(self._outputs[node.child.node_id])
         else:  # pragma: no cover - no other recompute operators today

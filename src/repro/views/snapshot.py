@@ -15,48 +15,76 @@ pure function of the update stream.
 View *definitions* are code (algebra expressions, Datalog programs) and
 are not serialized; re-define them on the restored database before
 replaying.
+
+**Integrity** (format version 2): every snapshot carries a
+``format_version`` field and a SHA-256 content checksum
+(:func:`repro.io.serialization.seal_payload`), verified *before* any
+decoding, so a truncated or bit-flipped snapshot surfaces as one clear
+:class:`~repro.errors.CorruptSnapshotError` instead of a ``KeyError``
+deep in a codec — or, worst of all, a silently wrong database.
+Unversioned legacy (v1) payloads are still accepted; they simply get no
+corruption detection beyond the codecs' own validation, which this
+module now also funnels into :class:`~repro.errors.CorruptSnapshotError`.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
+from repro.errors import CorruptSnapshotError
 from repro.io.serialization import (
     SerializationError,
     instance_from_data,
     instance_to_data,
     schema_from_data,
     schema_to_data,
+    seal_payload,
     value_from_data,
     value_to_data,
+    verify_sealed,
 )
 
 from repro.views.database import Database
 
+#: The snapshot payload format this module writes.  Version 1 had no
+#: ``format_version`` and no checksum; version 2 seals the payload.
+SNAPSHOT_FORMAT_VERSION = 2
+
 
 def snapshot_database(database: Database) -> dict:
     """The database's schema, current instances and update log as plain
-    JSON-compatible data."""
-    return {
-        "kind": "database_snapshot",
-        "schema": schema_to_data(database.schema),
-        "instances": {
-            name: instance_to_data(database.instance(name))
-            for name in database.schema.predicate_names
-        },
-        "log": [
-            {
-                name: {
-                    "added": [value_to_data(value) for value in added],
-                    "removed": [value_to_data(value) for value in removed],
+    JSON-compatible data, sealed with a format version and checksum."""
+    return seal_payload(
+        {
+            "kind": "database_snapshot",
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "schema": schema_to_data(database.schema),
+            "instances": {
+                name: instance_to_data(database.instance(name))
+                for name in database.schema.predicate_names
+            },
+            "log": [
+                {
+                    name: {
+                        "added": [value_to_data(value) for value in added],
+                        "removed": [value_to_data(value) for value in removed],
+                    }
+                    for name, (added, removed) in batch.items()
                 }
-                for name, (added, removed) in batch.items()
-            }
-            for batch in database.update_log()
-        ],
-    }
+                for batch in database.update_log()
+            ],
+        }
+    )
 
 
 def restore_database(data: dict, rewind: bool = False) -> Database:
     """Rebuild a :class:`Database` from :func:`snapshot_database` data.
+
+    Sealed (v2) payloads are checksum-verified before decoding; any
+    integrity failure — wrong/unknown format version, checksum mismatch,
+    or a decode error inside a verified *or* legacy payload — raises
+    :class:`~repro.errors.CorruptSnapshotError`.
 
     With ``rewind=False`` the database holds the snapshot's *current*
     state (the log is not re-applied — it already happened).  With
@@ -66,11 +94,23 @@ def restore_database(data: dict, rewind: bool = False) -> Database:
     """
     if not isinstance(data, dict) or data.get("kind") != "database_snapshot":
         raise SerializationError(f"not a database snapshot: {data!r}")
-    schema = schema_from_data(data["schema"])
-    assignments = {
-        name: instance_from_data(payload)
-        for name, payload in data["instances"].items()
-    }
+    versioned = "format_version" in data or "checksum" in data
+    if versioned:
+        version = data.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise CorruptSnapshotError(
+                f"snapshot has unknown format version {version!r} "
+                f"(expected {SNAPSHOT_FORMAT_VERSION})"
+            )
+        verify_sealed(data, CorruptSnapshotError)
+    try:
+        schema = schema_from_data(data["schema"])
+        assignments = {
+            name: instance_from_data(payload)
+            for name, payload in data["instances"].items()
+        }
+    except Exception as exc:
+        raise CorruptSnapshotError(f"snapshot fails to decode: {exc}") from exc
     database = Database(schema, assignments)
     if rewind:
         for batch in reversed(_decoded_log(data)):
@@ -92,6 +132,30 @@ def replay_updates(database: Database, log: list) -> int:
             {name: (added, removed) for name, (added, removed) in batch.items()}
         )
     return len(decoded)
+
+
+def save_snapshot(database: Database, path) -> Path:
+    """Serialize *database* to a sealed snapshot file at *path*."""
+    path = Path(path)
+    path.write_text(json.dumps(snapshot_database(database), sort_keys=True))
+    return path
+
+
+def load_snapshot(path, rewind: bool = False) -> Database:
+    """Load a snapshot file back into a :class:`Database`.
+
+    An unreadable or non-JSON file raises
+    :class:`~repro.errors.CorruptSnapshotError`, like every other
+    integrity failure on this path.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise CorruptSnapshotError(f"snapshot {path.name} is unreadable: {exc}") from exc
+    if not isinstance(data, dict) or data.get("kind") != "database_snapshot":
+        raise CorruptSnapshotError(f"snapshot {path.name} is not a database snapshot")
+    return restore_database(data, rewind=rewind)
 
 
 def _decoded_log(data: dict) -> list[dict[str, tuple[list, list]]]:

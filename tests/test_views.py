@@ -324,23 +324,45 @@ def test_view_names_cannot_collide():
     db.views.define_algebra("v", PAR)
 
 
-def test_broken_views_refuse_to_serve_but_do_not_poison_neighbours():
+def test_failing_views_quarantine_degrade_and_repair():
     db = Database(PARENT_SCHEMA, {"PAR": [("a", "b")]})
     view = db.views.define_algebra(
         "pow", Powerset(Projection(PAR, (1,))), powerset_budget=2
     )
     neighbour = db.views.define_algebra("all", PAR)
-    with pytest.raises(ReproError):
-        db.insert("PAR", [("v0", "x"), ("v1", "x"), ("v2", "x")])
-    with pytest.raises(ViewError):
-        view.value()
-    # The base database stays healthy, the batch still reached the other
-    # view, and later writes keep flowing (the broken view is skipped).
+    # The batch commits even though 'pow' outgrows its budget mid-batch:
+    # maintenance failures quarantine one view, never abort the write.
+    db.insert("PAR", [("v0", "x"), ("v1", "x"), ("v2", "x")])
     assert len(db.relation("PAR")) == 4
+    assert view.quarantined is not None
+    assert db.views.quarantined() == {"pow": view.quarantined}
+    # The batch still reached the healthy neighbour, and later writes
+    # keep flowing (the quarantined view is skipped).
     assert neighbour.value() == evaluate_expression(PAR, db.snapshot())
     db.insert("PAR", [("v3", "x")])
     assert neighbour.value() == evaluate_expression(PAR, db.snapshot())
     assert len(neighbour.value()) == 5
+    # Reads of the quarantined view degrade to an engine recompute that
+    # honors the view's powerset budget — still over it, so they raise
+    # the one clear error instead of serving stale materialized state.
+    with pytest.raises(ViewError):
+        view.value()
+    # Shrinking the base back under budget: the degraded read now serves
+    # the correct recomputed value, and repair() re-arms maintenance.
+    db.delete("PAR", [("v0", "x"), ("v1", "x"), ("v2", "x"), ("v3", "x")])
+    expected = evaluate_expression(
+        Powerset(Projection(PAR, (1,))), db.snapshot()
+    )
+    assert view.value() == expected
+    assert view.quarantined is not None  # degraded serve, not repaired yet
+    db.views.repair("pow")
+    assert view.quarantined is None
+    assert db.views.quarantined() == {}
+    assert view.value() == expected
+    db.insert("PAR", [("z", "x")])
+    assert view.value() == evaluate_expression(
+        Powerset(Projection(PAR, (1,))), db.snapshot()
+    )
 
 
 # -- cache invalidation under mutation (satellite) --------------------------------
@@ -467,7 +489,9 @@ def test_runtime_stats_aggregates_all_families():
     from repro.objects import reset_runtime_stats, runtime_stats
 
     stats = runtime_stats()
-    assert set(stats) == {"interning", "columnar", "vectorized", "codegen", "views"}
+    assert set(stats) == {
+        "interning", "columnar", "vectorized", "codegen", "views", "reliability",
+    }
     db = Database(PARENT_SCHEMA, {"PAR": [("a", "b")]})
     db.views.define_algebra("v", PAR)
     db.insert("PAR", [("b", "v0")])

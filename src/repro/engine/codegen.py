@@ -63,6 +63,7 @@ function specialized for the previous mode.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from functools import partial
 from hashlib import sha256
@@ -697,6 +698,14 @@ _PREPARED_LIMIT = 4096
 #: The source is the structural key: names/constants live in env.
 _FUNCTIONS: dict[tuple, object] = {}
 
+#: Guards cache *writes* (insert + eviction) against threaded callers —
+#: the serving layer evaluates from multiple threads.  Reads stay
+#: lock-free: entries are immutable once inserted and dict reads are
+#: atomic under the GIL; the worst lock-free race is a duplicate compile
+#: whose last write wins, which the lock's eviction path must not turn
+#: into a clear-then-insert interleaving that drops a just-added entry.
+_CACHE_LOCK = threading.Lock()
+
 
 def _mode_flags() -> tuple[bool, bool]:
     return (vectorized_enabled(), columnar_enabled())
@@ -709,9 +718,10 @@ def _prepare(node: PlanNode, count: bool = True):
     if entry is not None and entry[0] is node:
         return entry[1]
     fragment = _emit_fragment(node, flags, count)
-    if len(_PREPARED) >= _PREPARED_LIMIT:
-        _PREPARED.clear()
-    _PREPARED[key] = (node, fragment)
+    with _CACHE_LOCK:
+        if len(_PREPARED) >= _PREPARED_LIMIT:
+            _PREPARED.clear()
+        _PREPARED[key] = (node, fragment)
     return fragment
 
 
@@ -729,7 +739,8 @@ def _emit_fragment(node: PlanNode, flags: tuple[bool, bool], count: bool):
         code = compile(source, f"<fused {sha256(source.encode()).hexdigest()[:10]}>", "exec")
         exec(code, namespace)
         function = namespace["_fragment"]
-        _FUNCTIONS[function_key] = function
+        with _CACHE_LOCK:
+            _FUNCTIONS[function_key] = function
         if count:
             _CODEGEN.stats["fragments_compiled"] += 1
     elif count:
@@ -865,8 +876,9 @@ def compiled_predicate(condition: SelectionCondition, tuple_type):
     exec(compile(source, "<fused predicate>", "exec"), namespace)
     env = {slot: Atom(payload) for slot, _kind, payload in emitter.bindings}
     predicate = namespace["_make"](env)
-    if len(_PREDICATES) >= _PREDICATE_LIMIT:
-        _PREDICATES.clear()
-    _PREDICATES[key] = predicate
+    with _CACHE_LOCK:
+        if len(_PREDICATES) >= _PREDICATE_LIMIT:
+            _PREDICATES.clear()
+        _PREDICATES[key] = predicate
     _CODEGEN.stats["predicates_compiled"] += 1
     return predicate

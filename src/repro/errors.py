@@ -61,6 +61,25 @@ class ReliabilityError(ReproError):
     """A durability component (WAL, checkpoint, recovery) was misused."""
 
 
+class EpochError(ReproError):
+    """An MVCC epoch was pinned or read after it stopped being retained.
+
+    Snapshots of past epochs are kept only while a reader pins them; once
+    the last pin is released the snapshot is garbage-collected and the
+    epoch can no longer be served (see
+    :meth:`repro.views.database.Database.pin`).
+    """
+
+
+class ServingError(ReproError):
+    """A serving request failed: bad wire syntax, an unknown name, or a
+    server-side error relayed to the client (see :mod:`repro.serving`)."""
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class CorruptSnapshotError(ReproError):
     """A serialized snapshot or checkpoint failed its integrity checks.
 

@@ -53,6 +53,7 @@ the object path's constant factors win.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -170,13 +171,21 @@ class ValueDictionary:
     Equality-keyed on purpose: the id is an equivalence-class label, so an
     id column determines its set of values up to equality — exactly the
     invariant the kernels' "equal arrays iff equal sets" fast paths need.
+
+    Thread-safe on the assignment path: the serving layer reads from
+    concurrent tasks/threads while a writer encodes new values, and an
+    unsynchronized get→assign→append could hand the *same* id to two
+    different values (decoding one as the other — silent corruption).
+    The hit path stays lock-free: a present entry is immutable, and dict
+    reads are atomic under the GIL.
     """
 
-    __slots__ = ("_ids", "_values")
+    __slots__ = ("_ids", "_values", "_lock")
 
     def __init__(self) -> None:
         self._ids: dict[object, int] = {}
         self._values: list[object] = []
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._values)
@@ -186,9 +195,14 @@ class ValueDictionary:
         ids = self._ids
         assigned = ids.get(value)
         if assigned is None:
-            assigned = len(self._values)
-            ids[value] = assigned
-            self._values.append(value)
+            with self._lock:
+                # Double-checked: another thread may have assigned it
+                # between the lock-free miss and acquiring the lock.
+                assigned = ids.get(value)
+                if assigned is None:
+                    assigned = len(self._values)
+                    self._values.append(value)
+                    ids[value] = assigned
         return assigned
 
     def id_of(self, value: object) -> int | None:

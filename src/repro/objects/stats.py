@@ -18,6 +18,18 @@ nested dict instead of six.
 
 See the "Ablation switches" table in ``ARCHITECTURE.md`` for the
 switch-by-switch comparison of what each family measures.
+
+**Concurrency note.**  The counters are plain ints bumped with ``+=``
+without locks — deliberately.  Under CPython's GIL a lost increment
+between threads is possible but harmless: every counter is *diagnostic*
+(tests diff them within one thread; serving exposes them as
+approximations), and no control flow ever branches on one.  The shared
+state that *does* carry correctness — the columnar value dictionaries
+(:class:`repro.objects.columnar.ValueDictionary`), the codegen caches
+(:mod:`repro.engine.codegen`), the database's epoch table
+(:class:`repro.views.database.Database`) — is individually locked at its
+write sites; the intern tables and the WAL fragment cache are lock-free
+caches whose races are benign (documented at their definitions).
 """
 
 from __future__ import annotations

@@ -77,6 +77,15 @@ class _InterningState:
     ``set_frozenset_allocations``, which regression tests pin so the
     ``SetValue.__new__`` hit path never silently re-normalises an input
     that is already a frozenset.
+
+    Deliberately lock-free under threads: interning is a *cache*, not an
+    identity requirement — equality and hashing are structural, so if two
+    threads race the get-then-set and two canonical objects for the same
+    value briefly coexist, every downstream structure (sets, dicts, the
+    columnar dictionaries) still treats them as the same value.  The
+    tables are weak, so the loser is simply collected.  Nothing in the
+    codebase may compare complex values with ``is``; that is the enforced
+    single invariant this relies on.
     """
 
     __slots__ = ("enabled", "atoms", "tuples", "sets", "columnar_sets", "stats")

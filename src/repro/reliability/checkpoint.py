@@ -30,6 +30,7 @@ from repro.io.serialization import (
 )
 
 from repro.reliability.faults import _count, fault_point, register_fault_site
+from repro.reliability.wal import fsync_directory
 
 CHECKPOINT_KIND = "wal_checkpoint"
 CHECKPOINT_FORMAT_VERSION = 1
@@ -37,6 +38,9 @@ CHECKPOINT_PREFIX = "checkpoint-"
 
 SITE_CHECKPOINT_WRITE = register_fault_site(
     "checkpoint.write", "serializing and atomically publishing a checkpoint file"
+)
+SITE_CHECKPOINT_FSYNC = register_fault_site(
+    "checkpoint.fsync", "fsync of the temp checkpoint file before the atomic rename"
 )
 
 
@@ -46,13 +50,21 @@ def checkpoint_path(directory, sequence: int) -> Path:
 
 def write_checkpoint(directory, database, sequence: int, keep: int = 2) -> Path:
     """Write the database's current state as the checkpoint for WAL
-    position *sequence*; keeps the newest *keep* checkpoint files."""
+    position *sequence*; keeps the newest *keep* checkpoint files.
+
+    The temp file is fsynced *before* the atomic rename and the directory
+    is fsynced *after* it — ``os.replace`` alone only reorders the
+    rename against future writes; without the file fsync a crash can
+    publish a checkpoint whose bytes never reached disk, and without the
+    directory fsync the rename itself can be lost.
+    """
     directory = Path(directory)
     payload = seal_payload(
         {
             "kind": CHECKPOINT_KIND,
             "format_version": CHECKPOINT_FORMAT_VERSION,
             "sequence": sequence,
+            "epoch": getattr(database, "current_epoch", sequence),
             "schema": schema_to_data(database.schema),
             "instances": {
                 name: instance_to_data(database.instance(name))
@@ -62,9 +74,14 @@ def write_checkpoint(directory, database, sequence: int, keep: int = 2) -> Path:
     )
     fault_point(SITE_CHECKPOINT_WRITE)
     temporary = directory / f".{CHECKPOINT_PREFIX}tmp"
-    temporary.write_text(json.dumps(payload, sort_keys=True))
+    with open(temporary, "w", encoding="utf-8") as file:
+        file.write(json.dumps(payload, sort_keys=True))
+        file.flush()
+        fault_point(SITE_CHECKPOINT_FSYNC)
+        os.fsync(file.fileno())
     path = checkpoint_path(directory, sequence)
     os.replace(temporary, path)
+    fsync_directory(directory)
     _count("checkpoints_written")
     for old in list_checkpoints(directory)[:-keep] if keep else []:
         old.unlink(missing_ok=True)
@@ -76,12 +93,15 @@ def list_checkpoints(directory) -> list[Path]:
     return sorted(Path(directory).glob(f"{CHECKPOINT_PREFIX}*.json"))
 
 
-def load_checkpoint(path) -> tuple[int, object, dict]:
+def load_checkpoint(path) -> tuple[int, int, object, dict]:
     """Load and verify one checkpoint file.
 
-    Returns ``(sequence, schema, assignments)``.  Any integrity failure —
-    unreadable file, invalid JSON, wrong kind, unknown format version,
-    checksum mismatch, missing instances — raises
+    Returns ``(sequence, epoch, schema, assignments)`` — *epoch* is the
+    MVCC epoch the database was at when checkpointed (older checkpoints
+    without the field default it to *sequence*, which is the same number
+    whenever every batch was logged).  Any integrity failure — unreadable
+    file, invalid JSON, wrong kind, unknown format version, checksum
+    mismatch, missing instances — raises
     :class:`~repro.errors.CorruptSnapshotError`.
     """
     path = Path(path)
@@ -99,6 +119,7 @@ def load_checkpoint(path) -> tuple[int, object, dict]:
     verify_sealed(payload, CorruptSnapshotError)
     try:
         sequence = payload["sequence"]
+        epoch = payload.get("epoch", sequence)
         schema = schema_from_data(payload["schema"])
         assignments = {
             name: instance_from_data(data) for name, data in payload["instances"].items()
@@ -107,15 +128,17 @@ def load_checkpoint(path) -> tuple[int, object, dict]:
         raise CorruptSnapshotError(f"checkpoint {path.name} fails to decode: {exc}") from exc
     if not isinstance(sequence, int) or sequence < 0:
         raise CorruptSnapshotError(f"checkpoint {path.name} has bad sequence {sequence!r}")
+    if not isinstance(epoch, int) or epoch < 0:
+        raise CorruptSnapshotError(f"checkpoint {path.name} has bad epoch {epoch!r}")
     missing = set(schema.predicate_names) - set(assignments)
     if missing:
         raise CorruptSnapshotError(
             f"checkpoint {path.name} is missing predicates {sorted(missing)}"
         )
-    return sequence, schema, assignments
+    return sequence, epoch, schema, assignments
 
 
-def load_newest_checkpoint(directory) -> tuple[int, object, dict]:
+def load_newest_checkpoint(directory) -> tuple[int, int, object, dict]:
     """The newest checkpoint in *directory* that passes verification.
 
     Corrupt files are skipped (newest first, counted in

@@ -71,13 +71,19 @@ class DurabilityController:
     def last_sequence(self) -> int:
         return self.wal.last_sequence
 
-    def log_batch(self, deltas: dict) -> int | None:
+    def log_batch(self, deltas: dict, epoch: int | None = None) -> int | None:
         """Make one batch durable before it is published; returns the WAL
-        sequence, or ``None`` when logging is ablated off (``set_wal``)."""
+        sequence, or ``None`` when logging is ablated off (``set_wal``).
+
+        *epoch* is the MVCC epoch this batch will publish; when given it
+        becomes the record's sequence, so WAL position and epoch are the
+        same number and recovery's epoch is the last durable one.
+        """
         if not wal_enabled():
             _count("wal_appends_skipped")
             return None
-        return self.wal.append(encode_batch(deltas))
+        sequence = epoch if epoch is not None and epoch > self.wal.last_sequence else None
+        return self.wal.append(encode_batch(deltas), sequence=sequence)
 
     def checkpoint(self, database) -> Path:
         """Write a checkpoint of *database* at the current WAL position.
@@ -142,8 +148,10 @@ def recover_database(
 
     config = DurabilityConfig(directory, fsync=fsync, keep_checkpoints=keep_checkpoints)
     records = recover_wal(config.wal_path)
-    sequence, schema, assignments = load_newest_checkpoint(config.directory)
-    database = Database(schema, assignments, log_updates=log_updates)
+    sequence, epoch, schema, assignments = load_newest_checkpoint(config.directory)
+    database = Database(
+        schema, assignments, log_updates=log_updates, initial_epoch=epoch
+    )
     last_sequence = sequence
     for record_sequence, payload in records:
         last_sequence = max(last_sequence, record_sequence)

@@ -56,6 +56,28 @@ SITE_WAL_WRITE = register_fault_site("wal.write", "appending one record's bytes"
 SITE_WAL_FSYNC = register_fault_site("wal.fsync", "fsync after an append")
 
 
+def fsync_directory(directory) -> None:
+    """fsync a directory so a just-created/renamed/removed entry survives
+    a crash.
+
+    POSIX only durably publishes a directory entry (a new WAL file, a
+    checkpoint rename) once the *directory* itself is synced; fsyncing
+    the file alone is not enough.  Platforms whose filesystems refuse
+    ``open(dir)``/``fsync(dirfd)`` (Windows) are skipped silently — they
+    provide the ordering through other means.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 # -- batch payload codec ------------------------------------------------------------
 
 #: Memoized per-value JSON fragments.  Values are immutable, so a value's
@@ -63,6 +85,10 @@ SITE_WAL_FSYNC = register_fault_site("wal.fsync", "fsync after an append")
 #: same atoms and rows constantly, and hitting this cache turns an append
 #: into string joins instead of a codec walk.  Bounded: once full, new
 #: values are encoded but not remembered (correctness is unaffected).
+#: Lock-free on purpose: entries are deterministic functions of their
+#: immutable key, so a threaded race is at worst a duplicate encode whose
+#: last write wins — and in practice only the single serialized writer
+#: (the database's writer lock) ever encodes batches.
 _FRAGMENT_CACHE_LIMIT = 65_536
 _fragment_cache: dict = {}
 
@@ -123,8 +149,14 @@ class WriteAheadLog:
         fresh = not self.path.exists() or self.path.stat().st_size == 0
         self._file = open(self.path, "ab")
         if fresh:
+            # A brand-new log must itself be durable before any record
+            # is acknowledged: fsync the header bytes, then the directory
+            # so the *entry* for the file survives a crash too (the same
+            # gap the checkpoint rename path had — see write_checkpoint).
             self._file.write(MAGIC)
             self._file.flush()
+            os.fsync(self._file.fileno())
+            fsync_directory(self.path.parent)
 
     # -- faults ----------------------------------------------------------------
     def _fire(self, site: str, record: bytes | None = None) -> None:
@@ -144,14 +176,24 @@ class WriteAheadLog:
         plan.raise_for(site, spec)
 
     # -- appending -------------------------------------------------------------
-    def append(self, payload: bytes) -> int:
+    def append(self, payload: bytes, sequence: int | None = None) -> int:
         """Append one record; returns its sequence number.
 
-        The record is on disk (to the configured durability) when this
-        returns; any exception means it must be treated as *not* written
-        — a torn prefix on disk is recovery's to discard.
+        *sequence* defaults to the next in line; an explicit value lets
+        the caller stamp records with its own strictly-increasing counter
+        (the database's MVCC epoch — so a WAL record *is* its batch's
+        epoch, and recovery's epoch is the last durable one).  The record
+        is on disk (to the configured durability) when this returns; any
+        exception means it must be treated as *not* written — a torn
+        prefix on disk is recovery's to discard.
         """
-        sequence = self.last_sequence + 1
+        if sequence is None:
+            sequence = self.last_sequence + 1
+        elif sequence <= self.last_sequence:
+            raise ReliabilityError(
+                f"record sequence {sequence} is not past the last appended "
+                f"sequence {self.last_sequence}"
+            )
         header = _HEADER.pack(sequence, len(payload))
         record = header + payload + _CRC.pack(crc32(header + payload) & 0xFFFFFFFF)
         self._fire(SITE_WAL_WRITE, record)
@@ -251,12 +293,17 @@ def recover_wal(path) -> list[tuple[int, bytes]]:
     size = path.stat().st_size
     if valid_length == 0 and size > 0 and path.read_bytes()[: len(MAGIC)] != MAGIC:
         # The header itself is gone: everything after it is untrustworthy.
-        path.write_bytes(MAGIC)
+        with open(path, "wb") as file:
+            file.write(MAGIC)
+            file.flush()
+            os.fsync(file.fileno())
         _count("wal_torn_tails_truncated")
         return []
     if size > max(valid_length, len(MAGIC)):
         with open(path, "r+b") as file:
             file.truncate(max(valid_length, len(MAGIC)))
+            file.flush()
+            os.fsync(file.fileno())
         _count("wal_torn_tails_truncated")
     return records
 
@@ -267,6 +314,7 @@ __all__ = [
     "WriteAheadLog",
     "decode_batch",
     "encode_batch",
+    "fsync_directory",
     "read_wal",
     "recover_wal",
 ]

@@ -1,0 +1,48 @@
+"""The serving front door: an asyncio server over an MVCC database.
+
+The read path the paper's queries feed in production shape: one
+:class:`~repro.serving.server.DatabaseServer` wraps one
+:class:`repro.views.Database`, speaks the tiny line protocol of
+:mod:`repro.serving.protocol` over TCP, answers reads from maintained
+views at each session's pinned MVCC epoch (engine fall-through for
+anything unmaterialized), and funnels every write through a serialized
+writer queue.  :mod:`repro.serving.workload` drives it with thousands of
+concurrent scripted client sessions at a 99:1 read:write mix — the
+workload ``benchmarks/bench_serving.py`` measures.
+
+Quick tour (also ``examples/serving_tour.py``)::
+
+    from repro.serving import DatabaseServer, ServingClient
+
+    async with DatabaseServer(database).serve() as server:
+        client = await ServingClient.connect("127.0.0.1", server.port)
+        await client.pin()            # repeatable reads from here on
+        await client.view("children")
+        await client.insert("PAR", [["mary", "sue"]])
+"""
+
+from repro.serving.client import ServingClient
+from repro.serving.protocol import (
+    Request,
+    decode_response,
+    encode_error,
+    encode_ok,
+    encode_result,
+    parse_request,
+)
+from repro.serving.server import DatabaseServer
+from repro.serving.workload import run_session, run_sessions, run_workload
+
+__all__ = [
+    "DatabaseServer",
+    "Request",
+    "ServingClient",
+    "decode_response",
+    "encode_error",
+    "encode_ok",
+    "encode_result",
+    "parse_request",
+    "run_session",
+    "run_sessions",
+    "run_workload",
+]

@@ -1,0 +1,114 @@
+"""An asyncio client session for the serving protocol.
+
+One :class:`ServingClient` is one connection — one protocol session,
+with at most one pinned epoch.  Every method sends one request line and
+awaits its one response line; ``ERR`` responses surface as
+:class:`~repro.errors.ServingError` with the server's error code.
+Sessions are sequential by design (the protocol has no request ids);
+open several clients for concurrency — that is exactly what the workload
+driver (:mod:`repro.serving.workload`) does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import ServingError
+
+from repro.serving.protocol import decode_response
+
+
+class ServingClient:
+    """One connection to a :class:`~repro.serving.server.DatabaseServer`.
+
+    ::
+
+        client = await ServingClient.connect("127.0.0.1", port)
+        await client.pin()
+        rows = await client.get("R")
+        await client.close()
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServingClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, line: str):
+        """Send one raw request line; return the decoded OK payload."""
+        self._writer.write(line.encode("utf-8") + b"\n")
+        await self._writer.drain()
+        response = await self._reader.readline()
+        if not response:
+            raise ServingError("server closed the connection", code="closed")
+        return decode_response(response.decode("utf-8"))
+
+    # -- verbs -----------------------------------------------------------------
+    async def ping(self):
+        return await self.request("PING")
+
+    async def epoch(self) -> int:
+        return (await self.request("EPOCH"))["epoch"]
+
+    async def pin(self, epoch: int | None = None) -> int:
+        line = "PIN" if epoch is None else f"PIN {epoch}"
+        return (await self.request(line))["epoch"]
+
+    async def unpin(self) -> int:
+        return (await self.request("UNPIN"))["epoch"]
+
+    async def get(self, predicate: str):
+        return await self.request(f"GET {predicate}")
+
+    async def view(self, name: str):
+        return await self.request(f"VIEW {name}")
+
+    async def query(self, name: str):
+        return await self.request(f"QUERY {name}")
+
+    async def calc(self, text: str):
+        return await self.request(f"CALC {text}")
+
+    async def parse_type(self, text: str):
+        return await self.request(f"TYPE {text}")
+
+    async def insert(self, predicate: str, rows) -> dict:
+        return await self.request(f"INSERT {predicate} {_rows_json(rows)}")
+
+    async def delete(self, predicate: str, rows) -> dict:
+        return await self.request(f"DELETE {predicate} {_rows_json(rows)}")
+
+    async def stats(self) -> dict:
+        return await self.request("STATS")
+
+    # -- lifecycle -------------------------------------------------------------
+    async def quit(self):
+        try:
+            return await self.request("QUIT")
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServingClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+def _rows_json(rows) -> str:
+    return json.dumps([list(row) if isinstance(row, tuple) else row for row in rows])
+
+
+__all__ = ["ServingClient"]

@@ -1,0 +1,212 @@
+"""The serving wire protocol: one request line in, one response line out.
+
+Kept deliberately tiny and line-oriented so it runs over any byte stream
+(the asyncio server, a pipe in a test) and every message is one UTF-8
+line of text::
+
+    request  := VERB [SP operand]* [SP json-payload]
+    response := "OK" SP json | "ERR" SP code SP json-message
+
+Verbs (case-insensitive on the way in):
+
+``PING``
+    Liveness probe; answers ``OK "pong"``.
+``EPOCH``
+    The epoch the session currently reads at (pinned, else live).
+``PIN [epoch]``
+    Pin an epoch (default: current) for repeatable reads; a session
+    holds at most one pin — re-pinning releases the previous one.
+``UNPIN``
+    Release the session's pin; reads go back to live.
+``GET <predicate>``
+    One base predicate's contents at the session's epoch.
+``VIEW <name>``
+    A maintained view's value at the session's epoch (frozen capture
+    when pinned in the past, live otherwise).
+``QUERY <name>``
+    A registered named query: answered from the maintained view of the
+    same name when one exists, otherwise evaluated through the engine
+    over the session's snapshot (the fall-through path).
+``CALC <query text>``
+    A calculus query ``{t/T | phi}`` parsed by
+    :func:`repro.calculus.parser.parse_query` and evaluated over the
+    session's snapshot.
+``TYPE <type text>``
+    Parse a type expression (:func:`repro.types.parser.parse_type`) and
+    answer its printed form — a schema-introspection helper.
+``INSERT <predicate> <rows-json>`` / ``DELETE <predicate> <rows-json>``
+    A write: rows are JSON lists (flat tuples) or tagged value payloads
+    (:func:`repro.io.serialization.value_from_data`).  The server funnels
+    every write through its serialized writer queue; the response carries
+    the post-commit epoch and the effective batch size.
+``STATS``
+    Server + views + reliability counters.
+``QUIT``
+    Close the session (the server answers ``OK "bye"`` first).
+
+Responses carry JSON payloads built by :func:`encode_result`, which
+renders the library's value shapes — ``Instance``, ``Relation``, Datalog
+relation maps — deterministically (sorted) so two bit-identical reads
+compare equal as *strings*.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ServingError
+from repro.io.serialization import value_from_data, value_to_data
+from repro.objects.instance import Instance
+from repro.objects.values import ComplexValue
+from repro.relational.relation import Relation
+
+#: Verbs and the number of space-separated operands each takes up front;
+#: ``None`` means "the rest of the line is one operand".
+VERBS = {
+    "PING": 0,
+    "EPOCH": 0,
+    "PIN": None,
+    "UNPIN": 0,
+    "GET": None,
+    "VIEW": None,
+    "QUERY": None,
+    "CALC": None,
+    "TYPE": None,
+    "INSERT": None,
+    "DELETE": None,
+    "STATS": 0,
+    "QUIT": 0,
+}
+
+#: Verbs whose trailing operand splits into ``<name> <json>``.
+_WRITE_VERBS = ("INSERT", "DELETE")
+
+
+class Request:
+    """One parsed request: a verb plus its (already split) operands."""
+
+    __slots__ = ("verb", "operand", "rows")
+
+    def __init__(self, verb: str, operand: str | None = None, rows: list | None = None) -> None:
+        self.verb = verb
+        self.operand = operand
+        self.rows = rows
+
+    def __repr__(self) -> str:
+        return f"Request({self.verb}, {self.operand!r})"
+
+
+def parse_request(line: str) -> Request:
+    """Parse one request line; raises :class:`~repro.errors.ServingError`
+    (code ``"bad_request"``) on anything malformed."""
+    text = line.strip()
+    if not text:
+        raise ServingError("empty request", code="bad_request")
+    head, _, rest = text.partition(" ")
+    verb = head.upper()
+    if verb not in VERBS:
+        raise ServingError(f"unknown verb {head!r}", code="bad_request")
+    rest = rest.strip()
+    if VERBS[verb] == 0:
+        if rest:
+            raise ServingError(f"{verb} takes no operand", code="bad_request")
+        return Request(verb)
+    if verb in _WRITE_VERBS:
+        name, _, payload = rest.partition(" ")
+        if not name or not payload.strip():
+            raise ServingError(
+                f"{verb} needs a predicate and a JSON rows payload", code="bad_request"
+            )
+        try:
+            rows = json.loads(payload)
+        except ValueError as exc:
+            raise ServingError(f"bad rows JSON: {exc}", code="bad_request") from exc
+        if not isinstance(rows, list):
+            raise ServingError("rows payload must be a JSON list", code="bad_request")
+        return Request(verb, name, rows=[decode_row(row) for row in rows])
+    if verb == "PIN":
+        if rest and not rest.lstrip("-").isdigit():
+            raise ServingError(f"PIN takes an integer epoch, got {rest!r}", code="bad_request")
+        return Request(verb, rest or None)
+    if not rest:
+        raise ServingError(f"{verb} needs an operand", code="bad_request")
+    return Request(verb, rest)
+
+
+def decode_row(row):
+    """One wire row into a value ``transact`` accepts: a JSON list is a
+    flat tuple, a tagged dict goes through the value codec."""
+    if isinstance(row, list):
+        return tuple(row)
+    if isinstance(row, dict):
+        return value_from_data(row)
+    return row
+
+
+def encode_result(result) -> object:
+    """Render a read result as deterministic JSON-compatible data."""
+    if isinstance(result, Instance):
+        return {
+            "kind": "instance",
+            "type": str(result.type),
+            "values": sorted(
+                (value_to_data(value) for value in result.values),
+                key=lambda data: json.dumps(data, sort_keys=True),
+            ),
+        }
+    if isinstance(result, Relation):
+        return {
+            "kind": "relation",
+            "arity": result.arity,
+            "rows": sorted(result.tuples, key=repr),
+        }
+    if isinstance(result, dict) and result and all(
+        isinstance(value, Relation) for value in result.values()
+    ):
+        return {
+            "kind": "relations",
+            "relations": {name: encode_result(rel) for name, rel in sorted(result.items())},
+        }
+    if isinstance(result, ComplexValue):
+        return {"kind": "value", "value": value_to_data(result)}
+    return result
+
+
+def encode_ok(payload) -> str:
+    return "OK " + json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def encode_error(code: str, message: str) -> str:
+    return f"ERR {code} " + json.dumps(message)
+
+
+def decode_response(line: str):
+    """Client side: one response line into its payload, raising
+    :class:`~repro.errors.ServingError` for ``ERR`` responses."""
+    text = line.strip()
+    status, _, rest = text.partition(" ")
+    if status == "OK":
+        try:
+            return json.loads(rest)
+        except ValueError as exc:
+            raise ServingError(f"bad OK payload: {rest!r}", code="bad_response") from exc
+    if status == "ERR":
+        code, _, message = rest.partition(" ")
+        try:
+            detail = json.loads(message)
+        except ValueError:
+            detail = message
+        raise ServingError(str(detail), code=code or "error")
+    raise ServingError(f"bad response line: {text!r}", code="bad_response")
+
+
+__all__ = [
+    "Request",
+    "VERBS",
+    "decode_response",
+    "decode_row",
+    "encode_error",
+    "encode_ok",
+    "encode_result",
+    "parse_request",
+]

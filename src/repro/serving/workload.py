@@ -1,0 +1,140 @@
+"""The client-session workload driver: many concurrent readers, one
+writer stream, all over the real wire protocol.
+
+:func:`run_workload` starts a :class:`~repro.serving.server.DatabaseServer`
+around a database, opens *sessions* concurrent
+:class:`~repro.serving.client.ServingClient` connections, and drives each
+through a deterministic :func:`repro.workloads.client_session_script`
+(seeded per session, so the whole run is reproducible).  Every session
+pins the current epoch when it connects and re-pins every *repin_every*
+reads — so at any moment the server is holding a spread of pinned
+epochs while the write stream advances the database underneath them,
+which is exactly the MVCC pressure the serving benchmark measures.  The
+default mix is the ISSUE's 99:1 read:write.
+
+Returns aggregate counters including ``queries_per_second`` — the number
+recorded in ``benchmarks/BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.views import Database
+from repro.workloads import client_session_script
+
+from repro.serving.client import ServingClient
+from repro.serving.server import DatabaseServer
+
+
+async def run_session(
+    host: str,
+    port: int,
+    script,
+    repin_every: int = 25,
+) -> dict:
+    """Run one scripted session over a fresh connection; returns its
+    counters (reads/writes/errors and the epochs it observed)."""
+    counters = {"reads": 0, "writes": 0, "errors": 0, "requests": 0}
+    epochs: list[int] = []
+    client = await ServingClient.connect(host, port)
+    try:
+        epochs.append(await client.pin())
+        reads_since_pin = 0
+        for operation in script:
+            kind = operation[0]
+            counters["requests"] += 1
+            try:
+                if kind == "epoch":
+                    await client.epoch()
+                    counters["reads"] += 1
+                elif kind == "get":
+                    await client.get(operation[1])
+                    counters["reads"] += 1
+                elif kind == "view":
+                    await client.view(operation[1])
+                    counters["reads"] += 1
+                elif kind == "insert":
+                    await client.insert(operation[1], operation[2])
+                    counters["writes"] += 1
+                elif kind == "delete":
+                    await client.delete(operation[1], operation[2])
+                    counters["writes"] += 1
+                else:
+                    raise ValueError(f"unknown scripted operation {operation!r}")
+            except Exception:
+                counters["errors"] += 1
+            if kind in ("epoch", "get", "view"):
+                reads_since_pin += 1
+                if reads_since_pin >= repin_every:
+                    epochs.append(await client.pin())
+                    reads_since_pin = 0
+        await client.quit()
+    finally:
+        await client.close()
+    counters["epochs_observed"] = epochs
+    return counters
+
+
+async def run_sessions(
+    database: Database,
+    sessions: int = 100,
+    operations: int = 50,
+    seed: int = 0,
+    read_ratio: float = 0.99,
+    views=(),
+    queries=None,
+    repin_every: int = 25,
+    atoms=("a", "b", "c", "d", "e", "f", "g", "h"),
+) -> dict:
+    """Serve *database* and drive *sessions* concurrent scripted clients
+    against it; returns the aggregate counters."""
+    server = DatabaseServer(database, queries=queries)
+    async with server.serve() as running:
+        scripts = [
+            client_session_script(
+                database.schema,
+                atoms,
+                operations=operations,
+                seed=seed + index,
+                read_ratio=read_ratio,
+                views=views,
+            )
+            for index in range(sessions)
+        ]
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *(
+                run_session("127.0.0.1", running.port, script, repin_every=repin_every)
+                for script in scripts
+            )
+        )
+        elapsed = time.perf_counter() - start
+        server_stats = dict(running.stats)
+    totals = {
+        "sessions": sessions,
+        "requests": sum(r["requests"] for r in results),
+        "reads": sum(r["reads"] for r in results),
+        "writes": sum(r["writes"] for r in results),
+        "errors": sum(r["errors"] for r in results),
+        "elapsed_seconds": elapsed,
+        "server": server_stats,
+        "final_epoch": database.current_epoch,
+    }
+    totals["queries_per_second"] = (
+        totals["requests"] / elapsed if elapsed > 0 else float("inf")
+    )
+    totals["read_write_ratio"] = (
+        totals["reads"] / totals["writes"] if totals["writes"] else float("inf")
+    )
+    return totals
+
+
+def run_workload(database: Database, **kwargs) -> dict:
+    """Synchronous wrapper around :func:`run_sessions` (one event loop
+    per call — what the benchmark and the examples use)."""
+    return asyncio.run(run_sessions(database, **kwargs))
+
+
+__all__ = ["run_session", "run_sessions", "run_workload"]

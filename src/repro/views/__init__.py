@@ -32,7 +32,15 @@ from repro.views.catalog import (
     ViewCatalog,
     ViewError,
 )
-from repro.views.database import Database, UpdateBatch
+from repro.views.database import (
+    Database,
+    EpochHandle,
+    EpochSnapshot,
+    UpdateBatch,
+    mvcc,
+    mvcc_enabled,
+    set_mvcc,
+)
 from repro.views.maintain import Delta, views_stats
 from repro.views.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
@@ -49,12 +57,17 @@ __all__ = [
     "Database",
     "DatalogView",
     "Delta",
+    "EpochHandle",
+    "EpochSnapshot",
     "RelationalView",
     "UpdateBatch",
     "View",
     "ViewCatalog",
     "ViewError",
     "load_snapshot",
+    "mvcc",
+    "mvcc_enabled",
+    "set_mvcc",
     "replay_updates",
     "restore_database",
     "save_snapshot",

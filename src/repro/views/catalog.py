@@ -161,6 +161,13 @@ class View:
     def _rebuild(self) -> None:
         raise NotImplementedError
 
+    def compute_at(self, instance):
+        """This view's value over an arbitrary ``DatabaseInstance`` —
+        stateless, so an MVCC reader can answer at a pinned epoch even
+        when no frozen capture exists (quarantined at freeze time, or
+        defined after the pin).  Does not touch maintainer state."""
+        raise NotImplementedError
+
 
 class AlgebraView(View):
     """A view defined by an algebra expression, served as an ``Instance``.
@@ -260,6 +267,13 @@ class AlgebraView(View):
             self._served = served
         return served
 
+    def compute_at(self, instance) -> Instance:
+        return evaluate_expression(
+            self.expression,
+            instance,
+            AlgebraEvaluationSettings(powerset_budget=self._powerset_budget),
+        )
+
     def __len__(self) -> int:
         return len(self._members)
 
@@ -337,6 +351,10 @@ class RelationalView(View):
             served = Relation(self.arity, self._rows)
             self._served = served
         return served
+
+    def compute_at(self, instance) -> Relation:
+        computed = self._inner.compute_at(instance)
+        return Relation(self.arity, {_flat_row(value) for value in computed.values})
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -452,6 +470,13 @@ class DatalogView(View):
             self._served = served
         return served
 
+    def compute_at(self, instance) -> dict[str, Relation]:
+        edb = {
+            edb_name: Relation.from_instance(instance.instance(predicate))
+            for edb_name, predicate in self._edb_map.items()
+        }
+        return SemiNaiveProgram(self.program, edb).relations()
+
     def relation(self, predicate: str) -> Relation:
         """One predicate's current relation."""
         return self.value()[predicate]
@@ -526,6 +551,17 @@ class ViewCatalog:
             return
         for view in self._views.values():
             view.maintain(batch)
+
+    def capture_values(self) -> dict[str, object]:
+        """Every healthy view's served value (quarantined views map to
+        ``None``) — what an MVCC epoch freeze captures.  Values are the
+        same immutable objects :meth:`View.value` serves, so capture is
+        reference-cheap; it does force materialization of views nobody
+        has read since the last batch."""
+        return {
+            name: (None if view._quarantined is not None else view.value())
+            for name, view in self._views.items()
+        }
 
     # -- quarantine ------------------------------------------------------------
     def quarantined(self) -> dict[str, str]:

@@ -20,13 +20,37 @@ snapshot hands out are therefore stable: once obtained, a
 Every applied batch is appended to a transaction log, which the snapshot
 codec (:mod:`repro.views.snapshot`) serializes so a database can be
 rebuilt elsewhere and the traffic replayed.
+
+**MVCC epochs.**  Every committed batch advances the database's *epoch*
+(an integer, one per batch, durable across recovery — see
+:mod:`repro.reliability`).  Because values are hash-consed and instances
+immutable, a full snapshot of any epoch is just a handful of reference
+swaps; a reader that needs repeatable reads calls :meth:`Database.pin`
+and gets an :class:`EpochHandle` whose every read — base predicates,
+maintained view values, engine fall-through queries — answers from the
+pinned epoch, bit-identical no matter how many batches a concurrent
+writer commits.  Snapshot publication is lazy: the *current* epoch is
+served live; the moment a writer starts the next batch, any pinned
+current epoch is frozen (the ``DatabaseInstance`` plus each healthy
+view's served value — all immutable, so freezing is reference capture,
+not copying) into the epoch table, and an epoch's entry is
+garbage-collected when its last pin is released.  Writers are serialized
+by a per-database writer lock — the "serialized writer queue" the asyncio
+serving layer (:mod:`repro.serving`) feeds.  The
+:func:`set_mvcc`/:func:`mvcc` ablation switch restores the bare
+single-writer façade: pins degrade to advisory (reads always see the
+latest state, counted in ``views_stats()['mvcc_bypassed_reads']``), which
+is exactly the oracle the ``REPRO_DISABLE_MVCC=1`` CI run compares
+against.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping
+from contextlib import contextmanager
 
-from repro.errors import SchemaError
+from repro.errors import EpochError, SchemaError
 from repro.objects.domain import belongs_to
 from repro.objects.instance import DatabaseInstance, Instance
 from repro.objects.values import ComplexValue, value_from_python
@@ -39,11 +63,57 @@ from repro.reliability.faults import (
 from repro.types.schema import DatabaseSchema
 from repro.types.type_system import TupleType, U
 
-from repro.views.maintain import Delta
+from repro.views.maintain import Delta, _count as _views_count
 
 SITE_STORE_PUBLISH = register_fault_site(
     "store.publish", "between the WAL append and the in-memory publish"
 )
+
+
+# -- the MVCC ablation switch -------------------------------------------------------
+
+class _MvccState:
+    """The process-wide MVCC switch (mirrors the other ablation toggles)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_MVCC = _MvccState()
+
+
+def mvcc_enabled() -> bool:
+    """Whether databases retain pinned epoch snapshots."""
+    return _MVCC.enabled
+
+
+def set_mvcc(enabled: bool) -> bool:
+    """Enable/disable MVCC epoch retention process-wide; returns the
+    previous setting.
+
+    With the switch off the database is the bare single-writer façade:
+    :meth:`Database.pin` still hands out handles (so serving code runs
+    unchanged), but no snapshot is ever frozen and every read through a
+    handle observes the *latest* state — the oracle the
+    ``REPRO_DISABLE_MVCC=1`` CI run holds the MVCC path against.
+    """
+    previous = _MVCC.enabled
+    _MVCC.enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def mvcc(enabled: bool = True):
+    """Context-manager form of :func:`set_mvcc` (mirrors ``interning(...)``,
+    ``columnar_storage(...)``, ``vectorized_filters(...)``, ``codegen(...)``,
+    ``durability(...)``)."""
+    previous = set_mvcc(enabled)
+    try:
+        yield
+    finally:
+        set_mvcc(previous)
 
 
 class UpdateBatch:
@@ -68,6 +138,125 @@ class UpdateBatch:
         return any(self.deltas.values())
 
 
+class EpochSnapshot:
+    """One frozen epoch: the database instance plus per-view served values.
+
+    Everything referenced here is immutable (``DatabaseInstance``,
+    ``Instance``, ``Relation``, dicts of ``Relation``), so a frozen epoch
+    is a bundle of references, not a copy, and can be read from any
+    thread or task without coordination.  ``views`` maps view names to
+    the value each *healthy* view served at this epoch; a view that was
+    quarantined when the epoch froze maps to ``None`` and is recomputed
+    on demand from ``instance`` (see :meth:`EpochHandle.view`).
+    """
+
+    __slots__ = ("epoch", "instance", "views")
+
+    def __init__(self, epoch: int, instance: DatabaseInstance, views: dict) -> None:
+        self.epoch = epoch
+        self.instance = instance
+        self.views = views
+
+    def __repr__(self) -> str:
+        return f"EpochSnapshot(epoch={self.epoch}, views={sorted(self.views)})"
+
+
+class EpochHandle:
+    """A reader's pin on one epoch: repeatable reads until released.
+
+    Obtained from :meth:`Database.pin`; usable as a context manager.  All
+    reads answer *as of* the pinned epoch: while the epoch is still
+    current they are served live (no copies are made unless a writer
+    actually advances the database), and afterwards from the frozen
+    :class:`EpochSnapshot` — bit-identical either way, because the values
+    involved are immutable.  With MVCC ablated off
+    (:func:`set_mvcc`), reads fall through to the latest state instead
+    (counted in ``views_stats()['mvcc_bypassed_reads']``).
+    """
+
+    __slots__ = ("_database", "epoch", "_released")
+
+    def __init__(self, database: "Database", epoch: int) -> None:
+        self._database = database
+        self.epoch = epoch
+        self._released = False
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Drop the pin (idempotent); the epoch's snapshot is
+        garbage-collected once its last pin is gone."""
+        if not self._released:
+            self._released = True
+            self._database.release(self.epoch)
+
+    def __enter__(self) -> "EpochHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # -- reads -----------------------------------------------------------------
+    def _snapshot_or_none(self) -> EpochSnapshot | None:
+        if self._released:
+            raise EpochError(f"epoch {self.epoch} handle has been released")
+        return self._database._resolve_epoch(self.epoch)
+
+    def snapshot(self) -> DatabaseInstance:
+        """The pinned epoch's state as an immutable ``DatabaseInstance``.
+
+        Resolving the pin and capturing the live reference happen under
+        the database's writer lock as one step: a concurrent commit
+        could otherwise freeze-and-advance between the two, handing a
+        reader pinned at the outgoing epoch the *next* epoch's state.
+        Once captured, everything is immutable and the lock is dropped.
+        """
+        with self._database._writer_lock:
+            frozen = self._snapshot_or_none()
+            if frozen is None:
+                return self._database.snapshot()
+        return frozen.instance
+
+    def instance(self, predicate_name: str) -> Instance:
+        """One predicate's instance at the pinned epoch."""
+        return self.snapshot().instance(predicate_name)
+
+    def relation(self, predicate_name: str) -> Relation:
+        """One flat predicate's relation at the pinned epoch."""
+        return Relation.from_instance(self.instance(predicate_name))
+
+    def view(self, name: str):
+        """A maintained view's value at the pinned epoch.
+
+        Served from the frozen capture when available; a view that was
+        quarantined at freeze time (or defined after it) is recomputed
+        over the pinned snapshot instead — the same engine fall-through a
+        serving query takes.
+        """
+        view = self._database.views.view(name)
+        # Same atomicity rule as :meth:`snapshot`: resolve + live read
+        # under the writer lock; frozen reads drop it immediately.
+        with self._database._writer_lock:
+            frozen = self._snapshot_or_none()
+            if frozen is None:
+                return view.value()
+        _views_count("epoch_reads_frozen")
+        captured = frozen.views.get(name)
+        if captured is not None:
+            return captured
+        return view.compute_at(frozen.instance)
+
+    def query(self, expression, settings=None):
+        """Evaluate an algebra expression over the pinned snapshot through
+        the engine (the fall-through path for queries no view serves)."""
+        from repro.algebra.evaluation import evaluate_expression
+
+        return evaluate_expression(expression, self.snapshot(), settings)
+
+
 class Database:
     """Named mutable relations/instances with batch updates and views.
 
@@ -85,6 +274,7 @@ class Database:
         assignments: Mapping[str, Instance | Iterable] | None = None,
         *,
         log_updates: bool = True,
+        initial_epoch: int = 0,
     ) -> None:
         # Imported here: the catalog imports this module for type checks.
         from repro.views.catalog import ViewCatalog
@@ -112,11 +302,24 @@ class Database:
             raise SchemaError(
                 f"assignments mention predicates not in the schema: {sorted(extra)}"
             )
+        if not isinstance(initial_epoch, int) or initial_epoch < 0:
+            raise SchemaError(f"initial_epoch must be a non-negative int, got {initial_epoch!r}")
         self._snapshot: DatabaseInstance | None = None
         self._log: list[dict[str, tuple[tuple, tuple]]] = []
         self._log_updates = log_updates
-        self._version = 0
+        self._epoch = initial_epoch
         self._durability = None
+        # MVCC: frozen snapshots of past epochs, retained while pinned,
+        # plus pin refcounts.  The *current* epoch is served live from
+        # self._instances / self._snapshot and is frozen lazily — only
+        # if it is still pinned when the next batch starts.
+        self._published: dict[int, EpochSnapshot] = {}
+        self._pins: dict[int, int] = {}
+        # Writers are serialized: transact (and everything that funnels
+        # into it — insert/delete, WAL replay, snapshot rewind) runs
+        # under this lock, which is also what makes epoch freezing and
+        # pin bookkeeping safe against threaded readers.
+        self._writer_lock = threading.RLock()
         self.views = ViewCatalog(self)
 
     @classmethod
@@ -163,8 +366,100 @@ class Database:
     @property
     def version(self) -> int:
         """Bumped once per committed effective batch (cache key for
-        degraded view reads)."""
-        return self._version
+        degraded view reads).  Identical to :attr:`current_epoch`."""
+        return self._epoch
+
+    @property
+    def current_epoch(self) -> int:
+        """The epoch of the live state: ``initial_epoch`` plus one per
+        committed effective batch.  On a durable database this matches
+        the WAL record sequence of the last committed batch, so
+        recovery's epoch equals the last durable epoch."""
+        return self._epoch
+
+    # -- MVCC epochs -----------------------------------------------------------
+    def pin(self, epoch: int | None = None) -> EpochHandle:
+        """Pin an epoch (default: the current one) for repeatable reads.
+
+        Returns an :class:`EpochHandle`; every read through it answers as
+        of the pinned epoch until :meth:`EpochHandle.release` (it is a
+        context manager, so ``with db.pin() as reader:`` releases on
+        exit).  Pinning a past epoch only works while some other pin
+        still retains it — otherwise :class:`~repro.errors.EpochError`.
+        With MVCC ablated off the pin is advisory (reads see latest).
+        """
+        with self._writer_lock:
+            target = self._epoch if epoch is None else int(epoch)
+            if target != self._epoch and target not in self._published:
+                if mvcc_enabled():
+                    raise EpochError(
+                        f"epoch {target} is not retained (current epoch is "
+                        f"{self._epoch}; pinned: {sorted(self._published)})"
+                    )
+            self._pins[target] = self._pins.get(target, 0) + 1
+            _views_count("epoch_pins")
+            return EpochHandle(self, target)
+
+    def release(self, epoch: int) -> None:
+        """Drop one pin on *epoch*; collects its snapshot at zero pins.
+
+        Called by :meth:`EpochHandle.release`; callers normally never
+        invoke it directly.
+        """
+        with self._writer_lock:
+            count = self._pins.get(epoch, 0)
+            if count <= 1:
+                self._pins.pop(epoch, None)
+                if epoch != self._epoch and self._published.pop(epoch, None) is not None:
+                    _views_count("epochs_collected")
+            else:
+                self._pins[epoch] = count - 1
+            _views_count("epoch_releases")
+
+    def pinned_epochs(self) -> dict[int, int]:
+        """The live pins: epoch -> pin count (diagnostics)."""
+        with self._writer_lock:
+            return dict(self._pins)
+
+    def retained_epochs(self) -> list[int]:
+        """Epochs currently answerable: the frozen ones plus the live one."""
+        with self._writer_lock:
+            return sorted(set(self._published) | {self._epoch})
+
+    def _resolve_epoch(self, epoch: int) -> EpochSnapshot | None:
+        """The frozen snapshot for *epoch*, or ``None`` when the read
+        should be served live (epoch is current, or MVCC is off)."""
+        with self._writer_lock:
+            frozen = self._published.get(epoch)
+            if frozen is not None:
+                return frozen
+            if epoch == self._epoch:
+                return None
+            if mvcc_enabled():
+                raise EpochError(
+                    f"epoch {epoch} is no longer retained (current epoch is {self._epoch})"
+                )
+            _views_count("mvcc_bypassed_reads")
+            return None
+
+    def _freeze_current_epoch(self) -> None:
+        """Freeze the live epoch's snapshot if any reader pins it.
+
+        Called at the start of every commit, *before* anything mutates:
+        the current instances and every view's served value still reflect
+        the epoch being frozen, and all of them are immutable — freezing
+        is reference capture.  Unpinned epochs are never frozen; their
+        storage cost is zero.
+        """
+        if not mvcc_enabled():
+            return
+        epoch = self._epoch
+        if not self._pins.get(epoch) or epoch in self._published:
+            return
+        self._published[epoch] = EpochSnapshot(
+            epoch, self.snapshot(), self.views.capture_values()
+        )
+        _views_count("epochs_frozen")
 
     def instance(self, predicate_name: str) -> Instance:
         """The predicate's current instance (a new object after every
@@ -236,7 +531,18 @@ class Database:
            quarantines *that view only* (see
            :meth:`~repro.views.catalog.ViewCatalog.maintain`); the batch
            itself stays committed, matching what the WAL now records.
+
+        Writers are serialized: concurrent calls queue on the database's
+        writer lock.  Before anything mutates, the live epoch is frozen
+        for any reader still pinning it (:meth:`pin`), so pinned reads
+        stay bit-identical across this commit.
         """
+        with self._writer_lock:
+            return self._transact_locked(changes)
+
+    def _transact_locked(
+        self, changes: Mapping[str, tuple[Iterable, Iterable]]
+    ) -> UpdateBatch:
         # Phase 1: validate + plan (pure).
         deltas: dict[str, Delta] = {}
         planned: dict[str, tuple[list, list]] = {}
@@ -275,10 +581,16 @@ class Database:
             staged_instances[name] = Instance._from_trusted(
                 self._schema.type_of(name), frozenset(staged)
             )
-        # Phase 3: write-ahead log — durable before visible.
+        # MVCC: freeze the outgoing epoch for its pinned readers while
+        # the live state still *is* that epoch (pure reference capture;
+        # harmless if a later phase aborts — the epoch stays current).
+        self._freeze_current_epoch()
+        # Phase 3: write-ahead log — durable before visible.  The record
+        # sequence is the epoch this batch publishes, so WAL records are
+        # epoch-stamped and recovery's epoch is the last durable one.
         if self._durability is not None:
             try:
-                self._durability.log_batch(deltas)
+                self._durability.log_batch(deltas, epoch=self._epoch + 1)
             except Exception:
                 _reliability_count("batches_aborted")
                 raise
@@ -287,7 +599,7 @@ class Database:
         self._contents.update(staged_contents)
         self._instances.update(staged_instances)
         self._snapshot = None
-        self._version += 1
+        self._epoch += 1
         if self._log_updates:
             self._log.append(
                 {name: (delta.added, delta.removed) for name, delta in deltas.items()}

@@ -121,6 +121,13 @@ class _ViewsState:
             "views_quarantined": 0,
             "degraded_reads": 0,
             "view_repairs": 0,
+            # MVCC epoch lifecycle (see repro.views.database).
+            "epoch_pins": 0,
+            "epoch_releases": 0,
+            "epochs_frozen": 0,
+            "epochs_collected": 0,
+            "epoch_reads_frozen": 0,
+            "mvcc_bypassed_reads": 0,
         }
 
 

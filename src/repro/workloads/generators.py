@@ -339,6 +339,67 @@ def _pick_absent(pool, current, off_limits, rng: random.Random):
     return None
 
 
+# -- client-session scripts -----------------------------------------------------
+
+def client_session_script(
+    schema: DatabaseSchema,
+    atoms: Sequence[object],
+    operations: int = 100,
+    seed: int = 0,
+    read_ratio: float = 0.99,
+    views: Sequence[str] = (),
+    write_batch_size: int = 2,
+) -> list[tuple]:
+    """One client session's deterministic operation script for the
+    serving layer (:mod:`repro.serving.workload`).
+
+    Returns *operations* ops, each a tuple: reads are ``("epoch",)``,
+    ``("get", predicate)`` or ``("view", name)`` (when *views* names
+    any); writes are ``("insert", predicate, rows)`` /
+    ``("delete", predicate, rows)`` with plain flat rows sampled from
+    *atoms*.  *read_ratio* is the probability any one op is a read — the
+    serving benchmark's 99:1 mix is ``read_ratio=0.99``.  Writes only
+    target flat ``[U,...,U]`` predicates (the wire protocol's row
+    shape); deletes of absent rows and inserts of present ones are fine —
+    the database's effective-delta planning drops them at the door.  The
+    same seed always yields the same script.
+    """
+    if operations < 0:
+        raise WorkloadError(f"need a non-negative operation count, got {operations}")
+    if not 0.0 <= read_ratio <= 1.0:
+        raise WorkloadError(f"read_ratio must be within [0, 1], got {read_ratio}")
+    rng = random.Random(seed)
+    predicates = list(schema.predicate_names)
+    writable = [
+        (declaration.name, declaration.type.arity)
+        for declaration in schema
+        if isinstance(declaration.type, TupleType)
+        and all(component == U for component in declaration.type.component_types)
+    ]
+    if not predicates:
+        raise WorkloadError("schema has no predicates to read")
+    atom_pool = list(atoms)
+    views = list(views)
+    script: list[tuple] = []
+    for _ in range(operations):
+        if not writable or rng.random() < read_ratio:
+            kind = rng.randrange(10)
+            if kind == 0:
+                script.append(("epoch",))
+            elif views and kind <= 5:
+                script.append(("view", rng.choice(views)))
+            else:
+                script.append(("get", rng.choice(predicates)))
+        else:
+            name, arity = writable[rng.randrange(len(writable))]
+            rows = [
+                tuple(rng.choice(atom_pool) for _ in range(arity))
+                for _ in range(write_batch_size)
+            ]
+            script.append((rng.choice(("insert", "delete")), name, rows))
+    return script
+
+
 # -- random Datalog programs ----------------------------------------------------
 
 #: Variable pool for generated Datalog rules.

@@ -10,12 +10,20 @@ from repro.calculus.builders import PARENT_SCHEMA, PERSON_SCHEMA
 from repro.calculus.evaluation import EvaluationSettings
 from repro.engine.codegen import set_codegen
 from repro.objects.instance import DatabaseInstance
+from repro.views.database import set_mvcc
 
 # CI runs the tier-1 suite once with the fused-codegen ablation switch off
 # (REPRO_DISABLE_CODEGEN=1) so the interpreting-oracle path stays green on
 # its own; the switch is flipped at collection time, before any test runs.
 if os.environ.get("REPRO_DISABLE_CODEGEN"):
     set_codegen(False)
+
+# Same contract for MVCC epoch snapshots: REPRO_DISABLE_MVCC=1 runs the
+# views + serving suites against the bare single-writer façade (pins
+# advisory, reads always latest).  Tests that assert epoch *isolation*
+# skip themselves under this mode (they check os.environ directly).
+if os.environ.get("REPRO_DISABLE_MVCC"):
+    set_mvcc(False)
 
 
 @pytest.fixture

@@ -265,9 +265,9 @@ def test_fault_sites_are_registered():
     sites = fault_sites()
     for site in (
         "wal.open", "wal.write", "wal.fsync", "store.publish",
-        "checkpoint.write", "maintain.filter", "maintain.join",
-        "maintain.project", "maintain.setop", "maintain.recompute",
-        "maintain.datalog",
+        "checkpoint.write", "checkpoint.fsync", "maintain.filter",
+        "maintain.join", "maintain.project", "maintain.setop",
+        "maintain.recompute", "maintain.datalog",
     ):
         assert site in sites, site
 
@@ -674,6 +674,8 @@ SWEEP_SITES = [
     "wal.write",
     "wal.fsync",
     "store.publish",
+    "checkpoint.write",
+    "checkpoint.fsync",
     "maintain.filter",
     "maintain.join",
     "maintain.project",
@@ -704,7 +706,13 @@ def _crash_recovery_case(tmp_path, site: str, seed: int, at: int) -> None:
     _define_views(db)
     applied = 0
     crashed = False
-    plan = FaultPlan.single(site, kind="torn" if site == "wal.write" else "crash", at=at)
+    # The checkpoint sites are hit once per run (the mid-stream
+    # db.checkpoint() below), so their crash must arm on the first hit.
+    plan = FaultPlan.single(
+        site,
+        kind="torn" if site == "wal.write" else "crash",
+        at=1 if site.startswith("checkpoint.") else at,
+    )
     with fault_plan(plan):
         try:
             for index, batch in enumerate(stream):
@@ -717,6 +725,8 @@ def _crash_recovery_case(tmp_path, site: str, seed: int, at: int) -> None:
     db.close()
     if site in ("wal.write", "wal.fsync", "store.publish"):
         assert crashed, f"{site} must fire on every batch"
+    if site.startswith("checkpoint."):
+        assert crashed, f"{site} must fire on the mid-stream checkpoint"
 
     recovered = recover_database(directory)
     # One WAL record per batch, so the resumed sequence counts exactly the

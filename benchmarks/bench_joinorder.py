@@ -1,0 +1,217 @@
+"""X28 — engineering ablation: cost-based join ordering + multiway joins.
+
+Two multi-join workloads where the *syntactic* join order is bad on
+purpose, measured with join ordering on and off (``join_ordering(False)``,
+same engine otherwise):
+
+* **star** — a 10k-row fact table joined to four dimensions; the three
+  wide dimensions carry 4 rows per key (so every join in declaration
+  order multiplies the intermediate), and the one selective dimension
+  (2 of 200 keys) is joined *last* syntactically.  The ordered plan
+  probes the fact table through a single :class:`MultiwayHashJoin` with
+  the selective dimension first, so ~99% of fact rows die at the first
+  probe instead of being multiplied through three fanout joins.
+* **chain** — a 5-way chain ``R0 ⋈ R1 ⋈ R2 ⋈ R3 ⋈ R4`` whose three
+  leading relations have 10k rows with ~4× fanout per step and whose
+  tail (R3, R4) is tiny and selective.  Declaration order builds a
+  ~600k-row intermediate before the selective tail cuts it; the ordered
+  plan starts from the tail.
+
+Expected shape: ordering wins ≥3× on the star and comfortably on the
+chain; the recorded regression floors are deliberately looser (2.0× /
+1.3×) so machine noise does not trip the gate.  ``test_joinorder_report``
+writes ``benchmarks/BENCH_joinorder.json``; the module is also directly
+runnable::
+
+    PYTHONPATH=src python benchmarks/bench_joinorder.py
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import write_bench_report
+from repro.algebra.expressions import (
+    PredicateExpression,
+    Product,
+    Selection,
+    SelectionCondition,
+)
+from repro.engine import (
+    MultiwayHashJoin,
+    PlanStatistics,
+    compile_expression,
+    execute_plan,
+    join_ordering,
+)
+from repro.objects.instance import DatabaseInstance
+from repro.types.schema import DatabaseSchema
+from repro.types.type_system import U, tuple_type
+
+#: Regression floors recorded in the report (checked by check_regressions.py).
+FLOORS = {"speedup_star": 2.0, "speedup_chain": 1.3}
+
+#: Acceptance bars asserted when the report is (re)generated.
+ACCEPTANCE = {"speedup_star": 3.0, "speedup_chain": 1.5}
+
+
+def star_workload():
+    """Fact × 4 dims; fanout dims joined first syntactically, selective last."""
+    schema = DatabaseSchema.of(
+        F=tuple_type(U, U, U, U),
+        D1=tuple_type(U, U),
+        D2=tuple_type(U, U),
+        D3=tuple_type(U, U),
+        D4=tuple_type(U, U),
+    )
+    rng = random.Random(7)
+    fact = [
+        tuple(f"k{j}_{rng.randint(0, 199)}" for j in range(1, 5))
+        for _ in range(10000)
+    ]
+    dims = {
+        f"D{j}": [
+            (f"k{j}_{i}", f"v{j}_{i}_{c}") for i in range(200) for c in range(4)
+        ]
+        for j in (1, 2, 3)
+    }
+    dims["D4"] = [(f"k4_{i}", f"v4_{i}") for i in range(2)]
+    database = DatabaseInstance.build(schema, F=fact, **dims)
+    expression = PredicateExpression("F")
+    offset = 4
+    for j in (1, 2, 3, 4):
+        expression = Selection(
+            Product(expression, PredicateExpression(f"D{j}")),
+            SelectionCondition.eq(j, offset + 1),
+        )
+        offset += 2
+    return expression, database
+
+
+def chain_workload():
+    """5-way chain: three 10k-row fanout hops, then a tiny selective tail."""
+    schema = DatabaseSchema.of(**{f"R{i}": tuple_type(U, U) for i in range(5)})
+    rng = random.Random(9)
+
+    def relation(i, n, left_domain, right_domain):
+        return [
+            (
+                f"c{i}_{rng.randint(0, left_domain - 1)}",
+                f"c{i + 1}_{rng.randint(0, right_domain - 1)}",
+            )
+            for _ in range(n)
+        ]
+
+    data = {
+        "R0": relation(0, 10000, 10000, 2500),
+        "R1": relation(1, 10000, 2500, 2500),
+        "R2": relation(2, 10000, 2500, 2500),
+        "R3": [(f"c3_{i * 7}", f"c4_{i}") for i in range(50)],
+        "R4": [(f"c4_{i}", f"t{i}") for i in range(50)],
+    }
+    database = DatabaseInstance.build(schema, **data)
+    expression = PredicateExpression("R0")
+    for i in range(1, 5):
+        expression = Selection(
+            Product(expression, PredicateExpression(f"R{i}")),
+            SelectionCondition.eq(2 * i, 2 * i + 1),
+        )
+    return expression, database
+
+
+WORKLOADS = {"star": star_workload, "chain": chain_workload}
+
+
+def compile_pair(expression, database):
+    """(ordered, ablated) plans for the same expression and statistics."""
+    with join_ordering(False):
+        ablated = compile_expression(
+            expression, database.schema, statistics=PlanStatistics(database)
+        )
+    ordered = compile_expression(
+        expression, database.schema, statistics=PlanStatistics(database)
+    )
+    return ordered, ablated
+
+
+def _best_of(function, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(name: str) -> dict:
+    """Time ordered vs ablated execution of one workload (answers checked)."""
+    expression, database = WORKLOADS[name]()
+    ordered, ablated = compile_pair(expression, database)
+    answer_ordered = execute_plan(ordered, database)
+    answer_ablated = execute_plan(ablated, database)
+    assert answer_ordered.values == answer_ablated.values
+    assert ordered.physical_rewrites, name
+    assert any(isinstance(node, MultiwayHashJoin) for node in ordered.nodes), name
+    seconds_ordered = _best_of(lambda: execute_plan(ordered, database))
+    seconds_ablated = _best_of(lambda: execute_plan(ablated, database))
+    return {
+        "workload": name,
+        "output_rows": len(answer_ordered),
+        "ordered_operators": ordered.operators(),
+        "ablated_operators": ablated.operators(),
+        "rewrites": list(ordered.physical_rewrites),
+        "seconds": {"ordered": seconds_ordered, "ablated": seconds_ablated},
+        "speedup": seconds_ablated / seconds_ordered,
+    }
+
+
+# -- pytest-benchmark entries ---------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_bench_multijoin_ordered(benchmark, name):
+    expression, database = WORKLOADS[name]()
+    ordered, _ = compile_pair(expression, database)
+    answer = benchmark(lambda: execute_plan(ordered, database))
+    assert len(answer) > 0
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_bench_multijoin_ablated(benchmark, name):
+    expression, database = WORKLOADS[name]()
+    _, ablated = compile_pair(expression, database)
+    answer = benchmark(lambda: execute_plan(ablated, database))
+    assert len(answer) > 0
+
+
+def test_joinorder_report():
+    """Measure both workloads, assert the acceptance bars, emit the report."""
+    results = {name: measure(name) for name in WORKLOADS}
+    metrics = {f"speedup_{name}": row["speedup"] for name, row in results.items()}
+    path = write_bench_report(
+        "joinorder",
+        {
+            "experiment": (
+                "X28 cost-based join ordering: ordered multiway plans vs the "
+                "syntactic join order on star and chain workloads"
+            ),
+            "metrics": metrics,
+            "floors": FLOORS,
+            "results": list(results.values()),
+        },
+    )
+    for metric, bar in ACCEPTANCE.items():
+        assert metrics[metric] >= bar, (path, metric, metrics)
+
+
+if __name__ == "__main__":
+    test_joinorder_report()
+    for line in Path(__file__).with_name("BENCH_joinorder.json").read_text().splitlines():
+        print(line)

@@ -20,22 +20,30 @@ from __future__ import annotations
 
 from repro.algebra.expressions import AlgebraExpression
 from repro.engine.codegen import (
-    analyze_plan,
     codegen,
     codegen_enabled,
     codegen_stats,
     set_codegen,
 )
 from repro.engine.compile import CompileOptions, compile_expression
+from repro.engine.cost import annotate_estimates
 from repro.engine.execute import DEFAULT_POWERSET_BUDGET, execute_plan
-from repro.engine.explain import explain_plan
+from repro.engine.explain import analyze_plan, explain_plan
 from repro.engine.join import build_index, hash_join, probe
+from repro.engine.joinorder import (
+    join_ordering,
+    joinorder_enabled,
+    joinorder_stats,
+    reorder_plan,
+    set_join_ordering,
+)
 from repro.engine.plan import (
     CollapseNode,
     ConstantScan,
     Filter,
     HashJoin,
     Materialize,
+    MultiwayHashJoin,
     NestedLoopProduct,
     PhysicalPlan,
     PlanNode,
@@ -45,6 +53,7 @@ from repro.engine.plan import (
     SetOp,
     UntupleNode,
 )
+from repro.engine.stats import PlanStatistics, RelationStats, signature_stale
 from repro.objects.instance import DatabaseInstance, Instance
 
 #: Upper bound on the number of cached compiled plans.  Fixpoint programs
@@ -62,20 +71,42 @@ def run_expression(
     powerset_budget: int = DEFAULT_POWERSET_BUDGET,
     options: CompileOptions | None = None,
 ) -> Instance:
-    """Compile (with caching) and execute *expression* on *database*."""
+    """Compile (with caching) and execute *expression* on *database*.
+
+    When join ordering is enabled, compilation receives a
+    :class:`~repro.engine.stats.PlanStatistics` provider over *database*
+    and the cache entry records the statistics fingerprint the plan
+    depends on; a later call whose data has drifted past
+    :func:`~repro.engine.stats.signature_stale` recompiles once (fixpoint
+    loops therefore re-plan O(log growth) times, not per iteration).
+    """
     options = options or CompileOptions()
     schema = database.schema
     # Expressions and schemas are immutable; key on identity and pin both
     # objects in the cache entry so their ids cannot be recycled underneath.
     key = (id(expression), id(schema), options)
     entry = _plan_cache.get(key)
+    if entry is not None:
+        signature = entry[3]
+        if signature is not None and signature_stale(signature, database):
+            from repro.engine.joinorder import _JOINORDER
+
+            _JOINORDER.stats["stale_plan_recompiles"] += 1
+            del _plan_cache[key]
+            entry = None
     if entry is None:
-        plan = compile_expression(expression, schema, options)
+        statistics = (
+            PlanStatistics(database)
+            if options.join_ordering and joinorder_enabled()
+            else None
+        )
+        plan = compile_expression(expression, schema, options, statistics=statistics)
+        signature = statistics.signature() if statistics is not None else None
         if len(_plan_cache) >= _PLAN_CACHE_LIMIT:
             # Evict the oldest entry (dict preserves insertion order) so the
             # hot fixpoint expressions the cache exists for stay compiled.
             del _plan_cache[next(iter(_plan_cache))]
-        _plan_cache[key] = (expression, schema, plan)
+        _plan_cache[key] = (expression, schema, plan, signature)
     else:
         plan = entry[2]
     return execute_plan(plan, database, powerset_budget=powerset_budget)
@@ -94,10 +125,19 @@ __all__ = [
     "run_expression",
     "clear_plan_cache",
     "analyze_plan",
+    "annotate_estimates",
     "codegen",
     "codegen_enabled",
     "codegen_stats",
     "set_codegen",
+    "join_ordering",
+    "joinorder_enabled",
+    "joinorder_stats",
+    "reorder_plan",
+    "set_join_ordering",
+    "PlanStatistics",
+    "RelationStats",
+    "signature_stale",
     "build_index",
     "hash_join",
     "probe",
@@ -109,6 +149,7 @@ __all__ = [
     "Filter",
     "Project",
     "HashJoin",
+    "MultiwayHashJoin",
     "NestedLoopProduct",
     "SetOp",
     "PowersetNode",

@@ -81,6 +81,7 @@ from repro.engine.plan import (
     Filter,
     HashJoin,
     Materialize,
+    MultiwayHashJoin,
     NestedLoopProduct,
     PhysicalPlan,
     PlanNode,
@@ -180,7 +181,15 @@ _SET_OP_HELPERS = {
 
 #: Operators a fragment may be rooted at / inline.  Everything else
 #: (powerset, collapse, materialize, unknown nodes) is a boundary.
-_FUSABLE = (Filter, Project, UntupleNode, HashJoin, NestedLoopProduct, SetOp)
+_FUSABLE = (
+    Filter,
+    Project,
+    UntupleNode,
+    HashJoin,
+    MultiwayHashJoin,
+    NestedLoopProduct,
+    SetOp,
+)
 
 #: Roots with nothing to fuse: not fallbacks, just trivially interpreted.
 _TRIVIAL = (Scan, ConstantScan, Materialize)
@@ -353,6 +362,8 @@ class _Emitter:
             return self._emit_untuple(node, consume)
         if isinstance(node, HashJoin):
             return self._emit_hash_join(node, consume)
+        if isinstance(node, MultiwayHashJoin):
+            return self._emit_multiway(node, consume)
         if isinstance(node, NestedLoopProduct):
             return self._emit_nested_loop(node, consume)
         if isinstance(node, SetOp):
@@ -501,6 +512,61 @@ class _Emitter:
                             consume(_Row(self, node.output_type, components_var=out))
 
         self.source(node.left, probe)
+
+    def _emit_multiway(self, node: MultiwayHashJoin, consume) -> None:
+        """All build indexes first, then one fused nested probe loop.
+
+        Each stage contributes an index lookup plus a ``for`` over the
+        bucket; a probe row that misses any stage's index falls out before
+        later stages run, and the accumulated component tuple only becomes
+        a ``TupleValue`` at the innermost level — the whole chain is one
+        loop nest with no intermediate tuple construction.
+        """
+        if not isinstance(node.output_type, TupleType):
+            raise _Unsupported
+        getters = []
+        for build, build_keys in zip(node.builds, node.build_keys):
+            index = self.fresh("idx")
+            self.line(f"{index} = {{}}")
+
+            def build_consumer(row: _Row, index=index, build_keys=build_keys) -> None:
+                comps = row.components()
+                key = self.fresh("k")
+                self.line(f"{key} = {self._key_expression(comps, build_keys)}")
+                bucket = self.fresh("bk")
+                self.line(f"{bucket} = {index}.get({key})")
+                self.line(f"if {bucket} is None:")
+                with self.block():
+                    self.line(f"{index}[{key}] = [{comps}]")
+                self.line("else:")
+                with self.block():
+                    self.line(f"{bucket}.append({comps})")
+
+            self.source(build, build_consumer)
+            get = self.fresh("get")
+            self.line(f"{get} = {index}.get")
+            getters.append(get)
+
+        def stage(accumulated: str, index: int) -> None:
+            if index == len(getters):
+                consume(_Row(self, node.output_type, components_var=accumulated))
+                return
+            key = self.fresh("k")
+            self.line(
+                f"{key} = {self._key_expression(accumulated, node.probe_keys[index])}"
+            )
+            bucket = self.fresh("bk")
+            self.line(f"{bucket} = {getters[index]}({key})")
+            self.line(f"if {bucket} is not None:")
+            with self.block():
+                build_row = self.fresh("br")
+                self.line(f"for {build_row} in {bucket}:")
+                with self.block():
+                    out = self.fresh("o")
+                    self.line(f"{out} = {accumulated} + {build_row}")
+                    stage(out, index + 1)
+
+        self.source(node.probe, lambda row: stage(row.components(), 0))
 
     def _emit_nested_loop(self, node: NestedLoopProduct, consume) -> None:
         if not isinstance(node.output_type, TupleType):

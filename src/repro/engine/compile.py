@@ -70,19 +70,32 @@ class CompileOptions:
 
     Each flag isolates one engine capability so benchmarks and equivalence
     tests can ablate them independently; everything defaults to on.
+    ``join_ordering`` additionally requires a statistics provider (and the
+    process-wide :func:`repro.engine.joinorder.set_join_ordering` switch)
+    to actually fire — compiling without statistics is always syntactic.
     """
 
     logical_optimize: bool = True
     hash_join: bool = True
     common_subexpressions: bool = True
+    join_ordering: bool = True
 
 
 def compile_expression(
     expression: AlgebraExpression,
     schema: DatabaseSchema,
     options: CompileOptions | None = None,
+    statistics=None,
 ) -> PhysicalPlan:
-    """Compile *expression* over *schema* into a :class:`PhysicalPlan`."""
+    """Compile *expression* over *schema* into a :class:`PhysicalPlan`.
+
+    *statistics* is an optional
+    :class:`repro.engine.stats.PlanStatistics` provider for the database
+    the plan will run against; when given (and join ordering is enabled)
+    the cost-based rewrite pass of :mod:`repro.engine.joinorder` reorders
+    equality-join subgraphs and every node is annotated with its
+    estimated output cardinality.
+    """
     options = options or CompileOptions()
     applied_rules: list[str] = []
     if options.logical_optimize:
@@ -94,7 +107,21 @@ def compile_expression(
     # fills the compiler's per-node type cache for the lowering below.
     compiler._type(expression)
     root = compiler.lower(expression)
-    return PhysicalPlan(root=root, nodes=compiler.nodes, applied_rules=applied_rules)
+    plan = PhysicalPlan(root=root, nodes=compiler.nodes, applied_rules=applied_rules)
+    if statistics is not None and _plan_has_joins(plan):
+        from repro.engine.cost import annotate_estimates
+        from repro.engine.joinorder import joinorder_enabled, reorder_plan
+
+        if options.join_ordering and joinorder_enabled():
+            plan = reorder_plan(plan, statistics)
+        annotate_estimates(plan, statistics)
+    return plan
+
+
+def _plan_has_joins(plan: PhysicalPlan) -> bool:
+    return any(
+        isinstance(node, (HashJoin, NestedLoopProduct)) for node in plan.nodes
+    )
 
 
 _SETOP_KINDS = {Union: "union", Intersection: "intersection", Difference: "difference"}

@@ -1,0 +1,387 @@
+"""Cardinality and cost estimation over physical plans.
+
+This is the arithmetic half of the cost-based optimizer: given the
+per-relation statistics of :mod:`repro.engine.stats`, it predicts output
+cardinalities for every plan operator and prices candidate join orders
+for :mod:`repro.engine.joinorder`.
+
+**The estimation model.**  An :class:`Estimate` carries a row count and a
+per-coordinate :class:`ColumnEstimate` — the predicted number of distinct
+values in that output column plus, when the column descends untransformed
+from a stored relation, a ``(relation, coordinate)`` base reference.  Join
+selectivity uses the classic distinct-value argument, sharpened by
+measured overlap: for an equality ``L.a = R.b``,
+
+    |L ⋈ R|  =  |L| · |R| · o / (d(L.a) · d(R.b))
+
+where ``o`` is the number of distinct key values the two columns *share*.
+When both columns are base columns, ``o`` comes from a galloping
+intersection of their sorted id arrays
+(:meth:`repro.engine.stats.PlanStatistics.overlap`) — a real measurement,
+not the containment assumption; otherwise it degrades to
+``min(d(L.a), d(R.b))``, which recovers the textbook ``1/max(d_l, d_r)``.
+
+**Costing.**  :func:`join_step_cost` prices one hash-join step as
+``probe + BUILD_WEIGHT · build + output``: every probe row is touched
+once, every build row is hashed into an index (weighted heavier — index
+construction costs more than a lookup), and every output row is
+constructed.  The join-order search minimizes the sum of step costs,
+which penalizes both large intermediates and building indexes over large
+inputs (so the big input ends up on the probe side).
+
+:func:`annotate_estimates` walks a compiled plan and stamps
+``node.estimated_rows`` on every operator it can price —
+``explain_plan(verbose=True)`` renders these next to the actual counts.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    ConstantOperand,
+    SelectionCondition,
+    flatten_for_product,
+)
+from repro.engine.plan import (
+    CollapseNode,
+    ConstantScan,
+    Filter,
+    HashJoin,
+    Materialize,
+    MultiwayHashJoin,
+    NestedLoopProduct,
+    PhysicalPlan,
+    PlanNode,
+    PowersetNode,
+    Project,
+    Scan,
+    SetOp,
+    UntupleNode,
+)
+from repro.engine.stats import PlanStatistics, RelationStats
+
+#: Selectivity assumed for condition shapes the model cannot price
+#: (constant-container membership and the like).
+DEFAULT_SELECTIVITY = 0.25
+
+#: Relative cost of inserting one row into a hash index vs probing it.
+BUILD_WEIGHT = 2.0
+
+#: Row-count ceiling: estimates saturate here instead of overflowing.
+_MAX_ROWS = 1e18
+
+
+class ColumnEstimate:
+    """Predicted distinct count of one output column.
+
+    ``base`` is the ``(relation_name, coordinate)`` the column descends
+    from when it reaches this operator untransformed — the handle the
+    overlap probes key on; ``None`` for computed columns.
+    """
+
+    __slots__ = ("distinct", "base")
+
+    def __init__(self, distinct: float, base: tuple[str, int] | None = None) -> None:
+        self.distinct = distinct
+        self.base = base
+
+    def capped(self, rows: float) -> "ColumnEstimate":
+        if self.distinct <= rows:
+            return self
+        return ColumnEstimate(rows, self.base)
+
+
+class Estimate:
+    """Predicted output of one (partial) plan: rows + per-column stats.
+
+    ``columns`` maps 1-based flattened coordinates to
+    :class:`ColumnEstimate`; the join-order search keys the map on
+    *global* coordinates of the subgraph's original output layout, the
+    per-node annotator on each node's local layout — the arithmetic is
+    identical either way.
+    """
+
+    __slots__ = ("rows", "columns")
+
+    def __init__(self, rows: float, columns: dict[int, ColumnEstimate]) -> None:
+        self.rows = min(rows, _MAX_ROWS)
+        self.columns = columns
+
+    def distinct(self, coordinate: int) -> float:
+        column = self.columns.get(coordinate)
+        if column is None:
+            return max(self.rows, 1.0)
+        return max(column.distinct, 1.0)
+
+    def shifted(self, offset: int) -> "Estimate":
+        """The same estimate with every coordinate moved by *offset*."""
+        return Estimate(
+            self.rows, {c + offset: column for c, column in self.columns.items()}
+        )
+
+
+def scan_estimate(stats: RelationStats) -> Estimate:
+    """The (exact) estimate of a stored relation scan."""
+    columns = {
+        coordinate: ColumnEstimate(
+            stats.distinct[coordinate - 1], (stats.name, coordinate)
+        )
+        for coordinate in range(1, stats.width + 1)
+    }
+    return Estimate(float(stats.rows), columns)
+
+
+def condition_selectivity(
+    condition: SelectionCondition, estimate: Estimate
+) -> float:
+    """The fraction of rows predicted to satisfy *condition*.
+
+    ``eq(coord, const)`` keeps ``1/d(coord)`` (uniformity over the
+    column's distinct values); ``eq(coord, coord)`` keeps
+    ``1/max(d_a, d_b)``; boolean connectives combine under independence.
+    Anything else falls back to :data:`DEFAULT_SELECTIVITY`.
+    """
+    kind = condition.kind
+    if kind == "eq":
+        first, second = condition.operands
+        if isinstance(first, int) and isinstance(second, int):
+            return 1.0 / max(estimate.distinct(first), estimate.distinct(second))
+        if isinstance(first, int) and isinstance(second, ConstantOperand):
+            return 1.0 / estimate.distinct(first)
+        if isinstance(second, int) and isinstance(first, ConstantOperand):
+            return 1.0 / estimate.distinct(second)
+        return DEFAULT_SELECTIVITY
+    if kind == "not":
+        return max(1.0 - condition_selectivity(condition.operands[0], estimate), 0.05)
+    if kind == "and":
+        result = 1.0
+        for operand in condition.operands:
+            result *= condition_selectivity(operand, estimate)
+        return result
+    if kind == "or":
+        left = condition_selectivity(condition.operands[0], estimate)
+        right = condition_selectivity(condition.operands[1], estimate)
+        return min(left + right - left * right, 1.0)
+    return DEFAULT_SELECTIVITY
+
+
+def filter_estimate(estimate: Estimate, condition: SelectionCondition) -> Estimate:
+    """Apply a selection: scale rows, cap distincts at the new row count."""
+    rows = estimate.rows * condition_selectivity(condition, estimate)
+    columns = {c: column.capped(rows) for c, column in estimate.columns.items()}
+    # An equality with a constant pins that column to (at most) one value.
+    for conjunct in _eq_constant_coordinates(condition):
+        columns[conjunct] = ColumnEstimate(1.0)
+    return Estimate(rows, columns)
+
+
+def _eq_constant_coordinates(condition: SelectionCondition) -> list[int]:
+    if condition.kind == "eq":
+        first, second = condition.operands
+        if isinstance(first, int) and isinstance(second, ConstantOperand):
+            return [first]
+        if isinstance(second, int) and isinstance(first, ConstantOperand):
+            return [second]
+        return []
+    if condition.kind == "and":
+        result: list[int] = []
+        for operand in condition.operands:
+            result.extend(_eq_constant_coordinates(operand))
+        return result
+    return []
+
+
+def join_estimate(
+    left: Estimate,
+    right: Estimate,
+    pairs: list[tuple[int, int]],
+    statistics: PlanStatistics | None,
+) -> Estimate:
+    """Estimate an equi-join of two sides with disjoint column keys.
+
+    *pairs* are ``(left_coordinate, right_coordinate)`` equality keys,
+    each side's coordinate indexing its own estimate's column map (the
+    caller shifts the right side first when the maps would collide).  An
+    empty *pairs* prices a cartesian product.
+    """
+    rows = left.rows * right.rows
+    joined: dict[int, float] = {}
+    for left_coord, right_coord in pairs:
+        d_left = left.distinct(left_coord)
+        d_right = right.distinct(right_coord)
+        overlap = _column_overlap(left, left_coord, right, right_coord, statistics)
+        overlap = max(min(overlap, d_left, d_right), 0.0)
+        rows *= overlap / (d_left * d_right)
+        joined[left_coord] = overlap
+        joined[right_coord] = overlap
+    columns: dict[int, ColumnEstimate] = {}
+    for source in (left, right):
+        for coordinate, column in source.columns.items():
+            if coordinate in joined:
+                column = ColumnEstimate(joined[coordinate], column.base)
+            columns[coordinate] = column.capped(rows)
+    return Estimate(rows, columns)
+
+
+def _column_overlap(
+    left: Estimate,
+    left_coord: int,
+    right: Estimate,
+    right_coord: int,
+    statistics: PlanStatistics | None,
+) -> float:
+    d_left = left.distinct(left_coord)
+    d_right = right.distinct(right_coord)
+    containment = min(d_left, d_right)
+    if statistics is None:
+        return containment
+    left_column = left.columns.get(left_coord)
+    right_column = right.columns.get(right_coord)
+    if left_column is None or right_column is None:
+        return containment
+    if left_column.base is None or right_column.base is None:
+        return containment
+    overlap = statistics.overlap(*left_column.base, *right_column.base)
+    if overlap is None:
+        return containment
+    # The measured overlap is between the *base* columns; intervening
+    # filters/joins can only have shrunk each side's distinct set.
+    return min(float(overlap), containment)
+
+
+def join_step_cost(probe_rows: float, build_rows: float, output_rows: float) -> float:
+    """The price of one hash-join step (see the module docstring)."""
+    return probe_rows + BUILD_WEIGHT * build_rows + output_rows
+
+
+def subtree_estimate(node: PlanNode, statistics: PlanStatistics) -> "Estimate | None":
+    """Estimate one plan subtree bottom-up (memoized within the call).
+
+    Used by the join-order search to price subgraph *leaves* — base scans,
+    filter/project chains over them, even shared join subtrees behind a
+    materialization boundary.  Returns ``None`` when any node on the way
+    is outside the model, in which case the enclosing subgraph is skipped
+    rather than ordered on guesses.
+    """
+    memo: dict[int, Estimate | None] = {}
+
+    def visit(current: PlanNode) -> "Estimate | None":
+        if current.node_id in memo:
+            return memo[current.node_id]
+        memo[current.node_id] = None  # cycle-proof placeholder
+        for child in current.children():
+            visit(child)
+        estimate = _node_estimate(current, statistics, memo)
+        memo[current.node_id] = estimate
+        return estimate
+
+    return visit(node)
+
+
+# ---------------------------------------------------------------------------
+# Whole-plan annotation
+
+
+def annotate_estimates(plan: PhysicalPlan, statistics: PlanStatistics) -> None:
+    """Stamp ``estimated_rows`` on every node of *plan* the model can price.
+
+    Estimates come from the statistics layer — relation cardinalities,
+    distinct counts and measured column overlaps — not static
+    selectivity guesses; nodes outside the model (powersets over unknown
+    inputs, collapses) keep ``estimated_rows = None`` and render without
+    an estimate in ``explain_plan``.
+    """
+    memo: dict[int, Estimate | None] = {}
+    for node in plan.nodes:  # topological: children before parents
+        estimate = _node_estimate(node, statistics, memo)
+        memo[node.node_id] = estimate
+        node.estimated_rows = (
+            int(round(estimate.rows)) if estimate is not None else None
+        )
+
+
+def _node_estimate(
+    node: PlanNode, statistics: PlanStatistics, memo: dict[int, "Estimate | None"]
+) -> Estimate | None:
+    if isinstance(node, Scan):
+        return scan_estimate(statistics.relation(node.predicate_name))
+    if isinstance(node, ConstantScan):
+        return Estimate(1.0, {1: ColumnEstimate(1.0)})
+    if isinstance(node, Materialize):
+        return memo.get(node.child.node_id)
+    if isinstance(node, Filter):
+        child = memo.get(node.child.node_id)
+        return filter_estimate(child, node.condition) if child is not None else None
+    if isinstance(node, Project):
+        child = memo.get(node.child.node_id)
+        if child is None:
+            return None
+        columns = {
+            index + 1: child.columns.get(coordinate, ColumnEstimate(child.rows))
+            for index, coordinate in enumerate(node.coordinates)
+        }
+        # Duplicate elimination: the output cannot exceed the product of
+        # the kept columns' distinct counts (nor the input cardinality).
+        bound = 1.0
+        for column in columns.values():
+            bound = min(bound * max(column.distinct, 1.0), _MAX_ROWS)
+        return Estimate(min(child.rows, bound), columns)
+    if isinstance(node, (HashJoin, NestedLoopProduct)):
+        left = memo.get(node.left.node_id)
+        right = memo.get(node.right.node_id)
+        if left is None or right is None:
+            return None
+        width = len(flatten_for_product(node.left_type))
+        if isinstance(node, HashJoin):
+            pairs = [
+                (lk, rk + width) for lk, rk in zip(node.left_keys, node.right_keys)
+            ]
+            estimate = join_estimate(left, right.shifted(width), pairs, statistics)
+            if node.residual is not None:
+                estimate = filter_estimate(estimate, node.residual)
+            return estimate
+        return join_estimate(left, right.shifted(width), [], statistics)
+    if isinstance(node, MultiwayHashJoin):
+        accumulated = memo.get(node.probe.node_id)
+        if accumulated is None:
+            return None
+        width = len(flatten_for_product(node.probe_type))
+        for build, build_type, probe_keys, build_keys in zip(
+            node.builds, node.build_types, node.probe_keys, node.build_keys
+        ):
+            build_estimate = memo.get(build.node_id)
+            if build_estimate is None:
+                return None
+            pairs = [(pk, bk + width) for pk, bk in zip(probe_keys, build_keys)]
+            accumulated = join_estimate(
+                accumulated, build_estimate.shifted(width), pairs, statistics
+            )
+            width += len(flatten_for_product(build_type))
+        return accumulated
+    if isinstance(node, SetOp):
+        left = memo.get(node.left.node_id)
+        right = memo.get(node.right.node_id)
+        if left is None or right is None:
+            return None
+        if node.kind == "union":
+            rows = left.rows + right.rows
+        elif node.kind == "intersection":
+            rows = min(left.rows, right.rows)
+        else:
+            rows = left.rows
+        columns = {c: column.capped(rows) for c, column in left.columns.items()}
+        return Estimate(rows, columns)
+    if isinstance(node, UntupleNode):
+        child = memo.get(node.child.node_id)
+        if child is None:
+            return None
+        return Estimate(
+            child.rows, {1: child.columns.get(1, ColumnEstimate(child.rows))}
+        )
+    if isinstance(node, PowersetNode):
+        child = memo.get(node.child.node_id)
+        if child is None or child.rows > 30:
+            return None
+        return Estimate(2.0 ** round(child.rows), {})
+    if isinstance(node, CollapseNode):
+        return None
+    return None

@@ -46,6 +46,7 @@ from repro.engine.plan import (
     Filter,
     HashJoin,
     Materialize,
+    MultiwayHashJoin,
     NestedLoopProduct,
     PhysicalPlan,
     PlanNode,
@@ -94,6 +95,18 @@ def _components_key(keys: tuple[int, ...], encode=None):
     if encode is None:
         return lambda comps: tuple(comps[i] for i in indices)
     return lambda comps: tuple(encode(comps[i]) for i in indices)
+
+
+def _is_permutation(node: Project) -> bool:
+    """Whether the projection merely reorders all of its input's columns."""
+    child_type = node.child.output_type
+    if not isinstance(child_type, TupleType):
+        return False
+    arity = child_type.arity
+    coordinates = node.coordinates
+    return len(coordinates) == arity and sorted(coordinates) == list(
+        range(1, arity + 1)
+    )
 
 
 def execute_plan(
@@ -146,6 +159,8 @@ class _Executor:
             return self._project(node)
         if isinstance(node, HashJoin):
             return self._hash_join(node)
+        if isinstance(node, MultiwayHashJoin):
+            return self._multiway(node)
         if isinstance(node, NestedLoopProduct):
             return self._nested_loop(node)
         if isinstance(node, SetOp):
@@ -208,8 +223,15 @@ class _Executor:
                         yield value
 
     def _project(self, node: Project) -> Iterator[ComplexValue]:
-        seen: set[ComplexValue] = set()
         coordinates = node.coordinates
+        if _is_permutation(node):
+            # A permutation of all coordinates (the join-ordering pass emits
+            # these to restore the original column order) is injective, so
+            # the input set maps to a set — no dedup bookkeeping needed.
+            for value in self.rows(node.child):
+                yield TupleValue([value.coordinate(c) for c in coordinates])
+            return
+        seen: set[ComplexValue] = set()
         for value in self.rows(node.child):
             if not isinstance(value, TupleValue):
                 raise EvaluationError(f"projection applied to the non-tuple value {value}")
@@ -271,6 +293,45 @@ class _Executor:
             combined = TupleValue(left_components + right_components)
             if residual is None or condition_holds(residual, combined):
                 yield combined
+
+    def _multiway(self, node: MultiwayHashJoin) -> Iterator[ComplexValue]:
+        """One hash index per build input; each probe row walks the stages.
+
+        The accumulated component row grows by one build's components per
+        matching stage and a stage without a match drops the row before
+        later indexes are even consulted — the early-out that makes probing
+        the most selective build first pay off.  Keying mirrors
+        :meth:`_hash_join`: one transient dictionary encodes every stage's
+        keys when columnar mode is on.
+        """
+        dictionary = ValueDictionary() if columnar_enabled() else None
+        encode = dictionary.encode if dictionary is not None else None
+        stages = []
+        for build, build_type, build_keys, probe_keys in zip(
+            node.builds, node.build_types, node.build_keys, node.probe_keys
+        ):
+            build_rows = [
+                flatten_value(value, build_type) for value in self.rows(build)
+            ]
+            build_key = _components_key(build_keys, encode)
+            index = build_index_with_keys(build_rows, map(build_key, build_rows))
+            stages.append((index, _components_key(probe_keys, encode)))
+        last = len(stages) - 1
+
+        def expand(row: tuple, stage: int) -> Iterator[ComplexValue]:
+            index, probe_key = stages[stage]
+            bucket = index.get(probe_key(row))
+            if not bucket:
+                return
+            if stage == last:
+                for build_row in bucket:
+                    yield TupleValue(row + build_row)
+                return
+            for build_row in bucket:
+                yield from expand(row + build_row, stage + 1)
+
+        for value in self.rows(node.probe):
+            yield from expand(flatten_value(value, node.probe_type), 0)
 
     def _nested_loop(self, node: NestedLoopProduct) -> Iterator[ComplexValue]:
         right_components = [

@@ -34,16 +34,22 @@ class PlanNode:
     ``node_id`` is unique within one plan; ``consumers`` counts how many
     parent edges point at this node (a node with more than one consumer is
     materialized once by the executor and its result shared).
+    ``estimated_rows`` is the output cardinality predicted by the
+    statistics layer (:mod:`repro.engine.cost`) when the plan was compiled
+    with statistics, or ``None`` — :func:`repro.engine.explain.explain_plan`
+    renders it next to the actual count.
     """
 
-    __slots__ = ("node_id", "output_type", "consumers")
+    __slots__ = ("node_id", "output_type", "consumers", "estimated_rows")
 
     def __init__(self, node_id: int, output_type: ComplexType) -> None:
         self.node_id = node_id
         self.output_type = output_type
         self.consumers = 0
+        self.estimated_rows = None
 
     def children(self) -> tuple["PlanNode", ...]:
+        """The node's input nodes, probe/left side first (overridden)."""
         return ()
 
     def label(self) -> str:
@@ -165,6 +171,58 @@ class HashJoin(PlanNode):
         return f"HashJoin({keys}{residual})"
 
 
+class MultiwayHashJoin(PlanNode):
+    """A fused chain of equi-joins: one probe input, N hash-indexed builds.
+
+    Lowered by :mod:`repro.engine.joinorder` from a left-deep run of
+    equality joins.  Each build input gets one hash index (built in a
+    single pass over its rows, keyed by ``build_keys[i]`` — 1-based
+    coordinates into that build's own flattened components); the probe
+    input streams through all indexes in order without constructing
+    intermediate tuples.  ``probe_keys[i]`` are 1-based coordinates into
+    the *accumulated* row at stage ``i`` — the probe's components followed
+    by the components of builds ``0..i-1`` — so later stages may key on
+    columns contributed by earlier builds (chain queries) as well as on
+    probe columns (star queries).
+
+    The output layout is the accumulated row (probe components, then each
+    build's components in stage order); the join-ordering pass restores
+    the original coordinate order with a permutation ``Project`` on top
+    when the chosen order differs from the syntactic one.  Residual
+    conditions are never attached here — the rewrite hoists them to a
+    ``Filter`` above the rebuilt subtree.
+    """
+
+    __slots__ = ("probe", "builds", "probe_keys", "build_keys", "probe_type", "build_types")
+
+    def __init__(
+        self,
+        node_id: int,
+        output_type: ComplexType,
+        probe: PlanNode,
+        builds: tuple[PlanNode, ...],
+        probe_keys: tuple[tuple[int, ...], ...],
+        build_keys: tuple[tuple[int, ...], ...],
+    ) -> None:
+        super().__init__(node_id, output_type)
+        self.probe = probe
+        self.builds = builds
+        self.probe_keys = probe_keys
+        self.build_keys = build_keys
+        self.probe_type = probe.output_type
+        self.build_types = tuple(build.output_type for build in builds)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.probe, *self.builds)
+
+    def label(self) -> str:
+        stages = "; ".join(
+            ", ".join(f"A{p}=B{b}" for p, b in zip(probe_keys, build_keys))
+            for probe_keys, build_keys in zip(self.probe_keys, self.build_keys)
+        )
+        return f"MultiwayHashJoin({len(self.builds)} builds: {stages})"
+
+
 class NestedLoopProduct(PlanNode):
     """Cartesian product with flattening concatenation (no join keys)."""
 
@@ -279,19 +337,24 @@ class PhysicalPlan:
     ``root`` is the output node; ``nodes`` lists every node exactly once in
     a topological order (children before parents); ``applied_rules`` records
     the logical-optimizer rewrites that ran before lowering;
-    ``shared_nodes`` counts the DAG nodes with more than one consumer (the
-    common subexpressions the compiler deduplicated).
+    ``physical_rewrites`` records the statistics-driven physical passes
+    (join reordering, multiway lowering — see :mod:`repro.engine.joinorder`)
+    that rewrote the DAG after lowering; ``shared_nodes`` counts the DAG
+    nodes with more than one consumer (the common subexpressions the
+    compiler deduplicated).
     """
 
     root: PlanNode
     nodes: list[PlanNode] = field(default_factory=list)
     applied_rules: list[str] = field(default_factory=list)
+    physical_rewrites: list[str] = field(default_factory=list)
 
     @property
     def shared_nodes(self) -> int:
         return sum(1 for node in self.nodes if node.consumers > 1)
 
     def node_count(self) -> int:
+        """Number of distinct nodes in the DAG (shared nodes count once)."""
         return len(self.nodes)
 
     def operators(self) -> list[str]:

@@ -1,0 +1,201 @@
+"""Per-relation statistics for the cost-based optimizer.
+
+The columnar layer already knows everything a join-order search needs —
+it just never exposed it to the compiler:
+
+* **cardinalities** are ``len(instance)`` (instances are sets, so a
+  width-1 relation's values are all distinct by construction);
+* **per-coordinate distinct counts** fall out of the cached
+  :meth:`repro.objects.instance.Instance.coordinate_ids` columns — the
+  number of distinct dictionary ids in a column *is* the number of
+  distinct values, because the process-wide value dictionary assigns one
+  id per canonical value;
+* **overlap between two join columns** (how many distinct key values two
+  relations share) is a galloping intersection
+  (:func:`repro.objects.columnar.intersect_ids`) of the two columns'
+  sorted duplicate-free id arrays — both sides encode through the same
+  dictionary, so equal values meet on equal ids.
+
+:class:`RelationStats` snapshots one relation; :class:`PlanStatistics`
+is the lazy per-database provider handed to
+:func:`repro.engine.compile.compile_expression` — it profiles only the
+relations a join subgraph actually touches (caching the profile on the
+immutable :class:`~repro.objects.instance.Instance` object itself) and
+records which ones, so the plan cache can fingerprint the statistics a
+cached plan depends on and recompile when they drift.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.objects.columnar import ID_TYPECODE, intersect_ids
+from repro.objects.instance import DatabaseInstance, Instance
+from repro.types.type_system import TupleType
+
+#: Attribute name under which a computed profile is cached on the
+#: (immutable) Instance object; mutation rebuilds the instance, which is
+#: exactly what invalidates the cache.
+_CACHE_ATTRIBUTE = "_relation_stats"
+
+
+class RelationStats:
+    """The statistics snapshot of one stored relation.
+
+    ``rows`` is the cardinality, ``width`` the flattened component count
+    (tuple arity, or 1 for non-tuple relations), ``distinct`` a tuple of
+    per-coordinate distinct-value counts (1-based coordinate ``c`` is
+    ``distinct[c - 1]``).  :meth:`column` returns the sorted
+    duplicate-free dictionary-id array of one coordinate, the operand of
+    the galloping overlap probes.
+    """
+
+    __slots__ = ("name", "rows", "width", "distinct", "_columns", "_instance")
+
+    def __init__(self, name: str, instance: Instance) -> None:
+        self.name = name
+        self.rows = len(instance)
+        self._instance = instance
+        self._columns: dict[int, array] = {}
+        if isinstance(instance.type, TupleType):
+            self.width = instance.type.arity
+            distinct = []
+            for coordinate in range(1, self.width + 1):
+                unique = sorted(set(instance.coordinate_ids(coordinate)))
+                self._columns[coordinate] = array(ID_TYPECODE, unique)
+                distinct.append(len(unique))
+            self.distinct = tuple(distinct)
+        else:
+            # A non-tuple relation is a set of scalar values: one flattened
+            # component, every value distinct, and the instance's own
+            # sorted id column doubles as the overlap operand.
+            self.width = 1
+            self.distinct = (self.rows,)
+
+    def column(self, coordinate: int):
+        """Sorted duplicate-free id array of 1-based *coordinate*."""
+        column = self._columns.get(coordinate)
+        if column is None and coordinate == 1 and not isinstance(
+            self._instance.type, TupleType
+        ):
+            column = self._instance.ids()
+            self._columns[1] = column
+        return column
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RelationStats({self.name!r}, rows={self.rows}, "
+            f"distinct={self.distinct})"
+        )
+
+
+def relation_stats(name: str, instance: Instance) -> RelationStats:
+    """Profile *instance*, caching the result on the instance object.
+
+    The first call per instance pays one pass per coordinate (building the
+    id columns the vectorized-filter path caches anyway, plus one
+    sort-unique per column); later calls — including calls from other
+    database snapshots sharing the instance — are a dict lookup.
+    """
+    cached = getattr(instance, _CACHE_ATTRIBUTE, None)
+    if cached is not None:
+        return cached
+    from repro.engine.joinorder import _JOINORDER
+
+    stats = RelationStats(name, instance)
+    _JOINORDER.stats["relations_profiled"] += 1
+    setattr(instance, _CACHE_ATTRIBUTE, stats)
+    return stats
+
+
+class PlanStatistics:
+    """Lazy statistics provider over one database snapshot.
+
+    Construction is free — relations are profiled on first
+    :meth:`relation` call and the set of touched names is recorded, so
+    the plan cache (:func:`repro.engine.run_expression`) can fingerprint
+    exactly the statistics a compiled plan depends on via
+    :meth:`signature` and recompile when the data drifts past
+    :func:`signature_stale`.
+    """
+
+    def __init__(self, database: DatabaseInstance) -> None:
+        self.database = database
+        self._relations: dict[str, RelationStats] = {}
+        self._overlaps: dict[tuple, int] = {}
+        self.touched: set[str] = set()
+
+    def relation(self, name: str) -> RelationStats:
+        """The (cached) profile of predicate *name*."""
+        stats = self._relations.get(name)
+        if stats is None:
+            stats = relation_stats(name, self.database.instance(name))
+            self._relations[name] = stats
+            self.touched.add(name)
+        return stats
+
+    def overlap(
+        self, name_a: str, coordinate_a: int, name_b: str, coordinate_b: int
+    ) -> int | None:
+        """Distinct key values shared by two base columns, or ``None``.
+
+        A galloping :func:`~repro.objects.columnar.intersect_ids` over the
+        two sorted duplicate-free id columns; cached per (normalized)
+        column pair.  ``None`` when either side has no id column (never
+        the case for scan-backed columns, but derived estimates may ask).
+        """
+        key = (name_a, coordinate_a, name_b, coordinate_b)
+        if key[:2] > key[2:]:
+            key = (name_b, coordinate_b, name_a, coordinate_a)
+        cached = self._overlaps.get(key)
+        if cached is not None:
+            return cached
+        column_a = self.relation(name_a).column(coordinate_a)
+        column_b = self.relation(name_b).column(coordinate_b)
+        if column_a is None or column_b is None:
+            return None
+        from repro.engine.joinorder import _JOINORDER
+
+        overlap = len(intersect_ids(column_a, column_b))
+        _JOINORDER.stats["overlap_probes"] += 1
+        self._overlaps[key] = overlap
+        return overlap
+
+    def signature(self) -> tuple[tuple[str, int], ...] | None:
+        """Cardinality fingerprint of the touched relations (or ``None``).
+
+        Only cardinalities, deliberately: distinct counts drifting under a
+        stable cardinality can at worst yield a stale-but-correct join
+        order, while re-fingerprinting them would cost a pass per check.
+        """
+        if not self.touched:
+            return None
+        return tuple(
+            (name, self._relations[name].rows) for name in sorted(self.touched)
+        )
+
+
+#: Relative drift beyond which a cached plan's join order is considered
+#: stale; the absolute slack keeps tiny relations from churning the cache.
+_STALE_FACTOR = 2.0
+_STALE_SLACK = 8
+
+
+def signature_stale(
+    signature: tuple[tuple[str, int], ...], database: DatabaseInstance
+) -> bool:
+    """Whether the data has drifted enough to justify re-planning.
+
+    A cached plan stays *correct* regardless — join order is purely a
+    performance decision — so the test is coarse: any profiled relation
+    whose cardinality changed by more than :data:`_STALE_FACTOR` (plus a
+    small absolute slack) triggers one recompile.  Fixpoint loops that
+    grow a relation gradually therefore recompile O(log growth) times,
+    not once per iteration.
+    """
+    for name, rows in signature:
+        current = len(database.instance(name))
+        low, high = sorted((rows, current))
+        if high > low * _STALE_FACTOR + _STALE_SLACK:
+            return True
+    return False

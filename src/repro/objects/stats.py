@@ -39,13 +39,14 @@ def runtime_stats() -> dict[str, dict[str, int]]:
     """A snapshot of every counter family, keyed by subsystem.
 
     Keys: ``"interning"``, ``"columnar"``, ``"vectorized"``, ``"codegen"``,
-    ``"views"`` and ``"reliability"``.  Families import lazily — the
-    vectorized, codegen, views and reliability counters live above
-    :mod:`repro.objects` in the layer stack, so eager imports here would
-    be circular.
+    ``"joinorder"``, ``"views"`` and ``"reliability"``.  Families import
+    lazily — the vectorized, codegen, joinorder, views and reliability
+    counters live above :mod:`repro.objects` in the layer stack, so eager
+    imports here would be circular.
     """
     from repro.algebra.vectorized import vectorized_stats
     from repro.engine.codegen import codegen_stats
+    from repro.engine.joinorder import joinorder_stats
     from repro.objects.columnar import columnar_stats
     from repro.objects.values import intern_stats
     from repro.reliability.faults import reliability_stats
@@ -56,6 +57,7 @@ def runtime_stats() -> dict[str, dict[str, int]]:
         "columnar": columnar_stats(),
         "vectorized": vectorized_stats(),
         "codegen": codegen_stats(),
+        "joinorder": joinorder_stats(),
         "views": views_stats(),
         "reliability": reliability_stats(),
     }
@@ -65,6 +67,7 @@ def reset_runtime_stats() -> None:
     """Zero every counter of every family (the keys themselves stay)."""
     from repro.algebra.vectorized import _VECTORIZED
     from repro.engine.codegen import _CODEGEN
+    from repro.engine.joinorder import _JOINORDER
     from repro.objects.columnar import _COLUMNAR
     from repro.objects.values import _INTERN
     from repro.reliability.faults import _RELIABILITY
@@ -75,6 +78,7 @@ def reset_runtime_stats() -> None:
         _COLUMNAR.stats,
         _VECTORIZED.stats,
         _CODEGEN.stats,
+        _JOINORDER.stats,
         _VIEWS.stats,
         _RELIABILITY.stats,
     )

@@ -40,6 +40,7 @@ fake a pass.
 from __future__ import annotations
 
 from array import array
+from dataclasses import replace
 from itertools import combinations
 
 from repro.errors import EvaluationError
@@ -67,6 +68,7 @@ from repro.engine.plan import (
     Filter,
     HashJoin,
     Materialize,
+    MultiwayHashJoin,
     NestedLoopProduct,
     PlanNode,
     PowersetNode,
@@ -280,6 +282,15 @@ class _Maintainer:
         self.expression = expression
         self.schema = schema
         self.powerset_budget = powerset_budget
+        # View plans are compiled without statistics and with join
+        # reordering pinned off: maintenance keeps per-node state
+        # (support counts, incremental join indexes) alive for the plan's
+        # lifetime, so the plan must not depend on data-distribution
+        # snapshots that updates would invalidate — and the delta rules
+        # below deliberately do not handle MultiwayHashJoin (binary joins
+        # maintain incrementally; the fused operator would need N-way
+        # index bookkeeping for no maintenance benefit).
+        options = replace(options, join_ordering=False) if options else None
         self.plan = compile_expression(expression, schema, options)
         self.root = self.plan.root
         # Per-node state, keyed by node_id.
@@ -472,6 +483,14 @@ class _Maintainer:
         if isinstance(node, SetOp):
             fault_point(SITE_MAINTAIN_SETOP)
             return self._setop_delta(node, child_deltas[0], child_deltas[1], journal)
+        if isinstance(node, MultiwayHashJoin):
+            # Unreachable through the public API: view plans pin
+            # join_ordering off in __init__ (the conservative bypass), so a
+            # multiway operator here means a hand-built plan was injected.
+            raise EvaluationError(
+                "view maintenance does not support MultiwayHashJoin; compile "
+                "view definitions with join_ordering disabled"
+            )
         raise EvaluationError(
             f"unknown plan operator {type(node).__name__} in view maintenance"
         )

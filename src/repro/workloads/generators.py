@@ -39,7 +39,7 @@ from repro.objects.instance import DatabaseInstance, Instance
 from repro.objects.values import ComplexValue, structural_sort_key
 from repro.relational.relation import Relation
 from repro.types.schema import DatabaseSchema
-from repro.types.type_system import ComplexType, SetType, TupleType, U
+from repro.types.type_system import ComplexType, SetType, TupleType, U, tuple_type
 from repro.utils.iteration import bounded
 
 
@@ -733,6 +733,157 @@ def _pipeline_join(
         if residual is not None:
             condition = SelectionCondition.conjunction(condition, residual)
     return Selection(product, condition), combined
+
+
+def random_join_workload(
+    shape: str = "chain",
+    relations: int = 4,
+    rows: int = 64,
+    seed: int = 0,
+) -> tuple[AlgebraExpression, DatabaseInstance]:
+    """A seeded acyclic multi-join query plus the database it runs on.
+
+    The workload the cost-based join-ordering tests and benchmarks sweep:
+    *shape* picks the join-graph topology —
+
+    * ``"chain"``: *relations* binary relations ``R0(a,b) ⋈ R1(b,c) ⋈ …``
+      linked second-column-to-first-column;
+    * ``"star"``: one fact table of arity ``relations - 1`` whose *j*-th
+      column joins the key of dimension ``Dj`` (dimensions are small
+      relative to the fact, and the last one is deliberately *selective* —
+      its keys cover only a slice of the fact's domain);
+    * ``"snowflake"``: a star whose first dimensions each link on to one
+      sub-dimension (``Dj.2 = Sj.1``).
+
+    The returned expression is the *syntactic* left-deep product in
+    declaration order with all join equalities conjoined on top — i.e.
+    deliberately not the good order — so comparing it against the engine's
+    reordered plan measures exactly what the optimizer buys.  Same seed,
+    same workload.
+    """
+    if relations < 2:
+        raise WorkloadError(f"a join workload needs at least 2 relations, got {relations}")
+    if shape == "chain":
+        return _chain_join_workload(relations, rows, seed)
+    if shape == "star":
+        return _star_join_workload(relations, rows, seed)
+    if shape == "snowflake":
+        if relations < 3:
+            raise WorkloadError("a snowflake workload needs at least 3 relations")
+        return _snowflake_join_workload(relations, rows, seed)
+    raise WorkloadError(f"unknown join workload shape {shape!r}")
+
+
+def _join_query(
+    schema_entries: list[tuple[str, TupleType]],
+    data: dict[str, list[tuple]],
+    pairs: list[tuple[int, int]],
+) -> tuple[AlgebraExpression, DatabaseInstance]:
+    schema = DatabaseSchema(schema_entries)
+    database = DatabaseInstance.build(schema, **{name: rows for name, rows in data.items()})
+    expression: AlgebraExpression = PredicateExpression(schema_entries[0][0])
+    for name, _type in schema_entries[1:]:
+        expression = Product(expression, PredicateExpression(name))
+    condition = SelectionCondition.eq(*pairs[0])
+    for left, right in pairs[1:]:
+        condition = SelectionCondition.conjunction(
+            condition, SelectionCondition.eq(left, right)
+        )
+    return Selection(expression, condition), database
+
+
+def _chain_join_workload(
+    relations: int, rows: int, seed: int
+) -> tuple[AlgebraExpression, DatabaseInstance]:
+    rng = random.Random(seed)
+    domain = max(2, rows // 3)
+    entries = [(f"R{i}", tuple_type(U, U)) for i in range(relations)]
+    data = {
+        f"R{i}": list(
+            {
+                (f"k{i}_{rng.randrange(domain)}", f"k{i + 1}_{rng.randrange(domain)}")
+                for _ in range(rows)
+            }
+        )
+        for i in range(relations)
+    }
+    # R_i's second column joins R_{i+1}'s first; R_i spans global
+    # coordinates (2i+1, 2i+2).
+    pairs = [(2 * i + 2, 2 * i + 3) for i in range(relations - 1)]
+    return _join_query(entries, data, pairs)
+
+
+def _star_join_workload(
+    relations: int, rows: int, seed: int
+) -> tuple[AlgebraExpression, DatabaseInstance]:
+    rng = random.Random(seed)
+    dimensions = relations - 1
+    domain = max(2, rows // 3)
+    dimension_rows = max(2, min(domain, rows // 4))
+    entries = [("F", tuple_type(*([U] * dimensions)))]
+    data: dict[str, list[tuple]] = {
+        "F": list(
+            {
+                tuple(f"k{j}_{rng.randrange(domain)}" for j in range(dimensions))
+                for _ in range(rows)
+            }
+        )
+    }
+    pairs = []
+    for j in range(1, dimensions + 1):
+        name = f"D{j}"
+        entries.append((name, tuple_type(U, U)))
+        if j == dimensions:
+            # The selective dimension: keys cover only the low twentieth of
+            # the fact's key domain, so joining it first pays off.
+            keys = range(max(1, domain // 20))
+        else:
+            keys = rng.sample(range(domain), dimension_rows)
+        data[name] = [(f"k{j - 1}_{k}", f"d{j}_{k}") for k in keys]
+        # Fact coordinate j joins the dimension's key column.
+        pairs.append((j, dimensions + 2 * (j - 1) + 1))
+    return _join_query(entries, data, pairs)
+
+
+def _snowflake_join_workload(
+    relations: int, rows: int, seed: int
+) -> tuple[AlgebraExpression, DatabaseInstance]:
+    rng = random.Random(seed)
+    dimensions = max(1, (relations - 1) // 2)
+    subdimensions = relations - 1 - dimensions
+    domain = max(2, rows // 3)
+    dimension_rows = max(2, min(domain, rows // 4))
+    entries = [("F", tuple_type(*([U] * dimensions)))]
+    data: dict[str, list[tuple]] = {
+        "F": list(
+            {
+                tuple(f"k{j}_{rng.randrange(domain)}" for j in range(dimensions))
+                for _ in range(rows)
+            }
+        )
+    }
+    pairs = []
+    offset = dimensions  # flattened width consumed so far
+    dimension_key_column: list[int] = []
+    for j in range(1, dimensions + 1):
+        name = f"D{j}"
+        entries.append((name, tuple_type(U, U)))
+        keys = rng.sample(range(domain), dimension_rows)
+        data[name] = [(f"k{j - 1}_{k}", f"s{j}_{k % max(2, dimension_rows // 2)}") for k in keys]
+        pairs.append((j, offset + 1))
+        dimension_key_column.append(offset + 2)
+        offset += 2
+    for j in range(1, subdimensions + 1):
+        name = f"S{j}"
+        entries.append((name, tuple_type(U, U)))
+        parent = (j - 1) % dimensions
+        data[name] = [
+            (f"s{parent + 1}_{k}", f"v{j}_{k}")
+            for k in range(max(2, dimension_rows // 2))
+        ]
+        pairs.append((dimension_key_column[parent], offset + 1))
+        offset += 2
+    return _join_query(entries, data, pairs)
 
 
 def _pick_tuple_typed(

@@ -9,6 +9,7 @@ import pytest
 from repro.calculus.builders import PARENT_SCHEMA, PERSON_SCHEMA
 from repro.calculus.evaluation import EvaluationSettings
 from repro.engine.codegen import set_codegen
+from repro.engine.joinorder import set_join_ordering
 from repro.objects.instance import DatabaseInstance
 from repro.views.database import set_mvcc
 
@@ -24,6 +25,12 @@ if os.environ.get("REPRO_DISABLE_CODEGEN"):
 # skip themselves under this mode (they check os.environ directly).
 if os.environ.get("REPRO_DISABLE_MVCC"):
     set_mvcc(False)
+
+# And for cost-based join ordering: REPRO_DISABLE_JOIN_ORDERING=1 compiles
+# every plan in syntactic order with binary joins only (no statistics
+# collection, no MultiwayHashJoin), which must be answer-equivalent.
+if os.environ.get("REPRO_DISABLE_JOIN_ORDERING"):
+    set_join_ordering(False)
 
 
 @pytest.fixture

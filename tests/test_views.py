@@ -490,7 +490,8 @@ def test_runtime_stats_aggregates_all_families():
 
     stats = runtime_stats()
     assert set(stats) == {
-        "interning", "columnar", "vectorized", "codegen", "views", "reliability",
+        "interning", "columnar", "vectorized", "codegen", "joinorder", "views",
+        "reliability",
     }
     db = Database(PARENT_SCHEMA, {"PAR": [("a", "b")]})
     db.views.define_algebra("v", PAR)

@@ -1,0 +1,100 @@
+"""Documentation link checker.
+
+Walks every tracked markdown file (repo root + ``docs/``) and verifies
+that relative cross-links resolve:
+
+* the link target exists on disk (only repo-relative targets are
+  checked; ``http(s)://`` URLs and pure ``#fragment`` self-links are
+  skipped, as are GitHub web paths like the CI badge);
+* a ``file.md#anchor`` fragment matches a heading in the target file,
+  using GitHub's heading-slug rules (lowercase, punctuation stripped,
+  spaces to hyphens).
+
+Runnable directly (exit code 1 on any broken link)::
+
+    python tools/check_docs.py
+
+CI runs it in the docs job next to the example-tour smoke tests.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files to scan: the repo-root documents plus everything in docs/.
+DOCUMENT_GLOBS = ("*.md", "docs/*.md")
+
+#: File suffixes whose relative links must resolve on disk.
+CHECKED_SUFFIXES = {".md", ".py", ".json"}
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    """GitHub-style anchor slugs for every heading in *markdown*."""
+    slugs: set[str] = set()
+    for line in markdown.splitlines():
+        match = re.match(r"#{1,6}\s+(.*)", line)
+        if not match:
+            continue
+        title = match.group(1).strip()
+        title = title.replace("`", "")  # inline code joins the slug bare
+        slug = re.sub(r"[^\w\- ]", "", title.lower())
+        slug = slug.replace(" ", "-")
+        slugs.add(slug)
+    return slugs
+
+
+def check_file(path: Path) -> list[str]:
+    """Return broken-link messages for one markdown file (empty = ok)."""
+    failures: list[str] = []
+    text = path.read_text()
+    for target in LINK_PATTERN.findall(text):
+        if "://" in target or target.startswith(("#", "mailto:")):
+            continue
+        raw, _, fragment = target.partition("#")
+        resolved = (path.parent / raw).resolve()
+        if resolved.suffix not in CHECKED_SUFFIXES:
+            continue  # badges and other web-only paths
+        relative = path.relative_to(REPO_ROOT)
+        if not resolved.exists():
+            failures.append(f"{relative}: broken link {target!r}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_slugs(resolved.read_text()):
+                failures.append(
+                    f"{relative}: link {target!r} names a missing anchor "
+                    f"#{fragment}"
+                )
+    return failures
+
+
+def check_all() -> list[str]:
+    failures: list[str] = []
+    documents = sorted(
+        document for pattern in DOCUMENT_GLOBS for document in REPO_ROOT.glob(pattern)
+    )
+    if not documents:
+        failures.append("no markdown documents found to check")
+    for document in documents:
+        failures.extend(check_file(document))
+    return failures
+
+
+def main() -> int:
+    failures = check_all()
+    if failures:
+        for failure in failures:
+            print(f"BROKEN: {failure}", file=sys.stderr)
+        return 1
+    count = sum(len(list(REPO_ROOT.glob(g))) for g in DOCUMENT_GLOBS)
+    print(f"documentation links resolve across {count} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

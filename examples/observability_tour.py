@@ -1,0 +1,165 @@
+"""Observability tour: spans, metrics, the query log and the wire verbs.
+
+Run with::
+
+    PYTHONPATH=src python examples/observability_tour.py
+
+Walks the observability layer end to end: trace an engine query and
+render its span tree (per-plan-node timings with estimated vs actual
+cardinalities); trace a write batch through the transact pipeline into
+per-view maintenance spans; read the query log and flip the slow-query
+threshold; then serve a traced database and retrieve the same signals
+over the wire — ``METRICS`` (Prometheus text exposition), ``SLOWLOG``,
+``TRACE last`` and the latency summaries inside ``STATS``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.algebra.expressions import (
+    PredicateExpression,
+    Product,
+    Projection,
+    Selection,
+    SelectionCondition,
+)
+from repro.engine import run_expression
+from repro.observability import (
+    METRICS,
+    clear_query_log,
+    clear_traces,
+    latest_trace,
+    observability_stats,
+    parse_exposition,
+    query_log,
+    render_span_tree,
+    set_slow_query_threshold,
+    tracing,
+)
+from repro.serving import DatabaseServer, ServingClient
+from repro.types.parser import parse_type
+from repro.types.schema import DatabaseSchema
+from repro.views import Database
+
+SCHEMA = DatabaseSchema([("R", parse_type("[U, U]")), ("S", parse_type("[U, U]"))])
+
+
+def build_database() -> Database:
+    database = Database(SCHEMA, log_updates=False)
+    database.insert("R", [(f"k{i}", f"j{i % 3}") for i in range(6)])
+    database.insert("S", [(f"j{i}", f"v{i}") for i in range(3)])
+    database.views.define_relational(
+        "firsts", Projection(PredicateExpression("R"), (1,))
+    )
+    return database
+
+
+def join_query():
+    condition = SelectionCondition.eq(2, 3)
+    return Projection(
+        Selection(Product(PredicateExpression("R"), PredicateExpression("S")), condition),
+        (1, 4),
+    )
+
+
+def traced_query() -> None:
+    print("=== A traced engine query: the span tree ===")
+    database = build_database()
+    with tracing(True):
+        result = run_expression(join_query(), database.snapshot())
+    trace_id, spans = latest_trace()
+    print(f"{len(result)} rows; trace {trace_id} recorded {len(spans)} spans:")
+    print(render_span_tree(spans))
+    record = query_log(1)[0]
+    print(
+        f"query log: plan_key={record['plan_key']} nodes={record['nodes']} "
+        f"est={record['est_rows']} act={record['act_rows']} fused={record['fused']}"
+    )
+
+
+def traced_write() -> None:
+    print()
+    print("=== A traced write: transact phases and view maintenance ===")
+    database = build_database()
+    with tracing(True):
+        database.insert("R", [("new", "j0")])
+    trace_id, spans = latest_trace()
+    print(f"trace {trace_id}:")
+    print(render_span_tree(spans))
+
+
+def slow_queries_demo() -> None:
+    print()
+    print("=== The slow-query threshold ===")
+    database = build_database()
+    previous = set_slow_query_threshold(0.0)  # everything is slow now
+    try:
+        with tracing(True):
+            run_expression(join_query(), database.snapshot())
+        record = query_log(1)[0]
+        print(
+            f"threshold 0s: the query is slow={record['slow']} "
+            f"({record['duration'] * 1e3:.3f}ms)"
+        )
+    finally:
+        set_slow_query_threshold(previous)
+    stats = observability_stats()
+    print(
+        f"counters: {stats['spans_started']} spans started, "
+        f"{stats['queries_logged']} queries logged, "
+        f"{stats['slow_queries_logged']} slow"
+    )
+
+
+async def wire() -> None:
+    print()
+    print("=== The wire: METRICS, SLOWLOG, TRACE over a served database ===")
+    database = build_database()
+    async with DatabaseServer(
+        database, queries={"joined": join_query()}
+    ).serve() as server:
+        async with await ServingClient.connect("127.0.0.1", server.port) as client:
+            await client.query("joined")
+            # Retrieve the query's trace before anything else finishes:
+            # "last" always means the most recently completed trace.
+            trace = await client.trace("last")
+            await client.insert("R", [["w", "j1"]])
+
+            exposition = await client.metrics()
+            parsed = parse_exposition(exposition)
+            print(f"METRICS -> {len(parsed) - 1} metrics; a sample:")
+            for name in (
+                "repro_current_epoch",
+                "repro_pinned_readers",
+                "repro_engine_query_seconds_count",
+                "repro_serving_request_seconds_count",
+            ):
+                print(f"  {name} = {parsed[name]}")
+
+            stats = await client.stats()
+            latency = stats["observability"]["latency"]
+            for name, summary in sorted(latency.items()):
+                if summary["count"]:
+                    print(
+                        f"  {name}: count={summary['count']} "
+                        f"p50={summary['p50'] * 1e3:.3f}ms p99={summary['p99'] * 1e3:.3f}ms"
+                    )
+
+            print(f"TRACE last (captured after QUERY) -> {trace['trace_id']}:")
+            print(render_span_tree(trace["spans"]))
+
+
+def main() -> None:
+    clear_traces()
+    clear_query_log()
+    METRICS.reset()
+    traced_query()
+    traced_write()
+    slow_queries_demo()
+    with tracing(True):
+        asyncio.run(wire())
+
+
+if __name__ == "__main__":
+    main()

@@ -18,11 +18,15 @@ See ``ARCHITECTURE.md`` at the repository root for the layer diagram.
 
 from __future__ import annotations
 
+import time
+from hashlib import sha256
+
 from repro.algebra.expressions import AlgebraExpression
 from repro.engine.codegen import (
     codegen,
     codegen_enabled,
     codegen_stats,
+    fragment_for,
     set_codegen,
 )
 from repro.engine.compile import CompileOptions, compile_expression
@@ -55,6 +59,9 @@ from repro.engine.plan import (
 )
 from repro.engine.stats import PlanStatistics, RelationStats, signature_stale
 from repro.objects.instance import DatabaseInstance, Instance
+from repro.observability.metrics import METRICS
+from repro.observability.querylog import record_query
+from repro.observability.trace import span, tracing_enabled
 
 #: Upper bound on the number of cached compiled plans.  Fixpoint programs
 #: re-evaluate the same expression objects every iteration; caching their
@@ -79,8 +86,26 @@ def run_expression(
     depends on; a later call whose data has drifted past
     :func:`~repro.engine.stats.signature_stale` recompiles once (fixpoint
     loops therefore re-plan O(log growth) times, not per iteration).
+
+    With tracing on (:func:`repro.observability.tracing_enabled`) the call
+    runs under an ``engine.query`` span, per-node execution spans carry
+    estimated/actual cardinalities, and one structured query-log record is
+    appended (:mod:`repro.observability.querylog`).  The off path takes a
+    separate branch so steady-state traffic pays one guard check.
     """
     options = options or CompileOptions()
+    if tracing_enabled():
+        return _run_traced(expression, database, powerset_budget, options)
+    plan = _cached_plan(expression, database, options)
+    return execute_plan(plan, database, powerset_budget=powerset_budget)
+
+
+def _cached_plan(
+    expression: AlgebraExpression,
+    database: DatabaseInstance,
+    options: CompileOptions,
+):
+    """The compiled (and possibly cached) plan for *expression*."""
     schema = database.schema
     # Expressions and schemas are immutable; key on identity and pin both
     # objects in the cache entry so their ids cannot be recycled underneath.
@@ -109,7 +134,66 @@ def run_expression(
         _plan_cache[key] = (expression, schema, plan, signature)
     else:
         plan = entry[2]
-    return execute_plan(plan, database, powerset_budget=powerset_budget)
+    return plan
+
+
+def _run_traced(
+    expression: AlgebraExpression,
+    database: DatabaseInstance,
+    powerset_budget: int,
+    options: CompileOptions,
+) -> Instance:
+    """The traced twin of :func:`run_expression`'s body: same compile
+    cache, same execution, plus the ``engine.query`` span, the latency
+    histogram observation and one query-log record."""
+    with span("engine.query") as root:
+        plan = _cached_plan(expression, database, options)
+        start = time.perf_counter()
+        result = execute_plan(plan, database, powerset_budget=powerset_budget)
+        duration = time.perf_counter() - start
+        key = plan_structural_key(plan)
+        fused = codegen_enabled() and fragment_for(plan.root) is not None
+        if root is not None:
+            root.attributes["plan_key"] = key
+            root.attributes["act_rows"] = len(result)
+            root.attributes["fused"] = fused
+        METRICS.histogram("repro_engine_query_seconds").observe(duration)
+        record_query(
+            trace_id=root.trace_id if root is not None else None,
+            plan_key=key,
+            nodes=len(plan.nodes),
+            duration=duration,
+            est_rows=plan.root.estimated_rows,
+            act_rows=len(result),
+            fused=fused,
+        )
+    return result
+
+
+def plan_structural_key(plan: PhysicalPlan) -> str:
+    """A structural digest of the plan DAG (the query log's ``plan_key``).
+
+    Two plans share a key exactly when their operator trees — labels,
+    output types, and sharing structure — coincide; the CSE pass already
+    canonicalizes shared subtrees, so counting keys across the query log
+    is the sub-plan-frequency signal the view-selection miner needs.
+    """
+    parts: list[str] = []
+    numbering: dict[int, int] = {}
+
+    def visit(node: PlanNode) -> None:
+        number = numbering.get(node.node_id)
+        if number is not None:
+            parts.append(f"^{number}")
+            return
+        numbering[node.node_id] = len(numbering)
+        parts.append(f"{node.label()}:{node.output_type}(")
+        for child in node.children():
+            visit(child)
+        parts.append(")")
+
+    visit(plan.root)
+    return sha256("".join(parts).encode()).hexdigest()[:12]
 
 
 def clear_plan_cache() -> None:
@@ -123,6 +207,7 @@ __all__ = [
     "execute_plan",
     "explain_plan",
     "run_expression",
+    "plan_structural_key",
     "clear_plan_cache",
     "analyze_plan",
     "annotate_estimates",

@@ -60,6 +60,7 @@ from repro.engine.plan import (
     SetOp,
     UntupleNode,
 )
+from repro.observability.trace import maybe_span, tracing_enabled
 from repro.types.schema import DatabaseSchema
 from repro.types.type_system import ComplexType
 
@@ -97,24 +98,34 @@ def compile_expression(
     estimated output cardinality.
     """
     options = options or CompileOptions()
-    applied_rules: list[str] = []
-    if options.logical_optimize:
-        result = optimize(expression, schema)
-        expression = result.expression
-        applied_rules = result.applied_rules
-    compiler = _Compiler(schema, options)
-    # One memoized type-inference pass validates the whole tree up front and
-    # fills the compiler's per-node type cache for the lowering below.
-    compiler._type(expression)
-    root = compiler.lower(expression)
-    plan = PhysicalPlan(root=root, nodes=compiler.nodes, applied_rules=applied_rules)
-    if statistics is not None and _plan_has_joins(plan):
-        from repro.engine.cost import annotate_estimates
-        from repro.engine.joinorder import joinorder_enabled, reorder_plan
+    with maybe_span("engine.compile"):
+        applied_rules: list[str] = []
+        if options.logical_optimize:
+            result = optimize(expression, schema)
+            expression = result.expression
+            applied_rules = result.applied_rules
+        compiler = _Compiler(schema, options)
+        # One memoized type-inference pass validates the whole tree up front
+        # and fills the compiler's per-node type cache for the lowering below.
+        compiler._type(expression)
+        root = compiler.lower(expression)
+        plan = PhysicalPlan(
+            root=root, nodes=compiler.nodes, applied_rules=applied_rules
+        )
+        # With tracing on, join-free plans are annotated too, so every
+        # ``plan.*`` span and query-log record carries an estimate.
+        if statistics is not None and (_plan_has_joins(plan) or tracing_enabled()):
+            from repro.engine.cost import annotate_estimates
+            from repro.engine.joinorder import joinorder_enabled, reorder_plan
 
-        if options.join_ordering and joinorder_enabled():
-            plan = reorder_plan(plan, statistics)
-        annotate_estimates(plan, statistics)
+            if (
+                options.join_ordering
+                and joinorder_enabled()
+                and _plan_has_joins(plan)
+            ):
+                with maybe_span("engine.joinorder"):
+                    plan = reorder_plan(plan, statistics)
+            annotate_estimates(plan, statistics)
     return plan
 
 

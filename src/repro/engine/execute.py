@@ -27,7 +27,7 @@ from repro.algebra.vectorized import (
     vectorized_dispatch,
     vectorized_enabled,
 )
-from repro.engine.codegen import codegen_enabled, fused_rows
+from repro.engine.codegen import codegen_enabled, fragment_for, fused_rows
 from repro.engine.join import build_index_with_keys, hash_join, probe
 from repro.objects.columnar import (
     VALUE_DICTIONARY,
@@ -58,6 +58,12 @@ from repro.engine.plan import (
 )
 from repro.objects.instance import DatabaseInstance, Instance
 from repro.objects.values import Atom, ComplexValue, SetValue, TupleValue, structural_sort_key
+from repro.observability.trace import (
+    begin_span,
+    current_span,
+    finish_span,
+    tracing_enabled,
+)
 from repro.types.type_system import TupleType
 
 #: Default bound on the size of a powerset operand, matching
@@ -124,17 +130,65 @@ class _Executor:
         self.database = database
         self.powerset_budget = powerset_budget
         self._cache: dict[int, frozenset[ComplexValue]] = {}
+        # Snapshot the tracing switch once per plan execution: the per-node
+        # hot path pays one attribute check, and a mid-plan flip cannot
+        # produce a half-traced span tree.
+        self._tracing = tracing_enabled()
+        self._active_span = None
 
     def rows(self, node: PlanNode) -> Iterator[ComplexValue]:
         """Iterate the node's output, materializing shared nodes once."""
         cached = self._cache.get(node.node_id)
         if cached is not None:
             return iter(cached)
+        if self._tracing:
+            return self._rows_traced(node)
         if node.consumers > 1 or isinstance(node, Materialize):
             materialized = frozenset(self._iterate(node))
             self._cache[node.node_id] = materialized
             return iter(materialized)
         return self._iterate(node)
+
+    def _rows_traced(self, node: PlanNode) -> Iterator[ComplexValue]:
+        """The traced twin of :meth:`rows`: every node materializes under
+        its own ``plan.*`` span so actual cardinalities are exact.
+
+        Lazy pipelining would attribute a child's work to whichever
+        ancestor happened to be iterating, so the traced executor trades
+        streaming for attribution (results are identical; the tracing-on
+        differential CI cell pins that).  The active span is carried on
+        the executor — not the context variable — because child ``rows``
+        calls run inside this frame, not inside a ``with span(...)``.
+        """
+        parent = self._active_span
+        if parent is None:
+            parent = current_span()
+        node_span = begin_span(
+            f"plan.{type(node).__name__}", parent=parent, node_id=node.node_id
+        )
+        previous = self._active_span
+        self._active_span = node_span
+        try:
+            values = list(self._iterate(node))
+        except BaseException:
+            if node_span is not None:
+                node_span.attributes["error"] = True
+                finish_span(node_span)
+            raise
+        finally:
+            self._active_span = previous
+        if node_span is not None:
+            node_span.attributes["act_rows"] = len(values)
+            if node.estimated_rows is not None:
+                node_span.attributes["est_rows"] = node.estimated_rows
+            if codegen_enabled() and fragment_for(node) is not None:
+                node_span.attributes["fused"] = True
+            finish_span(node_span)
+        if node.consumers > 1 or isinstance(node, Materialize):
+            materialized = frozenset(values)
+            self._cache[node.node_id] = materialized
+            return iter(materialized)
+        return iter(values)
 
     def _iterate(self, node: PlanNode) -> Iterator[ComplexValue]:
         """Dispatch one node: the fused-fragment path when codegen is on

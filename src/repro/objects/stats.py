@@ -1,22 +1,21 @@
 """One call for every engagement counter the ablation switches expose.
 
-Four process-wide representation switches accumulate work counters in
-four different modules — interning (:func:`repro.objects.values.intern_stats`),
-columnar storage (:func:`repro.objects.columnar.columnar_stats`),
-vectorized selection (:func:`repro.algebra.vectorized.vectorized_stats`)
-and fused pipeline codegen (:func:`repro.engine.codegen.codegen_stats`) —
-plus the materialized-view maintenance counters
-(:func:`repro.views.maintain.views_stats`) layered on top of all of them,
-and the durability counters
-(:func:`repro.reliability.faults.reliability_stats`: WAL records and
-fsyncs, torn tails truncated, recoveries, injected faults, quarantine
-rollbacks) alongside.  Tests and benchmarks that assert "the fast path
-actually engaged" used to snapshot each family separately;
-:func:`runtime_stats` aggregates them behind one call and
-:func:`reset_runtime_stats` zeroes them all, so a sweep can diff one
-nested dict instead of six.
+The process-wide switch families each accumulate work counters in their
+own module; tests and benchmarks that assert "the fast path actually
+engaged" used to snapshot each family separately.  :func:`runtime_stats`
+aggregates them behind one call and :func:`reset_runtime_stats` zeroes
+them all, so a sweep diffs one nested dict.
 
-See the "Ablation switches" table in ``ARCHITECTURE.md`` for the
+Both functions — and the ``METRICS`` exposition in
+:mod:`repro.observability.metrics` — are derived from the single
+:data:`FAMILY_REGISTRY` table below.  That table is the **only** place a
+family is enumerated: adding a switch family means adding one row here,
+and it immediately shows up in ``runtime_stats()``, survives
+``reset_runtime_stats()``, and is exported by the serving ``METRICS``
+verb.  (The previous hand-enumerated imports silently dropped a family
+whenever one list was updated without the other.)
+
+See the "Ablation switches" table in ``docs/ablation.md`` for the
 switch-by-switch comparison of what each family measures.
 
 **Concurrency note.**  The counters are plain ints bumped with ``+=``
@@ -34,54 +33,46 @@ caches whose races are benign (documented at their definitions).
 
 from __future__ import annotations
 
+from importlib import import_module
+
+#: The switch families: ``family name -> (module, stats function, state
+#: attribute)``.  The stats function returns the family's counter
+#: snapshot; the state attribute names the module-level ``_XState``
+#: singleton whose ``stats`` dict the reset zeroes in place.  Modules
+#: resolve lazily — most families live *above* :mod:`repro.objects` in
+#: the layer stack, so eager imports here would be circular.
+FAMILY_REGISTRY: dict[str, tuple[str, str, str]] = {
+    "interning": ("repro.objects.values", "intern_stats", "_INTERN"),
+    "columnar": ("repro.objects.columnar", "columnar_stats", "_COLUMNAR"),
+    "vectorized": ("repro.algebra.vectorized", "vectorized_stats", "_VECTORIZED"),
+    "codegen": ("repro.engine.codegen", "codegen_stats", "_CODEGEN"),
+    "joinorder": ("repro.engine.joinorder", "joinorder_stats", "_JOINORDER"),
+    "views": ("repro.views.maintain", "views_stats", "_VIEWS"),
+    "reliability": ("repro.reliability.faults", "reliability_stats", "_RELIABILITY"),
+    "observability": (
+        "repro.observability.trace",
+        "observability_stats",
+        "_OBSERVABILITY",
+    ),
+}
+
 
 def runtime_stats() -> dict[str, dict[str, int]]:
     """A snapshot of every counter family, keyed by subsystem.
 
-    Keys: ``"interning"``, ``"columnar"``, ``"vectorized"``, ``"codegen"``,
-    ``"joinorder"``, ``"views"`` and ``"reliability"``.  Families import
-    lazily — the vectorized, codegen, joinorder, views and reliability
-    counters live above :mod:`repro.objects` in the layer stack, so eager
-    imports here would be circular.
+    One key per :data:`FAMILY_REGISTRY` row — currently ``"interning"``,
+    ``"columnar"``, ``"vectorized"``, ``"codegen"``, ``"joinorder"``,
+    ``"views"``, ``"reliability"`` and ``"observability"``.
     """
-    from repro.algebra.vectorized import vectorized_stats
-    from repro.engine.codegen import codegen_stats
-    from repro.engine.joinorder import joinorder_stats
-    from repro.objects.columnar import columnar_stats
-    from repro.objects.values import intern_stats
-    from repro.reliability.faults import reliability_stats
-    from repro.views.maintain import views_stats
-
     return {
-        "interning": intern_stats(),
-        "columnar": columnar_stats(),
-        "vectorized": vectorized_stats(),
-        "codegen": codegen_stats(),
-        "joinorder": joinorder_stats(),
-        "views": views_stats(),
-        "reliability": reliability_stats(),
+        family: getattr(import_module(module), stats_function)()
+        for family, (module, stats_function, _state) in FAMILY_REGISTRY.items()
     }
 
 
 def reset_runtime_stats() -> None:
     """Zero every counter of every family (the keys themselves stay)."""
-    from repro.algebra.vectorized import _VECTORIZED
-    from repro.engine.codegen import _CODEGEN
-    from repro.engine.joinorder import _JOINORDER
-    from repro.objects.columnar import _COLUMNAR
-    from repro.objects.values import _INTERN
-    from repro.reliability.faults import _RELIABILITY
-    from repro.views.maintain import _VIEWS
-
-    families = (
-        _INTERN.stats,
-        _COLUMNAR.stats,
-        _VECTORIZED.stats,
-        _CODEGEN.stats,
-        _JOINORDER.stats,
-        _VIEWS.stats,
-        _RELIABILITY.stats,
-    )
-    for family in families:
-        for counter in family:
-            family[counter] = 0
+    for module, _stats_function, state in FAMILY_REGISTRY.values():
+        counters = getattr(import_module(module), state).stats
+        for counter in counters:
+            counters[counter] = 0

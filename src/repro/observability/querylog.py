@@ -1,0 +1,144 @@
+"""The structured query log: one record per engine query.
+
+Every traced :func:`repro.engine.run_expression` call appends one record
+(:func:`record_query`) to a bounded in-memory log.  The record schema is
+deliberately the shape the ROADMAP's **workload-driven view selection**
+pass will mine — recurring structural plan keys weighted by frequency ×
+cost are exactly a ``GROUP BY plan_key`` over this log:
+
+=================  =========================================================
+field              meaning
+=================  =========================================================
+``trace_id``       the trace the query executed under (``None`` untraced)
+``plan_key``       structural digest of the physical plan — CSE-canonical,
+                   so textually different queries with the same shape
+                   collide (that collision *is* the mining signal)
+``nodes``          plan size in operators
+``duration``       wall-clock seconds (monotonic)
+``est_rows``       the root's estimated output cardinality
+                   (:func:`repro.engine.cost.annotate_estimates`), or
+                   ``None`` when no statistics were available
+``act_rows``       the actual result cardinality
+``fused``          whether codegen fused the root fragment
+``slow``           ``duration >= slow_query_threshold()``
+=================  =========================================================
+
+``SLOWLOG n`` serves the ``slow`` suffix of the log over the wire;
+:func:`export_query_log` writes the whole log as JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.observability.trace import _OBSERVABILITY
+
+#: Records retained in the in-memory log (FIFO eviction).
+QUERY_LOG_ENTRIES = 1024
+
+#: Default slow-query threshold in seconds.
+DEFAULT_SLOW_QUERY_SECONDS = 0.1
+
+
+class _QueryLogState:
+    __slots__ = ("records", "threshold", "lock")
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self.threshold = DEFAULT_SLOW_QUERY_SECONDS
+        self.lock = threading.Lock()
+
+
+_QUERY_LOG = _QueryLogState()
+
+
+def slow_query_threshold() -> float:
+    """The current slow-query threshold (seconds)."""
+    return _QUERY_LOG.threshold
+
+
+def set_slow_query_threshold(seconds: float) -> float:
+    """Set the slow-query threshold; returns the previous one.  Applies
+    to records logged afterwards (existing records keep their flag)."""
+    previous = _QUERY_LOG.threshold
+    _QUERY_LOG.threshold = float(seconds)
+    return previous
+
+
+def record_query(
+    *,
+    trace_id: str | None,
+    plan_key: str,
+    nodes: int,
+    duration: float,
+    est_rows: int | None,
+    act_rows: int,
+    fused: bool,
+) -> dict:
+    """Append one query record (and return it, ``slow`` flag included)."""
+    record = {
+        "trace_id": trace_id,
+        "plan_key": plan_key,
+        "nodes": nodes,
+        "duration": duration,
+        "est_rows": est_rows,
+        "act_rows": act_rows,
+        "fused": fused,
+        "slow": duration >= _QUERY_LOG.threshold,
+    }
+    stats = _OBSERVABILITY.stats
+    with _QUERY_LOG.lock:
+        log = _QUERY_LOG.records
+        if len(log) >= QUERY_LOG_ENTRIES:
+            del log[0]
+            stats["query_log_evictions"] += 1
+        log.append(record)
+    stats["queries_logged"] += 1
+    if record["slow"]:
+        stats["slow_queries_logged"] += 1
+    return record
+
+
+def query_log(limit: int | None = None) -> list[dict]:
+    """The newest *limit* records (all when ``None``), newest first."""
+    with _QUERY_LOG.lock:
+        records = list(_QUERY_LOG.records)
+    records.reverse()
+    return records if limit is None else records[:limit]
+
+
+def slow_queries(limit: int | None = None) -> list[dict]:
+    """The newest *limit* slow records, newest first (the SLOWLOG verb)."""
+    slow = [record for record in query_log() if record["slow"]]
+    return slow if limit is None else slow[:limit]
+
+
+def clear_query_log() -> None:
+    """Drop every record (tests and benchmarks)."""
+    with _QUERY_LOG.lock:
+        _QUERY_LOG.records.clear()
+
+
+def export_query_log(path) -> int:
+    """Write the log (oldest first) to *path* as JSONL; returns the count."""
+    with _QUERY_LOG.lock:
+        records = list(_QUERY_LOG.records)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return len(records)
+
+
+__all__ = [
+    "DEFAULT_SLOW_QUERY_SECONDS",
+    "QUERY_LOG_ENTRIES",
+    "clear_query_log",
+    "export_query_log",
+    "query_log",
+    "record_query",
+    "set_slow_query_threshold",
+    "slow_queries",
+    "slow_query_threshold",
+]

@@ -86,6 +86,21 @@ class ServingClient:
     async def stats(self) -> dict:
         return await self.request("STATS")
 
+    async def metrics(self) -> str:
+        """The Prometheus-style text exposition (the METRICS verb); parse
+        with :func:`repro.observability.parse_exposition`."""
+        return await self.request("METRICS")
+
+    async def slowlog(self, limit: int | None = None) -> list:
+        """The newest slow query-log records, newest first."""
+        line = "SLOWLOG" if limit is None else f"SLOWLOG {limit}"
+        return await self.request(line)
+
+    async def trace(self, trace_id: str = "last") -> dict:
+        """One finished trace: ``{"trace_id": ..., "spans": [...]}``.
+        The default retrieves the most recently completed trace."""
+        return await self.request(f"TRACE {trace_id}")
+
     # -- lifecycle -------------------------------------------------------------
     async def quit(self):
         try:

@@ -40,7 +40,20 @@ Verbs (case-insensitive on the way in):
     every write through its serialized writer queue; the response carries
     the post-commit epoch and the effective batch size.
 ``STATS``
-    Server + views + reliability counters.
+    Server + views + reliability counters, plus an observability section
+    with latency-histogram summaries (p50/p95/p99) and recent trace ids.
+``METRICS``
+    The full Prometheus-style text exposition
+    (:meth:`repro.observability.metrics.MetricsRegistry.render_exposition`)
+    as one JSON string payload — the line protocol stays one line per
+    response, so the client unwraps the string.
+``SLOWLOG [n]``
+    The newest *n* (default 32) slow query-log records
+    (:func:`repro.observability.querylog.slow_queries`), newest first.
+``TRACE <id|last>``
+    One finished trace's span records from the in-memory ring —
+    ``TRACE last`` answers the most recently completed trace, which is
+    how a client retrieves the trace of the query it just ran.
 ``QUIT``
     Close the session (the server answers ``OK "bye"`` first).
 
@@ -75,6 +88,9 @@ VERBS = {
     "INSERT": None,
     "DELETE": None,
     "STATS": 0,
+    "METRICS": 0,
+    "SLOWLOG": None,
+    "TRACE": None,
     "QUIT": 0,
 }
 
@@ -127,6 +143,12 @@ def parse_request(line: str) -> Request:
     if verb == "PIN":
         if rest and not rest.lstrip("-").isdigit():
             raise ServingError(f"PIN takes an integer epoch, got {rest!r}", code="bad_request")
+        return Request(verb, rest or None)
+    if verb == "SLOWLOG":
+        # Like PIN, the operand is optional: bare SLOWLOG uses the
+        # server's default record count.
+        if rest and not rest.isdigit():
+            raise ServingError(f"SLOWLOG takes a record count, got {rest!r}", code="bad_request")
         return Request(verb, rest or None)
     if not rest:
         raise ServingError(f"{verb} needs an operand", code="bad_request")

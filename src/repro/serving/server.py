@@ -22,11 +22,24 @@ parallelism.
 from __future__ import annotations
 
 import asyncio
+import time
 
 from repro.algebra.evaluation import evaluate_expression
 from repro.calculus.evaluation import evaluate_query
 from repro.calculus.parser import parse_query
 from repro.errors import ReproError, ServingError
+from repro.observability.metrics import METRICS
+from repro.observability.querylog import slow_queries
+from repro.observability.trace import (
+    activate_span,
+    current_span,
+    get_trace,
+    latest_trace,
+    observability_stats,
+    recent_trace_ids,
+    span,
+    tracing_enabled,
+)
 from repro.reliability import reliability_stats
 from repro.types.parser import parse_type
 from repro.views import Database, views_stats
@@ -47,6 +60,9 @@ MAX_RESPONSE_BYTES = 16 * 1024 * 1024
 #: mix most requests re-read the same few names at the same epoch, so
 #: the encoded response line is reused until the writer advances.
 RESULT_CACHE_ENTRIES = 512
+
+#: Default record count for a bare ``SLOWLOG`` request.
+SLOWLOG_DEFAULT_ENTRIES = 32
 
 
 class DatabaseServer:
@@ -95,6 +111,7 @@ class DatabaseServer:
         self._writer_queue = asyncio.Queue()
         self._writer_task = asyncio.ensure_future(self._write_loop())
         self._server = await asyncio.start_server(self._handle_session, host, port)
+        self._register_gauges()
         return self
 
     async def stop(self) -> None:
@@ -111,21 +128,86 @@ class DatabaseServer:
                 pass
             self._writer_task = None
         self._writer_queue = None
+        self._remove_gauges()
 
     def serve(self, host: str = "127.0.0.1", port: int = 0):
         """``async with server.serve() as server:`` — start/stop bracket."""
         return _ServeContext(self, host, port)
 
+    # -- gauges ----------------------------------------------------------------
+    #: Gauge names this server registers on start and removes on stop.
+    _GAUGE_NAMES = (
+        "repro_current_epoch",
+        "repro_pinned_readers",
+        "repro_wal_bytes",
+        "repro_quarantined_views",
+        "repro_result_cache_entries",
+        "repro_plan_cache_entries",
+    )
+
+    def _register_gauges(self) -> None:
+        """Expose the live serving state as callback gauges — sampled at
+        METRICS exposition time, zero cost between expositions."""
+        from repro.engine import _plan_cache
+
+        database = self.database
+        METRICS.set_gauge(
+            "repro_current_epoch",
+            lambda: database.current_epoch,
+            "epoch of the live database state",
+        )
+        METRICS.set_gauge(
+            "repro_pinned_readers",
+            lambda: sum(database.pinned_epochs().values()),
+            "live epoch pins held by readers",
+        )
+        METRICS.set_gauge("repro_wal_bytes", self._wal_bytes, "write-ahead log size")
+        METRICS.set_gauge(
+            "repro_quarantined_views",
+            lambda: len(database.views.quarantined()),
+            "views serving degraded after a maintainer failure",
+        )
+        METRICS.set_gauge(
+            "repro_result_cache_entries",
+            lambda: len(self._result_cache),
+            "epoch-keyed encoded read responses held",
+        )
+        METRICS.set_gauge(
+            "repro_plan_cache_entries",
+            lambda: len(_plan_cache),
+            "compiled plans held by the engine cache",
+        )
+
+    def _remove_gauges(self) -> None:
+        for name in self._GAUGE_NAMES:
+            METRICS.remove_gauge(name)
+
+    def _wal_bytes(self) -> int:
+        controller = self.database.durability
+        if controller is None:
+            return 0
+        path = controller.wal.path
+        return path.stat().st_size if path.exists() else 0
+
     # -- the writer queue ------------------------------------------------------
     async def _write_loop(self) -> None:
-        """The single writer: applies queued batches in arrival order."""
+        """The single writer: applies queued batches in arrival order.
+
+        Each entry carries the span active where the write was submitted:
+        the writer task is a *different* asyncio task, so the trace
+        context does not propagate by itself — :func:`activate_span`
+        re-roots the commit under the submitting request's span, which is
+        how a served INSERT's trace reaches the ``db.transact`` phases
+        and per-view maintenance spans.
+        """
         queue = self._writer_queue
         while True:
-            changes, future = await queue.get()
+            changes, future, parent = await queue.get()
             if future.cancelled():
                 continue
             try:
-                batch = self.database.transact(changes)
+                with activate_span(parent):
+                    batch = self.database.transact(changes)
             except BaseException as error:  # noqa: BLE001 — relayed to the caller
                 future.set_exception(error)
                 if not isinstance(error, Exception):
@@ -139,7 +221,7 @@ class DatabaseServer:
         if self._writer_queue is None:
             raise ServingError("server is not started")
         future = asyncio.get_event_loop().create_future()
-        await self._writer_queue.put((changes, future))
+        await self._writer_queue.put((changes, future, current_span()))
         return await future
 
     # -- sessions --------------------------------------------------------------
@@ -189,8 +271,30 @@ class DatabaseServer:
                 pass
 
     async def _dispatch(self, line: str, handle):
-        """One request to one ``(response, handle, closing)`` triple."""
+        """One request to one ``(response, handle, closing)`` triple.
+
+        With tracing on, the whole dispatch runs under a ``serve.<VERB>``
+        span — the root every engine/transact child span hangs off — and
+        the per-verb ``repro_serving_request_seconds`` histogram observes
+        the wall clock (errors included: the span finishes in the
+        ``finally`` of the context manager, and the histogram records
+        before the exception propagates to the session loop).
+        """
         request = parse_request(line)
+        if not tracing_enabled():
+            return await self._dispatch_request(request, handle)
+        start = time.perf_counter()
+        histogram = METRICS.histogram(
+            "repro_serving_request_seconds", labels={"verb": request.verb}
+        )
+        try:
+            with span(f"serve.{request.verb}"):
+                return await self._dispatch_request(request, handle)
+        finally:
+            histogram.observe(time.perf_counter() - start)
+
+    async def _dispatch_request(self, request, handle):
+        """The verb switch proper (untimed; see :meth:`_dispatch`)."""
         verb = request.verb
         if verb == "PING":
             return encode_ok("pong"), handle, False
@@ -233,8 +337,37 @@ class DatabaseServer:
                 "views": views_stats(),
                 "reliability": reliability_stats(),
                 "epoch": self.database.current_epoch,
+                "observability": {
+                    "tracing": tracing_enabled(),
+                    "counters": observability_stats(),
+                    "latency": METRICS.latency_summaries(),
+                    "recent_traces": recent_trace_ids(8),
+                },
             }
             return encode_ok(payload), handle, False
+        if verb == "METRICS":
+            return encode_ok(METRICS.render_exposition()), handle, False
+        if verb == "SLOWLOG":
+            limit = (
+                int(request.operand)
+                if request.operand is not None
+                else SLOWLOG_DEFAULT_ENTRIES
+            )
+            return encode_ok(slow_queries(limit)), handle, False
+        if verb == "TRACE":
+            if request.operand == "last":
+                latest = latest_trace()
+                if latest is None:
+                    raise ServingError("no finished traces", code="unknown_trace")
+                trace_id, spans = latest
+            else:
+                trace_id = request.operand
+                spans = get_trace(trace_id)
+                if spans is None:
+                    raise ServingError(
+                        f"no finished trace {trace_id!r}", code="unknown_trace"
+                    )
+            return encode_ok({"trace_id": trace_id, "spans": spans}), handle, False
         if verb in ("GET", "VIEW", "QUERY"):
             return self._cached_read(verb, request.operand, handle), handle, False
         if verb == "CALC":

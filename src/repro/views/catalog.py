@@ -45,6 +45,7 @@ from repro.datalog.evaluation import DatalogStatistics, SemiNaiveProgram
 from repro.engine.execute import DEFAULT_POWERSET_BUDGET
 from repro.objects.columnar import columnar_dispatch
 from repro.objects.instance import Instance
+from repro.observability.trace import maybe_span
 from repro.objects.values import Atom, TupleValue
 from repro.relational.relation import Relation
 from repro.reliability.faults import fault_point, register_fault_site
@@ -549,8 +550,9 @@ class ViewCatalog:
         """
         if not batch:
             return
-        for view in self._views.values():
-            view.maintain(batch)
+        for name, view in self._views.items():
+            with maybe_span("view.maintain", view=name):
+                view.maintain(batch)
 
     def capture_values(self) -> dict[str, object]:
         """Every healthy view's served value (quarantined views map to

@@ -47,10 +47,13 @@ against.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterable, Mapping
 from contextlib import contextmanager
 
 from repro.errors import EpochError, SchemaError
+from repro.observability.metrics import METRICS
+from repro.observability.trace import maybe_span, span, tracing_enabled
 from repro.objects.domain import belongs_to
 from repro.objects.instance import DatabaseInstance, Instance
 from repro.objects.values import ComplexValue, value_from_python
@@ -536,9 +539,26 @@ class Database:
         writer lock.  Before anything mutates, the live epoch is frozen
         for any reader still pinning it (:meth:`pin`), so pinned reads
         stay bit-identical across this commit.
+
+        With tracing on the commit runs under a ``db.transact`` span
+        (child phase spans per commit step, one ``view.maintain`` span
+        per view) and observes the ``repro_transact_seconds`` histogram;
+        the off path is the bare lock-and-call.
         """
+        if not tracing_enabled():
+            with self._writer_lock:
+                return self._transact_locked(changes)
+        start = time.perf_counter()
         with self._writer_lock:
-            return self._transact_locked(changes)
+            with span("db.transact") as transact_span:
+                batch = self._transact_locked(changes)
+                if transact_span is not None:
+                    transact_span.attributes["size"] = batch.size()
+                    transact_span.attributes["epoch"] = self._epoch
+        METRICS.histogram("repro_transact_seconds").observe(
+            time.perf_counter() - start
+        )
+        return batch
 
     def _transact_locked(
         self, changes: Mapping[str, tuple[Iterable, Iterable]]
@@ -546,66 +566,71 @@ class Database:
         # Phase 1: validate + plan (pure).
         deltas: dict[str, Delta] = {}
         planned: dict[str, tuple[list, list]] = {}
-        for name, (inserts, deletes) in changes.items():
-            if name not in self._contents:
-                raise SchemaError(f"predicate {name!r} is not part of this database")
-            declared = self._schema.type_of(name)
-            current = self._contents[name]
-            removed_set: set[ComplexValue] = set()
-            for value in deletes:
-                converted = self._convert(value, declared, name)
-                if converted in current:
-                    removed_set.add(converted)
-            added_set: set[ComplexValue] = set()
-            for value in inserts:
-                converted = self._convert(value, declared, name)
-                if converted in current:
-                    removed_set.discard(converted)
-                else:
-                    added_set.add(converted)
-            if added_set or removed_set:
-                added, removed = list(added_set), list(removed_set)
-                planned[name] = (added, removed)
-                deltas[name] = Delta(added, removed)
+        with maybe_span("transact.validate"):
+            for name, (inserts, deletes) in changes.items():
+                if name not in self._contents:
+                    raise SchemaError(f"predicate {name!r} is not part of this database")
+                declared = self._schema.type_of(name)
+                current = self._contents[name]
+                removed_set: set[ComplexValue] = set()
+                for value in deletes:
+                    converted = self._convert(value, declared, name)
+                    if converted in current:
+                        removed_set.add(converted)
+                added_set: set[ComplexValue] = set()
+                for value in inserts:
+                    converted = self._convert(value, declared, name)
+                    if converted in current:
+                        removed_set.discard(converted)
+                    else:
+                        added_set.add(converted)
+                if added_set or removed_set:
+                    added, removed = list(added_set), list(removed_set)
+                    planned[name] = (added, removed)
+                    deltas[name] = Delta(added, removed)
         batch = UpdateBatch(deltas)
         if not deltas:
             return batch
         # Phase 2: stage every touched predicate's post-batch state.
-        staged_contents: dict[str, set[ComplexValue]] = {}
-        staged_instances: dict[str, Instance] = {}
-        for name, (added, removed) in planned.items():
-            staged = set(self._contents[name])
-            staged.difference_update(removed)
-            staged.update(added)
-            staged_contents[name] = staged
-            staged_instances[name] = Instance._from_trusted(
-                self._schema.type_of(name), frozenset(staged)
-            )
-        # MVCC: freeze the outgoing epoch for its pinned readers while
-        # the live state still *is* that epoch (pure reference capture;
-        # harmless if a later phase aborts — the epoch stays current).
-        self._freeze_current_epoch()
+        with maybe_span("transact.stage"):
+            staged_contents: dict[str, set[ComplexValue]] = {}
+            staged_instances: dict[str, Instance] = {}
+            for name, (added, removed) in planned.items():
+                staged = set(self._contents[name])
+                staged.difference_update(removed)
+                staged.update(added)
+                staged_contents[name] = staged
+                staged_instances[name] = Instance._from_trusted(
+                    self._schema.type_of(name), frozenset(staged)
+                )
+            # MVCC: freeze the outgoing epoch for its pinned readers while
+            # the live state still *is* that epoch (pure reference capture;
+            # harmless if a later phase aborts — the epoch stays current).
+            self._freeze_current_epoch()
         # Phase 3: write-ahead log — durable before visible.  The record
         # sequence is the epoch this batch publishes, so WAL records are
         # epoch-stamped and recovery's epoch is the last durable one.
         if self._durability is not None:
-            try:
-                self._durability.log_batch(deltas, epoch=self._epoch + 1)
-            except Exception:
-                _reliability_count("batches_aborted")
-                raise
+            with maybe_span("transact.wal"):
+                try:
+                    self._durability.log_batch(deltas, epoch=self._epoch + 1)
+                except Exception:
+                    _reliability_count("batches_aborted")
+                    raise
         # Phase 4: publish (dict swaps only — nothing here can raise).
-        fault_point(SITE_STORE_PUBLISH)
-        self._contents.update(staged_contents)
-        self._instances.update(staged_instances)
-        self._snapshot = None
-        self._epoch += 1
-        if self._log_updates:
-            self._log.append(
-                {name: (delta.added, delta.removed) for name, delta in deltas.items()}
-            )
+        with maybe_span("transact.publish"):
+            fault_point(SITE_STORE_PUBLISH)
+            self._contents.update(staged_contents)
+            self._instances.update(staged_instances)
+            self._snapshot = None
+            self._epoch += 1
+            if self._log_updates:
+                self._log.append(
+                    {name: (delta.added, delta.removed) for name, delta in deltas.items()}
+                )
         # Phase 5: view maintenance (quarantines, never aborts the batch).
-        self.views.maintain(batch)
+        with maybe_span("transact.maintain"):
+            self.views.maintain(batch)
         return batch
 
     def _convert(self, value, declared, name: str) -> ComplexValue:

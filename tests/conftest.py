@@ -11,6 +11,7 @@ from repro.calculus.evaluation import EvaluationSettings
 from repro.engine.codegen import set_codegen
 from repro.engine.joinorder import set_join_ordering
 from repro.objects.instance import DatabaseInstance
+from repro.observability.trace import set_tracing
 from repro.views.database import set_mvcc
 
 # CI runs the tier-1 suite once with the fused-codegen ablation switch off
@@ -31,6 +32,15 @@ if os.environ.get("REPRO_DISABLE_MVCC"):
 # collection, no MultiwayHashJoin), which must be answer-equivalent.
 if os.environ.get("REPRO_DISABLE_JOIN_ORDERING"):
     set_join_ordering(False)
+
+# The eighth family runs the other way around: tracing defaults OFF, and
+# REPRO_TRACE=1 re-runs the engine + views + serving + observability
+# suites fully traced — spans, histograms and query-log records on every
+# query and commit must change no answer.  The env var already seeds the
+# switch at import; the explicit set keeps the contract if that default
+# ever changes.
+if os.environ.get("REPRO_TRACE"):
+    set_tracing(True)
 
 
 @pytest.fixture

@@ -491,7 +491,7 @@ def test_runtime_stats_aggregates_all_families():
     stats = runtime_stats()
     assert set(stats) == {
         "interning", "columnar", "vectorized", "codegen", "joinorder", "views",
-        "reliability",
+        "reliability", "observability",
     }
     db = Database(PARENT_SCHEMA, {"PAR": [("a", "b")]})
     db.views.define_algebra("v", PAR)

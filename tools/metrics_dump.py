@@ -1,0 +1,159 @@
+"""Observability inspector: dump metrics, slow queries and span trees.
+
+Three modes, one output shape (sections to stdout):
+
+* **server mode** (``--host``/``--port``) — connect to a running
+  :class:`repro.serving.server.DatabaseServer`, issue ``METRICS``,
+  ``STATS``, ``SLOWLOG`` and ``TRACE last`` over the wire, and print the
+  exposition, the latency summaries and the latest trace as an indented
+  span tree;
+* **trace-file mode** (``--trace-file``) — read a JSONL trace export
+  (:func:`repro.observability.export_traces`) offline and render every
+  trace (or just ``--trace-id``) as a span tree;
+* **demo mode** (``--demo``) — spin up an in-process traced server,
+  serve one query and one write against it, then dump exactly what
+  server mode would show.  Self-contained, so the docs CI can smoke-test
+  the CLI (and the wire verbs behind it) with no fixture::
+
+      PYTHONPATH=src python tools/metrics_dump.py --demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observability import parse_exposition, render_span_tree, tracing
+
+
+def _section(title: str) -> None:
+    print(f"== {title} ==")
+
+
+def dump_trace_file(path: Path, trace_id: str | None) -> int:
+    """Render the span trees of a JSONL trace export (newest last)."""
+    rendered = 0
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if trace_id is not None and payload["trace_id"] != trace_id:
+                continue
+            _section(f"trace {payload['trace_id']} ({len(payload['spans'])} spans)")
+            print(render_span_tree(payload["spans"]))
+            rendered += 1
+    if rendered == 0:
+        print(
+            f"no traces in {path}" if trace_id is None else f"no trace {trace_id!r} in {path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+async def dump_server(host: str, port: int, slowlog: int) -> int:
+    """Query a live server's observability verbs and print each section."""
+    from repro.errors import ServingError
+    from repro.serving import ServingClient
+
+    client = await ServingClient.connect(host, port)
+    try:
+        _section(f"metrics {host}:{port}")
+        exposition = await client.metrics()
+        print(exposition, end="")
+        counters = {
+            name: values[""]
+            for name, values in parse_exposition(exposition).items()
+            if name.endswith("_total")
+        }
+        _section("latency summaries")
+        stats = await client.stats()
+        observability = stats.get("observability", {})
+        for name, summary in sorted(observability.get("latency", {}).items()):
+            print(f"{name}: {summary}")
+        _section(f"slow queries (newest {slowlog})")
+        records = await client.slowlog(slowlog)
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+        # The newest slow query's trace is the one an operator wants; fall
+        # back to the most recent trace (the dump's own requests aside,
+        # whatever the server finished last).
+        wanted = next(
+            (record["trace_id"] for record in records if record["trace_id"]), "last"
+        )
+        _section(f"trace {wanted}")
+        try:
+            trace = await client.trace(wanted)
+        except ServingError as error:
+            print(f"({error})")
+        else:
+            print(render_span_tree(trace["spans"]))
+        print(f"({sum(1 for value in counters.values() if value)} non-zero counters)")
+    finally:
+        await client.close()
+    return 0
+
+
+async def _demo() -> int:
+    """An in-process traced server exercising every section dump_server prints."""
+    from repro.algebra.expressions import PredicateExpression, Projection
+    from repro.calculus.builders import PARENT_SCHEMA
+    from repro.observability import set_slow_query_threshold
+    from repro.serving import DatabaseServer
+    from repro.views import Database
+
+    db = Database(PARENT_SCHEMA, {"PAR": [("tom", "mary"), ("mary", "sue")]})
+    db.views.define_relational("children", Projection(PredicateExpression("PAR"), (2,)))
+    previous = set_slow_query_threshold(0.0)  # the demo query shows up in SLOWLOG
+    try:
+        server = DatabaseServer(db, queries={"pairs": PredicateExpression("PAR")})
+        async with server.serve() as running:
+            from repro.serving import ServingClient
+
+            client = await ServingClient.connect("127.0.0.1", running.port)
+            try:
+                await client.query("pairs")
+                await client.insert("PAR", [("sue", "ann")])
+            finally:
+                await client.close()
+            return await dump_server("127.0.0.1", running.port, slowlog=8)
+    finally:
+        set_slow_query_threshold(previous)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="metrics_dump",
+        description="Dump observability state: metrics exposition, slow queries, span trees.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--port", type=int, help="serving port to connect to")
+    source.add_argument("--trace-file", type=Path, help="JSONL trace export to render")
+    source.add_argument(
+        "--demo",
+        action="store_true",
+        help="serve an in-process demo database and dump its observability state",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="serving host (with --port)")
+    parser.add_argument("--trace-id", help="render only this trace (with --trace-file)")
+    parser.add_argument(
+        "--slowlog", type=int, default=16, help="slow-query records to fetch (with --port)"
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.trace_file is not None:
+        return dump_trace_file(arguments.trace_file, arguments.trace_id)
+    if arguments.demo:
+        with tracing(True):
+            return asyncio.run(_demo())
+    return asyncio.run(dump_server(arguments.host, arguments.port, arguments.slowlog))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
